@@ -1,0 +1,71 @@
+//! Criterion bench behind Fig. 6/10 and the §VIII-F "up to 8x" claim:
+//! the two estimators at matched *accuracy* — Karp-Luby gets the Eq. 8
+//! dynamic trial count, the optimized estimator the fixed N it needs for
+//! the same ε–δ guarantee.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::Dataset;
+use mpmb_core::{
+    estimate_exact_prefix, estimate_karp_luby, estimate_optimized, KlTrialPolicy, OlsConfig,
+    OrderingListingSampling,
+};
+use std::hint::black_box;
+
+fn bench_matched_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matched_accuracy_estimators");
+    group.sample_size(10);
+    for dataset in [Dataset::Abide, Dataset::MovieLens] {
+        let scale = match dataset {
+            Dataset::Abide => 0.3,
+            _ => 0.02,
+        };
+        let g = dataset.generate(scale, 42);
+        let candidates = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 50,
+            seed: 42,
+            ..Default::default()
+        })
+        .prepare(&g);
+        if candidates.is_empty() {
+            continue;
+        }
+        let n_op = 1_000u64;
+        group.bench_with_input(
+            BenchmarkId::new("optimized_fixed", dataset.name()),
+            &g,
+            |b, g| b.iter(|| black_box(estimate_optimized(g, &candidates, n_op, 3))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("karp_luby_eq8", dataset.name()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    black_box(estimate_karp_luby(
+                        g,
+                        &candidates,
+                        KlTrialPolicy::Dynamic {
+                            mu: 0.05,
+                            base: n_op,
+                            min: 50,
+                            cap: n_op * 10,
+                        },
+                        3,
+                    ))
+                })
+            },
+        );
+        // Zero-error alternative (this library's extension): exact over
+        // the candidate set whenever the residual unions are small.
+        if estimate_exact_prefix(&g, &candidates, 24).is_ok() {
+            group.bench_with_input(
+                BenchmarkId::new("exact_prefix", dataset.name()),
+                &g,
+                |b, g| b.iter(|| black_box(estimate_exact_prefix(g, &candidates, 24).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matched_accuracy);
+criterion_main!(benches);

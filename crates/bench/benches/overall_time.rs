@@ -1,0 +1,77 @@
+//! Criterion microbench behind Fig. 7: per-trial cost of MC-VP vs OS vs
+//! the two OLS variants on the four dataset stand-ins (small scale — the
+//! full comparison with the paper's trial counts is `repro fig7`).
+
+use bench::experiments::{mcvp_budgeted, os_budgeted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::Dataset;
+use mpmb_core::{EstimatorKind, KlTrialPolicy, OlsConfig, OrderingListingSampling};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_overall_time");
+    group.sample_size(10);
+    for dataset in Dataset::all() {
+        // Tiny scales keep MC-VP feasible inside criterion's loop.
+        let scale = match dataset {
+            Dataset::Abide => 0.2,
+            Dataset::MovieLens => 0.01,
+            Dataset::Jester => 0.002,
+            Dataset::Protein => 0.002, // constant-degree scaling: keep MC-VP iterable
+        };
+        let g = dataset.generate(scale, 42);
+        let budget = Duration::from_secs(60);
+
+        group.bench_with_input(
+            BenchmarkId::new("mcvp_20trials", dataset.name()),
+            &g,
+            |b, g| b.iter(|| black_box(mcvp_budgeted(g, 20, 1, budget))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("os_20trials", dataset.name()),
+            &g,
+            |b, g| b.iter(|| black_box(os_budgeted(g, 20, 1, budget))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ols_opt", dataset.name()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    black_box(
+                        OrderingListingSampling::new(OlsConfig {
+                            prep_trials: 10,
+                            seed: 1,
+                            estimator: EstimatorKind::Optimized { trials: 200 },
+                            ..Default::default()
+                        })
+                        .run(g),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ols_kl", dataset.name()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    black_box(
+                        OrderingListingSampling::new(OlsConfig {
+                            prep_trials: 10,
+                            seed: 1,
+                            estimator: EstimatorKind::KarpLuby {
+                                policy: KlTrialPolicy::Fixed(200),
+                            },
+                            ..Default::default()
+                        })
+                        .run(g),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

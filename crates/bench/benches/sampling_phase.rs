@@ -1,0 +1,42 @@
+//! Criterion microbench behind Fig. 8: sampling-phase cost of the two
+//! estimators as the trial count grows, over a fixed candidate set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::Dataset;
+use mpmb_core::{estimate_karp_luby, estimate_optimized, KlTrialPolicy, OlsConfig, OrderingListingSampling};
+use std::hint::black_box;
+
+fn bench_estimators_by_trials(c: &mut Criterion) {
+    let g = Dataset::MovieLens.generate(0.02, 42);
+    let candidates = OrderingListingSampling::new(OlsConfig {
+        prep_trials: 50,
+        seed: 42,
+        ..Default::default()
+    })
+    .prepare(&g);
+    assert!(!candidates.is_empty(), "no candidates at this scale");
+
+    let mut group = c.benchmark_group("fig8_sampling_phase");
+    group.sample_size(10);
+    for trials in [250u64, 500, 1_000, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::new("optimized", trials),
+            &trials,
+            |b, &n| b.iter(|| black_box(estimate_optimized(&g, &candidates, n, 7))),
+        );
+        group.bench_with_input(BenchmarkId::new("karp_luby", trials), &trials, |b, &n| {
+            b.iter(|| {
+                black_box(estimate_karp_luby(
+                    &g,
+                    &candidates,
+                    KlTrialPolicy::Fixed(n),
+                    7,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators_by_trials);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion microbench behind Fig. 9: OS trial cost on vertex-induced
+//! subsamples of 25–100% of a dataset.
+
+use bench::experiments::os_budgeted;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::scale::induced_vertex_sample;
+use datasets::Dataset;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scalability(c: &mut Criterion) {
+    let base = Dataset::MovieLens.generate(0.05, 42);
+    let mut group = c.benchmark_group("fig9_scalability");
+    group.sample_size(10);
+    for pct in [25u32, 50, 75, 100] {
+        let g = induced_vertex_sample(&base, pct as f64 / 100.0, 7);
+        group.bench_with_input(BenchmarkId::new("os_50trials", pct), &g, |b, g| {
+            b.iter(|| black_box(os_budgeted(g, 50, 1, Duration::from_secs(60))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

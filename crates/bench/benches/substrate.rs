@@ -1,0 +1,80 @@
+//! Criterion bench of the substrate hot paths: CSR construction, world
+//! sampling, lazy sampling, and the OS engine's per-trial cost — plus the
+//! §V ablation (edge ordering on/off), quantifying the design choice
+//! DESIGN.md calls out.
+
+use bigraph::{trial_rng, LazyEdgeSampler, PossibleWorld, WorldSampler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::Dataset;
+use mpmb_core::{OsConfig, OsEngine, SamplingOracle};
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let g = Dataset::MovieLens.generate(0.05, 42);
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+
+    group.bench_function("graph_build_movielens_5pct", |b| {
+        b.iter(|| black_box(Dataset::MovieLens.generate(0.05, 42)))
+    });
+
+    group.bench_function("world_sample_full", |b| {
+        let mut world = PossibleWorld::empty(g.num_edges());
+        let mut rng = trial_rng(1, 0);
+        b.iter(|| {
+            WorldSampler::sample_into(&g, &mut world, &mut rng);
+            black_box(world.num_present())
+        })
+    });
+
+    group.bench_function("lazy_sampler_trial", |b| {
+        let mut sampler = LazyEdgeSampler::new(g.num_edges());
+        let mut rng = trial_rng(1, 0);
+        b.iter(|| {
+            sampler.begin_trial();
+            let mut present = 0u32;
+            for e in g.edge_ids().take(1000) {
+                if sampler.is_present(&g, e, &mut rng) {
+                    present += 1;
+                }
+            }
+            black_box(present)
+        })
+    });
+
+    // §V-B ablation: pruning fully on (dynamic w̄), the paper's static
+    // bound, and no edge ordering at all.
+    for (label, ordering, dynamic) in [
+        ("dynamic", true, true),
+        ("paper", true, false),
+        ("off", false, false),
+    ] {
+        let cfg = OsConfig {
+            edge_ordering: ordering,
+            dynamic_wbar: dynamic,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("os_trial_edge_ordering", label),
+            &cfg,
+            |b, cfg| {
+                let mut engine = OsEngine::new(&g, cfg);
+                let mut sampler = LazyEdgeSampler::new(g.num_edges());
+                let mut smb = Vec::new();
+                let mut t = 0u64;
+                b.iter(|| {
+                    let mut rng = trial_rng(2, t);
+                    t += 1;
+                    sampler.begin_trial();
+                    let mut oracle = SamplingOracle::new(&g, &mut sampler, &mut rng);
+                    black_box(engine.trial(&mut oracle, &mut smb))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

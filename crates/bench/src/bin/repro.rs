@@ -1,0 +1,168 @@
+//! `repro` — regenerates every table and figure of the MPMB paper's
+//! evaluation section on the synthetic dataset stand-ins.
+//!
+//! ```text
+//! repro [EXPERIMENT…] [--full] [--trial-factor F] [--budget SECS]
+//!       [--seed N] [--csv]
+//!
+//! EXPERIMENT ∈ {table3, table4, fig6, fig7, fig8, fig9, fig10, fig11,
+//!               fig12, fig13, all}   (default: all)
+//!
+//! --full           generate datasets at Table III sizes (hours + GBs;
+//!                  default is laptop scale, see DESIGN.md)
+//! --trial-factor   scale Table IV trial counts (default 0.1 ⇒ 2,000/10/2,000;
+//!                  1.0 reproduces the paper's 20,000/100/20,000)
+//! --budget         per-(method,dataset) wall-clock timeout in seconds
+//!                  (default 30; the paper's analog is 4 hours)
+//! --seed           RNG seed (default 42)
+//! --csv            emit CSV instead of aligned tables
+//! ```
+
+use bench::experiments::{self, ExpOptions};
+use bench::report::Table;
+use bench::{bench_datasets, TrialPlan};
+use std::time::Duration;
+
+// Fig. 13 needs allocation tracking in this process.
+#[global_allocator]
+static ALLOC: memtrack::CountingAllocator = memtrack::CountingAllocator;
+
+struct Args {
+    experiments: Vec<String>,
+    full: bool,
+    trial_factor: f64,
+    budget_secs: f64,
+    seed: u64,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiments: Vec::new(),
+        full: false,
+        trial_factor: 0.1,
+        budget_secs: 30.0,
+        seed: 42,
+        csv: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--full" => args.full = true,
+            "--csv" => args.csv = true,
+            "--trial-factor" => {
+                args.trial_factor = value("--trial-factor")?
+                    .parse()
+                    .map_err(|e| format!("--trial-factor: {e}"))?
+            }
+            "--budget" => {
+                args.budget_secs = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            exp if !exp.starts_with('-') => args.experiments.push(exp.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.experiments.is_empty() {
+        args.experiments.push("all".into());
+    }
+    Ok(args)
+}
+
+const HELP: &str = "repro [table3|table4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablation|adaptive|all]… \
+[--full] [--trial-factor F] [--budget SECS] [--seed N] [--csv]";
+
+const ALL: [&str; 12] = [
+    "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "ablation", "adaptive",
+];
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
+        ALL.to_vec()
+    } else {
+        args.experiments.iter().map(|s| s.as_str()).collect()
+    };
+    for w in &wanted {
+        if !ALL.contains(w) {
+            eprintln!("error: unknown experiment `{w}`\n{HELP}");
+            std::process::exit(2);
+        }
+    }
+
+    let opts = ExpOptions {
+        seed: args.seed,
+        plan: TrialPlan::scaled(args.trial_factor),
+        budget: Duration::from_secs_f64(args.budget_secs),
+    };
+
+    eprintln!(
+        "# datasets: {} scale | trials: {}/{}/{} (direct/prep/sampling) | budget {:.0}s | seed {}",
+        if args.full { "paper (Table III)" } else { "laptop" },
+        opts.plan.direct_trials,
+        opts.plan.prep_trials,
+        opts.plan.sampling_trials,
+        args.budget_secs,
+        args.seed,
+    );
+    let needs_datasets = wanted.iter().any(|w| !matches!(*w, "table4" | "fig6"));
+    let datasets = if needs_datasets {
+        eprintln!("# generating datasets…");
+        bench_datasets(args.full, args.seed)
+    } else {
+        Vec::new()
+    };
+
+    let emit = |t: &Table| {
+        if args.csv {
+            println!("{}", t.render_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    };
+
+    for w in wanted {
+        eprintln!("# running {w}…");
+        match w {
+            "table3" => emit(&experiments::table3::run(&datasets)),
+            "table4" => {
+                for t in experiments::table4::run(&opts.plan) {
+                    emit(&t);
+                }
+            }
+            "fig6" => emit(&experiments::fig6::run()),
+            "fig7" => emit(&experiments::fig7::run(&datasets, &opts)),
+            "fig8" => emit(&experiments::fig8::run(&datasets, &opts)),
+            "fig9" => emit(&experiments::fig9::run(&datasets, &opts)),
+            "fig10" => emit(&experiments::fig10::run(&datasets, &opts, 40)),
+            "fig11" => emit(&experiments::fig11::run(&datasets, &opts)),
+            "fig12" => emit(&experiments::fig12::run(&datasets, &opts)),
+            "fig13" => emit(&experiments::fig13::run(&datasets, &opts)),
+            "ablation" => emit(&experiments::ablation::run(&datasets, &opts)),
+            "adaptive" => emit(&experiments::adaptive::run(&datasets, &opts)),
+            _ => unreachable!("validated above"),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Ablation study (beyond the paper): how much each Ordering Sampling
+//! design choice contributes.
+//!
+//! Dimensions:
+//! * §V-B edge-ordering pruning — off / paper's static `w̄` / this
+//!   library's dynamic `w̄`;
+//! * middle-side selection — the Lemma V.1 cost-proxy choice vs forcing
+//!   each side.
+//!
+//! All variants produce identical distributions (verified in tests); the
+//! table reports wall-clock only.
+
+use crate::experiments::ExpOptions;
+use crate::report::Table;
+use crate::timing::run_budgeted;
+use crate::BenchDataset;
+use bigraph::{trial_rng, LazyEdgeSampler, Side};
+use mpmb_core::{OsConfig, OsEngine, SamplingOracle, Tally};
+
+/// The ablation variants, in presentation order.
+pub fn variants() -> Vec<(&'static str, OsConfig)> {
+    let base = OsConfig::default();
+    vec![
+        (
+            "no edge ordering",
+            OsConfig {
+                edge_ordering: false,
+                dynamic_wbar: false,
+                ..base
+            },
+        ),
+        (
+            "paper w-bar",
+            OsConfig {
+                edge_ordering: true,
+                dynamic_wbar: false,
+                ..base
+            },
+        ),
+        (
+            "dynamic w-bar",
+            OsConfig {
+                edge_ordering: true,
+                dynamic_wbar: true,
+                ..base
+            },
+        ),
+        (
+            "forced left middles",
+            OsConfig {
+                middle_side: Some(Side::Left),
+                ..base
+            },
+        ),
+        (
+            "forced right middles",
+            OsConfig {
+                middle_side: Some(Side::Right),
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Times one OS variant on one graph under the budget.
+fn time_variant(
+    g: &bigraph::UncertainBipartiteGraph,
+    cfg: &OsConfig,
+    trials: u64,
+    seed: u64,
+    budget: std::time::Duration,
+) -> (f64, bool) {
+    let mut engine = OsEngine::new(g, cfg);
+    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    let mut smb = Vec::new();
+    let mut tally = Tally::new();
+    let bt = run_budgeted(trials, budget, |t| {
+        let mut rng = trial_rng(seed, t);
+        sampler.begin_trial();
+        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
+        engine.trial(&mut oracle, &mut smb);
+        tally.record_trial(smb.iter());
+    });
+    (bt.estimated_total.as_secs_f64(), !bt.finished())
+}
+
+/// Renders the ablation table.
+pub fn run(datasets: &[BenchDataset], opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: OS design choices (seconds; * = extrapolated past budget)",
+        &[
+            "dataset",
+            "no edge ordering",
+            "paper w-bar",
+            "dynamic w-bar",
+            "left middles",
+            "right middles",
+        ],
+    );
+    for d in datasets {
+        let mut row = vec![d.dataset.name().to_string()];
+        for (_, cfg) in variants() {
+            let (secs, truncated) =
+                time_variant(&d.graph, &cfg, opts.plan.direct_trials, opts.seed, opts.budget);
+            row.push(format!("{secs:.3}{}", if truncated { "*" } else { "" }));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::{dense_dataset, fast_options};
+    use mpmb_core::OrderingSampling;
+
+    #[test]
+    fn all_variants_produce_identical_distributions() {
+        let d = dense_dataset();
+        let mut reference = None;
+        for (name, cfg) in variants() {
+            let dist = OrderingSampling::new(OsConfig {
+                trials: 500,
+                seed: 77,
+                ..cfg
+            })
+            .run(&d.graph);
+            match &reference {
+                None => reference = Some(dist),
+                Some(r) => assert_eq!(
+                    r.max_abs_diff(&dist),
+                    0.0,
+                    "variant `{name}` diverged"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_all_variant_columns() {
+        let ds = [dense_dataset()];
+        let t = run(&ds, &fast_options());
+        assert_eq!(t.len(), 1);
+        let text = t.render();
+        assert!(text.contains("dynamic w-bar"));
+        assert!(text.contains("no edge ordering"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 6: matrix of the trial-number ratio `N_kl/N_op` (Equation 8) over
+//! a grid of MPMB probability `P(B)` × existence probability `Pr[E(B)]`,
+//! at `S_i = 1`.
+
+use crate::report::Table;
+use mpmb_core::bounds::kl_over_op_ratio;
+
+/// The probability grid the figure uses on both axes.
+pub const GRID: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Renders the ratio matrix. Rows = `Pr[E(B)]`, columns = `P(B)`; cells
+/// with `P(B) > Pr[E(B)]` are impossible (`P(B) ≤ Pr[E(B)]` always) and
+/// rendered as `-`.
+pub fn run() -> Table {
+    let mut headers: Vec<String> = vec!["Pr[E(B)] \\ P(B)".to_string()];
+    headers.extend(GRID.iter().map(|p| format!("{p:.1}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 6: N_kl/N_op ratio matrix (Eq. 8, S_i = 1)",
+        &headers_ref,
+    );
+    for &pe in GRID.iter().rev() {
+        let mut row = vec![format!("{pe:.1}")];
+        for &mu in &GRID {
+            if mu > pe {
+                row.push("-".into());
+            } else {
+                row.push(format!("{:.2}", kl_over_op_ratio(pe, 1.0, mu)));
+            }
+        }
+        t.row(&row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_grid_rows_and_darkens_toward_corner() {
+        let t = run();
+        assert_eq!(t.len(), GRID.len());
+        // The paper's Fig. 6: ratios grow toward high Pr[E(B)], low P(B).
+        let corner = kl_over_op_ratio(0.9, 1.0, 0.1);
+        let mild = kl_over_op_ratio(0.3, 1.0, 0.3);
+        assert!(corner > mild);
+        assert!(corner > 5.0, "corner ratio {corner}");
+        // Diagonal is exactly zero: P(B) = Pr[E(B)] means the butterfly is
+        // maximum whenever it exists.
+        assert_eq!(kl_over_op_ratio(0.5, 1.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn impossible_cells_are_masked() {
+        let text = run().render();
+        assert!(text.contains('-'));
+    }
+}

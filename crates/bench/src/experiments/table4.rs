@@ -1,0 +1,62 @@
+//! Table IV: trial numbers of the four methods in both phases, together
+//! with the theoretical bounds that justify them (§VIII-B).
+
+use crate::report::Table;
+use crate::TrialPlan;
+use mpmb_core::bounds::{mc_trial_lower_bound, prep_trials_for_miss_rate};
+
+/// Renders the Table IV plan plus the bound derivations.
+pub fn run(plan: &TrialPlan) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table IV: trial numbers per method and phase",
+        &["method", "preparing phase", "sampling phase"],
+    );
+    t.row(&[
+        "MC-VP".into(),
+        "-".into(),
+        plan.direct_trials.to_string(),
+    ]);
+    t.row(&["OS".into(), "-".into(), plan.direct_trials.to_string()]);
+    t.row(&[
+        "OLS-KL".into(),
+        plan.prep_trials.to_string(),
+        "dynamic (Eq. 8)".into(),
+    ]);
+    t.row(&[
+        "OLS".into(),
+        plan.prep_trials.to_string(),
+        plan.sampling_trials.to_string(),
+    ]);
+
+    let mut bounds = Table::new(
+        "Theoretical bounds behind the defaults (mu=0.05, eps=delta=0.1)",
+        &["quantity", "value"],
+    );
+    bounds.row(&[
+        "Theorem IV.1 N lower bound".into(),
+        format!("{:.0}", mc_trial_lower_bound(0.05, 0.1, 0.1)),
+    ]);
+    bounds.row(&[
+        "prep trials for 0.5% miss of P=0.05".into(),
+        prep_trials_for_miss_rate(0.05, 0.005).to_string(),
+    ]);
+    vec![t, bounds]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_four_methods_and_bounds() {
+        let tables = run(&TrialPlan::default());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 4);
+        let text = tables[0].render();
+        assert!(text.contains("OLS-KL"));
+        assert!(text.contains("dynamic"));
+        let bounds = tables[1].render();
+        // ~2.4e4 Monte-Carlo bound and ~104 prep trials.
+        assert!(bounds.contains("2396") || bounds.contains("23966"), "{bounds}");
+    }
+}

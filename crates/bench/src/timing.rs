@@ -1,0 +1,128 @@
+//! Budgeted timing: the stand-in for the paper's 4-hour timeout.
+//!
+//! MC-VP on the larger datasets "cannot finish the process … within 4
+//! hours" (§VIII-C); the paper reports a timeout. At laptop scale we do
+//! the same thing proportionally: run trials until either the requested
+//! count or a wall-clock budget is exhausted, then report the measured
+//! time and — when truncated — the per-trial extrapolation to the full
+//! count.
+
+use std::time::{Duration, Instant};
+
+/// Outcome of a budgeted run.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetedTime {
+    /// Trials actually executed.
+    pub completed_trials: u64,
+    /// Trials that were requested.
+    pub requested_trials: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// `elapsed` when complete; otherwise the per-trial extrapolation to
+    /// `requested_trials`.
+    pub estimated_total: Duration,
+}
+
+impl BudgetedTime {
+    /// Whether the run finished all requested trials.
+    pub fn finished(&self) -> bool {
+        self.completed_trials == self.requested_trials
+    }
+
+    /// Human-readable summary: exact time, or `>budget (~extrapolated)`.
+    pub fn display(&self) -> String {
+        if self.finished() {
+            format!("{:.3}s", self.elapsed.as_secs_f64())
+        } else {
+            format!(
+                ">{:.1}s timeout (~{:.1}s extrapolated for {} trials)",
+                self.elapsed.as_secs_f64(),
+                self.estimated_total.as_secs_f64(),
+                self.requested_trials
+            )
+        }
+    }
+}
+
+/// Runs `trial(t)` for `t` in `0..trials`, stopping early once `budget`
+/// is exceeded (checked between trials). Returns timing with
+/// extrapolation.
+///
+/// # Panics
+/// Panics if `trials == 0`.
+pub fn run_budgeted(trials: u64, budget: Duration, mut trial: impl FnMut(u64)) -> BudgetedTime {
+    assert!(trials > 0, "need at least one trial");
+    let start = Instant::now();
+    let mut completed = 0;
+    for t in 0..trials {
+        trial(t);
+        completed += 1;
+        // Checked every trial: a clock read is nanoseconds, while a trial
+        // on the large datasets can take seconds.
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    let estimated_total = if completed == trials {
+        elapsed
+    } else {
+        Duration::from_secs_f64(elapsed.as_secs_f64() / completed as f64 * trials as f64)
+    };
+    BudgetedTime {
+        completed_trials: completed,
+        requested_trials: trials,
+        elapsed,
+        estimated_total,
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_within_budget() {
+        let mut seen = Vec::new();
+        let t = run_budgeted(10, Duration::from_secs(60), |i| seen.push(i));
+        assert!(t.finished());
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(t.estimated_total, t.elapsed);
+        assert!(t.display().ends_with('s'));
+    }
+
+    #[test]
+    fn truncates_and_extrapolates() {
+        let t = run_budgeted(1_000_000, Duration::from_millis(30), |_| {
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert!(!t.finished());
+        assert!(t.completed_trials < 1_000_000);
+        assert!(t.estimated_total > t.elapsed);
+        assert!(t.display().contains("timeout"));
+        // Extrapolation ≈ requested/completed × elapsed.
+        let ratio = t.estimated_total.as_secs_f64() / t.elapsed.as_secs_f64();
+        let expect = 1_000_000.0 / t.completed_trials as f64;
+        assert!((ratio / expect - 1.0).abs() < 0.01, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn time_it_returns_value() {
+        let (v, secs) = time_it(|| 7 * 6);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn rejects_zero_trials() {
+        let _ = run_budgeted(0, Duration::from_secs(1), |_| {});
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixed-capacity bitset used to represent possible worlds.
+//!
+//! A possible world (Definition 2) is a subset of the backbone edge set, so
+//! the natural representation is one bit per [`EdgeId`](crate::EdgeId).
+//! `Vec<bool>` would be 8× larger and the paper's biggest dataset has
+//! 39.5 M edges, where the difference is ~35 MB per world.
+
+/// A fixed-length bitset over `0..len`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset with all `len` bits cleared.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits (the domain size, not the popcount).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Sets bit `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        if value {
+            self.insert(i);
+        } else {
+            self.remove(i);
+        }
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Clears every bit, keeping capacity. Used to reuse a workhorse world
+    /// buffer across Monte-Carlo trials without reallocating.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi * 64;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Fills the set from raw word storage (low-level; used by tests).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = BitSet::new(130);
+        assert!(!b.contains(0));
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1) && !b.contains(63) && !b.contains(128));
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn set_dispatches() {
+        let mut b = BitSet::new(8);
+        b.set(3, true);
+        assert!(b.contains(3));
+        b.set(3, false);
+        assert!(!b.contains(3));
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut b = BitSet::new(200);
+        for i in (0..200).step_by(3) {
+            b.insert(i);
+        }
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 200);
+    }
+
+    #[test]
+    fn iter_ones_ascending_and_complete() {
+        let mut b = BitSet::new(300);
+        let picks = [0usize, 1, 63, 64, 65, 127, 128, 255, 299];
+        for &i in &picks {
+            b.insert(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, picks);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let b = BitSet::new(10);
+        let _ = b.contains(10);
+    }
+
+    #[test]
+    fn zero_length_set() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Validating builder for [`UncertainBipartiteGraph`].
+
+use crate::graph::{Adj, UncertainBipartiteGraph};
+use crate::types::{Left, Right, Weight};
+use std::fmt;
+
+/// Errors raised while constructing a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Probability outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// Offending left endpoint.
+        u: Left,
+        /// Offending right endpoint.
+        v: Right,
+        /// The rejected value.
+        p: f64,
+    },
+    /// Weight negative or non-finite. Non-negativity is required by the
+    /// §V-B pruning bound (see [`crate::types::Weight`]).
+    InvalidWeight {
+        /// Offending left endpoint.
+        u: Left,
+        /// Offending right endpoint.
+        v: Right,
+        /// The rejected value.
+        w: Weight,
+    },
+    /// The same `(u, v)` pair was added twice. Definition 1 makes `E` a
+    /// set, so multi-edges are rejected rather than silently merged.
+    DuplicateEdge {
+        /// Left endpoint of the duplicate.
+        u: Left,
+        /// Right endpoint of the duplicate.
+        v: Right,
+    },
+    /// More than `u32::MAX` edges or vertices.
+    TooLarge,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidProbability { u, v, p } => {
+                write!(f, "edge ({u},{v}): probability {p} not in [0,1]")
+            }
+            BuildError::InvalidWeight { u, v, w } => {
+                write!(f, "edge ({u},{v}): weight {w} not finite and non-negative")
+            }
+            BuildError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u},{v})"),
+            BuildError::TooLarge => write!(f, "graph exceeds u32 index space"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Accumulates edges, validates them, and produces the immutable CSR graph.
+///
+/// Vertex counts are inferred from the largest id seen; [`GraphBuilder::reserve_vertices`]
+/// can raise them for graphs with isolated trailing vertices.
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32, Weight, f64)>,
+    min_left: u32,
+    min_right: u32,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `n` edges.
+    pub fn with_capacity(n: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(n),
+            min_left: 0,
+            min_right: 0,
+        }
+    }
+
+    /// Ensures the built graph has at least `left` left and `right` right
+    /// vertices even if no edge touches the trailing ids.
+    pub fn reserve_vertices(&mut self, left: u32, right: u32) -> &mut Self {
+        self.min_left = self.min_left.max(left);
+        self.min_right = self.min_right.max(right);
+        self
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds edge `(u, v)` with weight `w` and probability `p`.
+    ///
+    /// Validation is eager for weights and probabilities; duplicate
+    /// detection happens in [`GraphBuilder::build`] (a sort makes it O(E log E) total
+    /// instead of a per-insert hash probe).
+    pub fn add_edge(&mut self, u: Left, v: Right, w: Weight, p: f64) -> Result<(), BuildError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(BuildError::InvalidProbability { u, v, p });
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(BuildError::InvalidWeight { u, v, w });
+        }
+        if self.edges.len() >= u32::MAX as usize {
+            return Err(BuildError::TooLarge);
+        }
+        self.edges.push((u.0, v.0, w, p));
+        Ok(())
+    }
+
+    /// Finalizes the graph.
+    pub fn build(&self) -> Result<UncertainBipartiteGraph, BuildError> {
+        let m = self.edges.len();
+
+        let mut nl = self.min_left;
+        let mut nr = self.min_right;
+        for &(u, v, _, _) in &self.edges {
+            if u == u32::MAX || v == u32::MAX {
+                return Err(BuildError::TooLarge);
+            }
+            nl = nl.max(u + 1);
+            nr = nr.max(v + 1);
+        }
+
+        // Duplicate detection over a sorted copy of the endpoint pairs.
+        let mut pairs: Vec<(u32, u32)> = self.edges.iter().map(|&(u, v, _, _)| (u, v)).collect();
+        pairs.sort_unstable();
+        if let Some(w) = pairs.windows(2).find(|w| w[0] == w[1]) {
+            return Err(BuildError::DuplicateEdge {
+                u: Left(w[0].0),
+                v: Right(w[0].1),
+            });
+        }
+
+        let mut edge_left = Vec::with_capacity(m);
+        let mut edge_right = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        let mut probs = Vec::with_capacity(m);
+        for &(u, v, w, p) in &self.edges {
+            edge_left.push(u);
+            edge_right.push(v);
+            weights.push(w);
+            probs.push(p);
+        }
+
+        // CSR construction by counting sort on each side; adjacency lists
+        // come out sorted by neighbor id because edges are placed in a
+        // second pass over edges pre-sorted by (owner, neighbor).
+        let left_csr = build_csr(nl, m, |i| (edge_left[i], edge_right[i]));
+        let right_csr = build_csr(nr, m, |i| (edge_right[i], edge_left[i]));
+
+        let mut edges_by_weight_desc: Vec<u32> = (0..m as u32).collect();
+        edges_by_weight_desc.sort_unstable_by(|&a, &b| {
+            weights[b as usize]
+                .total_cmp(&weights[a as usize])
+                .then(a.cmp(&b))
+        });
+
+        Ok(UncertainBipartiteGraph {
+            left_offsets: left_csr.0,
+            left_adj: left_csr.1,
+            right_offsets: right_csr.0,
+            right_adj: right_csr.1,
+            edge_left,
+            edge_right,
+            weights,
+            probs,
+            edges_by_weight_desc,
+        })
+    }
+}
+
+/// Builds one side's CSR. `key(i)` returns `(owner, neighbor)` for edge `i`.
+fn build_csr(n: u32, m: usize, key: impl Fn(usize) -> (u32, u32)) -> (Vec<u32>, Vec<Adj>) {
+    let n = n as usize;
+    let mut counts = vec![0u32; n + 1];
+    for i in 0..m {
+        counts[key(i).0 as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+
+    // Place edges ordered by (owner, neighbor) so each list is id-sorted.
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    order.sort_unstable_by_key(|&i| key(i as usize));
+    let mut adj = vec![
+        Adj {
+            nbr: 0,
+            edge: crate::types::EdgeId(0)
+        };
+        m
+    ];
+    let mut cursor = offsets.clone();
+    for &i in &order {
+        let (owner, nbr) = key(i as usize);
+        let slot = cursor[owner as usize] as usize;
+        adj[slot] = Adj {
+            nbr,
+            edge: crate::types::EdgeId(i),
+        };
+        cursor[owner as usize] += 1;
+    }
+    (offsets, adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut b = GraphBuilder::new();
+        let err = b.add_edge(Left(0), Right(0), 1.0, 1.5).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidProbability { .. }));
+        let err = b.add_edge(Left(0), Right(0), 1.0, -0.1).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidProbability { .. }));
+        let err = b.add_edge(Left(0), Right(0), 1.0, f64::NAN).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let mut b = GraphBuilder::new();
+        for w in [-1.0, f64::NAN, f64::INFINITY] {
+            let err = b.add_edge(Left(0), Right(0), w, 0.5).unwrap_err();
+            assert!(matches!(err, BuildError::InvalidWeight { .. }));
+        }
+        // Zero weight is allowed (the hardness reduction uses w = 0.5 and
+        // some datasets may contain zero-strength interactions).
+        b.add_edge(Left(0), Right(0), 0.0, 0.5).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicates_at_build() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 1.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 1.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(0), 2.0, 0.9).unwrap();
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::DuplicateEdge {
+                u: Left(0),
+                v: Right(0)
+            }
+        );
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_left(), 0);
+        assert_eq!(g.num_right(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.top3_weight_sum(), 0.0);
+    }
+
+    #[test]
+    fn reserve_vertices_creates_isolated_tail() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 1.0, 0.5).unwrap();
+        b.reserve_vertices(10, 20);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_left(), 10);
+        assert_eq!(g.num_right(), 20);
+        assert_eq!(g.left_degree(Left(9)), 0);
+        assert_eq!(g.right_degree(Right(19)), 0);
+    }
+
+    #[test]
+    fn adjacency_lists_sorted_by_neighbor_id() {
+        let mut b = GraphBuilder::new();
+        // Insert in scrambled order.
+        b.add_edge(Left(0), Right(5), 1.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 1.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(3), 1.0, 0.5).unwrap();
+        b.add_edge(Left(2), Right(3), 1.0, 0.5).unwrap();
+        b.add_edge(Left(1), Right(3), 1.0, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let nbrs: Vec<u32> = g.left_adj(Left(0)).iter().map(|a| a.nbr).collect();
+        assert_eq!(nbrs, vec![1, 3, 5]);
+        let nbrs: Vec<u32> = g.right_adj(Right(3)).iter().map(|a| a.nbr).collect();
+        assert_eq!(nbrs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn builder_is_reusable_after_build() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 1.0, 0.5).unwrap();
+        let g1 = b.build().unwrap();
+        b.add_edge(Left(1), Right(1), 2.0, 0.5).unwrap();
+        let g2 = b.build().unwrap();
+        assert_eq!(g1.num_edges(), 1);
+        assert_eq!(g2.num_edges(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! In-tree FxHash-style hasher for integer-keyed hot-path maps.
+//!
+//! The MPMB solvers key hash maps by small integers and integer pairs
+//! (endpoint pairs for angle sets, butterflies for probability tallies).
+//! SipHash — the std default — is needlessly slow for such keys, and HashDoS
+//! resistance is irrelevant for an analytics library operating on the user's
+//! own graph. Rather than pulling an extra dependency, this module
+//! implements the same multiply-rotate mix rustc's `FxHasher` uses.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio multiplier used by the Fx mix (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for integer-like keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the byte stream; remainder folded as one word.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one((3u32, 4u32)), hash_one((3u32, 4u32)));
+    }
+
+    #[test]
+    fn distinguishes_small_pairs() {
+        // Not a collision-resistance claim, just a sanity check that the mix
+        // doesn't degenerate on the key shapes the solvers use.
+        let pairs = [(0u32, 1u32), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)];
+        let hashes: Vec<u64> = pairs.iter().map(|&p| hash_one(p)).collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{:?} vs {:?}", pairs[i], pairs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_chunked_writes() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn distribution_smoke_low_bits() {
+        // Sequential keys should not collide in the low bits too heavily,
+        // since hashbrown uses the low bits for bucket selection.
+        let mut buckets = [0u32; 64];
+        for k in 0..4096u64 {
+            buckets[(hash_one(k) & 63) as usize] += 1;
+        }
+        let min = *buckets.iter().min().unwrap();
+        let max = *buckets.iter().max().unwrap();
+        assert!(min > 0, "empty bucket: degenerate mix");
+        assert!(max < 4096 / 8, "pathologically hot bucket");
+    }
+}

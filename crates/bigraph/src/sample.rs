@@ -1,0 +1,308 @@
+//! Bernoulli edge sampling for Monte-Carlo trials.
+//!
+//! Two samplers cover the solvers' needs:
+//!
+//! * [`WorldSampler`] materializes a complete possible world per trial —
+//!   what Algorithm 1 (MC-VP) literally does ("randomly choose `W_i` from
+//!   `W`").
+//! * [`LazyEdgeSampler`] draws each edge's Bernoulli outcome **on first
+//!   access** and memoizes it for the rest of the trial. Because edges are
+//!   independent, any statistic computed from lazily drawn outcomes has
+//!   exactly the distribution it would have under eager sampling — but the
+//!   §V-B pruning in Ordering Sampling then also skips the *sampling* cost
+//!   of the pruned tail, and the Karp-Luby estimator (Algorithm 4) can
+//!   condition on an event's edges being present via
+//!   [`LazyEdgeSampler::force_present`].
+//!
+//! # Determinism
+//!
+//! [`trial_rng`] derives an independent ChaCha8 stream per `(seed, trial)`
+//! pair through a SplitMix64 finalizer, so trial `t` sees identical
+//! randomness whether trials run sequentially or across threads.
+
+use crate::graph::UncertainBipartiteGraph;
+use crate::types::EdgeId;
+use crate::world::PossibleWorld;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// SplitMix64 finalizer: decorrelates consecutive trial indices into
+/// well-spread 64-bit seeds.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream for trial `trial` of a run seeded with `seed`.
+pub fn trial_rng(seed: u64, trial: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(splitmix64(seed ^ splitmix64(trial)))
+}
+
+/// Draws one Bernoulli outcome for edge `e` of `g`.
+///
+/// Edges with `p = 1` never consume randomness asymmetrically: the draw is
+/// always performed so outcome sequences stay aligned across graphs that
+/// differ only in probabilities. (`random::<f64>() < p` is false for `p=0`
+/// and true for `p=1` except on the measure-zero draw of exactly 1.0,
+/// which `random` excludes.)
+#[inline]
+pub fn bernoulli_edge(g: &UncertainBipartiteGraph, e: EdgeId, rng: &mut impl Rng) -> bool {
+    rng.random::<f64>() < g.prob(e)
+}
+
+/// Samples complete possible worlds into a reusable buffer.
+#[derive(Debug, Default, Clone)]
+pub struct WorldSampler;
+
+impl WorldSampler {
+    /// Samples a fresh possible world of `g`.
+    pub fn sample(g: &UncertainBipartiteGraph, rng: &mut impl Rng) -> PossibleWorld {
+        let mut w = PossibleWorld::empty(g.num_edges());
+        Self::sample_into(g, &mut w, rng);
+        w
+    }
+
+    /// Samples into `world`, reusing its storage. `world` must have been
+    /// created for a graph with the same number of edges.
+    pub fn sample_into(g: &UncertainBipartiteGraph, world: &mut PossibleWorld, rng: &mut impl Rng) {
+        assert_eq!(world.domain(), g.num_edges(), "world/graph mismatch");
+        world.clear();
+        for e in g.edge_ids() {
+            if bernoulli_edge(g, e, rng) {
+                world.insert(e);
+            }
+        }
+    }
+}
+
+/// Per-trial memoized lazy Bernoulli sampler over a graph's edges.
+///
+/// Epoch stamping makes `begin_trial` O(1): an edge's memo is valid only if
+/// its stamp equals the current epoch, so no per-trial clearing of the
+/// outcome arrays is needed.
+#[derive(Debug, Clone)]
+pub struct LazyEdgeSampler {
+    epoch: u32,
+    stamps: Vec<u32>,
+    outcomes: Vec<bool>,
+}
+
+impl LazyEdgeSampler {
+    /// Creates a sampler for a graph with `num_edges` edges.
+    pub fn new(num_edges: usize) -> Self {
+        LazyEdgeSampler {
+            // Start at 1 so the zero-initialized stamps are all invalid.
+            epoch: 1,
+            stamps: vec![0; num_edges],
+            outcomes: vec![false; num_edges],
+        }
+    }
+
+    /// Starts a new trial, invalidating all memoized outcomes.
+    pub fn begin_trial(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: clear stamps so stale epoch-0 memos
+            // cannot be mistaken for fresh ones.
+            self.stamps.fill(u32::MAX);
+            self.epoch = 1;
+        }
+    }
+
+    /// Whether edge `e` exists in the current trial, drawing and memoizing
+    /// the outcome on first access.
+    #[inline]
+    pub fn is_present(
+        &mut self,
+        g: &UncertainBipartiteGraph,
+        e: EdgeId,
+        rng: &mut impl Rng,
+    ) -> bool {
+        let i = e.index();
+        if self.stamps[i] == self.epoch {
+            return self.outcomes[i];
+        }
+        let out = bernoulli_edge(g, e, rng);
+        self.stamps[i] = self.epoch;
+        self.outcomes[i] = out;
+        out
+    }
+
+    /// Forces edge `e` present for the current trial (Karp-Luby
+    /// conditioning: "sample a possible world such that `B_j∖B_i ⊆ E_W`").
+    #[inline]
+    pub fn force_present(&mut self, e: EdgeId) {
+        let i = e.index();
+        self.stamps[i] = self.epoch;
+        self.outcomes[i] = true;
+    }
+
+    /// Whether `e` has been drawn (or forced) this trial.
+    #[inline]
+    pub fn is_decided(&self, e: EdgeId) -> bool {
+        self.stamps[e.index()] == self.epoch
+    }
+
+    /// The memoized outcome, if decided this trial.
+    #[inline]
+    pub fn decided_outcome(&self, e: EdgeId) -> Option<bool> {
+        if self.is_decided(e) {
+            Some(self.outcomes[e.index()])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::types::{Left, Right};
+
+    fn chain_graph(probs: &[f64]) -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for (i, &p) in probs.iter().enumerate() {
+            b.add_edge(Left(i as u32), Right(i as u32), 1.0, p).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trial_rng_is_deterministic_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = trial_rng(7, 0);
+            (0..4).map(|_| r.random()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = trial_rng(7, 0);
+            (0..4).map(|_| r.random()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = trial_rng(7, 1);
+            (0..4).map(|_| r.random()).collect()
+        };
+        assert_ne!(a, c);
+        let d: Vec<u64> = {
+            let mut r = trial_rng(8, 0);
+            (0..4).map(|_| r.random()).collect()
+        };
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn deterministic_edges_always_respected() {
+        let g = chain_graph(&[0.0, 1.0]);
+        let mut rng = trial_rng(1, 0);
+        for _ in 0..100 {
+            let w = WorldSampler::sample(&g, &mut rng);
+            assert!(!w.contains(EdgeId(0)), "p=0 edge sampled present");
+            assert!(w.contains(EdgeId(1)), "p=1 edge sampled absent");
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_approaches_probability() {
+        let g = chain_graph(&[0.3]);
+        let n = 20_000;
+        let mut hits = 0usize;
+        for t in 0..n {
+            let mut rng = trial_rng(42, t);
+            if bernoulli_edge(&g, EdgeId(0), &mut rng) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn sample_into_reuses_buffer() {
+        let g = chain_graph(&[0.5, 0.5, 0.5]);
+        let mut w = PossibleWorld::empty(g.num_edges());
+        let mut rng = trial_rng(3, 0);
+        WorldSampler::sample_into(&g, &mut w, &mut rng);
+        let first = w.clone();
+        // Resample until different (p=1/8 per draw of being identical).
+        let mut differed = false;
+        for _ in 0..64 {
+            WorldSampler::sample_into(&g, &mut w, &mut rng);
+            if w != first {
+                differed = true;
+                break;
+            }
+        }
+        assert!(differed, "sampler appears frozen");
+    }
+
+    #[test]
+    fn lazy_sampler_memoizes_within_trial() {
+        let g = chain_graph(&[0.5; 8]);
+        let mut s = LazyEdgeSampler::new(g.num_edges());
+        let mut rng = trial_rng(9, 0);
+        s.begin_trial();
+        let first: Vec<bool> = g.edge_ids().map(|e| s.is_present(&g, e, &mut rng)).collect();
+        // Re-querying must not redraw.
+        let second: Vec<bool> = g.edge_ids().map(|e| s.is_present(&g, e, &mut rng)).collect();
+        assert_eq!(first, second);
+        for e in g.edge_ids() {
+            assert_eq!(s.decided_outcome(e), Some(first[e.index()]));
+        }
+    }
+
+    #[test]
+    fn lazy_sampler_redraws_across_trials() {
+        let g = chain_graph(&[0.5; 16]);
+        let mut s = LazyEdgeSampler::new(g.num_edges());
+        let mut rng = trial_rng(10, 0);
+        s.begin_trial();
+        let a: Vec<bool> = g.edge_ids().map(|e| s.is_present(&g, e, &mut rng)).collect();
+        s.begin_trial();
+        for e in g.edge_ids() {
+            assert!(!s.is_decided(e), "stale memo leaked across trials");
+        }
+        let b: Vec<bool> = g.edge_ids().map(|e| s.is_present(&g, e, &mut rng)).collect();
+        assert_ne!(a, b, "16 fair coins identical across trials: 1/65536 event");
+    }
+
+    #[test]
+    fn force_present_overrides_draw() {
+        let g = chain_graph(&[0.0]);
+        let mut s = LazyEdgeSampler::new(1);
+        let mut rng = trial_rng(11, 0);
+        s.begin_trial();
+        s.force_present(EdgeId(0));
+        assert!(s.is_present(&g, EdgeId(0), &mut rng));
+        // Next trial: the p=0 edge is absent again.
+        s.begin_trial();
+        assert!(!s.is_present(&g, EdgeId(0), &mut rng));
+    }
+
+    #[test]
+    fn lazy_matches_eager_distribution() {
+        // Chi-square-lite: empirical presence counts under lazy sampling
+        // should track probabilities just like eager sampling does.
+        let g = chain_graph(&[0.2, 0.8]);
+        let n = 20_000;
+        let mut lazy_hits = [0usize; 2];
+        let mut s = LazyEdgeSampler::new(2);
+        for t in 0..n {
+            let mut rng = trial_rng(77, t);
+            s.begin_trial();
+            // Access in reverse order to decouple from edge id order.
+            if s.is_present(&g, EdgeId(1), &mut rng) {
+                lazy_hits[1] += 1;
+            }
+            if s.is_present(&g, EdgeId(0), &mut rng) {
+                lazy_hits[0] += 1;
+            }
+        }
+        assert!((lazy_hits[0] as f64 / n as f64 - 0.2).abs() < 0.02);
+        assert!((lazy_hits[1] as f64 / n as f64 - 0.8).abs() < 0.02);
+    }
+}

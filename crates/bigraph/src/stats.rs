@@ -1,0 +1,135 @@
+//! Summary statistics for a graph — the quantities of the paper's
+//! Table III plus what the complexity lemmas (IV.1, V.1) depend on.
+
+use crate::graph::UncertainBipartiteGraph;
+use crate::types::{Left, Right, Side};
+use std::fmt;
+
+/// Aggregate statistics of an uncertain bipartite graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|E|`.
+    pub num_edges: usize,
+    /// `|L|`.
+    pub num_left: usize,
+    /// `|R|`.
+    pub num_right: usize,
+    /// Maximum backbone degree on the left side.
+    pub max_left_degree: usize,
+    /// Maximum backbone degree on the right side.
+    pub max_right_degree: usize,
+    /// Minimum edge weight (0 for empty graphs).
+    pub min_weight: f64,
+    /// Maximum edge weight (0 for empty graphs).
+    pub max_weight: f64,
+    /// Mean edge weight (0 for empty graphs).
+    pub mean_weight: f64,
+    /// Mean edge probability (0 for empty graphs).
+    pub mean_prob: f64,
+    /// Lemma V.1 cost proxy `Σ_{u∈L} d̄(u)²`.
+    pub sum_sq_expected_degree_left: f64,
+    /// Lemma V.1 cost proxy `Σ_{v∈R} d̄(v)²`.
+    pub sum_sq_expected_degree_right: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &UncertainBipartiteGraph) -> Self {
+        let m = g.num_edges();
+        let (mut min_w, mut max_w, mut sum_w, mut sum_p) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0.0);
+        for e in g.edge_ids() {
+            let w = g.weight(e);
+            min_w = min_w.min(w);
+            max_w = max_w.max(w);
+            sum_w += w;
+            sum_p += g.prob(e);
+        }
+        if m == 0 {
+            min_w = 0.0;
+            max_w = 0.0;
+        }
+        GraphStats {
+            num_edges: m,
+            num_left: g.num_left(),
+            num_right: g.num_right(),
+            max_left_degree: (0..g.num_left())
+                .map(|i| g.left_degree(Left(i as u32)))
+                .max()
+                .unwrap_or(0),
+            max_right_degree: (0..g.num_right())
+                .map(|i| g.right_degree(Right(i as u32)))
+                .max()
+                .unwrap_or(0),
+            min_weight: min_w,
+            max_weight: max_w,
+            mean_weight: if m == 0 { 0.0 } else { sum_w / m as f64 },
+            mean_prob: if m == 0 { 0.0 } else { sum_p / m as f64 },
+            sum_sq_expected_degree_left: g.sum_sq_expected_degree(Side::Left),
+            sum_sq_expected_degree_right: g.sum_sq_expected_degree(Side::Right),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|E|={} |L|={} |R|={} deg_max=({},{}) w∈[{:.3},{:.3}] w̄={:.3} p̄={:.3}",
+            self.num_edges,
+            self.num_left,
+            self.num_right,
+            self.max_left_degree,
+            self.max_right_degree,
+            self.min_weight,
+            self.max_weight,
+            self.mean_weight,
+            self.mean_prob,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_fig1() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        let s = GraphStats::compute(&b.build().unwrap());
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.num_left, 2);
+        assert_eq!(s.num_right, 3);
+        assert_eq!(s.max_left_degree, 3);
+        assert_eq!(s.max_right_degree, 2);
+        assert_eq!(s.min_weight, 1.0);
+        assert_eq!(s.max_weight, 3.0);
+        assert!((s.mean_weight - 2.0).abs() < 1e-12);
+        assert!((s.mean_prob - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph_are_zero() {
+        let s = GraphStats::compute(&GraphBuilder::new().build().unwrap());
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.min_weight, 0.0);
+        assert_eq!(s.max_weight, 0.0);
+        assert_eq!(s.mean_weight, 0.0);
+        assert_eq!(s.mean_prob, 0.0);
+        assert_eq!(s.max_left_degree, 0);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let s = GraphStats::compute(&GraphBuilder::new().build().unwrap());
+        let line = s.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("|E|=0"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Graph transformations used by the paper's preprocessing and use cases.
+//!
+//! * [`bipartition_by_parity`] — the paper's own Protein preprocessing:
+//!   "divided vertices equally by their odd and even IDs" turns a general
+//!   weighted edge list into a bipartite network.
+//! * [`reward_cold_items`] — the §I use case 1 optimized-UserCF weighting:
+//!   edges to unpopular ("cold") right vertices get a reward multiplier,
+//!   which is what makes the MPMB prefer diverse recommendations (Fig. 2).
+//! * [`scale_probabilities`] — power/scale calibration of edge
+//!   probabilities, useful for sensitivity studies.
+
+use crate::builder::{BuildError, GraphBuilder};
+use crate::generators::quantize_weight;
+use crate::graph::UncertainBipartiteGraph;
+use crate::types::{Left, Right};
+
+/// Builds an uncertain bipartite network from a general (non-bipartite)
+/// weighted edge list by the paper's parity split: even-id endpoints go to
+/// `L` (as `id/2`), odd ids to `R` (as `id/2`); edges between same-parity
+/// endpoints are dropped. Duplicate `(left, right)` pairs keep the first
+/// occurrence.
+pub fn bipartition_by_parity(
+    edges: impl IntoIterator<Item = (u64, u64, f64, f64)>,
+) -> Result<UncertainBipartiteGraph, BuildError> {
+    let mut b = GraphBuilder::new();
+    let mut seen = crate::fx::FxHashSet::default();
+    for (a, c, w, p) in edges {
+        let (even, odd) = match (a % 2 == 0, c % 2 == 0) {
+            (true, false) => (a, c),
+            (false, true) => (c, a),
+            _ => continue, // same parity: not representable bipartitely
+        };
+        let (u, v) = ((even / 2) as u32, (odd / 2) as u32);
+        if seen.insert((u, v)) {
+            b.add_edge(Left(u), Right(v), w, p)?;
+        }
+    }
+    b.build()
+}
+
+/// Returns a copy of `g` with cold-item reward weighting (§I use case 1):
+/// `w'(e) = w(e) · (1 + reward · (1 − deg(v)/deg_max))` for an edge to
+/// right vertex `v`, quantized. `reward = 0` is the identity (up to
+/// quantization of already-quantized weights).
+///
+/// # Panics
+/// Panics if `reward` is negative or non-finite.
+pub fn reward_cold_items(g: &UncertainBipartiteGraph, reward: f64) -> UncertainBipartiteGraph {
+    assert!(reward >= 0.0 && reward.is_finite(), "invalid reward");
+    let deg_max = (0..g.num_right())
+        .map(|v| g.right_degree(Right(v as u32)))
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+    let mut b = GraphBuilder::with_capacity(g.num_edges());
+    b.reserve_vertices(g.num_left() as u32, g.num_right() as u32);
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        let coldness = 1.0 - g.right_degree(v) as f64 / deg_max;
+        let w = quantize_weight(g.weight(e) * (1.0 + reward * coldness));
+        b.add_edge(u, v, w, g.prob(e)).expect("copy of a valid graph");
+    }
+    b.build().expect("copy of a valid graph")
+}
+
+/// Returns a copy of `g` with probabilities raised to `power` and scaled
+/// by `factor`, clamped into `[0, 1]`. `power = 1, factor = 1` is the
+/// identity. Useful for studying solver behaviour under sparser or denser
+/// possible worlds without touching the structure.
+///
+/// # Panics
+/// Panics unless `power > 0` and `factor ≥ 0` are finite.
+pub fn scale_probabilities(
+    g: &UncertainBipartiteGraph,
+    power: f64,
+    factor: f64,
+) -> UncertainBipartiteGraph {
+    assert!(power > 0.0 && power.is_finite(), "invalid power");
+    assert!(factor >= 0.0 && factor.is_finite(), "invalid factor");
+    let mut b = GraphBuilder::with_capacity(g.num_edges());
+    b.reserve_vertices(g.num_left() as u32, g.num_right() as u32);
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        let p = (g.prob(e).powf(power) * factor).clamp(0.0, 1.0);
+        b.add_edge(u, v, g.weight(e), p).expect("copy of a valid graph");
+    }
+    b.build().expect("copy of a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_split_maps_ids_and_drops_same_parity() {
+        // (0,1): even-odd -> L0-R0. (2,3): -> L1-R1. (4,6): even-even,
+        // dropped. (5,2): odd-even -> L1-R2.
+        let g = bipartition_by_parity([
+            (0u64, 1u64, 1.0, 0.5),
+            (2, 3, 2.0, 0.6),
+            (4, 6, 3.0, 0.7),
+            (5, 2, 4.0, 0.8),
+        ])
+        .unwrap();
+        assert_eq!(g.num_edges(), 3);
+        let e = g.find_edge(Left(0), Right(0)).unwrap();
+        assert_eq!(g.weight(e), 1.0);
+        let e = g.find_edge(Left(1), Right(2)).unwrap();
+        assert_eq!((g.weight(e), g.prob(e)), (4.0, 0.8));
+        // The same-parity edge (4,6) contributed no vertices beyond the
+        // ones above.
+        assert_eq!(g.num_left(), 2);
+        assert_eq!(g.num_right(), 3);
+    }
+
+    #[test]
+    fn parity_split_keeps_first_duplicate() {
+        let g = bipartition_by_parity([
+            (0u64, 1u64, 1.0, 0.5),
+            (1, 0, 9.0, 0.9), // same pair, reversed order
+        ])
+        .unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weight(crate::EdgeId(0)), 1.0);
+    }
+
+    #[test]
+    fn cold_reward_boosts_low_degree_items_only() {
+        let mut b = GraphBuilder::new();
+        // v0 hot (3 edges), v1 cold (1 edge), all weight 2.
+        for u in 0..3 {
+            b.add_edge(Left(u), Right(0), 2.0, 0.5).unwrap();
+        }
+        b.add_edge(Left(0), Right(1), 2.0, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let r = reward_cold_items(&g, 1.5);
+        let hot = r.find_edge(Left(0), Right(0)).unwrap();
+        let cold = r.find_edge(Left(0), Right(1)).unwrap();
+        assert_eq!(r.weight(hot), 2.0, "hottest item must be unrewarded");
+        // coldness = 1 − 1/3 = 2/3; w' = 2·(1 + 1.5·2/3) = 4, exactly.
+        assert_eq!(r.weight(cold), 4.0);
+        // Probabilities untouched.
+        assert_eq!(r.prob(cold), 0.5);
+    }
+
+    #[test]
+    fn zero_reward_is_identity_on_quantized_weights() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 1.25, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 3.5, 0.6).unwrap();
+        let g = b.build().unwrap();
+        let r = reward_cold_items(&g, 0.0);
+        for e in g.edge_ids() {
+            assert_eq!(g.weight(e), r.weight(e));
+        }
+    }
+
+    #[test]
+    fn probability_scaling_clamps_and_powers() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 1.0, 0.25).unwrap();
+        b.add_edge(Left(0), Right(1), 1.0, 0.8).unwrap();
+        let g = b.build().unwrap();
+        let s = scale_probabilities(&g, 2.0, 1.0);
+        assert!((s.prob(crate::EdgeId(0)) - 0.0625).abs() < 1e-12);
+        let s = scale_probabilities(&g, 1.0, 2.0);
+        assert_eq!(s.prob(crate::EdgeId(1)), 1.0, "clamped at 1");
+        let id = scale_probabilities(&g, 1.0, 1.0);
+        for e in g.edge_ids() {
+            assert_eq!(g.prob(e), id.prob(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid reward")]
+    fn rejects_negative_reward() {
+        let g = GraphBuilder::new().build().unwrap();
+        let _ = reward_cold_items(&g, -1.0);
+    }
+}

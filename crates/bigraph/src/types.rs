@@ -1,0 +1,180 @@
+//! Core identifier and scalar types for uncertain bipartite networks.
+//!
+//! Vertex ids are side-tagged newtypes ([`Left`], [`Right`]) so the two
+//! partitions of Definition 1 cannot be confused at compile time. Ids are
+//! `u32` — per the perf-book guidance, narrow indices keep hot structures
+//! small; 4 billion vertices per side is far beyond the paper's largest
+//! dataset (186,773 per side).
+
+use std::fmt;
+
+/// Edge weight. Paper notation: `w : E → ℝ` (Definition 1), restricted by
+/// the builder to non-negative finite values because the §V-B edge-ordering
+/// pruning bound (`w(e) + w̄ < w_max ⇒ prune`) is only valid when no edge
+/// can contribute negative weight.
+pub type Weight = f64;
+
+/// A vertex in the left partition `L`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Left(pub u32);
+
+/// A vertex in the right partition `R`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Right(pub u32);
+
+/// Dense edge identifier: index into the graph's parallel edge arrays.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl Left {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Right {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Left {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for Left {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Debug for Right {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Right {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Which side of the bipartition a vertex set refers to.
+///
+/// Lemma V.1 notes the two parts are symmetrical: the Ordering Sampling
+/// solver chooses whichever side is cheaper as the angle middle side, and
+/// records the choice with this tag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Side {
+    /// The left partition `L`.
+    Left,
+    /// The right partition `R`.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    #[inline]
+    pub fn flip(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// A side-erased vertex, used where an API must mention vertices of either
+/// partition uniformly (e.g. vertex-priority orders spanning `V = L ∪ R`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Vertex {
+    /// A left-partition vertex.
+    L(Left),
+    /// A right-partition vertex.
+    R(Right),
+}
+
+impl Vertex {
+    /// The side this vertex belongs to.
+    #[inline]
+    pub fn side(self) -> Side {
+        match self {
+            Vertex::L(_) => Side::Left,
+            Vertex::R(_) => Side::Right,
+        }
+    }
+}
+
+impl From<Left> for Vertex {
+    fn from(u: Left) -> Self {
+        Vertex::L(u)
+    }
+}
+
+impl From<Right> for Vertex {
+    fn from(v: Right) -> Self {
+        Vertex::R(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_indexing_roundtrips() {
+        assert_eq!(Left(7).index(), 7);
+        assert_eq!(Right(9).index(), 9);
+        assert_eq!(EdgeId(11).index(), 11);
+    }
+
+    #[test]
+    fn side_flip_is_involutive() {
+        assert_eq!(Side::Left.flip(), Side::Right);
+        assert_eq!(Side::Right.flip(), Side::Left);
+        assert_eq!(Side::Left.flip().flip(), Side::Left);
+    }
+
+    #[test]
+    fn vertex_sides_match_constructors() {
+        assert_eq!(Vertex::from(Left(0)).side(), Side::Left);
+        assert_eq!(Vertex::from(Right(0)).side(), Side::Right);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(Left(1).to_string(), "u1");
+        assert_eq!(Right(2).to_string(), "v2");
+        assert_eq!(format!("{:?}", EdgeId(3)), "e3");
+    }
+
+    #[test]
+    fn ids_are_orderable_and_hashable() {
+        let mut v = vec![Left(3), Left(1), Left(2)];
+        v.sort();
+        assert_eq!(v, vec![Left(1), Left(2), Left(3)]);
+        let mut set = std::collections::HashSet::new();
+        set.insert(Right(5));
+        assert!(set.contains(&Right(5)));
+    }
+}

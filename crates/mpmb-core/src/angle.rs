@@ -1,0 +1,234 @@
+//! Angles (Definition 3) and the §V-C top-two angle slots.
+//!
+//! An angle `∠(x, m, y)` is a 2-path: endpoints `x, y` on one side, middle
+//! `m` on the other. Ordering Sampling only ever needs, per endpoint pair,
+//! the angles of the two largest weight classes (`A₁`, `A₂`): any heavier
+//! butterfly over that pair could otherwise be formed from two retained
+//! angles, contradicting maximality (§V-C). [`TopTwoAngles`] implements
+//! exactly the Table II update rules.
+
+use bigraph::Weight;
+
+/// The `A₁`/`A₂` slots for one endpoint pair: all angles of the top weight
+/// class and all angles of the second weight class, each angle identified
+/// by its middle vertex (the endpoints are fixed by the map key).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopTwoAngles {
+    /// Weight of the `A₁` class; `NEG_INFINITY` when empty.
+    w1: Weight,
+    /// Middle vertices of the `A₁` class.
+    mids1: Vec<u32>,
+    /// Weight of the `A₂` class; `NEG_INFINITY` when empty.
+    w2: Weight,
+    /// Middle vertices of the `A₂` class.
+    mids2: Vec<u32>,
+}
+
+impl Default for TopTwoAngles {
+    fn default() -> Self {
+        TopTwoAngles {
+            w1: f64::NEG_INFINITY,
+            mids1: Vec::new(),
+            w2: f64::NEG_INFINITY,
+            mids2: Vec::new(),
+        }
+    }
+}
+
+impl TopTwoAngles {
+    /// Creates empty slots.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the angle with middle vertex `mid` and weight `w`,
+    /// following Table II. Middles are unique per endpoint pair in a
+    /// simple bipartite graph, so no dedup is needed.
+    pub fn insert(&mut self, mid: u32, w: Weight) {
+        if w > self.w1 {
+            // New top class: old A₁ demotes to A₂.
+            std::mem::swap(&mut self.mids1, &mut self.mids2);
+            self.w2 = self.w1;
+            self.mids1.clear();
+            self.mids1.push(mid);
+            self.w1 = w;
+        } else if w == self.w1 {
+            self.mids1.push(mid);
+        } else if w > self.w2 {
+            self.mids2.clear();
+            self.mids2.push(mid);
+            self.w2 = w;
+        } else if w == self.w2 {
+            self.mids2.push(mid);
+        }
+        // w < w2: ignored (Table II last row).
+    }
+
+    /// Weight of the `A₁` class (`None` when empty).
+    pub fn w1(&self) -> Option<Weight> {
+        self.mids1.first().map(|_| self.w1)
+    }
+
+    /// Weight of the `A₂` class (`None` when empty).
+    pub fn w2(&self) -> Option<Weight> {
+        self.mids2.first().map(|_| self.w2)
+    }
+
+    /// Middle vertices of the `A₁` class.
+    pub fn mids1(&self) -> &[u32] {
+        &self.mids1
+    }
+
+    /// Middle vertices of the `A₂` class.
+    pub fn mids2(&self) -> &[u32] {
+        &self.mids2
+    }
+
+    /// Weight of the heaviest butterfly formable over this endpoint pair:
+    /// `2·w₁` when `|A₁| ≥ 2`, else `w₁ + w₂` when `A₂` is non-empty
+    /// (§V-D), else `None` when fewer than two angles exist.
+    pub fn best_butterfly_weight(&self) -> Option<Weight> {
+        if self.mids1.len() >= 2 {
+            Some(self.w1 + self.w1)
+        } else if !self.mids1.is_empty() && !self.mids2.is_empty() {
+            Some(self.w1 + self.w2)
+        } else {
+            None
+        }
+    }
+
+    /// Clears the slots, keeping list capacity for reuse across trials.
+    pub fn clear(&mut self) {
+        self.w1 = f64::NEG_INFINITY;
+        self.w2 = f64::NEG_INFINITY;
+        self.mids1.clear();
+        self.mids2.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type WeightClass = Option<(f64, Vec<u32>)>;
+
+    /// Reference implementation: keep everything, compute top-2 classes.
+    fn reference(angles: &[(u32, f64)]) -> (WeightClass, WeightClass) {
+        let mut ws: Vec<f64> = angles.iter().map(|&(_, w)| w).collect();
+        ws.sort_by(|a, b| b.total_cmp(a));
+        ws.dedup();
+        let class = |w: f64| -> Vec<u32> {
+            let mut v: Vec<u32> = angles.iter().filter(|&&(_, aw)| aw == w).map(|&(m, _)| m).collect();
+            v.sort_unstable();
+            v
+        };
+        let first = ws.first().map(|&w| (w, class(w)));
+        let second = ws.get(1).map(|&w| (w, class(w)));
+        (first, second)
+    }
+
+    fn slots_of(angles: &[(u32, f64)]) -> TopTwoAngles {
+        let mut t = TopTwoAngles::new();
+        for &(m, w) in angles {
+            t.insert(m, w);
+        }
+        t
+    }
+
+    fn sorted(v: &[u32]) -> Vec<u32> {
+        let mut v = v.to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn table2_case_greater_than_w1() {
+        let t = slots_of(&[(1, 5.0), (2, 7.0)]);
+        assert_eq!(t.w1(), Some(7.0));
+        assert_eq!(t.mids1(), &[2]);
+        assert_eq!(t.w2(), Some(5.0));
+        assert_eq!(t.mids2(), &[1]);
+    }
+
+    #[test]
+    fn table2_case_equal_w1_appends() {
+        let t = slots_of(&[(1, 5.0), (2, 5.0)]);
+        assert_eq!(t.w1(), Some(5.0));
+        assert_eq!(sorted(t.mids1()), vec![1, 2]);
+        assert_eq!(t.w2(), None);
+    }
+
+    #[test]
+    fn table2_case_between_replaces_a2() {
+        let t = slots_of(&[(1, 5.0), (2, 2.0), (3, 3.0)]);
+        assert_eq!(t.w2(), Some(3.0));
+        assert_eq!(t.mids2(), &[3]);
+    }
+
+    #[test]
+    fn table2_case_equal_w2_appends() {
+        let t = slots_of(&[(1, 5.0), (2, 3.0), (3, 3.0)]);
+        assert_eq!(t.w2(), Some(3.0));
+        assert_eq!(sorted(t.mids2()), vec![2, 3]);
+    }
+
+    #[test]
+    fn table2_case_below_w2_ignored() {
+        let t = slots_of(&[(1, 5.0), (2, 3.0), (3, 1.0)]);
+        assert_eq!(t.w1(), Some(5.0));
+        assert_eq!(t.w2(), Some(3.0));
+        assert_eq!(t.mids2(), &[2]);
+    }
+
+    #[test]
+    fn promotion_demotes_whole_a1_class() {
+        let t = slots_of(&[(1, 5.0), (2, 5.0), (3, 9.0)]);
+        assert_eq!(t.w1(), Some(9.0));
+        assert_eq!(t.mids1(), &[3]);
+        assert_eq!(t.w2(), Some(5.0));
+        assert_eq!(sorted(t.mids2()), vec![1, 2]);
+    }
+
+    #[test]
+    fn best_butterfly_weight_cases() {
+        assert_eq!(TopTwoAngles::new().best_butterfly_weight(), None);
+        assert_eq!(slots_of(&[(1, 5.0)]).best_butterfly_weight(), None);
+        assert_eq!(slots_of(&[(1, 5.0), (2, 5.0)]).best_butterfly_weight(), Some(10.0));
+        assert_eq!(slots_of(&[(1, 5.0), (2, 3.0)]).best_butterfly_weight(), Some(8.0));
+        assert_eq!(
+            slots_of(&[(1, 5.0), (2, 5.0), (3, 3.0)]).best_butterfly_weight(),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut t = slots_of(&[(1, 5.0), (2, 5.0), (3, 3.0)]);
+        t.clear();
+        assert_eq!(t.w1(), None);
+        assert_eq!(t.w2(), None);
+        assert_eq!(t.best_butterfly_weight(), None);
+        t.insert(9, 1.0);
+        assert_eq!(t.w1(), Some(1.0));
+    }
+
+    #[test]
+    fn matches_reference_on_random_sequences() {
+        // Small deterministic pseudo-random exercise across permutations.
+        let weights = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0];
+        let mut angles: Vec<(u32, f64)> =
+            weights.iter().enumerate().map(|(i, &w)| (i as u32, w)).collect();
+        // Try several rotations as insertion orders.
+        for rot in 0..angles.len() {
+            angles.rotate_left(1);
+            let t = slots_of(&angles);
+            let (r1, r2) = reference(&angles);
+            let (w1, m1) = r1.unwrap();
+            assert_eq!(t.w1(), Some(w1), "rot={rot}");
+            assert_eq!(sorted(t.mids1()), m1);
+            let (w2, m2) = r2.unwrap();
+            assert_eq!(t.w2(), Some(w2));
+            assert_eq!(sorted(t.mids2()), m2);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Trial-number lower bounds and ratios (Theorem IV.1, Lemmas VI.2–VI.4,
+//! Equations 8–9).
+
+/// Theorem IV.1 / Lemma V.2: the Monte-Carlo trial count guaranteeing an
+/// `ε–δ` approximation of a probability `μ`:
+/// `N ≥ (1/μ) · 4·ln(2/δ) / ε²`.
+///
+/// # Panics
+/// Panics unless `0 < μ ≤ 1`, `ε > 0`, `0 < δ < 1`.
+pub fn mc_trial_lower_bound(mu: f64, epsilon: f64, delta: f64) -> f64 {
+    assert!(mu > 0.0 && mu <= 1.0, "mu must be in (0,1]");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    (1.0 / mu) * (4.0 * (2.0 / delta).ln() / (epsilon * epsilon))
+}
+
+/// Equation 8: the ratio `N_kl / N_op` of trial counts giving Karp-Luby
+/// (Algorithm 4) and the optimized estimator (Algorithm 5) the same `ε–δ`
+/// guarantee on a candidate with existence probability `Pr[E(B_i)]`,
+/// residual mass `S_i`, and target probability `μ = P(B_i)`:
+///
+/// `N_kl/N_op = Pr[E(B_i)] · S_i · (Pr[E(B_i)]/μ − 1)`.
+pub fn kl_over_op_ratio(p_exist: f64, s_i: f64, mu: f64) -> f64 {
+    assert!(mu > 0.0, "mu must be positive");
+    p_exist * s_i * (p_exist / mu - 1.0)
+}
+
+/// Equation 9: the ratio at which the two estimators' *time complexities*
+/// break even, `1/|C_MB|` — Algorithm 4 pays `O(|C_MB|)` per trial per
+/// candidate while Algorithm 5 pays `O(|C_MB|)` per shared trial.
+pub fn balanced_ratio(candidate_count: usize) -> f64 {
+    assert!(candidate_count > 0, "empty candidate set has no ratio");
+    1.0 / candidate_count as f64
+}
+
+/// §VI-B (Lemma VI.1): probability that a butterfly with probability
+/// `P(B)` appears in the candidate set after `n_os` preparing trials:
+/// `1 − (1 − P(B))^N`.
+pub fn candidate_inclusion_prob(p_b: f64, n_os: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_b), "P(B) must be a probability");
+    1.0 - (1.0 - p_b).powi(n_os.min(i32::MAX as u64) as i32)
+}
+
+/// Inverts [`candidate_inclusion_prob`]: the preparing-phase trials needed
+/// so a butterfly with probability `p_b` is missed with probability at
+/// most `miss`.
+pub fn prep_trials_for_miss_rate(p_b: f64, miss: f64) -> u64 {
+    assert!(p_b > 0.0 && p_b < 1.0, "P(B) must be in (0,1)");
+    assert!(miss > 0.0 && miss < 1.0, "miss rate must be in (0,1)");
+    (miss.ln() / (1.0 - p_b).ln()).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_magnitude() {
+        // §IV: "if P(B)=0.01, ε=0.1, δ=0.01 … N should be larger than
+        // around 2·10⁵". 4·ln(200)/0.01/0.01 = 2.12·10⁵.
+        let n = mc_trial_lower_bound(0.01, 0.1, 0.01);
+        assert!((1.9e5..2.3e5).contains(&n), "n={n}");
+    }
+
+    #[test]
+    fn default_experiment_bound_matches_table4() {
+        // §VIII-B: μ=0.05, ε=δ=0.1 → N set to 2·10⁴.
+        let n = mc_trial_lower_bound(0.05, 0.1, 0.1);
+        assert!((2.0e4..2.5e4).contains(&n), "n={n}");
+    }
+
+    #[test]
+    fn bound_scales_inversely_with_mu() {
+        let n1 = mc_trial_lower_bound(0.1, 0.1, 0.1);
+        let n2 = mc_trial_lower_bound(0.05, 0.1, 0.1);
+        assert!((n2 / n1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_sign_depends_on_exist_vs_mu() {
+        // Pr[E(B)] = μ: the butterfly is maximum whenever it exists, KL
+        // needs no trials at all (ratio 0).
+        assert_eq!(kl_over_op_ratio(0.3, 1.0, 0.3), 0.0);
+        // Existence far above μ: KL needs many more trials.
+        assert!(kl_over_op_ratio(0.9, 2.0, 0.05) > 10.0);
+        // Existence below μ is impossible in exact arithmetic (P(B) ≤
+        // Pr[E(B)]) but can occur with estimates; ratio goes negative and
+        // callers clamp.
+        assert!(kl_over_op_ratio(0.01, 1.0, 0.05) < 0.0);
+    }
+
+    #[test]
+    fn fig6_matrix_shape() {
+        // Fig. 6 plots the ratio for S_i = 1 over a grid: it must grow
+        // with Pr[E(B)] and shrink with μ.
+        let grid = [0.1, 0.3, 0.5, 0.7, 0.9];
+        for w in grid.windows(2) {
+            assert!(kl_over_op_ratio(w[1], 1.0, 0.05) > kl_over_op_ratio(w[0], 1.0, 0.05));
+            assert!(kl_over_op_ratio(0.9, 1.0, w[0]) > kl_over_op_ratio(0.9, 1.0, w[1]));
+        }
+    }
+
+    #[test]
+    fn balanced_ratio_is_reciprocal() {
+        assert_eq!(balanced_ratio(1), 1.0);
+        assert_eq!(balanced_ratio(200), 0.005);
+    }
+
+    #[test]
+    fn lemma_vi1_example() {
+        // "Even when P(B)=0.1 and N=20, the probability is nearly 90%."
+        let p = candidate_inclusion_prob(0.1, 20);
+        assert!((0.85..0.92).contains(&p), "p={p}");
+        // §VIII-B: 100 trials make the miss rate of a P=0.05 butterfly
+        // below 0.6% (the paper rounds to 0.5%).
+        let miss = 1.0 - candidate_inclusion_prob(0.05, 100);
+        assert!(miss < 0.006, "miss={miss}");
+    }
+
+    #[test]
+    fn prep_trials_inversion() {
+        let n = prep_trials_for_miss_rate(0.05, 0.005);
+        assert!((100..=110).contains(&n), "n={n}");
+        let achieved = 1.0 - candidate_inclusion_prob(0.05, n);
+        assert!(achieved <= 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be in (0,1]")]
+    fn rejects_zero_mu() {
+        let _ = mc_trial_lower_bound(0.0, 0.1, 0.1);
+    }
+}

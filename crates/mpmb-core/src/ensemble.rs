@@ -1,0 +1,230 @@
+//! Ensemble runs: empirical standard errors for the `P(B)` estimates.
+//!
+//! Theorem IV.1 gives an a-priori trial bound, but practitioners usually
+//! want an *empirical* error bar on the numbers they report. An ensemble
+//! runs the same solver configuration under `runs` independent seeds and
+//! aggregates per-butterfly means and standard deviations — the classic
+//! replication approach, embarrassingly parallel across replicas.
+
+use crate::butterfly::Butterfly;
+use crate::distribution::Distribution;
+use crate::os::{OrderingSampling, OsConfig};
+use bigraph::fx::FxHashMap;
+use bigraph::UncertainBipartiteGraph;
+
+/// Per-butterfly ensemble statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct EnsembleEntry {
+    /// Mean estimate across replicas.
+    pub mean: f64,
+    /// Sample standard deviation across replicas (0 for a single run).
+    pub std_dev: f64,
+    /// Replicas in which the butterfly appeared at all.
+    pub support_runs: u32,
+}
+
+/// Aggregated ensemble of independent solver runs.
+#[derive(Clone, Debug)]
+pub struct EnsembleReport {
+    entries: FxHashMap<Butterfly, EnsembleEntry>,
+    runs: u32,
+}
+
+impl EnsembleReport {
+    /// Number of replicas.
+    pub fn runs(&self) -> u32 {
+        self.runs
+    }
+
+    /// Statistics for one butterfly (`None` if never observed).
+    pub fn get(&self, b: &Butterfly) -> Option<EnsembleEntry> {
+        self.entries.get(b).copied()
+    }
+
+    /// Iterator over all observed butterflies.
+    pub fn iter(&self) -> impl Iterator<Item = (&Butterfly, &EnsembleEntry)> {
+        self.entries.iter()
+    }
+
+    /// The mean distribution, usable anywhere a [`Distribution`] is.
+    pub fn mean_distribution(&self) -> Distribution {
+        Distribution::from_exact(
+            self.entries
+                .iter()
+                .map(|(&b, e)| (b, e.mean))
+                .collect(),
+        )
+    }
+
+    /// The largest standard deviation across butterflies — a one-number
+    /// stability summary ("are my trial counts enough?").
+    pub fn max_std_dev(&self) -> f64 {
+        self.entries
+            .values()
+            .map(|e| e.std_dev)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs `runs` independent Ordering Sampling replicas (seeds
+/// `cfg.seed + r`) and aggregates their distributions.
+///
+/// # Panics
+/// Panics if `runs == 0`.
+pub fn run_os_ensemble(
+    g: &UncertainBipartiteGraph,
+    cfg: &OsConfig,
+    runs: u32,
+) -> EnsembleReport {
+    assert!(runs > 0, "need at least one replica");
+    let dists: Vec<Distribution> = (0..runs)
+        .map(|r| {
+            OrderingSampling::new(OsConfig {
+                seed: cfg.seed.wrapping_add(r as u64),
+                ..*cfg
+            })
+            .run(g)
+        })
+        .collect();
+    aggregate(&dists)
+}
+
+/// Aggregates arbitrary distributions into an ensemble report (exposed so
+/// callers can ensemble OLS or estimator outputs too).
+pub fn aggregate(dists: &[Distribution]) -> EnsembleReport {
+    assert!(!dists.is_empty(), "need at least one distribution");
+    let runs = dists.len() as u32;
+    // Union of supports.
+    let mut union: FxHashMap<Butterfly, (f64, f64, u32)> = FxHashMap::default();
+    for d in dists {
+        for (&b, &_p) in d.iter() {
+            union.entry(b).or_insert((0.0, 0.0, 0));
+        }
+    }
+    for (b, acc) in union.iter_mut() {
+        for d in dists {
+            let p = d.prob(b);
+            acc.0 += p;
+            acc.1 += p * p;
+            if p > 0.0 {
+                acc.2 += 1;
+            }
+        }
+    }
+    let entries = union
+        .into_iter()
+        .map(|(b, (s1, s2, support))| {
+            let n = runs as f64;
+            let mean = s1 / n;
+            let var = if runs > 1 {
+                ((s2 - s1 * s1 / n) / (n - 1.0)).max(0.0)
+            } else {
+                0.0
+            };
+            (
+                b,
+                EnsembleEntry {
+                    mean,
+                    std_dev: var.sqrt(),
+                    support_runs: support,
+                },
+            )
+        })
+        .collect();
+    EnsembleReport { entries, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_distribution, ExactConfig};
+    use bigraph::{GraphBuilder, Left, Right};
+
+    fn fig1() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ensemble_mean_tracks_exact_and_std_shrinks_with_trials() {
+        let g = fig1();
+        let small = run_os_ensemble(
+            &g,
+            &OsConfig { trials: 500, seed: 1, ..Default::default() },
+            8,
+        );
+        let large = run_os_ensemble(
+            &g,
+            &OsConfig { trials: 8_000, seed: 1, ..Default::default() },
+            8,
+        );
+        let exact = exact_distribution(&g, ExactConfig::default()).unwrap();
+        for (b, &p) in exact.iter() {
+            let e = large.get(b).expect("seen in every large run");
+            assert!((e.mean - p).abs() < 0.02, "{b}: {} vs {p}", e.mean);
+        }
+        // 16x more trials ⇒ ~4x smaller standard errors (allow slack 2x).
+        assert!(
+            large.max_std_dev() * 2.0 < small.max_std_dev(),
+            "large {} vs small {}",
+            large.max_std_dev(),
+            small.max_std_dev()
+        );
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let g = fig1();
+        let e = run_os_ensemble(
+            &g,
+            &OsConfig { trials: 200, seed: 5, ..Default::default() },
+            1,
+        );
+        assert_eq!(e.runs(), 1);
+        assert_eq!(e.max_std_dev(), 0.0);
+        for (_, entry) in e.iter() {
+            assert_eq!(entry.support_runs, 1);
+        }
+    }
+
+    #[test]
+    fn support_runs_counts_presence() {
+        use bigraph::fx::FxHashMap;
+        let b1 = Butterfly::new(Left(0), Left(1), Right(0), Right(1));
+        let mut m1 = FxHashMap::default();
+        m1.insert(b1, 0.5);
+        let d1 = Distribution::from_exact(m1);
+        let d2 = Distribution::from_exact(FxHashMap::default());
+        let report = aggregate(&[d1, d2]);
+        let e = report.get(&b1).unwrap();
+        assert_eq!(e.support_runs, 1);
+        assert_eq!(e.mean, 0.25);
+        assert!((e.std_dev - (2.0f64 * 0.125).sqrt() / 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_distribution_is_usable() {
+        let g = fig1();
+        let e = run_os_ensemble(
+            &g,
+            &OsConfig { trials: 2_000, seed: 2, ..Default::default() },
+            4,
+        );
+        let d = e.mean_distribution();
+        assert!(d.mpmb().is_some());
+        assert_eq!(d.len(), e.iter().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn rejects_zero_runs() {
+        let g = fig1();
+        let _ = run_os_ensemble(&g, &OsConfig::default(), 0);
+    }
+}

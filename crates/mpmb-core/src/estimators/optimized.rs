@@ -1,0 +1,173 @@
+//! The paper's optimized probability estimator (Algorithm 5).
+//!
+//! All candidates **share each trial**: candidates are scanned in weight
+//! order, each butterfly's edges are sampled lazily (memoized within the
+//! trial, so shared edges are drawn once), and the scan stops at the first
+//! weight class below the heaviest existing butterfly. One trial therefore
+//! costs `O(|C_MB|)` worst case but typically far less — versus Karp-Luby's
+//! per-candidate trials (`O(N·|C_MB|²)` total, Lemma VI.2 vs VI.3).
+
+use crate::butterfly::Butterfly;
+use crate::candidates::CandidateSet;
+use crate::distribution::{Distribution, Tally};
+use crate::observer::{NoopObserver, TrialObserver};
+use bigraph::{trial_rng, LazyEdgeSampler, UncertainBipartiteGraph};
+
+/// Runs Algorithm 5: `trials` shared trials over the candidate set.
+pub fn estimate_optimized(
+    g: &UncertainBipartiteGraph,
+    candidates: &CandidateSet,
+    trials: u64,
+    seed: u64,
+) -> Distribution {
+    estimate_optimized_with_observer(g, candidates, trials, seed, &mut NoopObserver)
+}
+
+/// [`estimate_optimized`] with a per-trial observer (Fig. 11 convergence).
+pub fn estimate_optimized_with_observer(
+    g: &UncertainBipartiteGraph,
+    candidates: &CandidateSet,
+    trials: u64,
+    seed: u64,
+    observer: &mut dyn TrialObserver,
+) -> Distribution {
+    assert!(trials > 0, "trials must be positive");
+    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    let mut tally = Tally::new();
+    let mut smb: Vec<Butterfly> = Vec::new();
+    for t in 0..trials {
+        let mut rng = trial_rng(seed, t);
+        sampler.begin_trial();
+        smb.clear();
+        let mut w_max = f64::NEG_INFINITY;
+        for cand in candidates.iter() {
+            // Algorithm 5 lines 5–6: strictly lighter candidates cannot be
+            // maximum once some butterfly exists.
+            if cand.weight < w_max {
+                break;
+            }
+            // Lines 7–10: sample unseen edges, memoized within the trial.
+            let exists = cand
+                .edges
+                .iter()
+                .all(|&e| sampler.is_present(g, e, &mut rng));
+            if exists {
+                smb.push(cand.butterfly);
+                w_max = cand.weight;
+            }
+        }
+        observer.observe(t, &smb);
+        tally.record_trial(smb.iter());
+    }
+    tally.into_distribution()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterfly::enumerate_backbone_butterflies;
+    use crate::exact::{exact_distribution, ExactConfig};
+    use bigraph::{GraphBuilder, Left, Right};
+
+    fn fig1() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_candidate_set_converges_to_exact() {
+        // With C_MB = all butterflies there is no truncation error
+        // (Lemma VI.5 bound is 0), so estimates converge to exact P(B).
+        let g = fig1();
+        let cs = CandidateSet::from_butterflies(&g, enumerate_backbone_butterflies(&g));
+        let d = estimate_optimized(&g, &cs, 60_000, 21);
+        let exact = exact_distribution(&g, ExactConfig::default()).unwrap();
+        for (b, &p) in exact.iter() {
+            assert!(
+                (d.prob(b) - p).abs() < 0.01,
+                "{b}: est {} vs exact {}",
+                d.prob(b),
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn tied_candidates_all_get_sampled() {
+        // Two disjoint butterflies with equal weight: both should be able
+        // to be maximum in the same trial (S_MB ties).
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            b.add_edge(Left(u), Right(v), 1.0, 1.0).unwrap();
+        }
+        for (u, v) in [(2, 2), (2, 3), (3, 2), (3, 3)] {
+            b.add_edge(Left(u), Right(v), 1.0, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cs = CandidateSet::from_butterflies(&g, enumerate_backbone_butterflies(&g));
+        let d = estimate_optimized(&g, &cs, 100, 1);
+        // Both certain and tied: each is always a maximum butterfly.
+        for c in cs.iter() {
+            assert_eq!(d.prob(&c.butterfly), 1.0, "{}", c.butterfly);
+        }
+    }
+
+    #[test]
+    fn shared_edges_drawn_once_per_trial() {
+        // Two butterflies overlapping in two edges, equal weight. If the
+        // shared edges were redrawn independently the joint behaviour
+        // would be wrong; with p = 1 on shared edges and p = 0 elsewhere
+        // the lighter candidate must never exist.
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 1.0, 1.0).unwrap();
+        b.add_edge(Left(0), Right(1), 1.0, 1.0).unwrap();
+        b.add_edge(Left(1), Right(0), 1.0, 1.0).unwrap();
+        b.add_edge(Left(1), Right(1), 1.0, 1.0).unwrap();
+        b.add_edge(Left(2), Right(0), 1.0, 0.0).unwrap();
+        b.add_edge(Left(2), Right(1), 1.0, 0.0).unwrap();
+        let g = b.build().unwrap();
+        let cs = CandidateSet::from_butterflies(&g, enumerate_backbone_butterflies(&g));
+        let d = estimate_optimized(&g, &cs, 200, 2);
+        let certain = crate::butterfly::Butterfly::new(Left(0), Left(1), Right(0), Right(1));
+        assert_eq!(d.prob(&certain), 1.0);
+        assert_eq!(d.len(), 1, "impossible butterflies acquired mass");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = fig1();
+        let cs = CandidateSet::from_butterflies(&g, enumerate_backbone_butterflies(&g));
+        let d1 = estimate_optimized(&g, &cs, 1_000, 5);
+        let d2 = estimate_optimized(&g, &cs, 1_000, 5);
+        assert_eq!(d1.max_abs_diff(&d2), 0.0);
+    }
+
+    #[test]
+    fn empty_candidate_set_yields_empty_distribution() {
+        let g = fig1();
+        let cs = CandidateSet::from_butterflies(&g, []);
+        let d = estimate_optimized(&g, &cs, 10, 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn observer_receives_trials() {
+        let g = fig1();
+        let cs = CandidateSet::from_butterflies(&g, enumerate_backbone_butterflies(&g));
+        struct Count(u64);
+        impl TrialObserver for Count {
+            fn observe(&mut self, _t: u64, _s: &[Butterfly]) {
+                self.0 += 1;
+            }
+        }
+        let mut c = Count(0);
+        estimate_optimized_with_observer(&g, &cs, 77, 0, &mut c);
+        assert_eq!(c.0, 77);
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! Most Probable Maximum Weighted Butterfly (MPMB) search.
+//!
+//! From-scratch implementation of the algorithms in *"Most Probable
+//! Maximum Weighted Butterfly Search"* (ICDE 2025):
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Algorithm 1 (MC-VP baseline) | [`McVp`] |
+//! | Algorithm 2 (Ordering Sampling) | [`OrderingSampling`] |
+//! | Algorithm 3 (Ordering-Listing Sampling) | [`OrderingListingSampling`] |
+//! | Algorithm 4 (Karp-Luby estimator) | [`estimators::karp_luby`] |
+//! | Algorithm 5 (optimized estimator) | [`estimators::optimized`] |
+//! | Theorem IV.1 / Lemma VI.4 / Eq. 8–9 | [`bounds`] |
+//! | Lemma III.1 reduction | [`hardness`] |
+//! | Exact `P(B)` ground truth | [`exact`] |
+//! | §VII top-k MPMB | [`Distribution::top_k`] |
+//!
+//! All solvers are deterministic given their seed, including under the
+//! multi-threaded runners in [`parallel`].
+
+pub mod adaptive;
+pub mod angle;
+pub mod bounds;
+pub mod butterfly;
+pub mod candidates;
+pub mod counting;
+pub mod distribution;
+pub mod ensemble;
+pub mod estimators;
+pub mod exact;
+pub mod hardness;
+pub mod mcvp;
+pub mod observer;
+pub mod ols;
+pub mod os;
+pub mod parallel;
+pub mod query;
+pub mod validation;
+pub mod threshold;
+pub mod topk;
+
+pub use adaptive::{run_os_adaptive, AdaptiveConfig, AdaptiveResult};
+pub use angle::TopTwoAngles;
+pub use butterfly::{
+    count_backbone_butterflies, enumerate_backbone_butterflies, for_each_backbone_butterfly,
+    max_butterflies_in_world, Butterfly,
+};
+pub use candidates::{Candidate, CandidateSet};
+pub use counting::{exact_count_variance, sample_count_distribution, CountDistribution, TooManyButterflies};
+pub use distribution::{Distribution, Tally};
+pub use ensemble::{aggregate, run_os_ensemble, EnsembleEntry, EnsembleReport};
+pub use estimators::exact_prefix::estimate_exact_prefix;
+pub use estimators::karp_luby::{estimate_karp_luby, KlReport, KlTrialPolicy};
+pub use estimators::optimized::{estimate_optimized, estimate_optimized_with_observer};
+pub use exact::{exact_distribution, exact_mpmb, exact_prob, ExactConfig, ExactError};
+pub use hardness::{Monotone2Sat, Reduction};
+pub use mcvp::{McVp, McVpConfig};
+pub use observer::{ConvergenceTracker, MultiObserver, NoopObserver, TrialObserver};
+pub use ols::{EstimatorKind, OlsConfig, OlsResult, OrderingListingSampling};
+pub use os::{os_smb_of_world, EdgeOracle, OrderingSampling, OsConfig, OsEngine, SamplingOracle, WorldOracle};
+pub use parallel::{run_karp_luby_parallel, run_mcvp_parallel, run_optimized_parallel, run_os_parallel};
+pub use query::{estimate_prob_of, QueryResult};
+pub use validation::{validate_accuracy, AccuracyReport, Reference};
+pub use threshold::{max_weight_distribution, MaxWeightDistribution};
+pub use topk::{shared_vertices, top_k_diverse};

@@ -1,0 +1,166 @@
+//! Per-trial observation hooks for convergence experiments (Fig. 11/12).
+//!
+//! The sampling solvers report each trial's `S_MB` to an observer, which
+//! can maintain running estimates without the solver re-running at every
+//! checkpoint. The cost when unused is one virtual call per trial.
+
+use crate::butterfly::Butterfly;
+
+/// Receives each finished trial's maximum-butterfly set.
+pub trait TrialObserver {
+    /// Called after trial `trial` (0-based) with its `S_MB` (possibly
+    /// empty when the sampled world contained no butterfly).
+    fn observe(&mut self, trial: u64, smb: &[Butterfly]);
+}
+
+/// An observer that ignores everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl TrialObserver for NoopObserver {
+    #[inline]
+    fn observe(&mut self, _trial: u64, _smb: &[Butterfly]) {}
+}
+
+/// Tracks the running estimate `P̂(B)` of one target butterfly, snapshotting
+/// every `every` trials — the trace plotted in Fig. 11.
+#[derive(Clone, Debug)]
+pub struct ConvergenceTracker {
+    target: Butterfly,
+    every: u64,
+    hits: u64,
+    trials: u64,
+    points: Vec<(u64, f64)>,
+}
+
+impl ConvergenceTracker {
+    /// Creates a tracker for `target` snapshotting every `every` trials.
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn new(target: Butterfly, every: u64) -> Self {
+        assert!(every > 0, "snapshot interval must be positive");
+        ConvergenceTracker {
+            target,
+            every,
+            hits: 0,
+            trials: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// The `(trials, P̂)` snapshots collected so far.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// The final running estimate.
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// Total observed trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+}
+
+impl TrialObserver for ConvergenceTracker {
+    fn observe(&mut self, _trial: u64, smb: &[Butterfly]) {
+        self.trials += 1;
+        if smb.contains(&self.target) {
+            self.hits += 1;
+        }
+        if self.trials.is_multiple_of(self.every) {
+            self.points.push((self.trials, self.estimate()));
+        }
+    }
+}
+
+/// Fans one trial stream out to several observers.
+#[derive(Default)]
+pub struct MultiObserver<'a> {
+    observers: Vec<&'a mut dyn TrialObserver>,
+}
+
+impl<'a> MultiObserver<'a> {
+    /// Creates an empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observer.
+    pub fn push(&mut self, obs: &'a mut dyn TrialObserver) -> &mut Self {
+        self.observers.push(obs);
+        self
+    }
+}
+
+impl TrialObserver for MultiObserver<'_> {
+    fn observe(&mut self, trial: u64, smb: &[Butterfly]) {
+        for o in self.observers.iter_mut() {
+            o.observe(trial, smb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{Left, Right};
+
+    fn bf(u1: u32, u2: u32) -> Butterfly {
+        Butterfly::new(Left(u1), Left(u2), Right(0), Right(1))
+    }
+
+    #[test]
+    fn tracker_counts_hits_and_snapshots() {
+        let target = bf(0, 1);
+        let other = bf(0, 2);
+        let mut t = ConvergenceTracker::new(target, 2);
+        t.observe(0, &[target]);
+        t.observe(1, &[other]);
+        t.observe(2, &[target, other]);
+        t.observe(3, &[]);
+        assert_eq!(t.trials(), 4);
+        assert_eq!(t.estimate(), 0.5);
+        assert_eq!(t.points(), &[(2, 0.5), (4, 0.5)]);
+    }
+
+    #[test]
+    fn tracker_estimate_before_any_trial_is_zero() {
+        let t = ConvergenceTracker::new(bf(0, 1), 10);
+        assert_eq!(t.estimate(), 0.0);
+        assert!(t.points().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tracker_rejects_zero_interval() {
+        let _ = ConvergenceTracker::new(bf(0, 1), 0);
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let target = bf(0, 1);
+        let mut t1 = ConvergenceTracker::new(target, 1);
+        let mut t2 = ConvergenceTracker::new(bf(0, 2), 1);
+        {
+            let mut multi = MultiObserver::new();
+            multi.push(&mut t1).push(&mut t2);
+            multi.observe(0, &[target]);
+        }
+        assert_eq!(t1.estimate(), 1.0);
+        assert_eq!(t2.estimate(), 0.0);
+    }
+
+    #[test]
+    fn noop_observer_is_inert() {
+        let mut n = NoopObserver;
+        n.observe(0, &[bf(0, 1)]);
+    }
+}

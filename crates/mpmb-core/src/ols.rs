@@ -1,0 +1,440 @@
+//! Ordering-Listing Sampling (Algorithm 3) — the paper's second method.
+//!
+//! Two phases:
+//!
+//! 1. **Preparing (§VI-B)** — a *small* number of Ordering Sampling trials
+//!    (default 100 vs the 20,000 a direct OS run needs) whose per-trial
+//!    `S_MB` sets are unioned into the candidate set `C_MB`. Lemma VI.1:
+//!    a butterfly with probability `P(B)` is included with probability
+//!    `1 − (1 − P(B))^N`.
+//! 2. **Sampling (§VI-C)** — probabilities are estimated over `C_MB`
+//!    alone, ignoring the rest of the network, with either the paper's
+//!    optimized shared-trial estimator (Algorithm 5) or Karp-Luby
+//!    (Algorithm 4).
+
+use crate::butterfly::Butterfly;
+use crate::candidates::CandidateSet;
+use crate::distribution::Distribution;
+use crate::estimators::karp_luby::{estimate_karp_luby, KlReport, KlTrialPolicy};
+use crate::estimators::optimized::estimate_optimized_with_observer;
+use crate::observer::{NoopObserver, TrialObserver};
+use crate::os::{OsConfig, OsEngine, SamplingOracle};
+use bigraph::{trial_rng, LazyEdgeSampler, Side, UncertainBipartiteGraph};
+
+/// Which probability estimator the sampling phase uses.
+#[derive(Clone, Copy, Debug)]
+pub enum EstimatorKind {
+    /// Algorithm 5: shared trials in weight order ("OLS" in the paper).
+    Optimized {
+        /// Number of shared trials `N_op` (paper default `2·10⁴`).
+        trials: u64,
+    },
+    /// Algorithm 4: per-candidate Karp-Luby sampling ("OLS-KL").
+    KarpLuby {
+        /// Trial policy (fixed or Eq. 8 dynamic).
+        policy: KlTrialPolicy,
+    },
+    /// Exact candidate-conditional probabilities (extension, see
+    /// [`crate::estimators::exact_prefix`]): zero sampling error, viable
+    /// while each candidate's heavier-residual edge union stays below
+    /// `max_union_edges`. Falls back to `Optimized` with
+    /// `fallback_trials` shared trials when the union is too large.
+    ExactPrefix {
+        /// Enumeration cap per candidate (`2^n` worlds).
+        max_union_edges: u32,
+        /// Algorithm 5 trials used if enumeration is infeasible.
+        fallback_trials: u64,
+    },
+}
+
+impl Default for EstimatorKind {
+    fn default() -> Self {
+        EstimatorKind::Optimized { trials: 20_000 }
+    }
+}
+
+/// Configuration for [`OrderingListingSampling`].
+#[derive(Clone, Copy, Debug)]
+pub struct OlsConfig {
+    /// Preparing-phase OS trials `N_os` (paper default 100).
+    pub prep_trials: u64,
+    /// Base RNG seed. The preparing and sampling phases derive disjoint
+    /// streams from it.
+    pub seed: u64,
+    /// Sampling-phase estimator.
+    pub estimator: EstimatorKind,
+    /// §V-B pruning in the preparing phase (ablation toggle).
+    pub edge_ordering: bool,
+    /// Middle side override for the preparing phase.
+    pub middle_side: Option<Side>,
+}
+
+impl Default for OlsConfig {
+    fn default() -> Self {
+        OlsConfig {
+            prep_trials: 100,
+            seed: 0x5EED,
+            estimator: EstimatorKind::default(),
+            edge_ordering: true,
+            middle_side: None,
+        }
+    }
+}
+
+/// Everything a finished OLS run produced.
+#[derive(Clone, Debug)]
+pub struct OlsResult {
+    /// Estimated `P(B)` over the candidate set.
+    pub distribution: Distribution,
+    /// The candidate set `C_MB` from the preparing phase.
+    pub candidates: CandidateSet,
+    /// Karp-Luby bookkeeping, when that estimator ran.
+    pub kl_report: Option<KlReport>,
+}
+
+impl OlsResult {
+    /// The MPMB over the candidate set.
+    pub fn mpmb(&self) -> Option<(Butterfly, f64)> {
+        self.distribution.mpmb()
+    }
+
+    /// Top-k MPMBs (§VII for OLS: sort the candidate set by estimated
+    /// probability).
+    pub fn top_k(&self, k: usize) -> Vec<(Butterfly, f64)> {
+        self.distribution.top_k(k)
+    }
+}
+
+/// The Ordering-Listing Sampling solver.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderingListingSampling {
+    cfg: OlsConfig,
+}
+
+impl OrderingListingSampling {
+    /// Creates a solver with the given configuration.
+    pub fn new(cfg: OlsConfig) -> Self {
+        OrderingListingSampling { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OlsConfig {
+        &self.cfg
+    }
+
+    /// Runs both phases.
+    pub fn run(&self, g: &UncertainBipartiteGraph) -> OlsResult {
+        let candidates = self.prepare(g);
+        self.estimate(g, candidates, &mut NoopObserver)
+    }
+
+    /// Runs both phases with a sampling-phase observer (only the
+    /// optimized estimator reports per-trial `S_MB`s).
+    pub fn run_with_observer(
+        &self,
+        g: &UncertainBipartiteGraph,
+        observer: &mut dyn TrialObserver,
+    ) -> OlsResult {
+        let candidates = self.prepare(g);
+        self.estimate(g, candidates, observer)
+    }
+
+    /// Phase 1 alone: the candidate set after `prep_trials` OS trials
+    /// (Algorithm 3 lines 2–4).
+    pub fn prepare(&self, g: &UncertainBipartiteGraph) -> CandidateSet {
+        let os_cfg = OsConfig {
+            trials: self.cfg.prep_trials,
+            seed: prep_seed(self.cfg.seed),
+            edge_ordering: self.cfg.edge_ordering,
+            middle_side: self.cfg.middle_side,
+            ..Default::default()
+        };
+        let mut engine = OsEngine::new(g, &os_cfg);
+        let mut sampler = LazyEdgeSampler::new(g.num_edges());
+        let mut smb = Vec::new();
+        let mut union: Vec<Butterfly> = Vec::new();
+        for t in 0..self.cfg.prep_trials {
+            let mut rng = trial_rng(os_cfg.seed, t);
+            sampler.begin_trial();
+            let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
+            engine.trial(&mut oracle, &mut smb);
+            union.extend_from_slice(&smb);
+        }
+        CandidateSet::from_butterflies(g, union)
+    }
+
+    /// Phase 2 alone: probability estimation over a prepared candidate
+    /// set (Algorithm 3 line 5, dispatching to Algorithm 4 or 5).
+    pub fn estimate(
+        &self,
+        g: &UncertainBipartiteGraph,
+        candidates: CandidateSet,
+        observer: &mut dyn TrialObserver,
+    ) -> OlsResult {
+        if candidates.is_empty() {
+            return OlsResult {
+                distribution: Distribution::new(),
+                candidates,
+                kl_report: None,
+            };
+        }
+        match self.cfg.estimator {
+            EstimatorKind::Optimized { trials } => {
+                let distribution = estimate_optimized_with_observer(
+                    g,
+                    &candidates,
+                    trials,
+                    sample_seed(self.cfg.seed),
+                    observer,
+                );
+                OlsResult {
+                    distribution,
+                    candidates,
+                    kl_report: None,
+                }
+            }
+            EstimatorKind::KarpLuby { policy } => {
+                let report = estimate_karp_luby(g, &candidates, policy, sample_seed(self.cfg.seed));
+                OlsResult {
+                    distribution: report.distribution.clone(),
+                    candidates,
+                    kl_report: Some(report),
+                }
+            }
+            EstimatorKind::ExactPrefix {
+                max_union_edges,
+                fallback_trials,
+            } => {
+                let distribution = match crate::estimators::exact_prefix::estimate_exact_prefix(
+                    g,
+                    &candidates,
+                    max_union_edges,
+                ) {
+                    Ok(d) => d,
+                    Err(_) => estimate_optimized_with_observer(
+                        g,
+                        &candidates,
+                        fallback_trials,
+                        sample_seed(self.cfg.seed),
+                        observer,
+                    ),
+                };
+                OlsResult {
+                    distribution,
+                    candidates,
+                    kl_report: None,
+                }
+            }
+        }
+    }
+}
+
+/// Disjoint derived seeds for the two phases.
+fn prep_seed(seed: u64) -> u64 {
+    seed ^ 0x00C0_FFEE_0000_0001
+}
+
+fn sample_seed(seed: u64) -> u64 {
+    seed ^ 0x00C0_FFEE_0000_0002
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_distribution, ExactConfig};
+    use bigraph::{GraphBuilder, Left, Right};
+
+    fn fig1() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn preparing_phase_catches_high_probability_butterflies() {
+        // Every Fig. 1 butterfly has P(B) ≥ 0.036; with 200 preparing
+        // trials the miss probability per butterfly is < 0.07% — and the
+        // chosen seed finds all three.
+        let g = fig1();
+        let ols = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 200,
+            seed: 42,
+            ..Default::default()
+        });
+        let cs = ols.prepare(&g);
+        assert_eq!(cs.len(), 3, "candidate set {:?}", cs);
+    }
+
+    #[test]
+    fn ols_optimized_converges_to_exact() {
+        let g = fig1();
+        let result = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 200,
+            seed: 7,
+            estimator: EstimatorKind::Optimized { trials: 60_000 },
+            ..Default::default()
+        })
+        .run(&g);
+        let exact = exact_distribution(&g, ExactConfig::default()).unwrap();
+        for (b, &p) in exact.iter() {
+            assert!(
+                (result.distribution.prob(b) - p).abs() < 0.01,
+                "{b}: est {} vs exact {}",
+                result.distribution.prob(b),
+                p
+            );
+        }
+        assert_eq!(result.mpmb().unwrap().0, exact.mpmb().unwrap().0);
+    }
+
+    #[test]
+    fn ols_karp_luby_converges_to_exact() {
+        let g = fig1();
+        let result = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 200,
+            seed: 8,
+            estimator: EstimatorKind::KarpLuby {
+                policy: KlTrialPolicy::Fixed(60_000),
+            },
+            ..Default::default()
+        })
+        .run(&g);
+        let exact = exact_distribution(&g, ExactConfig::default()).unwrap();
+        for (b, &p) in exact.iter() {
+            assert!(
+                (result.distribution.prob(b) - p).abs() < 0.01,
+                "{b}: est {} vs exact {}",
+                result.distribution.prob(b),
+                p
+            );
+        }
+        assert!(result.kl_report.is_some());
+    }
+
+    #[test]
+    fn both_estimators_agree_with_each_other() {
+        let g = fig1();
+        let base = OlsConfig {
+            prep_trials: 200,
+            seed: 12,
+            ..Default::default()
+        };
+        let opt = OrderingListingSampling::new(OlsConfig {
+            estimator: EstimatorKind::Optimized { trials: 40_000 },
+            ..base
+        })
+        .run(&g);
+        let kl = OrderingListingSampling::new(OlsConfig {
+            estimator: EstimatorKind::KarpLuby {
+                policy: KlTrialPolicy::Fixed(40_000),
+            },
+            ..base
+        })
+        .run(&g);
+        assert!(
+            opt.distribution.max_abs_diff(&kl.distribution) < 0.015,
+            "diff = {}",
+            opt.distribution.max_abs_diff(&kl.distribution)
+        );
+    }
+
+    #[test]
+    fn ols_exact_prefix_matches_exact_distribution() {
+        let g = fig1();
+        let result = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 200,
+            seed: 21,
+            estimator: EstimatorKind::ExactPrefix {
+                max_union_edges: 16,
+                fallback_trials: 1_000,
+            },
+            ..Default::default()
+        })
+        .run(&g);
+        let exact = exact_distribution(&g, ExactConfig::default()).unwrap();
+        // All three Fig. 1 butterflies are in the candidate set (checked
+        // by `preparing_phase_catches_high_probability_butterflies`), so
+        // the candidate-conditional probabilities are the true ones —
+        // with zero sampling error.
+        for (b, &p) in exact.iter() {
+            assert!(
+                (result.distribution.prob(b) - p).abs() < 1e-12,
+                "{b}: {} vs {}",
+                result.distribution.prob(b),
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn exact_prefix_falls_back_when_union_too_large() {
+        let g = fig1();
+        let result = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 200,
+            seed: 22,
+            estimator: EstimatorKind::ExactPrefix {
+                max_union_edges: 1, // force the fallback
+                fallback_trials: 40_000,
+            },
+            ..Default::default()
+        })
+        .run(&g);
+        let exact = exact_distribution(&g, ExactConfig::default()).unwrap();
+        let (b, p) = exact.mpmb().unwrap();
+        assert!(
+            (result.distribution.prob(&b) - p).abs() < 0.01,
+            "fallback estimate off: {} vs {p}",
+            result.distribution.prob(&b)
+        );
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_result() {
+        let g = GraphBuilder::new().build().unwrap();
+        let result = OrderingListingSampling::new(OlsConfig::default()).run(&g);
+        assert!(result.distribution.is_empty());
+        assert!(result.candidates.is_empty());
+        assert!(result.mpmb().is_none());
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let g = fig1();
+        let cfg = OlsConfig {
+            prep_trials: 100,
+            seed: 3,
+            estimator: EstimatorKind::Optimized { trials: 2_000 },
+            ..Default::default()
+        };
+        let a = OrderingListingSampling::new(cfg).run(&g);
+        let b = OrderingListingSampling::new(cfg).run(&g);
+        assert_eq!(a.distribution.max_abs_diff(&b.distribution), 0.0);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+    }
+
+    #[test]
+    fn top_k_is_sorted_by_probability() {
+        let g = fig1();
+        let result = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 200,
+            seed: 5,
+            estimator: EstimatorKind::Optimized { trials: 20_000 },
+            ..Default::default()
+        })
+        .run(&g);
+        let top = result.top_k(3);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Exact order: B(0,1,1,2) > B(0,1,0,2) > B(0,1,0,1).
+        assert_eq!(
+            top[0].0,
+            Butterfly::new(Left(0), Left(1), Right(1), Right(2))
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The distribution of the per-world *maximum butterfly weight*.
+//!
+//! Every Ordering Sampling trial already computes `w_max(W)` — the weight
+//! of the sampled world's maximum butterfly (0 when none exists). Tallying
+//! those values yields the full distribution of the maximum weight, which
+//! answers threshold queries the MPMB problem itself does not:
+//! "how likely is a butterfly of weight ≥ T to exist at all?" — the
+//! reliability-style question of the uncertain-graph literature, here for
+//! free on top of Algorithm 2's machinery.
+
+use crate::os::{OsConfig, OsEngine, SamplingOracle};
+use bigraph::{trial_rng, LazyEdgeSampler, UncertainBipartiteGraph, Weight};
+
+/// Sampled distribution of `w_max` over possible worlds.
+#[derive(Clone, Debug)]
+pub struct MaxWeightDistribution {
+    /// Sorted distinct observed `w_max` values with their trial counts.
+    /// Worlds with no butterfly are recorded under the `none_count`
+    /// instead of as a weight.
+    values: Vec<(Weight, u64)>,
+    /// Trials whose world contained no butterfly at all.
+    none_count: u64,
+    /// Total trials.
+    trials: u64,
+}
+
+impl MaxWeightDistribution {
+    /// Total trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Empirical probability that the world contains no butterfly.
+    pub fn prob_no_butterfly(&self) -> f64 {
+        self.none_count as f64 / self.trials as f64
+    }
+
+    /// Empirical `Pr[w_max ≥ t]` (threshold/reliability query).
+    pub fn tail_prob(&self, t: Weight) -> f64 {
+        let hits: u64 = self
+            .values
+            .iter()
+            .filter(|&&(w, _)| w >= t)
+            .map(|&(_, n)| n)
+            .sum();
+        hits as f64 / self.trials as f64
+    }
+
+    /// Empirical mean of `w_max` (no-butterfly worlds contribute 0).
+    pub fn mean(&self) -> f64 {
+        let sum: f64 = self.values.iter().map(|&(w, n)| w * n as f64).sum();
+        sum / self.trials as f64
+    }
+
+    /// The empirical `q`-quantile of `w_max` (`0 < q ≤ 1`), with
+    /// no-butterfly worlds ordered below every weight. Returns `None` if
+    /// the quantile falls in the no-butterfly mass.
+    pub fn quantile(&self, q: f64) -> Option<Weight> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0,1]");
+        let rank = (q * self.trials as f64).ceil() as u64;
+        if rank <= self.none_count {
+            return None;
+        }
+        let mut cum = self.none_count;
+        for &(w, n) in &self.values {
+            cum += n;
+            if cum >= rank {
+                return Some(w);
+            }
+        }
+        self.values.last().map(|&(w, _)| w)
+    }
+
+    /// The sorted `(w_max, count)` support.
+    pub fn support(&self) -> &[(Weight, u64)] {
+        &self.values
+    }
+}
+
+/// Samples the distribution of the maximum butterfly weight over
+/// `trials` possible worlds, using the OS engine per trial.
+pub fn max_weight_distribution(
+    g: &UncertainBipartiteGraph,
+    trials: u64,
+    seed: u64,
+) -> MaxWeightDistribution {
+    assert!(trials > 0, "trials must be positive");
+    let cfg = OsConfig::default();
+    let mut engine = OsEngine::new(g, &cfg);
+    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    let mut smb = Vec::new();
+    let mut counts: bigraph::fx::FxHashMap<u64, u64> = Default::default();
+    let mut none_count = 0u64;
+    for t in 0..trials {
+        let mut rng = trial_rng(seed ^ 0x7119_E501D, t);
+        sampler.begin_trial();
+        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
+        let w = engine.trial(&mut oracle, &mut smb);
+        if smb.is_empty() {
+            none_count += 1;
+        } else {
+            *counts.entry(w.to_bits()).or_insert(0) += 1;
+        }
+    }
+    let mut values: Vec<(Weight, u64)> = counts
+        .into_iter()
+        .map(|(bits, n)| (f64::from_bits(bits), n))
+        .collect();
+    values.sort_by(|a, b| a.0.total_cmp(&b.0));
+    MaxWeightDistribution {
+        values,
+        none_count,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{GraphBuilder, Left, Right};
+
+    fn fig1() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Exact tail probabilities via world enumeration.
+    fn reference_tail(g: &UncertainBipartiteGraph, t: f64) -> f64 {
+        use bigraph::{EdgeId, PossibleWorld};
+        let m = g.num_edges();
+        let mut total = 0.0;
+        for mask in 0u32..(1 << m) {
+            let mut w = PossibleWorld::empty(m);
+            for i in 0..m {
+                if mask >> i & 1 == 1 {
+                    w.insert(EdgeId(i as u32));
+                }
+            }
+            let (wt, smb) = crate::butterfly::max_butterflies_in_world(g, &w);
+            if !smb.is_empty() && wt >= t {
+                total += w.probability(g);
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn tail_probabilities_match_enumeration() {
+        let g = fig1();
+        let d = max_weight_distribution(&g, 40_000, 7);
+        for t in [1.0, 4.0, 7.0, 10.0] {
+            let exact = reference_tail(&g, t);
+            let est = d.tail_prob(t);
+            assert!((est - exact).abs() < 0.01, "t={t}: {est} vs {exact}");
+        }
+        // Beyond the heaviest possible butterfly the tail is zero.
+        assert_eq!(d.tail_prob(10.5), 0.0);
+    }
+
+    #[test]
+    fn no_butterfly_mass_accounted() {
+        let g = fig1();
+        let d = max_weight_distribution(&g, 20_000, 8);
+        let support_mass: u64 = d.support().iter().map(|&(_, n)| n).sum();
+        assert_eq!(support_mass + (d.prob_no_butterfly() * d.trials() as f64).round() as u64,
+                   d.trials());
+        assert!(d.prob_no_butterfly() > 0.3, "Fig. 1 worlds often lack butterflies");
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_respect_none_mass() {
+        let g = fig1();
+        let d = max_weight_distribution(&g, 20_000, 9);
+        // Low quantiles fall into the no-butterfly mass.
+        assert_eq!(d.quantile(0.05), None);
+        let q9 = d.quantile(0.9);
+        let q99 = d.quantile(0.99);
+        if let (Some(a), Some(b)) = (q9, q99) {
+            assert!(a <= b);
+            assert!([4.0, 7.0, 10.0].contains(&a), "unexpected w_max {a}");
+        }
+    }
+
+    #[test]
+    fn mean_is_bounded_by_max_possible_weight() {
+        let g = fig1();
+        let d = max_weight_distribution(&g, 5_000, 10);
+        assert!(d.mean() > 0.0);
+        assert!(d.mean() <= 10.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = fig1();
+        let a = max_weight_distribution(&g, 2_000, 11);
+        let b = max_weight_distribution(&g, 2_000, 11);
+        assert_eq!(a.support(), b.support());
+        assert_eq!(a.prob_no_butterfly(), b.prob_no_butterfly());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1]")]
+    fn rejects_bad_quantile() {
+        let g = fig1();
+        let d = max_weight_distribution(&g, 100, 1);
+        let _ = d.quantile(0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! §VII: multiple MPMB solutions — plain top-k and a diversity-constrained
+//! variant.
+//!
+//! Plain top-k is [`Distribution::top_k`]. The paper's introduction
+//! motivates returning "a suitable number of butterflies for the
+//! scattered visualization" (Fig. 3 plots clusters of *distinct* regions),
+//! so this module adds [`top_k_diverse`]: a greedy ranking that skips
+//! butterflies overlapping an already-selected one in more than
+//! `max_shared_vertices` vertices. Greedy-by-probability is the natural
+//! choice here because `P(·)` is the ranking criterion, not a submodular
+//! coverage objective.
+
+use crate::butterfly::Butterfly;
+use crate::distribution::Distribution;
+
+/// Number of vertices two butterflies share (0–4: two left + two right
+/// can each overlap).
+pub fn shared_vertices(a: &Butterfly, b: &Butterfly) -> usize {
+    let mut n = 0;
+    for u in [a.u1, a.u2] {
+        if u == b.u1 || u == b.u2 {
+            n += 1;
+        }
+    }
+    for v in [a.v1, a.v2] {
+        if v == b.v1 || v == b.v2 {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Greedy diverse top-k: selects butterflies in descending `P(B)` order,
+/// skipping any that shares more than `max_shared_vertices` vertices with
+/// an already-selected butterfly.
+///
+/// * `max_shared_vertices = 4` degenerates to plain top-k.
+/// * `max_shared_vertices = 0` returns vertex-disjoint butterflies — one
+///   per "region", like the Fig. 3 cluster plots.
+pub fn top_k_diverse(
+    dist: &Distribution,
+    k: usize,
+    max_shared_vertices: usize,
+) -> Vec<(Butterfly, f64)> {
+    let mut selected: Vec<(Butterfly, f64)> = Vec::with_capacity(k);
+    for (b, p) in dist.sorted() {
+        if selected.len() == k {
+            break;
+        }
+        if selected
+            .iter()
+            .all(|(s, _)| shared_vertices(&b, s) <= max_shared_vertices)
+        {
+            selected.push((b, p));
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::fx::FxHashMap;
+    use bigraph::{Left, Right};
+
+    fn bf(u1: u32, u2: u32, v1: u32, v2: u32) -> Butterfly {
+        Butterfly::new(Left(u1), Left(u2), Right(v1), Right(v2))
+    }
+
+    fn dist(entries: &[(Butterfly, f64)]) -> Distribution {
+        let mut m = FxHashMap::default();
+        for &(b, p) in entries {
+            m.insert(b, p);
+        }
+        Distribution::from_exact(m)
+    }
+
+    #[test]
+    fn shared_vertex_counting() {
+        let a = bf(0, 1, 0, 1);
+        assert_eq!(shared_vertices(&a, &a), 4);
+        assert_eq!(shared_vertices(&a, &bf(0, 1, 2, 3)), 2);
+        assert_eq!(shared_vertices(&a, &bf(0, 2, 1, 3)), 2);
+        assert_eq!(shared_vertices(&a, &bf(5, 6, 7, 8)), 0);
+        assert_eq!(shared_vertices(&a, &bf(1, 9, 8, 7)), 1);
+    }
+
+    #[test]
+    fn relaxed_limit_equals_plain_top_k() {
+        let d = dist(&[
+            (bf(0, 1, 0, 1), 0.5),
+            (bf(0, 1, 0, 2), 0.4),
+            (bf(0, 1, 1, 2), 0.3),
+        ]);
+        assert_eq!(top_k_diverse(&d, 3, 4), d.top_k(3));
+    }
+
+    #[test]
+    fn disjoint_selection_skips_overlapping() {
+        let d = dist(&[
+            (bf(0, 1, 0, 1), 0.5),
+            (bf(0, 1, 0, 2), 0.4), // overlaps #1 in 3 vertices
+            (bf(5, 6, 5, 6), 0.3), // disjoint
+            (bf(0, 9, 9, 8), 0.2), // overlaps #1 in 1 vertex
+        ]);
+        let picks = top_k_diverse(&d, 3, 0);
+        assert_eq!(
+            picks.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![bf(0, 1, 0, 1), bf(5, 6, 5, 6)],
+            "only fully disjoint butterflies allowed"
+        );
+        let picks = top_k_diverse(&d, 3, 1);
+        assert_eq!(
+            picks.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![bf(0, 1, 0, 1), bf(5, 6, 5, 6), bf(0, 9, 9, 8)],
+        );
+    }
+
+    #[test]
+    fn k_zero_and_empty_distribution() {
+        let d = dist(&[(bf(0, 1, 0, 1), 0.5)]);
+        assert!(top_k_diverse(&d, 0, 4).is_empty());
+        assert!(top_k_diverse(&Distribution::new(), 5, 4).is_empty());
+    }
+
+    #[test]
+    fn selection_is_greedy_by_probability() {
+        // A lower-probability disjoint pair is NOT preferred over the
+        // single best butterfly: greedy keeps the argmax first.
+        let d = dist(&[
+            (bf(0, 1, 0, 1), 0.5),
+            (bf(2, 3, 2, 3), 0.2),
+            (bf(4, 5, 4, 5), 0.2),
+        ]);
+        let picks = top_k_diverse(&d, 2, 0);
+        assert_eq!(picks[0].0, bf(0, 1, 0, 1));
+        assert_eq!(picks.len(), 2);
+    }
+}

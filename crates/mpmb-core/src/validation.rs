@@ -1,0 +1,178 @@
+//! Solver accuracy self-checks.
+//!
+//! Production users of a Monte-Carlo library need a way to ask "are my
+//! trial counts adequate for *my* graph?" without reading the theory.
+//! [`validate_accuracy`] runs a solver configuration against ground truth
+//! — the exact engine when feasible, otherwise a high-trial Ordering
+//! Sampling reference — and reports the worst and mean absolute errors
+//! plus whether the configured trials satisfy Theorem IV.1 for the
+//! estimated MPMB probability.
+
+use crate::bounds::mc_trial_lower_bound;
+use crate::distribution::Distribution;
+use crate::exact::{exact_distribution, ExactConfig};
+use crate::os::{OrderingSampling, OsConfig};
+use bigraph::UncertainBipartiteGraph;
+
+/// What served as ground truth for a validation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reference {
+    /// Exact possible-world enumeration.
+    Exact,
+    /// A high-trial OS run (`trials` shown) — itself Monte-Carlo, so
+    /// errors below its own noise floor are not meaningful.
+    SampledReference {
+        /// Trials of the reference run.
+        trials: u64,
+    },
+}
+
+/// Outcome of [`validate_accuracy`].
+#[derive(Clone, Debug)]
+pub struct AccuracyReport {
+    /// What the estimate was compared against.
+    pub reference: Reference,
+    /// Largest `|P̂(B) − P_ref(B)|` over the union of supports.
+    pub max_abs_error: f64,
+    /// Mean absolute error over the reference support.
+    pub mean_abs_error: f64,
+    /// Whether the estimate's arg-max agrees with the reference's.
+    pub mpmb_agrees: bool,
+    /// Whether the estimate used at least the Theorem IV.1 trial count
+    /// for its own MPMB estimate at the given `ε`/`δ` (`None` when the
+    /// estimate carries no trial count or found nothing).
+    pub theorem_iv1_satisfied: Option<bool>,
+}
+
+/// Compares `estimate` against ground truth for `g`.
+///
+/// `epsilon`/`delta` parameterize the Theorem IV.1 adequacy check.
+pub fn validate_accuracy(
+    g: &UncertainBipartiteGraph,
+    estimate: &Distribution,
+    epsilon: f64,
+    delta: f64,
+) -> AccuracyReport {
+    let (reference_dist, reference) =
+        match exact_distribution(g, ExactConfig::default()) {
+            Ok(d) => (d, Reference::Exact),
+            Err(_) => {
+                let trials = 200_000;
+                let d = OrderingSampling::new(OsConfig {
+                    trials,
+                    seed: 0xACC0_7E57,
+                    ..Default::default()
+                })
+                .run(g);
+                (d, Reference::SampledReference { trials })
+            }
+        };
+
+    let max_abs_error = estimate.max_abs_diff(&reference_dist);
+    let (mut sum, mut n) = (0.0, 0u64);
+    for (b, &p) in reference_dist.iter() {
+        sum += (estimate.prob(b) - p).abs();
+        n += 1;
+    }
+    let mean_abs_error = if n == 0 { 0.0 } else { sum / n as f64 };
+
+    let mpmb_agrees = match (estimate.mpmb(), reference_dist.mpmb()) {
+        (Some((b1, _)), Some((b2, _))) => b1 == b2,
+        (None, None) => true,
+        _ => false,
+    };
+
+    let theorem_iv1_satisfied = match (estimate.trials(), estimate.mpmb()) {
+        (Some(trials), Some((_, p))) if p > 0.0 => {
+            Some(trials as f64 >= mc_trial_lower_bound(p, epsilon, delta))
+        }
+        _ => None,
+    };
+
+    AccuracyReport {
+        reference,
+        max_abs_error,
+        mean_abs_error,
+        mpmb_agrees,
+        theorem_iv1_satisfied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{GraphBuilder, Left, Right};
+
+    fn fig1() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adequate_run_validates_cleanly() {
+        let g = fig1();
+        let d = OrderingSampling::new(OsConfig {
+            trials: 120_000,
+            seed: 4,
+            ..Default::default()
+        })
+        .run(&g);
+        let r = validate_accuracy(&g, &d, 0.1, 0.1);
+        assert_eq!(r.reference, Reference::Exact);
+        assert!(r.max_abs_error < 0.01, "max err {}", r.max_abs_error);
+        assert!(r.mean_abs_error <= r.max_abs_error);
+        assert!(r.mpmb_agrees);
+        assert_eq!(r.theorem_iv1_satisfied, Some(true));
+    }
+
+    #[test]
+    fn undersampled_run_is_flagged() {
+        let g = fig1();
+        let d = OrderingSampling::new(OsConfig {
+            trials: 50,
+            seed: 4,
+            ..Default::default()
+        })
+        .run(&g);
+        let r = validate_accuracy(&g, &d, 0.1, 0.1);
+        // 50 trials cannot satisfy the bound for P ≈ 0.11 (needs ~10⁵).
+        assert_eq!(r.theorem_iv1_satisfied, Some(false));
+    }
+
+    #[test]
+    fn falls_back_to_sampled_reference_on_large_graphs() {
+        // > 22 uncertain edges: exact engine refuses, fallback engages.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                b.add_edge(Left(u), Right(v), ((u + v) % 3 + 1) as f64, 0.5).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        let d = OrderingSampling::new(OsConfig {
+            trials: 20_000,
+            seed: 6,
+            ..Default::default()
+        })
+        .run(&g);
+        let r = validate_accuracy(&g, &d, 0.1, 0.1);
+        assert!(matches!(r.reference, Reference::SampledReference { .. }));
+        assert!(r.max_abs_error < 0.02, "max err {}", r.max_abs_error);
+    }
+
+    #[test]
+    fn empty_estimates_on_empty_graphs_agree() {
+        let g = GraphBuilder::new().build().unwrap();
+        let d = Distribution::new();
+        let r = validate_accuracy(&g, &d, 0.1, 0.1);
+        assert!(r.mpmb_agrees);
+        assert_eq!(r.max_abs_error, 0.0);
+        assert_eq!(r.theorem_iv1_satisfied, None);
+    }
+}

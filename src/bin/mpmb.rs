@@ -1,0 +1,259 @@
+//! `mpmb` — command-line MPMB search over edge-list files.
+//!
+//! ```text
+//! mpmb solve    --input G.tsv [--method os|mcvp|ols|ols-kl] [--trials N]
+//!               [--prep N] [--seed N] [--top-k K] [--diverse MAX_SHARED]
+//!               [--threads N]
+//! mpmb exact    --input G.tsv [--max-uncertain N] [--top-k K]
+//! mpmb query    --input G.tsv --u1 A --u2 B --v1 C --v2 D [--trials N] [--seed N]
+//! mpmb count    --input G.tsv [--trials N] [--seed N]
+//! mpmb stats    --input G.tsv
+//! mpmb generate --dataset abide|movielens|jester|protein --scale F
+//!               [--seed N] [--output FILE]
+//! ```
+//!
+//! Edge-list format: `LEFT RIGHT WEIGHT PROB` per line (tabs or spaces),
+//! `#` comments allowed.
+
+use datasets::Dataset;
+use mpmb::prelude::*;
+use mpmb_core::{run_os_parallel, top_k_diverse, Distribution};
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: mpmb <solve|exact|query|count|stats|generate> [flags]   (see --help in source header)"
+    );
+    exit(2)
+}
+
+/// Minimal flag parser: `--name value` pairs after the subcommand.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                fail(&format!("unexpected argument `{a}`"));
+            };
+            let Some(value) = it.next() else {
+                fail(&format!("--{name} requires a value"));
+            };
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Flags(pairs)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("cannot parse --{name} value `{v}`"))),
+        }
+    }
+}
+
+fn load(flags: &Flags) -> UncertainBipartiteGraph {
+    let path = flags.get("input").unwrap_or_else(|| fail("--input is required"));
+    // Dispatches on the binary magic, so both .tsv and .ubg files work.
+    bigraph::io::read_auto(std::path::Path::new(path))
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+}
+
+fn print_ranking(g: &UncertainBipartiteGraph, dist: &Distribution, k: usize, diverse: Option<usize>) {
+    let ranking = match diverse {
+        Some(max_shared) => top_k_diverse(dist, k, max_shared),
+        None => dist.top_k(k),
+    };
+    if ranking.is_empty() {
+        println!("no butterflies found");
+        return;
+    }
+    println!("rank\tbutterfly\tweight\tPr[E(B)]\tP(B)");
+    for (i, (b, p)) in ranking.iter().enumerate() {
+        println!(
+            "{}\t{b}\t{}\t{:.6}\t{:.6}",
+            i + 1,
+            b.weight(g).unwrap_or(f64::NAN),
+            b.existence_prob(g).unwrap_or(f64::NAN),
+            p
+        );
+    }
+}
+
+fn cmd_solve(flags: &Flags) {
+    let g = load(flags);
+    let method = flags.get("method").unwrap_or("ols");
+    let trials: u64 = flags.get_parsed("trials", 20_000);
+    let prep: u64 = flags.get_parsed("prep", 100);
+    let seed: u64 = flags.get_parsed("seed", 42);
+    let k: usize = flags.get_parsed("top-k", 1);
+    let diverse = flags.get("diverse").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("cannot parse --diverse value `{v}`")))
+    });
+    let threads: usize = flags.get_parsed("threads", 1);
+
+    let dist = match method {
+        "os" => {
+            let cfg = OsConfig { trials, seed, ..Default::default() };
+            if threads > 1 {
+                run_os_parallel(&g, &cfg, threads)
+            } else {
+                OrderingSampling::new(cfg).run(&g)
+            }
+        }
+        "mcvp" => McVp::new(McVpConfig { trials, seed }).run(&g),
+        "ols" => {
+            OrderingListingSampling::new(OlsConfig {
+                prep_trials: prep,
+                seed,
+                estimator: EstimatorKind::Optimized { trials },
+                ..Default::default()
+            })
+            .run(&g)
+            .distribution
+        }
+        "ols-kl" => {
+            OrderingListingSampling::new(OlsConfig {
+                prep_trials: prep,
+                seed,
+                estimator: EstimatorKind::KarpLuby {
+                    policy: KlTrialPolicy::Fixed(trials),
+                },
+                ..Default::default()
+            })
+            .run(&g)
+            .distribution
+        }
+        other => fail(&format!("unknown method `{other}`")),
+    };
+    print_ranking(&g, &dist, k, diverse);
+}
+
+fn cmd_exact(flags: &Flags) {
+    let g = load(flags);
+    let limit: u32 = flags.get_parsed("max-uncertain", 22);
+    let k: usize = flags.get_parsed("top-k", 10);
+    match mpmb_core::exact_distribution(&g, ExactConfig { max_uncertain_edges: limit }) {
+        Ok(dist) => print_ranking(&g, &dist, k, None),
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn cmd_query(flags: &Flags) {
+    let g = load(flags);
+    let need = |n: &str| -> u32 {
+        flags
+            .get(n)
+            .unwrap_or_else(|| fail(&format!("--{n} is required")))
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("cannot parse --{n}")))
+    };
+    let b = mpmb_core::Butterfly::new(
+        Left(need("u1")),
+        Left(need("u2")),
+        Right(need("v1")),
+        Right(need("v2")),
+    );
+    let trials: u64 = flags.get_parsed("trials", 20_000);
+    let seed: u64 = flags.get_parsed("seed", 42);
+    match mpmb_core::estimate_prob_of(&g, &b, trials, seed) {
+        None => fail(&format!("{b} is not a butterfly of the backbone")),
+        Some(q) => {
+            println!("butterfly {b}: w = {}", b.weight(&g).unwrap());
+            println!("Pr[E(B)]              = {:.6} (exact)", q.existence_prob);
+            println!("Pr[B maximum | E(B)]  = {:.6} ({} conditioned trials)", q.conditional_max_prob, q.trials);
+            println!("P(B)                  = {:.6}", q.prob);
+        }
+    }
+}
+
+fn cmd_count(flags: &Flags) {
+    let g = load(flags);
+    let trials: u64 = flags.get_parsed("trials", 5_000);
+    let seed: u64 = flags.get_parsed("seed", 42);
+    let expect = bigraph::expected::expected_butterfly_count(&g);
+    let d = mpmb_core::sample_count_distribution(&g, trials, seed);
+    println!("expected butterflies (closed form) = {expect:.4}");
+    println!("sampled mean = {:.4}  variance = {:.4}  ({} trials)", d.mean, d.variance, d.trials);
+    let mut counts: Vec<(u64, u64)> = d.histogram.iter().map(|(&c, &n)| (c, n)).collect();
+    counts.sort_unstable();
+    println!("count\tfreq");
+    for (c, n) in counts.into_iter().take(20) {
+        println!("{c}\t{:.4}", n as f64 / d.trials as f64);
+    }
+}
+
+fn cmd_stats(flags: &Flags) {
+    let g = load(flags);
+    println!("{}", GraphStats::compute(&g));
+    println!(
+        "backbone angles: left-middles {} / right-middles {}",
+        g.backbone_angle_count(Side::Left),
+        g.backbone_angle_count(Side::Right)
+    );
+    println!("top-3 weight sum (w̄): {}", g.top3_weight_sum());
+}
+
+fn cmd_generate(flags: &Flags) {
+    let name = flags.get("dataset").unwrap_or_else(|| fail("--dataset is required"));
+    let dataset = match name.to_ascii_lowercase().as_str() {
+        "abide" => Dataset::Abide,
+        "movielens" => Dataset::MovieLens,
+        "jester" => Dataset::Jester,
+        "protein" => Dataset::Protein,
+        other => fail(&format!("unknown dataset `{other}`")),
+    };
+    let scale: f64 = flags.get_parsed("scale", 0.01);
+    let seed: u64 = flags.get_parsed("seed", 42);
+    let g = dataset.generate(scale, seed);
+    match flags.get("output") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+            let out = std::io::BufWriter::new(file);
+            // `.ubg` extension selects the compact binary format.
+            let res = if path.ends_with(".ubg") {
+                bigraph::io::write_binary(&g, out)
+            } else {
+                bigraph::io::write_edge_list(&g, out)
+            };
+            res.unwrap_or_else(|e| fail(&format!("write failed: {e}")));
+            eprintln!("wrote {} ({})", path, GraphStats::compute(&g));
+        }
+        None => {
+            let stdout = std::io::stdout();
+            bigraph::io::write_edge_list(&g, stdout.lock())
+                .unwrap_or_else(|e| fail(&format!("write failed: {e}")));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        fail("missing subcommand");
+    };
+    let flags = Flags::parse(rest);
+    match cmd.as_str() {
+        "solve" => cmd_solve(&flags),
+        "query" => cmd_query(&flags),
+        "count" => cmd_count(&flags),
+        "exact" => cmd_exact(&flags),
+        "stats" => cmd_stats(&flags),
+        "generate" => cmd_generate(&flags),
+        other => fail(&format!("unknown subcommand `{other}`")),
+    }
+}

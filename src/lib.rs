@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # mpmb — Most Probable Maximum Weighted Butterfly search
+//!
+//! Facade crate for the MPMB workspace: a from-scratch Rust reproduction of
+//! *"Most Probable Maximum Weighted Butterfly Search"* (ICDE 2025).
+//!
+//! The problem: on an **uncertain weighted bipartite network**, where each
+//! edge carries a weight and an independent existence probability, find the
+//! butterfly (2×2 biclique) with the highest probability of being the
+//! *maximum-weighted* butterfly across all possible worlds. Computing this
+//! probability is #P-Hard, so the library provides three sampling solvers:
+//!
+//! * [`McVp`](mpmb_core::McVp) — Monte-Carlo with Vertex Priority, the
+//!   baseline (Algorithm 1);
+//! * [`OrderingSampling`](mpmb_core::OrderingSampling) — the paper's OS
+//!   method (Algorithm 2), ~10³× faster than the baseline;
+//! * [`OrderingListingSampling`](mpmb_core::OrderingListingSampling) — the
+//!   OLS method (Algorithm 3), with a choice of probability estimators:
+//!   the paper's optimized shared-trial sampler (Algorithm 5) or classical
+//!   Karp-Luby (Algorithm 4).
+//!
+//! ```
+//! use mpmb::prelude::*;
+//!
+//! // Figure 1(a) of the paper.
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+//! b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+//! b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+//! b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+//! b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+//! b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let dist = OrderingSampling::new(OsConfig { trials: 5_000, seed: 42, ..Default::default() })
+//!     .run(&g);
+//! let (butterfly, p) = dist.mpmb().expect("graph contains butterflies");
+//! println!("MPMB = {butterfly} with P ≈ {p:.4}");
+//! ```
+
+pub use bigraph;
+pub use datasets;
+pub use mpmb_core;
+
+/// One-stop imports for typical library use.
+pub mod prelude {
+    pub use bigraph::{
+        BuildError, EdgeId, GraphBuilder, GraphStats, Left, PossibleWorld, Right, Side,
+        UncertainBipartiteGraph, Weight,
+    };
+    pub use mpmb_core::{
+        Butterfly, Distribution, EstimatorKind, ExactConfig, KlTrialPolicy, McVp, McVpConfig,
+        OlsConfig, OrderingListingSampling, OrderingSampling, OsConfig,
+    };
+}

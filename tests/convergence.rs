@@ -1,0 +1,164 @@
+//! Statistical integration tests: the solvers honor the paper's
+//! approximation guarantees on graphs where exact answers are computable.
+
+use mpmb::prelude::*;
+use mpmb_core::{bounds, ConvergenceTracker};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random 4×4 uncertain graph with quantized weights and coarse probs.
+fn random_graph(seed: u64) -> UncertainBipartiteGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for u in 0..4u32 {
+        for v in 0..4u32 {
+            if rng.random::<f64>() < 0.75 {
+                let w = rng.random_range(1..=32) as f64 / 4.0;
+                let p = rng.random_range(1..=9) as f64 / 10.0;
+                b.add_edge(Left(u), Right(v), w, p).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn theorem_iv1_bound_delivers_epsilon_delta() {
+    // For each random instance, run OS with the Theorem IV.1 trial count
+    // for the exact P(B*) at ε=δ=0.25 and check the relative error. With
+    // δ=0.25 an individual failure is possible; across 8 instances the
+    // expected failures are 2 — we allow 3 before declaring the bound
+    // violated (P(>3 failures) < 4% under the guarantee).
+    let mut failures = 0;
+    let mut checked = 0;
+    for seed in 0..8u64 {
+        let g = random_graph(seed);
+        let exact = mpmb_core::exact_distribution(&g, ExactConfig::default()).unwrap();
+        let Some((target, p_exact)) = exact.mpmb() else {
+            continue;
+        };
+        if p_exact < 0.02 {
+            continue; // bound would demand enormous trial counts
+        }
+        checked += 1;
+        let (eps, delta) = (0.25, 0.25);
+        let n = bounds::mc_trial_lower_bound(p_exact, eps, delta).ceil() as u64;
+        let d = OrderingSampling::new(OsConfig {
+            trials: n,
+            seed: seed ^ 0xFEED,
+            ..Default::default()
+        })
+        .run(&g);
+        let rel_err = (d.prob(&target) - p_exact).abs() / p_exact;
+        if rel_err > eps {
+            failures += 1;
+        }
+    }
+    assert!(checked >= 5, "too few usable instances: {checked}");
+    assert!(failures <= 3, "{failures}/{checked} exceeded the ε bound");
+}
+
+#[test]
+fn all_solvers_converge_to_exact_on_random_instances() {
+    for seed in [3u64, 17, 99] {
+        let g = random_graph(seed);
+        let exact = mpmb_core::exact_distribution(&g, ExactConfig::default()).unwrap();
+        if exact.is_empty() {
+            continue;
+        }
+        let trials = 30_000;
+        let mc = McVp::new(McVpConfig { trials, seed }).run(&g);
+        let os = OrderingSampling::new(OsConfig { trials, seed, ..Default::default() }).run(&g);
+        let ols = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 300,
+            seed,
+            estimator: EstimatorKind::Optimized { trials },
+            ..Default::default()
+        })
+        .run(&g);
+        let kl = OrderingListingSampling::new(OlsConfig {
+            prep_trials: 300,
+            seed,
+            estimator: EstimatorKind::KarpLuby {
+                policy: KlTrialPolicy::Fixed(trials),
+            },
+            ..Default::default()
+        })
+        .run(&g);
+        for (b, &p) in exact.iter() {
+            for (name, est) in [
+                ("mcvp", mc.prob(b)),
+                ("os", os.prob(b)),
+                ("ols", ols.distribution.prob(b)),
+                ("ols-kl", kl.distribution.prob(b)),
+            ] {
+                assert!(
+                    (est - p).abs() < 0.02,
+                    "seed {seed} {name} {b}: {est} vs exact {p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn convergence_tracker_stabilizes_within_band() {
+    let g = random_graph(5);
+    let exact = mpmb_core::exact_distribution(&g, ExactConfig::default()).unwrap();
+    let (target, p_exact) = exact.mpmb().unwrap();
+    let trials = 40_000;
+    let mut tracker = ConvergenceTracker::new(target, trials / 8);
+    OrderingSampling::new(OsConfig { trials, seed: 8, ..Default::default() })
+        .run_with_observer(&g, &mut tracker);
+    // The paper's Fig. 11 criterion: the trace enters and stays in the 2ε
+    // band over the second half of the budget.
+    let eps = 0.1;
+    for &(n, est) in tracker.points().iter().filter(|(n, _)| *n >= trials / 2) {
+        assert!(
+            (est - p_exact).abs() <= 2.0 * eps * p_exact + 0.01,
+            "N={n}: {est} outside the 2ε band around {p_exact}"
+        );
+    }
+}
+
+#[test]
+fn lemma_vi5_truncation_error_is_bounded() {
+    // Build candidate sets that *deliberately* drop butterflies and check
+    // the observed over-estimate against the Lemma VI.5 bound.
+    for seed in [2u64, 9, 31] {
+        let g = random_graph(seed);
+        let exact = mpmb_core::exact_distribution(&g, ExactConfig::default()).unwrap();
+        let all = mpmb_core::enumerate_backbone_butterflies(&g);
+        if all.len() < 3 {
+            continue;
+        }
+        let full = mpmb_core::CandidateSet::from_butterflies(&g, all.clone());
+        // Drop every other candidate (keep the heaviest so L(i) indexes
+        // stay meaningful).
+        let kept: Vec<_> = (0..full.len())
+            .filter(|i| *i == 0 || i % 2 == 0)
+            .map(|i| full.get(i).butterfly)
+            .collect();
+        let truncated = mpmb_core::CandidateSet::from_butterflies(&g, kept.clone());
+        let est = mpmb_core::estimate_optimized(&g, &truncated, 60_000, seed);
+        for i in 0..truncated.len() {
+            let b = truncated.get(i).butterfly;
+            let p_exact = exact.prob(&b);
+            // Lemma VI.5: the over-estimate is at most the summed exact
+            // probabilities of skipped, strictly heavier butterflies.
+            let bound: f64 = (0..full.len())
+                .filter(|&j| {
+                    full.get(j).weight > truncated.get(i).weight
+                        && !kept.contains(&full.get(j).butterfly)
+                })
+                .map(|j| exact.prob(&full.get(j).butterfly))
+                .sum();
+            let over = est.prob(&b) - p_exact;
+            assert!(
+                over <= bound + 0.02,
+                "seed {seed} {b}: over-estimate {over} exceeds Lemma VI.5 bound {bound}"
+            );
+        }
+    }
+}

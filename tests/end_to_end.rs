@@ -1,0 +1,137 @@
+//! Cross-crate integration: dataset stand-ins → solvers → rankings.
+
+use datasets::Dataset;
+use mpmb::prelude::*;
+use mpmb_core::{run_os_parallel, Distribution};
+
+/// Small-scale instantiations that still contain butterflies.
+fn small(dataset: Dataset) -> UncertainBipartiteGraph {
+    let scale = match dataset {
+        Dataset::Abide => 0.3,
+        Dataset::MovieLens => 0.05,
+        Dataset::Jester => 0.005,
+        Dataset::Protein => 0.001,
+    };
+    dataset.generate(scale, 404)
+}
+
+#[test]
+fn os_finds_butterflies_on_every_dataset() {
+    for dataset in Dataset::all() {
+        let g = small(dataset);
+        let d = OrderingSampling::new(OsConfig {
+            trials: 400,
+            seed: 1,
+            ..Default::default()
+        })
+        .run(&g);
+        assert!(
+            !d.is_empty(),
+            "{}: no butterflies found at test scale",
+            dataset.name()
+        );
+        let (b, p) = d.mpmb().unwrap();
+        assert!(p > 0.0 && p <= 1.0);
+        assert!(b.weight(&g).is_some(), "MPMB must be a backbone butterfly");
+    }
+}
+
+#[test]
+fn ols_and_os_agree_on_the_mpmb() {
+    // With enough trials both methods converge on the same argmax for
+    // datasets with a clear leader.
+    let g = small(Dataset::Abide);
+    let os = OrderingSampling::new(OsConfig {
+        trials: 12_000,
+        seed: 2,
+        ..Default::default()
+    })
+    .run(&g);
+    let ols = OrderingListingSampling::new(OlsConfig {
+        prep_trials: 200,
+        seed: 2,
+        estimator: EstimatorKind::Optimized { trials: 12_000 },
+        ..Default::default()
+    })
+    .run(&g);
+    let (b_os, p_os) = os.mpmb().unwrap();
+    let (b_ols, p_ols) = ols.distribution.mpmb().unwrap();
+    // Probabilities agree even if close-running butterflies swap ranks.
+    assert!(
+        (p_os - p_ols).abs() < 0.05,
+        "top probabilities diverged: {p_os} vs {p_ols}"
+    );
+    assert!(
+        (os.prob(&b_ols) - p_ols).abs() < 0.05 && (ols.distribution.prob(&b_os) - p_os).abs() < 0.05,
+        "cross-method estimates diverged for {b_os} / {b_ols}"
+    );
+}
+
+#[test]
+fn parallel_runner_is_bit_identical_across_thread_counts() {
+    let g = small(Dataset::MovieLens);
+    let cfg = OsConfig {
+        trials: 600,
+        seed: 3,
+        ..Default::default()
+    };
+    let reference = OrderingSampling::new(cfg).run(&g);
+    for threads in [1, 2, 5, 11] {
+        let par = run_os_parallel(&g, &cfg, threads);
+        assert_eq!(reference.max_abs_diff(&par), 0.0, "threads={threads}");
+    }
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_solver_output() {
+    let g = small(Dataset::Jester);
+    let mut buf = Vec::new();
+    bigraph::io::write_edge_list(&g, &mut buf).unwrap();
+    let g2 = bigraph::io::read_edge_list(std::io::Cursor::new(buf)).unwrap();
+    let cfg = OsConfig {
+        trials: 300,
+        seed: 4,
+        ..Default::default()
+    };
+    let d1 = OrderingSampling::new(cfg).run(&g);
+    let d2 = OrderingSampling::new(cfg).run(&g2);
+    assert_eq!(d1.max_abs_diff(&d2), 0.0, "round-tripped graph diverged");
+}
+
+#[test]
+fn top_k_ranking_is_consistent_with_probabilities() {
+    let g = small(Dataset::Abide);
+    let result = OrderingListingSampling::new(OlsConfig {
+        prep_trials: 150,
+        seed: 5,
+        estimator: EstimatorKind::Optimized { trials: 5_000 },
+        ..Default::default()
+    })
+    .run(&g);
+    let top = result.top_k(10);
+    assert!(!top.is_empty());
+    for w in top.windows(2) {
+        assert!(w[0].1 >= w[1].1, "ranking not sorted");
+    }
+    for (b, p) in &top {
+        assert_eq!(result.distribution.prob(b), *p);
+    }
+}
+
+#[test]
+fn induced_scaling_preserves_solver_soundness() {
+    let g = small(Dataset::MovieLens);
+    for frac in [0.25, 0.5, 0.75] {
+        let sub = datasets::scale::induced_vertex_sample(&g, frac, 6);
+        let d: Distribution = OrderingSampling::new(OsConfig {
+            trials: 200,
+            seed: 7,
+            ..Default::default()
+        })
+        .run(&sub);
+        // Every reported butterfly must exist in the subgraph's backbone.
+        for (b, _) in d.iter() {
+            assert!(b.edges(&sub).is_some(), "{b} not in induced backbone");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration of the uncertainty-quantification extensions on dataset
+//! stand-ins: max-weight distributions, ensembles, targeted queries, and
+//! the accuracy self-check — all mutually consistent.
+
+use datasets::Dataset;
+use mpmb::prelude::*;
+use mpmb_core::{
+    estimate_prob_of, max_weight_distribution, run_os_adaptive, run_os_ensemble,
+    validate_accuracy, AdaptiveConfig,
+};
+
+fn graph() -> UncertainBipartiteGraph {
+    Dataset::Abide.generate(0.2, 77)
+}
+
+#[test]
+fn max_weight_tail_brackets_the_mpmb_weight() {
+    let g = graph();
+    let dist = OrderingSampling::new(OsConfig { trials: 4_000, seed: 1, ..Default::default() })
+        .run(&g);
+    let (b, p) = dist.mpmb().expect("butterflies exist");
+    let w = b.weight(&g).unwrap();
+    let mw = max_weight_distribution(&g, 4_000, 1);
+    // The MPMB's weight must be achievable: the tail at its weight is at
+    // least its own probability (it contributes those worlds).
+    assert!(
+        mw.tail_prob(w) + 0.02 >= p,
+        "tail at w={w} is {} but P(B)={p}",
+        mw.tail_prob(w)
+    );
+    // And nothing exceeds the heaviest backbone butterfly.
+    let heaviest = mpmb_core::enumerate_backbone_butterflies(&g)
+        .into_iter()
+        .map(|b| b.weight(&g).unwrap())
+        .fold(0.0, f64::max);
+    assert_eq!(mw.tail_prob(heaviest + 0.001), 0.0);
+}
+
+#[test]
+fn ensemble_interval_covers_targeted_query() {
+    let g = graph();
+    let ensemble = run_os_ensemble(
+        &g,
+        &OsConfig { trials: 4_000, seed: 10, ..Default::default() },
+        6,
+    );
+    let (b, _) = ensemble.mean_distribution().mpmb().unwrap();
+    let entry = ensemble.get(&b).unwrap();
+    // Independent conditioned estimate should land within a few standard
+    // errors of the ensemble mean.
+    let q = estimate_prob_of(&g, &b, 20_000, 99).unwrap();
+    let margin = 5.0 * (entry.std_dev + 0.003);
+    assert!(
+        (q.prob - entry.mean).abs() < margin,
+        "query {} vs ensemble {} ± {}",
+        q.prob,
+        entry.mean,
+        entry.std_dev
+    );
+}
+
+#[test]
+fn adaptive_run_passes_the_self_check() {
+    let g = graph();
+    let result = run_os_adaptive(
+        &g,
+        &AdaptiveConfig {
+            epsilon: 0.15,
+            delta: 0.15,
+            batch: 2_000,
+            max_trials: 400_000,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    assert!(result.bound_satisfied, "cap hit at {}", result.trials_used);
+    let report = validate_accuracy(&g, &result.distribution, 0.15, 0.15);
+    // Exact enumeration is infeasible here (complete ~26×26 graph), so
+    // the self-check falls back to a high-trial reference.
+    assert!(matches!(
+        report.reference,
+        mpmb_core::Reference::SampledReference { .. }
+    ));
+    assert!(report.max_abs_error < 0.03, "err {}", report.max_abs_error);
+    assert_eq!(report.theorem_iv1_satisfied, Some(true));
+}
+
+#[test]
+fn count_distribution_consistent_with_expected_count() {
+    let g = Dataset::MovieLens.generate(0.02, 5);
+    let expect = bigraph::expected::expected_butterfly_count(&g);
+    let d = mpmb_core::sample_count_distribution(&g, 2_000, 5);
+    // Wide tolerance: counts are heavy-tailed; 2k trials suffice for ±6σ/√n.
+    let se = (d.variance / 2_000.0).sqrt().max(1e-9);
+    assert!(
+        (d.mean - expect).abs() < 8.0 * se + 0.05 * expect,
+        "mean {} vs expected {expect} (se {se})",
+        d.mean
+    );
+}
