@@ -33,42 +33,34 @@ fn bench_methods(c: &mut Criterion) {
             &g,
             |b, g| b.iter(|| black_box(os_budgeted(g, 20, 1, budget))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("ols_opt", dataset.name()),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    black_box(
-                        OrderingListingSampling::new(OlsConfig {
-                            prep_trials: 10,
-                            seed: 1,
-                            estimator: EstimatorKind::Optimized { trials: 200 },
-                            ..Default::default()
-                        })
-                        .run(g),
-                    )
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("ols_kl", dataset.name()),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    black_box(
-                        OrderingListingSampling::new(OlsConfig {
-                            prep_trials: 10,
-                            seed: 1,
-                            estimator: EstimatorKind::KarpLuby {
-                                policy: KlTrialPolicy::Fixed(200),
-                            },
-                            ..Default::default()
-                        })
-                        .run(g),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ols_opt", dataset.name()), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    OrderingListingSampling::new(OlsConfig {
+                        prep_trials: 10,
+                        seed: 1,
+                        estimator: EstimatorKind::Optimized { trials: 200 },
+                        ..Default::default()
+                    })
+                    .run(g),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ols_kl", dataset.name()), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    OrderingListingSampling::new(OlsConfig {
+                        prep_trials: 10,
+                        seed: 1,
+                        estimator: EstimatorKind::KarpLuby {
+                            policy: KlTrialPolicy::Fixed(200),
+                        },
+                        ..Default::default()
+                    })
+                    .run(g),
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::Dataset;
-use mpmb_core::{estimate_karp_luby, estimate_optimized, KlTrialPolicy, OlsConfig, OrderingListingSampling};
+use mpmb_core::{
+    estimate_karp_luby, estimate_optimized, KlTrialPolicy, OlsConfig, OrderingListingSampling,
+};
 use std::hint::black_box;
 
 fn bench_estimators_by_trials(c: &mut Criterion) {
@@ -19,11 +21,9 @@ fn bench_estimators_by_trials(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_sampling_phase");
     group.sample_size(10);
     for trials in [250u64, 500, 1_000, 2_000] {
-        group.bench_with_input(
-            BenchmarkId::new("optimized", trials),
-            &trials,
-            |b, &n| b.iter(|| black_box(estimate_optimized(&g, &candidates, n, 7))),
-        );
+        group.bench_with_input(BenchmarkId::new("optimized", trials), &trials, |b, &n| {
+            b.iter(|| black_box(estimate_optimized(&g, &candidates, n, 7)))
+        });
         group.bench_with_input(BenchmarkId::new("karp_luby", trials), &trials, |b, &n| {
             b.iter(|| {
                 black_box(estimate_karp_luby(

@@ -47,10 +47,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--full" => args.full = true,
             "--csv" => args.csv = true,
@@ -83,7 +80,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const HELP: &str = "repro [table3|table4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablation|adaptive|all]… \
+const HELP: &str =
+    "repro [table3|table4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablation|adaptive|all]… \
 [--full] [--trial-factor F] [--budget SECS] [--seed N] [--csv]";
 
 const ALL: [&str; 12] = [
@@ -120,7 +118,11 @@ fn main() {
 
     eprintln!(
         "# datasets: {} scale | trials: {}/{}/{} (direct/prep/sampling) | budget {:.0}s | seed {}",
-        if args.full { "paper (Table III)" } else { "laptop" },
+        if args.full {
+            "paper (Table III)"
+        } else {
+            "laptop"
+        },
         opts.plan.direct_trials,
         opts.plan.prep_trials,
         opts.plan.sampling_trials,

@@ -100,8 +100,13 @@ pub fn run(datasets: &[BenchDataset], opts: &ExpOptions) -> Table {
     for d in datasets {
         let mut row = vec![d.dataset.name().to_string()];
         for (_, cfg) in variants() {
-            let (secs, truncated) =
-                time_variant(&d.graph, &cfg, opts.plan.direct_trials, opts.seed, opts.budget);
+            let (secs, truncated) = time_variant(
+                &d.graph,
+                &cfg,
+                opts.plan.direct_trials,
+                opts.seed,
+                opts.budget,
+            );
             row.push(format!("{secs:.3}{}", if truncated { "*" } else { "" }));
         }
         t.row(&row);
@@ -128,11 +133,7 @@ mod tests {
             .run(&d.graph);
             match &reference {
                 None => reference = Some(dist),
-                Some(r) => assert_eq!(
-                    r.max_abs_diff(&dist),
-                    0.0,
-                    "variant `{name}` diverged"
-                ),
+                Some(r) => assert_eq!(r.max_abs_diff(&dist), 0.0, "variant `{name}` diverged"),
             }
         }
     }

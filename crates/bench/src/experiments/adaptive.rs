@@ -35,7 +35,12 @@ pub fn run(datasets: &[BenchDataset], opts: &ExpOptions) -> Table {
             d.dataset.name().to_string(),
             opts.plan.direct_trials.to_string(),
             result.trials_used.to_string(),
-            if result.bound_satisfied { "yes" } else { "no (cap)" }.to_string(),
+            if result.bound_satisfied {
+                "yes"
+            } else {
+                "no (cap)"
+            }
+            .to_string(),
             result
                 .target
                 .map(|(_, p)| format!("{p:.4}"))

@@ -67,7 +67,13 @@ pub fn run(datasets: &[BenchDataset], opts: &ExpOptions, max_bars: usize) -> Tab
     let mut t = Table::new(
         "Fig. 10: per-candidate trial ratio N_kl/N_op (mu=0.1) vs 1/|C_MB|",
         &[
-            "dataset", "cand#", "weight", "Pr[E(B)]", "S_i", "ratio", "1/|C_MB|",
+            "dataset",
+            "cand#",
+            "weight",
+            "Pr[E(B)]",
+            "S_i",
+            "ratio",
+            "1/|C_MB|",
             "OLS wins?",
         ],
     );

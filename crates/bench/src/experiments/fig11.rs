@@ -34,7 +34,12 @@ pub fn pick_target(
     if candidates.is_empty() {
         return None;
     }
-    let reference = estimate_optimized(g, &candidates, opts.plan.sampling_trials.max(1_000), opts.seed);
+    let reference = estimate_optimized(
+        g,
+        &candidates,
+        opts.plan.sampling_trials.max(1_000),
+        opts.seed,
+    );
     reference
         .iter()
         .filter(|(_, &p)| p > 0.0)
@@ -113,7 +118,8 @@ pub fn run(datasets: &[BenchDataset], opts: &ExpOptions) -> Table {
         let mut row = vec![d.dataset.name().to_string(), "OLS-KL".into()];
         for f in FRACTIONS {
             let trials = ((n as f64 * f).round() as u64).max(1);
-            let report = estimate_karp_luby(g, &candidates, KlTrialPolicy::Fixed(trials), opts.seed);
+            let report =
+                estimate_karp_luby(g, &candidates, KlTrialPolicy::Fixed(trials), opts.seed);
             row.push(format!("{:.4}", report.distribution.prob(&target)));
         }
         row.push(band);

@@ -30,8 +30,7 @@ pub struct Fig13Row {
 pub fn measure(d: &BenchDataset, opts: &ExpOptions) -> Fig13Row {
     let g = &d.graph;
     let trials = opts.plan.direct_trials.clamp(1, 64);
-    let (_, mcvp) =
-        memtrack::measure_peak(|| mcvp_budgeted(g, trials, opts.seed, opts.budget));
+    let (_, mcvp) = memtrack::measure_peak(|| mcvp_budgeted(g, trials, opts.seed, opts.budget));
     let (_, os) = memtrack::measure_peak(|| os_budgeted(g, trials, opts.seed, opts.budget));
     let base_cfg = OlsConfig {
         prep_trials: opts.plan.prep_trials.clamp(1, 64),

@@ -16,7 +16,15 @@ pub const FRACTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
 pub fn run(datasets: &[BenchDataset], opts: &ExpOptions) -> Table {
     let mut t = Table::new(
         "Fig. 8: executing time by sampling-phase trial fraction (seconds)",
-        &["dataset", "method", "N=0% (prep)", "25%", "50%", "75%", "100%"],
+        &[
+            "dataset",
+            "method",
+            "N=0% (prep)",
+            "25%",
+            "50%",
+            "75%",
+            "100%",
+        ],
     );
     for d in datasets {
         let g = &d.graph;
@@ -54,8 +62,7 @@ pub fn run(datasets: &[BenchDataset], opts: &ExpOptions) -> Table {
                 estimate_karp_luby(g, &candidates, KlTrialPolicy::Fixed(trials), opts.seed)
             });
             kl_cells.push(format!("{:.3}", prep_secs + kl_secs));
-            let (_, opt_secs) =
-                time_it(|| estimate_optimized(g, &candidates, trials, opts.seed));
+            let (_, opt_secs) = time_it(|| estimate_optimized(g, &candidates, trials, opts.seed));
             opt_cells.push(format!("{:.3}", prep_secs + opt_secs));
         }
         t.row(&kl_cells);

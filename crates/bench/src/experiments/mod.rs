@@ -23,9 +23,7 @@ use bigraph::{
     trial_rng, LazyEdgeSampler, PossibleWorld, UncertainBipartiteGraph, VertexPriority,
     WorldSampler,
 };
-use mpmb_core::{
-    mcvp::smb_of_world, Distribution, OsConfig, OsEngine, SamplingOracle, Tally,
-};
+use mpmb_core::{mcvp::smb_of_world, Distribution, OsConfig, OsEngine, SamplingOracle, Tally};
 use std::time::Duration;
 
 /// Shared experiment options.
@@ -155,7 +153,11 @@ mod tests {
         let g = &ds[0].graph; // ABIDE tiny
         let (t1, d1) = mcvp_budgeted(g, 50, 9, Duration::from_secs(60));
         assert!(t1.finished());
-        let d_ref = mpmb_core::McVp::new(mpmb_core::McVpConfig { trials: 50, seed: 9 }).run(g);
+        let d_ref = mpmb_core::McVp::new(mpmb_core::McVpConfig {
+            trials: 50,
+            seed: 9,
+        })
+        .run(g);
         assert_eq!(d1.max_abs_diff(&d_ref), 0.0);
 
         let (t2, d2) = os_budgeted(g, 50, 9, Duration::from_secs(60));

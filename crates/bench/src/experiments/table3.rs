@@ -9,8 +9,16 @@ pub fn run(datasets: &[BenchDataset]) -> Table {
     let mut t = Table::new(
         "Table III: dataset details (stand-in vs paper)",
         &[
-            "dataset", "scale", "|E|", "|L|", "|R|", "paper |E|", "paper |L|", "paper |R|",
-            "mean w", "mean p",
+            "dataset",
+            "scale",
+            "|E|",
+            "|L|",
+            "|R|",
+            "paper |E|",
+            "paper |L|",
+            "paper |R|",
+            "mean w",
+            "mean p",
         ],
     );
     for d in datasets {
@@ -43,6 +51,9 @@ mod tests {
         assert_eq!(t.len(), 4);
         let rendered = t.render();
         assert!(rendered.contains("ABIDE"));
-        assert!(rendered.contains("39471870"), "paper |E| for Protein missing");
+        assert!(
+            rendered.contains("39471870"),
+            "paper |E| for Protein missing"
+        );
     }
 }

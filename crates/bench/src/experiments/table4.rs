@@ -11,11 +11,7 @@ pub fn run(plan: &TrialPlan) -> Vec<Table> {
         "Table IV: trial numbers per method and phase",
         &["method", "preparing phase", "sampling phase"],
     );
-    t.row(&[
-        "MC-VP".into(),
-        "-".into(),
-        plan.direct_trials.to_string(),
-    ]);
+    t.row(&["MC-VP".into(), "-".into(), plan.direct_trials.to_string()]);
     t.row(&["OS".into(), "-".into(), plan.direct_trials.to_string()]);
     t.row(&[
         "OLS-KL".into(),
@@ -57,6 +53,9 @@ mod tests {
         assert!(text.contains("dynamic"));
         let bounds = tables[1].render();
         // ~2.4e4 Monte-Carlo bound and ~104 prep trials.
-        assert!(bounds.contains("2396") || bounds.contains("23966"), "{bounds}");
+        assert!(
+            bounds.contains("2396") || bounds.contains("23966"),
+            "{bounds}"
+        );
     }
 }

@@ -110,7 +110,10 @@ mod tests {
         // Extrapolation ≈ requested/completed × elapsed.
         let ratio = t.estimated_total.as_secs_f64() / t.elapsed.as_secs_f64();
         let expect = 1_000_000.0 / t.completed_trials as f64;
-        assert!((ratio / expect - 1.0).abs() < 0.01, "ratio {ratio} vs {expect}");
+        assert!(
+            (ratio / expect - 1.0).abs() < 0.01,
+            "ratio {ratio} vs {expect}"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@ use crate::fx::FxHashSet;
 use crate::graph::UncertainBipartiteGraph;
 use crate::types::{Left, Right, Weight};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Quantizes a weight to the nearest multiple of 1/64 (non-negative).
 #[inline]

@@ -71,7 +71,10 @@ impl UncertainBipartiteGraph {
     /// Endpoints of edge `e`.
     #[inline]
     pub fn endpoints(&self, e: EdgeId) -> (Left, Right) {
-        (Left(self.edge_left[e.index()]), Right(self.edge_right[e.index()]))
+        (
+            Left(self.edge_left[e.index()]),
+            Right(self.edge_right[e.index()]),
+        )
     }
 
     /// All edge ids, ascending.
@@ -205,7 +208,9 @@ impl UncertainBipartiteGraph {
                 Box::new((0..self.num_right()).map(|i| self.right_degree(Right(i as u32))))
             }
         };
-        deg_iter.map(|d| (d as u64) * (d as u64).saturating_sub(1) / 2).sum()
+        deg_iter
+            .map(|d| (d as u64) * (d as u64).saturating_sub(1) / 2)
+            .sum()
     }
 
     /// Existence probability of a set of edges, assuming independence:

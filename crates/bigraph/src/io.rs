@@ -78,7 +78,8 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<UncertainBipartiteGraph, 
                 msg: "trailing fields".into(),
             });
         }
-        b.add_edge(Left(u), Right(v), w, p).map_err(IoError::Build)?;
+        b.add_edge(Left(u), Right(v), w, p)
+            .map_err(IoError::Build)?;
     }
     Ok(b.build()?)
 }
@@ -241,9 +242,15 @@ mod tests {
     #[test]
     fn surfaces_validation_errors() {
         let err = read_edge_list(Cursor::new("0 0 1.0 1.5\n")).unwrap_err();
-        assert!(matches!(err, IoError::Build(BuildError::InvalidProbability { .. })));
+        assert!(matches!(
+            err,
+            IoError::Build(BuildError::InvalidProbability { .. })
+        ));
         let err = read_edge_list(Cursor::new("0 0 1.0 0.5\n0 0 1.0 0.5\n")).unwrap_err();
-        assert!(matches!(err, IoError::Build(BuildError::DuplicateEdge { .. })));
+        assert!(matches!(
+            err,
+            IoError::Build(BuildError::DuplicateEdge { .. })
+        ));
     }
 
     #[test]

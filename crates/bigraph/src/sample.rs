@@ -246,9 +246,15 @@ mod tests {
         let mut s = LazyEdgeSampler::new(g.num_edges());
         let mut rng = trial_rng(9, 0);
         s.begin_trial();
-        let first: Vec<bool> = g.edge_ids().map(|e| s.is_present(&g, e, &mut rng)).collect();
+        let first: Vec<bool> = g
+            .edge_ids()
+            .map(|e| s.is_present(&g, e, &mut rng))
+            .collect();
         // Re-querying must not redraw.
-        let second: Vec<bool> = g.edge_ids().map(|e| s.is_present(&g, e, &mut rng)).collect();
+        let second: Vec<bool> = g
+            .edge_ids()
+            .map(|e| s.is_present(&g, e, &mut rng))
+            .collect();
         assert_eq!(first, second);
         for e in g.edge_ids() {
             assert_eq!(s.decided_outcome(e), Some(first[e.index()]));
@@ -261,12 +267,18 @@ mod tests {
         let mut s = LazyEdgeSampler::new(g.num_edges());
         let mut rng = trial_rng(10, 0);
         s.begin_trial();
-        let a: Vec<bool> = g.edge_ids().map(|e| s.is_present(&g, e, &mut rng)).collect();
+        let a: Vec<bool> = g
+            .edge_ids()
+            .map(|e| s.is_present(&g, e, &mut rng))
+            .collect();
         s.begin_trial();
         for e in g.edge_ids() {
             assert!(!s.is_decided(e), "stale memo leaked across trials");
         }
-        let b: Vec<bool> = g.edge_ids().map(|e| s.is_present(&g, e, &mut rng)).collect();
+        let b: Vec<bool> = g
+            .edge_ids()
+            .map(|e| s.is_present(&g, e, &mut rng))
+            .collect();
         assert_ne!(a, b, "16 fair coins identical across trials: 1/65536 event");
     }
 

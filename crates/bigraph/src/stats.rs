@@ -36,7 +36,8 @@ impl GraphStats {
     /// Computes statistics for `g`.
     pub fn compute(g: &UncertainBipartiteGraph) -> Self {
         let m = g.num_edges();
-        let (mut min_w, mut max_w, mut sum_w, mut sum_p) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0.0);
+        let (mut min_w, mut max_w, mut sum_w, mut sum_p) =
+            (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0.0);
         for e in g.edge_ids() {
             let w = g.weight(e);
             min_w = min_w.min(w);

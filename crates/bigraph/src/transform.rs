@@ -58,7 +58,8 @@ pub fn reward_cold_items(g: &UncertainBipartiteGraph, reward: f64) -> UncertainB
         let (u, v) = g.endpoints(e);
         let coldness = 1.0 - g.right_degree(v) as f64 / deg_max;
         let w = quantize_weight(g.weight(e) * (1.0 + reward * coldness));
-        b.add_edge(u, v, w, g.prob(e)).expect("copy of a valid graph");
+        b.add_edge(u, v, w, g.prob(e))
+            .expect("copy of a valid graph");
     }
     b.build().expect("copy of a valid graph")
 }
@@ -82,7 +83,8 @@ pub fn scale_probabilities(
     for e in g.edge_ids() {
         let (u, v) = g.endpoints(e);
         let p = (g.prob(e).powf(power) * factor).clamp(0.0, 1.0);
-        b.add_edge(u, v, g.weight(e), p).expect("copy of a valid graph");
+        b.add_edge(u, v, g.weight(e), p)
+            .expect("copy of a valid graph");
     }
     b.build().expect("copy of a valid graph")
 }

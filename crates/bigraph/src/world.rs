@@ -104,12 +104,18 @@ impl PossibleWorld {
 
     /// Degree of a left vertex within this world.
     pub fn left_degree(&self, g: &UncertainBipartiteGraph, u: Left) -> usize {
-        g.left_adj(u).iter().filter(|a| self.contains(a.edge)).count()
+        g.left_adj(u)
+            .iter()
+            .filter(|a| self.contains(a.edge))
+            .count()
     }
 
     /// Degree of a right vertex within this world.
     pub fn right_degree(&self, g: &UncertainBipartiteGraph, v: Right) -> usize {
-        g.right_adj(v).iter().filter(|a| self.contains(a.edge)).count()
+        g.right_adj(v)
+            .iter()
+            .filter(|a| self.contains(a.edge))
+            .count()
     }
 }
 

@@ -5,7 +5,11 @@ use proptest::prelude::*;
 
 /// Strategy: a small random uncertain bipartite graph as an edge list with
 /// distinct endpoint pairs, quantized weights, and valid probabilities.
-fn arb_edges(max_l: u32, max_r: u32, max_m: usize) -> impl Strategy<Value = Vec<(u32, u32, f64, f64)>> {
+fn arb_edges(
+    max_l: u32,
+    max_r: u32,
+    max_m: usize,
+) -> impl Strategy<Value = Vec<(u32, u32, f64, f64)>> {
     proptest::collection::btree_set((0..max_l, 0..max_r), 0..=max_m).prop_flat_map(move |pairs| {
         let pairs: Vec<(u32, u32)> = pairs.into_iter().collect();
         let n = pairs.len();

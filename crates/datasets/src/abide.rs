@@ -77,9 +77,9 @@ pub fn generate(scale: f64, group: Group, seed: u64) -> UncertainBipartiteGraph 
     let mut b = GraphBuilder::with_capacity((n * n) as usize);
     for (i, a) in left_rois.iter().enumerate() {
         for (j, c) in right_rois.iter().enumerate() {
-            let dist = ((a[0] - c[0]).powi(2) + (a[1] - c[1]).powi(2) + (a[2] - c[2]).powi(2))
-                .sqrt();
-            let noise = rng.random_range(-0.08..0.08);
+            let dist =
+                ((a[0] - c[0]).powi(2) + (a[1] - c[1]).powi(2) + (a[2] - c[2]).powi(2)).sqrt();
+            let noise: f64 = rng.random_range(-0.08..0.08);
             let p = (0.9 - slope * (dist / DIST_NORM) + noise).clamp(0.05, 0.95);
             b.add_edge(Left(i as u32), Right(j as u32), quantize_weight(dist), p)
                 .expect("complete bipartite has no duplicates");

@@ -42,8 +42,8 @@ pub fn generate(scale: f64, seed: u64) -> UncertainBipartiteGraph {
             let j = rng.random_range(i..jokes as usize);
             jokes_rated.swap(i, j);
             let joke = jokes_rated[i];
-            let raw = joke_bias[joke as usize]
-                + bigraph::generators::standard_normal(&mut rng) * 3.0;
+            let raw =
+                joke_bias[joke as usize] + bigraph::generators::standard_normal(&mut rng) * 3.0;
             // Coarse 0.5-grid quantization in [0, 20] ⇒ heavy ties.
             let rating = (raw.clamp(0.0, 20.0) * 2.0).round() / 2.0;
             let reliability =

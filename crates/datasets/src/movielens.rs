@@ -79,7 +79,8 @@ pub fn generate(scale: f64, seed: u64) -> UncertainBipartiteGraph {
         let (sum, cnt) = item_sum[&v.0];
         let mean = sum / cnt as f64;
         let reliability = (1.0 - (rating - mean).abs() / 4.5).clamp(0.02, 0.98);
-        b.add_edge(u, v, rating, reliability).expect("skeleton has no duplicates");
+        b.add_edge(u, v, rating, reliability)
+            .expect("skeleton has no duplicates");
     }
     b.build().expect("valid MovieLens stand-in")
 }
@@ -120,7 +121,10 @@ mod tests {
             min = min.min(p);
             max = max.max(p);
         }
-        assert!(max - min > 0.2, "degenerate reliability spread [{min},{max}]");
+        assert!(
+            max - min > 0.2,
+            "degenerate reliability spread [{min},{max}]"
+        );
     }
 
     #[test]
@@ -172,7 +176,8 @@ mod tests {
             assert_eq!(a.prob(e), b.prob(e));
         }
         let c = generate(0.02, 12);
-        assert!(a.edge_ids().any(|e| a.endpoints(e) != c.endpoints(e)
-            || a.weight(e) != c.weight(e)));
+        assert!(a
+            .edge_ids()
+            .any(|e| a.endpoints(e) != c.endpoints(e) || a.weight(e) != c.weight(e)));
     }
 }

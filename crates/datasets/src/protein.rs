@@ -102,8 +102,11 @@ mod tests {
         let n = g.num_edges() as f64;
         assert!(n > 5_000.0);
         let mean: f64 = g.edge_ids().map(|e| g.prob(e)).sum::<f64>() / n;
-        let var: f64 =
-            g.edge_ids().map(|e| (g.prob(e) - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = g
+            .edge_ids()
+            .map(|e| (g.prob(e) - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
         assert!((var.sqrt() - 0.2).abs() < 0.03, "sd={}", var.sqrt());
     }
@@ -121,7 +124,10 @@ mod tests {
             .max()
             .unwrap();
         let avg = g.num_edges() as f64 / g.num_left() as f64;
-        assert!((max_l as f64) < avg * 8.0 + 8.0, "hub on left: {max_l} vs avg {avg}");
+        assert!(
+            (max_l as f64) < avg * 8.0 + 8.0,
+            "hub on left: {max_l} vs avg {avg}"
+        );
         assert!((max_r as f64) < avg * 8.0 + 8.0, "hub on right: {max_r}");
     }
 

@@ -111,9 +111,11 @@ mod tests {
         assert_eq!(a.num_edges(), b.num_edges());
         let c = induced_vertex_sample(&g, 0.25, 11);
         // Different seed: almost surely a different vertex sample.
-        assert!(a.num_edges() != c.num_edges() || {
-            a.edge_ids().any(|e| a.endpoints(e) != c.endpoints(e))
-        });
+        assert!(
+            a.num_edges() != c.num_edges() || {
+                a.edge_ids().any(|e| a.endpoints(e) != c.endpoints(e))
+            }
+        );
     }
 
     #[test]

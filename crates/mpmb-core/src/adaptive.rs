@@ -67,7 +67,10 @@ pub struct AdaptiveResult {
 pub fn run_os_adaptive(g: &UncertainBipartiteGraph, cfg: &AdaptiveConfig) -> AdaptiveResult {
     assert!(cfg.epsilon > 0.0, "epsilon must be positive");
     assert!(cfg.delta > 0.0 && cfg.delta < 1.0, "delta must be in (0,1)");
-    assert!(cfg.batch > 0 && cfg.max_trials > 0, "trial counts must be positive");
+    assert!(
+        cfg.batch > 0 && cfg.max_trials > 0,
+        "trial counts must be positive"
+    );
 
     let mut engine = OsEngine::new(g, &cfg.os);
     let mut sampler = LazyEdgeSampler::new(g.num_edges());
@@ -160,7 +163,10 @@ mod tests {
             b.add_edge(Left(u), Right(v), 5.0, 0.99).unwrap();
         }
         let easy = b.build().unwrap();
-        let cfg = AdaptiveConfig { seed: 34, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            seed: 34,
+            ..Default::default()
+        };
         let r_easy = run_os_adaptive(&easy, &cfg);
         let r_hard = run_os_adaptive(&fig1(), &cfg);
         assert!(r_easy.bound_satisfied && r_hard.bound_satisfied);

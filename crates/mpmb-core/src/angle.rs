@@ -118,7 +118,11 @@ mod tests {
         ws.sort_by(|a, b| b.total_cmp(a));
         ws.dedup();
         let class = |w: f64| -> Vec<u32> {
-            let mut v: Vec<u32> = angles.iter().filter(|&&(_, aw)| aw == w).map(|&(m, _)| m).collect();
+            let mut v: Vec<u32> = angles
+                .iter()
+                .filter(|&&(_, aw)| aw == w)
+                .map(|&(m, _)| m)
+                .collect();
             v.sort_unstable();
             v
         };
@@ -193,8 +197,14 @@ mod tests {
     fn best_butterfly_weight_cases() {
         assert_eq!(TopTwoAngles::new().best_butterfly_weight(), None);
         assert_eq!(slots_of(&[(1, 5.0)]).best_butterfly_weight(), None);
-        assert_eq!(slots_of(&[(1, 5.0), (2, 5.0)]).best_butterfly_weight(), Some(10.0));
-        assert_eq!(slots_of(&[(1, 5.0), (2, 3.0)]).best_butterfly_weight(), Some(8.0));
+        assert_eq!(
+            slots_of(&[(1, 5.0), (2, 5.0)]).best_butterfly_weight(),
+            Some(10.0)
+        );
+        assert_eq!(
+            slots_of(&[(1, 5.0), (2, 3.0)]).best_butterfly_weight(),
+            Some(8.0)
+        );
         assert_eq!(
             slots_of(&[(1, 5.0), (2, 5.0), (3, 3.0)]).best_butterfly_weight(),
             Some(10.0)
@@ -216,8 +226,11 @@ mod tests {
     fn matches_reference_on_random_sequences() {
         // Small deterministic pseudo-random exercise across permutations.
         let weights = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0];
-        let mut angles: Vec<(u32, f64)> =
-            weights.iter().enumerate().map(|(i, &w)| (i as u32, w)).collect();
+        let mut angles: Vec<(u32, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as u32, w))
+            .collect();
         // Try several rotations as insertion orders.
         for rot in 0..angles.len() {
             angles.rotate_left(1);

@@ -246,7 +246,10 @@ mod tests {
         let g = fig1();
         let (w, smb) = max_butterflies_in_world(&g, &PossibleWorld::full(&g));
         assert_eq!(w, 10.0);
-        assert_eq!(smb, vec![Butterfly::new(Left(0), Left(1), Right(0), Right(1))]);
+        assert_eq!(
+            smb,
+            vec![Butterfly::new(Left(0), Left(1), Right(0), Right(1))]
+        );
     }
 
     #[test]
@@ -259,7 +262,10 @@ mod tests {
         // Without u1–v1 only the butterfly avoiding v1 on u1 survives:
         // B(u1,u2,v2,v3) with weight 7.
         assert_eq!(wt, 7.0);
-        assert_eq!(smb, vec![Butterfly::new(Left(0), Left(1), Right(1), Right(2))]);
+        assert_eq!(
+            smb,
+            vec![Butterfly::new(Left(0), Left(1), Right(1), Right(2))]
+        );
     }
 
     #[test]

@@ -135,7 +135,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         for u in 0..3u32 {
             for v in 0..3u32 {
-                b.add_edge(Left(u), Right(v), (u + v + 1) as f64, 0.5).unwrap();
+                b.add_edge(Left(u), Right(v), (u + v + 1) as f64, 0.5)
+                    .unwrap();
             }
         }
         b.build().unwrap()

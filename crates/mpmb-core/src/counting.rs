@@ -182,7 +182,10 @@ fn count_in_trial(
             }
         }
     }
-    pair_commons.values().map(|&c| c * c.saturating_sub(1) / 2).sum()
+    pair_commons
+        .values()
+        .map(|&c| c * c.saturating_sub(1) / 2)
+        .sum()
 }
 
 #[cfg(test)]
@@ -207,7 +210,11 @@ mod tests {
         let g = fig1();
         let d = sample_count_distribution(&g, 40_000, 5);
         let expect = expected_butterfly_count(&g); // 0.2544
-        assert!((d.mean - expect).abs() < 0.01, "mean {} vs {expect}", d.mean);
+        assert!(
+            (d.mean - expect).abs() < 0.01,
+            "mean {} vs {expect}",
+            d.mean
+        );
     }
 
     #[test]

@@ -322,7 +322,9 @@ mod tests {
         assert_eq!(with_v0.len(), 2);
         assert_eq!(with_v0.prob(&bf(1, 2, 2, 3)), 0.0);
         // Chained filters compose.
-        let both = d.filter_containing_left(Left(1)).filter_containing_right(Right(0));
+        let both = d
+            .filter_containing_left(Left(1))
+            .filter_containing_right(Right(0));
         assert_eq!(both.len(), 1);
     }
 }

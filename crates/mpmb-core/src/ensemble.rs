@@ -48,21 +48,13 @@ impl EnsembleReport {
 
     /// The mean distribution, usable anywhere a [`Distribution`] is.
     pub fn mean_distribution(&self) -> Distribution {
-        Distribution::from_exact(
-            self.entries
-                .iter()
-                .map(|(&b, e)| (b, e.mean))
-                .collect(),
-        )
+        Distribution::from_exact(self.entries.iter().map(|(&b, e)| (b, e.mean)).collect())
     }
 
     /// The largest standard deviation across butterflies — a one-number
     /// stability summary ("are my trial counts enough?").
     pub fn max_std_dev(&self) -> f64 {
-        self.entries
-            .values()
-            .map(|e| e.std_dev)
-            .fold(0.0, f64::max)
+        self.entries.values().map(|e| e.std_dev).fold(0.0, f64::max)
     }
 }
 
@@ -71,11 +63,7 @@ impl EnsembleReport {
 ///
 /// # Panics
 /// Panics if `runs == 0`.
-pub fn run_os_ensemble(
-    g: &UncertainBipartiteGraph,
-    cfg: &OsConfig,
-    runs: u32,
-) -> EnsembleReport {
+pub fn run_os_ensemble(g: &UncertainBipartiteGraph, cfg: &OsConfig, runs: u32) -> EnsembleReport {
     assert!(runs > 0, "need at least one replica");
     let dists: Vec<Distribution> = (0..runs)
         .map(|r| {
@@ -156,12 +144,20 @@ mod tests {
         let g = fig1();
         let small = run_os_ensemble(
             &g,
-            &OsConfig { trials: 500, seed: 1, ..Default::default() },
+            &OsConfig {
+                trials: 500,
+                seed: 1,
+                ..Default::default()
+            },
             8,
         );
         let large = run_os_ensemble(
             &g,
-            &OsConfig { trials: 8_000, seed: 1, ..Default::default() },
+            &OsConfig {
+                trials: 8_000,
+                seed: 1,
+                ..Default::default()
+            },
             8,
         );
         let exact = exact_distribution(&g, ExactConfig::default()).unwrap();
@@ -183,7 +179,11 @@ mod tests {
         let g = fig1();
         let e = run_os_ensemble(
             &g,
-            &OsConfig { trials: 200, seed: 5, ..Default::default() },
+            &OsConfig {
+                trials: 200,
+                seed: 5,
+                ..Default::default()
+            },
             1,
         );
         assert_eq!(e.runs(), 1);
@@ -213,7 +213,11 @@ mod tests {
         let g = fig1();
         let e = run_os_ensemble(
             &g,
-            &OsConfig { trials: 2_000, seed: 2, ..Default::default() },
+            &OsConfig {
+                trials: 2_000,
+                seed: 2,
+                ..Default::default()
+            },
             4,
         );
         let d = e.mean_distribution();

@@ -144,7 +144,10 @@ mod tests {
             let over = local.prob(&b) - global.prob(&b);
             let bound = global.prob(&full.get(1).butterfly);
             assert!(over >= -1e-12, "{b} underestimated");
-            assert!(over <= bound + 1e-12, "{b}: {over} > Lemma VI.5 bound {bound}");
+            assert!(
+                over <= bound + 1e-12,
+                "{b}: {over} > Lemma VI.5 bound {bound}"
+            );
         }
     }
 
@@ -167,7 +170,8 @@ mod tests {
             b.add_edge(Left(2 * i), Right(2 * i), w, 0.5).unwrap();
             b.add_edge(Left(2 * i), Right(2 * i + 1), w, 0.5).unwrap();
             b.add_edge(Left(2 * i + 1), Right(2 * i), w, 0.5).unwrap();
-            b.add_edge(Left(2 * i + 1), Right(2 * i + 1), w, 0.5).unwrap();
+            b.add_edge(Left(2 * i + 1), Right(2 * i + 1), w, 0.5)
+                .unwrap();
         }
         let g = b.build().unwrap();
         let cs = CandidateSet::from_butterflies(&g, enumerate_backbone_butterflies(&g));

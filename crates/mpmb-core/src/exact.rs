@@ -254,7 +254,13 @@ mod tests {
         b.add_edge(Left(2), Right(1), 5.0, 0.5).unwrap();
         let g = b.build().unwrap();
         // Only 2 uncertain edges → 4 worlds even though |E| = 6.
-        let d = exact_distribution(&g, ExactConfig { max_uncertain_edges: 2 }).unwrap();
+        let d = exact_distribution(
+            &g,
+            ExactConfig {
+                max_uncertain_edges: 2,
+            },
+        )
+        .unwrap();
         // Certain butterfly (w=4) is max unless a u2-butterfly (w=12) exists;
         // those exist iff both uncertain edges do (p=.25 each pair with u0/u1).
         let certain = bf(0, 1, 0, 1);
@@ -283,7 +289,13 @@ mod tests {
             b.add_edge(Left(i), Right(i), 1.0, 0.5).unwrap();
         }
         let g = b.build().unwrap();
-        let err = exact_distribution(&g, ExactConfig { max_uncertain_edges: 4 }).unwrap_err();
+        let err = exact_distribution(
+            &g,
+            ExactConfig {
+                max_uncertain_edges: 4,
+            },
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             ExactError::TooManyUncertainEdges { found: 5, limit: 4 }

@@ -129,7 +129,12 @@ impl Reduction {
             }
         }
         // (iv) the independent reference butterfly, p = 1, w = 0.5.
-        for (u, v) in [(n + 1, n + 1), (n + 1, n + 2), (n + 2, n + 1), (n + 2, n + 2)] {
+        for (u, v) in [
+            (n + 1, n + 1),
+            (n + 1, n + 2),
+            (n + 2, n + 1),
+            (n + 2, n + 2),
+        ] {
             b.add_edge(Left(u), Right(v), 0.5, 1.0).unwrap();
         }
 
@@ -164,11 +169,13 @@ impl Reduction {
             .iter()
             .map(|&c| self.clause_butterfly(c))
             .collect();
-        enumerate_backbone_butterflies(&self.graph).into_iter().all(|b| {
-            b == self.target
-                || clause_bfs.contains(&b)
-                || b.weight(&self.graph).unwrap() < self.target.weight(&self.graph).unwrap()
-        })
+        enumerate_backbone_butterflies(&self.graph)
+            .into_iter()
+            .all(|b| {
+                b == self.target
+                    || clause_bfs.contains(&b)
+                    || b.weight(&self.graph).unwrap() < self.target.weight(&self.graph).unwrap()
+            })
     }
 
     /// `P(B)` of the target butterfly via the exact engine.
@@ -212,7 +219,11 @@ mod tests {
         assert!(r.graph.find_edge(Left(0), Right(1)).is_some());
         assert!(r.is_exactly_sound());
         let p = r.exact_target_prob().unwrap();
-        assert!((p - r.claimed_prob()).abs() < 1e-12, "{p} vs {}", r.claimed_prob());
+        assert!(
+            (p - r.claimed_prob()).abs() < 1e-12,
+            "{p} vs {}",
+            r.claimed_prob()
+        );
     }
 
     #[test]
@@ -291,7 +302,10 @@ mod tests {
         })
         .run(&r.graph);
         let est = d.prob(&r.target);
-        assert!((est - claimed).abs() < 0.01, "est {est} vs claimed {claimed}");
+        assert!(
+            (est - claimed).abs() < 0.01,
+            "est {est} vs claimed {claimed}"
+        );
     }
 
     #[test]

@@ -37,9 +37,9 @@ pub mod ols;
 pub mod os;
 pub mod parallel;
 pub mod query;
-pub mod validation;
 pub mod threshold;
 pub mod topk;
+pub mod validation;
 
 pub use adaptive::{run_os_adaptive, AdaptiveConfig, AdaptiveResult};
 pub use angle::TopTwoAngles;
@@ -48,7 +48,9 @@ pub use butterfly::{
     max_butterflies_in_world, Butterfly,
 };
 pub use candidates::{Candidate, CandidateSet};
-pub use counting::{exact_count_variance, sample_count_distribution, CountDistribution, TooManyButterflies};
+pub use counting::{
+    exact_count_variance, sample_count_distribution, CountDistribution, TooManyButterflies,
+};
 pub use distribution::{Distribution, Tally};
 pub use ensemble::{aggregate, run_os_ensemble, EnsembleEntry, EnsembleReport};
 pub use estimators::exact_prefix::estimate_exact_prefix;
@@ -59,9 +61,13 @@ pub use hardness::{Monotone2Sat, Reduction};
 pub use mcvp::{McVp, McVpConfig};
 pub use observer::{ConvergenceTracker, MultiObserver, NoopObserver, TrialObserver};
 pub use ols::{EstimatorKind, OlsConfig, OlsResult, OrderingListingSampling};
-pub use os::{os_smb_of_world, EdgeOracle, OrderingSampling, OsConfig, OsEngine, SamplingOracle, WorldOracle};
-pub use parallel::{run_karp_luby_parallel, run_mcvp_parallel, run_optimized_parallel, run_os_parallel};
+pub use os::{
+    os_smb_of_world, EdgeOracle, OrderingSampling, OsConfig, OsEngine, SamplingOracle, WorldOracle,
+};
+pub use parallel::{
+    run_karp_luby_parallel, run_mcvp_parallel, run_optimized_parallel, run_os_parallel,
+};
 pub use query::{estimate_prob_of, QueryResult};
-pub use validation::{validate_accuracy, AccuracyReport, Reference};
 pub use threshold::{max_weight_distribution, MaxWeightDistribution};
 pub use topk::{shared_vertices, top_k_diverse};
+pub use validation::{validate_accuracy, AccuracyReport, Reference};

@@ -11,8 +11,8 @@ use crate::distribution::{Distribution, Tally};
 use crate::observer::{NoopObserver, TrialObserver};
 use bigraph::fx::FxHashMap;
 use bigraph::{
-    trial_rng, Left, PossibleWorld, Right, UncertainBipartiteGraph, Vertex, VertexPriority,
-    Weight, WorldSampler,
+    trial_rng, Left, PossibleWorld, Right, UncertainBipartiteGraph, Vertex, VertexPriority, Weight,
+    WorldSampler,
 };
 
 /// Configuration for [`McVp`].
@@ -108,7 +108,10 @@ pub fn smb_of_world(
                 if k == u_i || !world.contains(e2) || priority.rank(Vertex::L(k)) >= rank_i {
                     continue;
                 }
-                buckets.entry(k.0).or_default().push((m.0, w1 + g.weight(e2)));
+                buckets
+                    .entry(k.0)
+                    .or_default()
+                    .push((m.0, w1 + g.weight(e2)));
             }
         }
         flush_buckets(&mut buckets, |k, mids, wsum| {
@@ -129,7 +132,10 @@ pub fn smb_of_world(
                 if k == v_i || !world.contains(e2) || priority.rank(Vertex::R(k)) >= rank_i {
                     continue;
                 }
-                buckets.entry(k.0).or_default().push((m.0, w1 + g.weight(e2)));
+                buckets
+                    .entry(k.0)
+                    .or_default()
+                    .push((m.0, w1 + g.weight(e2)));
             }
         }
         flush_buckets(&mut buckets, |k, mids, wsum| {
@@ -265,7 +271,10 @@ mod tests {
     #[test]
     fn runs_are_reproducible() {
         let g = fig1();
-        let cfg = McVpConfig { trials: 500, seed: 9 };
+        let cfg = McVpConfig {
+            trials: 500,
+            seed: 9,
+        };
         let d1 = McVp::new(cfg).run(&g);
         let d2 = McVp::new(cfg).run(&g);
         assert_eq!(d1.max_abs_diff(&d2), 0.0);
@@ -281,7 +290,11 @@ mod tests {
             }
         }
         let mut c = Counter(0);
-        McVp::new(McVpConfig { trials: 123, seed: 2 }).run_with_observer(&g, &mut c);
+        McVp::new(McVpConfig {
+            trials: 123,
+            seed: 2,
+        })
+        .run_with_observer(&g, &mut c);
         assert_eq!(c.0, 123);
     }
 
@@ -291,7 +304,11 @@ mod tests {
         b.add_edge(Left(0), Right(0), 1.0, 0.9).unwrap();
         b.add_edge(Left(1), Right(1), 1.0, 0.9).unwrap();
         let g = b.build().unwrap();
-        let d = McVp::new(McVpConfig { trials: 50, seed: 3 }).run(&g);
+        let d = McVp::new(McVpConfig {
+            trials: 50,
+            seed: 3,
+        })
+        .run(&g);
         assert!(d.is_empty());
     }
 }

@@ -81,6 +81,20 @@ impl Default for OlsConfig {
     }
 }
 
+impl OlsConfig {
+    /// The derived seed of the preparing-phase OS trial stream. Exposed
+    /// so external drivers (e.g. the query daemon's cancellable runners)
+    /// can reproduce phase 1 bit-for-bit.
+    pub fn prep_seed(&self) -> u64 {
+        prep_seed(self.seed)
+    }
+
+    /// The derived seed of the sampling-phase estimator stream.
+    pub fn sample_seed(&self) -> u64 {
+        sample_seed(self.seed)
+    }
+}
+
 /// Everything a finished OLS run produced.
 #[derive(Clone, Debug)]
 pub struct OlsResult {

@@ -17,8 +17,8 @@ use crate::distribution::{Distribution, Tally};
 use crate::observer::{NoopObserver, TrialObserver};
 use bigraph::fx::FxHashMap;
 use bigraph::{
-    trial_rng, EdgeId, LazyEdgeSampler, Left, PossibleWorld, Right, Side,
-    UncertainBipartiteGraph, Weight,
+    trial_rng, EdgeId, LazyEdgeSampler, Left, PossibleWorld, Right, Side, UncertainBipartiteGraph,
+    Weight,
 };
 use rand::Rng;
 
@@ -420,7 +420,11 @@ mod tests {
     #[test]
     fn pruning_does_not_change_results() {
         let g = fig1();
-        let cfg_on = OsConfig { trials: 3_000, seed: 5, ..Default::default() };
+        let cfg_on = OsConfig {
+            trials: 3_000,
+            seed: 5,
+            ..Default::default()
+        };
         let cfg_off = OsConfig {
             edge_ordering: false,
             ..cfg_on
@@ -436,9 +440,21 @@ mod tests {
     #[test]
     fn dynamic_wbar_does_not_change_results() {
         let g = fig1();
-        let base = OsConfig { trials: 3_000, seed: 6, ..Default::default() };
-        let d_dyn = OrderingSampling::new(OsConfig { dynamic_wbar: true, ..base }).run(&g);
-        let d_paper = OrderingSampling::new(OsConfig { dynamic_wbar: false, ..base }).run(&g);
+        let base = OsConfig {
+            trials: 3_000,
+            seed: 6,
+            ..Default::default()
+        };
+        let d_dyn = OrderingSampling::new(OsConfig {
+            dynamic_wbar: true,
+            ..base
+        })
+        .run(&g);
+        let d_paper = OrderingSampling::new(OsConfig {
+            dynamic_wbar: false,
+            ..base
+        })
+        .run(&g);
         // Same per-trial RNG streams; the dynamic bound may break earlier
         // but never drops a maximum butterfly, so the tallies coincide.
         assert_eq!(d_dyn.max_abs_diff(&d_paper), 0.0);
@@ -508,7 +524,11 @@ mod tests {
     #[test]
     fn runs_are_reproducible() {
         let g = fig1();
-        let cfg = OsConfig { trials: 800, seed: 11, ..Default::default() };
+        let cfg = OsConfig {
+            trials: 800,
+            seed: 11,
+            ..Default::default()
+        };
         let a = OrderingSampling::new(cfg).run(&g);
         let b = OrderingSampling::new(cfg).run(&g);
         assert_eq!(a.max_abs_diff(&b), 0.0);
@@ -517,8 +537,12 @@ mod tests {
     #[test]
     fn empty_graph_is_fine() {
         let g = GraphBuilder::new().build().unwrap();
-        let d = OrderingSampling::new(OsConfig { trials: 10, seed: 0, ..Default::default() })
-            .run(&g);
+        let d = OrderingSampling::new(OsConfig {
+            trials: 10,
+            seed: 0,
+            ..Default::default()
+        })
+        .run(&g);
         assert!(d.is_empty());
     }
 

@@ -56,7 +56,10 @@ pub fn run_os_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut total = Tally::new();
     for t in tallies {
@@ -94,7 +97,10 @@ pub fn run_mcvp_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut total = Tally::new();
     for t in tallies {
@@ -148,7 +154,10 @@ pub fn run_optimized_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut total = Tally::new();
     for t in tallies {
@@ -318,7 +327,11 @@ mod tests {
     #[test]
     fn parallel_os_matches_sequential_bitwise() {
         let g = fig1();
-        let cfg = OsConfig { trials: 2_000, seed: 99, ..Default::default() };
+        let cfg = OsConfig {
+            trials: 2_000,
+            seed: 99,
+            ..Default::default()
+        };
         let seq = OrderingSampling::new(cfg).run(&g);
         for threads in [1, 2, 3, 8] {
             let par = run_os_parallel(&g, &cfg, threads);
@@ -330,7 +343,10 @@ mod tests {
     #[test]
     fn parallel_mcvp_matches_sequential_bitwise() {
         let g = fig1();
-        let cfg = McVpConfig { trials: 1_000, seed: 4 };
+        let cfg = McVpConfig {
+            trials: 1_000,
+            seed: 4,
+        };
         let seq = McVp::new(cfg).run(&g);
         let par = run_mcvp_parallel(&g, &cfg, 4);
         assert_eq!(seq.max_abs_diff(&par), 0.0);
@@ -339,7 +355,11 @@ mod tests {
     #[test]
     fn more_threads_than_trials_is_fine() {
         let g = fig1();
-        let cfg = OsConfig { trials: 3, seed: 0, ..Default::default() };
+        let cfg = OsConfig {
+            trials: 3,
+            seed: 0,
+            ..Default::default()
+        };
         let par = run_os_parallel(&g, &cfg, 16);
         assert_eq!(par.trials(), Some(3));
     }
@@ -347,10 +367,8 @@ mod tests {
     #[test]
     fn parallel_optimized_matches_sequential_bitwise() {
         let g = fig1();
-        let cs = crate::CandidateSet::from_butterflies(
-            &g,
-            crate::enumerate_backbone_butterflies(&g),
-        );
+        let cs =
+            crate::CandidateSet::from_butterflies(&g, crate::enumerate_backbone_butterflies(&g));
         let seq = crate::estimate_optimized(&g, &cs, 2_000, 9);
         for threads in [1, 3, 7] {
             let par = run_optimized_parallel(&g, &cs, 2_000, 9, threads);
@@ -361,13 +379,12 @@ mod tests {
     #[test]
     fn parallel_karp_luby_matches_sequential_bitwise() {
         let g = fig1();
-        let cs = crate::CandidateSet::from_butterflies(
-            &g,
-            crate::enumerate_backbone_butterflies(&g),
-        );
+        let cs =
+            crate::CandidateSet::from_butterflies(&g, crate::enumerate_backbone_butterflies(&g));
         let seq = crate::estimate_karp_luby(&g, &cs, crate::KlTrialPolicy::Fixed(1_000), 5);
         for threads in [1, 2, 4] {
-            let par = run_karp_luby_parallel(&g, &cs, crate::KlTrialPolicy::Fixed(1_000), 5, threads);
+            let par =
+                run_karp_luby_parallel(&g, &cs, crate::KlTrialPolicy::Fixed(1_000), 5, threads);
             assert_eq!(
                 seq.distribution.max_abs_diff(&par.distribution),
                 0.0,

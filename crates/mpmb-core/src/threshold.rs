@@ -168,9 +168,14 @@ mod tests {
         let g = fig1();
         let d = max_weight_distribution(&g, 20_000, 8);
         let support_mass: u64 = d.support().iter().map(|&(_, n)| n).sum();
-        assert_eq!(support_mass + (d.prob_no_butterfly() * d.trials() as f64).round() as u64,
-                   d.trials());
-        assert!(d.prob_no_butterfly() > 0.3, "Fig. 1 worlds often lack butterflies");
+        assert_eq!(
+            support_mass + (d.prob_no_butterfly() * d.trials() as f64).round() as u64,
+            d.trials()
+        );
+        assert!(
+            d.prob_no_butterfly() > 0.3,
+            "Fig. 1 worlds often lack butterflies"
+        );
     }
 
     #[test]

@@ -53,20 +53,19 @@ pub fn validate_accuracy(
     epsilon: f64,
     delta: f64,
 ) -> AccuracyReport {
-    let (reference_dist, reference) =
-        match exact_distribution(g, ExactConfig::default()) {
-            Ok(d) => (d, Reference::Exact),
-            Err(_) => {
-                let trials = 200_000;
-                let d = OrderingSampling::new(OsConfig {
-                    trials,
-                    seed: 0xACC0_7E57,
-                    ..Default::default()
-                })
-                .run(g);
-                (d, Reference::SampledReference { trials })
-            }
-        };
+    let (reference_dist, reference) = match exact_distribution(g, ExactConfig::default()) {
+        Ok(d) => (d, Reference::Exact),
+        Err(_) => {
+            let trials = 200_000;
+            let d = OrderingSampling::new(OsConfig {
+                trials,
+                seed: 0xACC0_7E57,
+                ..Default::default()
+            })
+            .run(g);
+            (d, Reference::SampledReference { trials })
+        }
+    };
 
     let max_abs_error = estimate.max_abs_diff(&reference_dist);
     let (mut sum, mut n) = (0.0, 0u64);
@@ -151,7 +150,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         for u in 0..5u32 {
             for v in 0..5u32 {
-                b.add_edge(Left(u), Right(v), ((u + v) % 3 + 1) as f64, 0.5).unwrap();
+                b.add_edge(Left(u), Right(v), ((u + v) % 3 + 1) as f64, 0.5)
+                    .unwrap();
             }
         }
         let g = b.build().unwrap();

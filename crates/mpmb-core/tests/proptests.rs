@@ -8,8 +8,8 @@
 use bigraph::{EdgeId, GraphBuilder, Left, PossibleWorld, Right, Side, VertexPriority};
 use mpmb_core::{
     enumerate_backbone_butterflies, estimate_karp_luby, estimate_optimized, exact_distribution,
-    max_butterflies_in_world, os_smb_of_world, Butterfly, CandidateSet, ExactConfig,
-    KlTrialPolicy, OsConfig,
+    max_butterflies_in_world, os_smb_of_world, Butterfly, CandidateSet, ExactConfig, KlTrialPolicy,
+    OsConfig,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,119 @@
+//! Deterministic result cache.
+//!
+//! Every solver in `mpmb-core` is a pure function of `(graph, method,
+//! trials, seed, …)` — parallel runners are bit-identical to sequential
+//! ones — so a finished response body can be replayed verbatim for a
+//! repeated request. Keys are canonical strings built by the handlers
+//! from every determinism-relevant parameter; thread counts are
+//! deliberately *excluded* because they do not affect results.
+//!
+//! Plain LRU under one mutex. Capacity is entry-count based; bodies are
+//! small JSON documents, so byte accounting isn't worth the bookkeeping.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// LRU cache from canonical request key to rendered response body.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<String, String>,
+    /// Keys from least- to most-recently used.
+    order: VecDeque<String>,
+}
+
+impl ResultCache {
+    /// A cache holding up to `capacity` responses (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().unwrap();
+        let body = inner.map.get(key)?.clone();
+        if let Some(pos) = inner.order.iter().position(|k| k == key) {
+            inner.order.remove(pos);
+            inner.order.push_back(key.to_string());
+        }
+        Some(body)
+    }
+
+    /// Stores a finished response, evicting the least-recently-used entry
+    /// when full. No-op at capacity 0.
+    pub fn put(&self, key: &str, body: &str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner
+            .map
+            .insert(key.to_string(), body.to_string())
+            .is_some()
+        {
+            if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                inner.order.remove(pos);
+            }
+        } else if inner.map.len() > self.capacity {
+            if let Some(evicted) = inner.order.pop_front() {
+                inner.map.remove(&evicted);
+            }
+        }
+        inner.order.push_back(key.to_string());
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let c = ResultCache::new(2);
+        assert!(c.get("a").is_none());
+        c.put("a", "1");
+        c.put("b", "2");
+        assert_eq!(c.get("a").as_deref(), Some("1")); // refreshes `a`
+        c.put("c", "3"); // evicts `b`, the LRU entry
+        assert!(c.get("b").is_none());
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        assert_eq!(c.get("c").as_deref(), Some("3"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let c = ResultCache::new(2);
+        c.put("a", "1");
+        c.put("a", "2");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = ResultCache::new(0);
+        c.put("a", "1");
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+    }
+}

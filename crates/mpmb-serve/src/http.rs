@@ -1,0 +1,232 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! Implements exactly what the daemon needs: request line + headers +
+//! `Content-Length` bodies, keep-alive, and fixed-size guards against
+//! oversized requests. No chunked transfer encoding (requests with it
+//! get 411), no TLS.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on request head (request line + headers) bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on declared body size.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method, e.g. `GET`.
+    pub method: String,
+    /// Path component (query string split off).
+    pub path: String,
+    /// Raw query string without `?` (empty if none).
+    pub query: String,
+    /// Lowercased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Request body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        // HTTP/1.1 defaults to keep-alive unless `Connection: close`.
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before any request bytes (client closed an idle
+    /// keep-alive connection) — not an error worth answering.
+    Closed,
+    /// Socket-level failure or timeout.
+    Io(std::io::Error),
+    /// Malformed or unsupported request; the server should answer with
+    /// this status and close.
+    Bad {
+        /// HTTP status to answer with.
+        status: u16,
+        /// Human-readable reason, sent in the JSON error body.
+        msg: String,
+    },
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn bad(status: u16, msg: impl Into<String>) -> ReadError {
+    ReadError::Bad {
+        status,
+        msg: msg.into(),
+    }
+}
+
+/// Reads one request from a buffered stream.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ReadError::Closed);
+    }
+    head_bytes += n;
+    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| bad(400, "empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| bad(400, "missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| bad(400, "missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(505, format!("unsupported version `{version}`")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(bad(400, "eof inside headers"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad(431, "request head too large"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or_else(|| bad(400, format!("malformed header `{trimmed}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    if matches!(req.header("transfer-encoding"), Some(v) if !v.eq_ignore_ascii_case("identity")) {
+        return Err(bad(
+            411,
+            "chunked bodies not supported; send Content-Length",
+        ));
+    }
+    let len: usize = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| bad(400, format!("bad Content-Length `{v}`")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(bad(413, "body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Request { body, ..req })
+}
+
+/// A response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Content type (`application/json` for everything but `/metrics`).
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope `{"error": msg}`.
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response::json(
+            status,
+            crate::json::Json::obj([("error", crate::json::Json::Str(msg.to_string()))])
+                .to_string(),
+        )
+    }
+
+    /// Prometheus text exposition.
+    pub fn metrics_text(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// Status line reason phrases for the codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp` to the stream. `close` controls the `Connection` header.
+pub fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `mpmb-serve`: a long-running MPMB query daemon.
+//!
+//! Serves the repo's solvers over hand-rolled HTTP/1.1 (std-only, like
+//! everything else in the workspace) with:
+//!
+//! * a **graph registry** — named graphs loaded once from files
+//!   ([`bigraph::io::read_auto`]) or the synthetic Table III stand-ins
+//!   ([`datasets`]), shared read-only across requests;
+//! * **endpoints** mapping 1:1 onto the CLI: `POST /v1/solve`,
+//!   `/v1/query`, `/v1/count`, `/v1/topk`, `GET /v1/graphs`,
+//!   `POST /v1/graphs`, `GET /healthz`;
+//! * a **deterministic result cache** — solvers are pure functions of
+//!   `(graph, method, trials, seed, …)`, so finished responses replay
+//!   verbatim;
+//! * **robustness** — per-request deadlines with cancellable solver
+//!   loops (503 + partial trial counts), a bounded accept queue with
+//!   429 load shedding, and graceful SIGTERM/SIGINT drain;
+//! * **observability** — `GET /metrics` in Prometheus text format.
+//!
+//! See `docs/SERVING.md` for the full API reference.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod signal;
+pub mod solve;
+
+pub use cache::ResultCache;
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use metrics::Metrics;
+pub use registry::{GraphEntry, Registry, RegistryError};
+pub use server::{AppState, Server, ServerConfig};
+pub use solve::{Cancel, PartialRun};

@@ -1,0 +1,211 @@
+//! `mpmb loadgen`: a closed-loop load generator against a running
+//! daemon. Each of `concurrency` client threads issues its share of
+//! `requests` solve calls back-to-back and records per-request latency
+//! and status; the merged report prints like the repo's bench tables.
+
+use crate::client;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Load-generator parameters, mapped 1:1 onto `mpmb loadgen` flags.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:7700`.
+    pub target: String,
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Registered graph name to query.
+    pub graph: String,
+    /// Solver method (`os`, `mcvp`, `ols`, `ols-kl`).
+    pub method: String,
+    /// Trials per request.
+    pub trials: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// When true, request `i` uses `seed + i` — every request misses the
+    /// result cache. When false all requests share one key, so all but
+    /// the first hit the cache.
+    pub vary_seed: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            target: "127.0.0.1:7700".to_string(),
+            requests: 100,
+            concurrency: 4,
+            graph: "default".to_string(),
+            method: "os".to_string(),
+            trials: 2_000,
+            seed: 0x5EED,
+            vary_seed: true,
+        }
+    }
+}
+
+/// Merged outcome of a load-generation run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub sent: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 429 responses (load shed).
+    pub shed: u64,
+    /// 503 responses (deadline exceeded).
+    pub deadline: u64,
+    /// Any other status or transport failure.
+    pub failed: u64,
+    /// Sorted per-request latencies in milliseconds (successful
+    /// transport only).
+    pub latencies_ms: Vec<f64>,
+    /// Wall-clock duration of the whole run in seconds.
+    pub elapsed_s: f64,
+}
+
+impl LoadReport {
+    /// Latency at quantile `q ∈ [0,1]` (nearest-rank), or 0 if empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_ms.len() as f64 - 1.0) * q).round() as usize;
+        self.latencies_ms[idx.min(self.latencies_ms.len() - 1)]
+    }
+
+    /// Achieved request throughput.
+    pub fn rps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.sent as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the human-readable summary the CLI prints.
+    pub fn render(&self) -> String {
+        format!(
+            "requests {}  ok {}  shed(429) {}  deadline(503) {}  failed {}\n\
+             latency ms: p50 {:.2}  p95 {:.2}  max {:.2}\n\
+             elapsed {:.2}s  throughput {:.1} req/s",
+            self.sent,
+            self.ok,
+            self.shed,
+            self.deadline,
+            self.failed,
+            self.quantile_ms(0.50),
+            self.quantile_ms(0.95),
+            self.quantile_ms(1.0),
+            self.elapsed_s,
+            self.rps(),
+        )
+    }
+}
+
+/// Runs the load generation and merges per-thread results.
+pub fn run(cfg: &LoadgenConfig) -> LoadReport {
+    let next = AtomicU64::new(0);
+    let started = Instant::now();
+    let results: Vec<(Vec<f64>, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.concurrency.max(1))
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let (mut lat, mut ok, mut shed, mut deadline, mut failed) =
+                        (Vec::new(), 0u64, 0u64, 0u64, 0u64);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cfg.requests {
+                            break;
+                        }
+                        let seed = if cfg.vary_seed {
+                            cfg.seed + i
+                        } else {
+                            cfg.seed
+                        };
+                        let body = format!(
+                            "{{\"graph\":\"{}\",\"method\":\"{}\",\"trials\":{},\"seed\":{}}}",
+                            cfg.graph, cfg.method, cfg.trials, seed
+                        );
+                        let t0 = Instant::now();
+                        match client::call(cfg.target.as_str(), "POST", "/v1/solve", &body) {
+                            Ok((status, _)) => {
+                                lat.push(t0.elapsed().as_secs_f64() * 1_000.0);
+                                match status {
+                                    200 => ok += 1,
+                                    429 => shed += 1,
+                                    503 => deadline += 1,
+                                    _ => failed += 1,
+                                }
+                            }
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (lat, ok, shed, deadline, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread panicked"))
+            .collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let mut report = LoadReport {
+        sent: cfg.requests,
+        ok: 0,
+        shed: 0,
+        deadline: 0,
+        failed: 0,
+        latencies_ms: Vec::new(),
+        elapsed_s,
+    };
+    for (lat, ok, shed, deadline, failed) in results {
+        report.latencies_ms.extend(lat);
+        report.ok += ok;
+        report.shed += shed;
+        report.deadline += deadline;
+        report.failed += failed;
+    }
+    report.latencies_ms.sort_unstable_by(|a, b| a.total_cmp(b));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_rps() {
+        let r = LoadReport {
+            sent: 4,
+            ok: 4,
+            shed: 0,
+            deadline: 0,
+            failed: 0,
+            latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            elapsed_s: 2.0,
+        };
+        assert_eq!(r.quantile_ms(0.0), 1.0);
+        assert_eq!(r.quantile_ms(1.0), 4.0);
+        assert_eq!(r.rps(), 2.0);
+        assert!(r.render().contains("throughput 2.0 req/s"));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = LoadReport {
+            sent: 0,
+            ok: 0,
+            shed: 0,
+            deadline: 0,
+            failed: 0,
+            latencies_ms: vec![],
+            elapsed_s: 0.0,
+        };
+        assert_eq!(r.quantile_ms(0.5), 0.0);
+        assert_eq!(r.rps(), 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Serving metrics, exported in Prometheus text-exposition format.
+//!
+//! Hand-written like the repo's hand-written CSV emitters: fixed atomic
+//! counters and histograms, no registry machinery. Everything is
+//! lock-free on the hot path (one `fetch_add` per event).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The endpoints with per-endpoint series. Order defines export order.
+pub const ENDPOINTS: &[&str] = &[
+    "solve", "query", "count", "topk", "graphs", "healthz", "metrics", "admin", "other",
+];
+
+/// Latency histogram bucket upper bounds, in seconds.
+const BUCKETS: &[f64] = &[
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Statuses tracked per endpoint (everything else folds into `other`).
+const STATUSES: &[u16] = &[200, 400, 404, 429, 503];
+
+#[derive(Default)]
+struct Histogram {
+    /// Cumulative-style storage: `counts[i]` is events in bucket i
+    /// (non-cumulative; cumulated at render time), plus the +Inf tail.
+    counts: [AtomicU64; BUCKETS.len() + 1],
+    sum_nanos: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        let idx = BUCKETS.partition_point(|&ub| ub < secs);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-endpoint counters.
+#[derive(Default)]
+struct EndpointMetrics {
+    /// Requests by status: indices follow `STATUSES`, last slot = other.
+    by_status: [AtomicU64; STATUSES.len() + 1],
+    latency: Histogram,
+}
+
+/// All serving metrics. One instance per server, shared via `Arc`.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: [EndpointMetrics; ENDPOINTS.len()],
+    /// Result-cache hits / misses.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Monte-Carlo trials executed by solvers (partial runs included).
+    pub trials_executed: AtomicU64,
+    /// Requests rejected because the accept queue was full.
+    pub load_shed: AtomicU64,
+    /// Requests that hit their deadline and returned 503.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests currently being processed by workers.
+    pub inflight: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+/// Index of an endpoint name in [`ENDPOINTS`].
+pub fn endpoint_index(path: &str) -> usize {
+    let name = match path {
+        "/v1/solve" => "solve",
+        "/v1/query" => "query",
+        "/v1/count" => "count",
+        "/v1/topk" => "topk",
+        "/v1/graphs" => "graphs",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        p if p.starts_with("/admin/") => "admin",
+        _ => "other",
+    };
+    ENDPOINTS.iter().position(|&e| e == name).unwrap()
+}
+
+impl Metrics {
+    /// Records one finished request.
+    pub fn record(&self, endpoint: usize, status: u16, elapsed: Duration) {
+        let em = &self.endpoints[endpoint];
+        let sidx = STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .unwrap_or(STATUSES.len());
+        em.by_status[sidx].fetch_add(1, Ordering::Relaxed);
+        em.latency.observe(elapsed);
+    }
+
+    /// Sum of request counters for one endpoint name (test convenience).
+    pub fn requests_for(&self, endpoint: &str) -> u64 {
+        let idx = ENDPOINTS.iter().position(|&e| e == endpoint).unwrap();
+        self.endpoints[idx]
+            .by_status
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP mpmb_requests_total Requests handled, by endpoint and status.\n");
+        out.push_str("# TYPE mpmb_requests_total counter\n");
+        for (ei, name) in ENDPOINTS.iter().enumerate() {
+            let em = &self.endpoints[ei];
+            for (si, &status) in STATUSES.iter().enumerate() {
+                let n = em.by_status[si].load(Ordering::Relaxed);
+                if n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "mpmb_requests_total{{endpoint=\"{name}\",status=\"{status}\"}} {n}"
+                    );
+                }
+            }
+            let other = em.by_status[STATUSES.len()].load(Ordering::Relaxed);
+            if other > 0 {
+                let _ = writeln!(
+                    out,
+                    "mpmb_requests_total{{endpoint=\"{name}\",status=\"other\"}} {other}"
+                );
+            }
+        }
+
+        out.push_str(
+            "# HELP mpmb_request_duration_seconds Request latency, by endpoint.\n\
+             # TYPE mpmb_request_duration_seconds histogram\n",
+        );
+        for (ei, name) in ENDPOINTS.iter().enumerate() {
+            let h = &self.endpoints[ei].latency;
+            let total = h.total.load(Ordering::Relaxed);
+            if total == 0 {
+                continue;
+            }
+            let mut cumulative = 0u64;
+            for (bi, &ub) in BUCKETS.iter().enumerate() {
+                cumulative += h.counts[bi].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "mpmb_request_duration_seconds_bucket{{endpoint=\"{name}\",le=\"{ub}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "mpmb_request_duration_seconds_bucket{{endpoint=\"{name}\",le=\"+Inf\"}} {total}"
+            );
+            let sum = h.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+            let _ = writeln!(
+                out,
+                "mpmb_request_duration_seconds_sum{{endpoint=\"{name}\"}} {sum}"
+            );
+            let _ = writeln!(
+                out,
+                "mpmb_request_duration_seconds_count{{endpoint=\"{name}\"}} {total}"
+            );
+        }
+
+        let simple = [
+            (
+                "mpmb_cache_hits_total",
+                "Result-cache hits.",
+                "counter",
+                &self.cache_hits,
+            ),
+            (
+                "mpmb_cache_misses_total",
+                "Result-cache misses.",
+                "counter",
+                &self.cache_misses,
+            ),
+            (
+                "mpmb_trials_executed_total",
+                "Monte-Carlo trials executed by solvers (including partial runs).",
+                "counter",
+                &self.trials_executed,
+            ),
+            (
+                "mpmb_load_shed_total",
+                "Requests rejected with 429 because the accept queue was full.",
+                "counter",
+                &self.load_shed,
+            ),
+            (
+                "mpmb_deadline_exceeded_total",
+                "Requests that exceeded their deadline and returned 503.",
+                "counter",
+                &self.deadline_exceeded,
+            ),
+            (
+                "mpmb_inflight_requests",
+                "Requests currently being processed.",
+                "gauge",
+                &self.inflight,
+            ),
+            (
+                "mpmb_connections_total",
+                "Connections accepted.",
+                "counter",
+                &self.connections,
+            ),
+        ];
+        for (name, help, kind, cell) in simple {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {}",
+                cell.load(Ordering::Relaxed)
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP mpmb_peak_rss_bytes Peak bytes allocated through the counting allocator (0 when the allocator is not installed).\n\
+             # TYPE mpmb_peak_rss_bytes gauge\n\
+             mpmb_peak_rss_bytes {}",
+            memtrack::peak_bytes()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_complete() {
+        let m = Metrics::default();
+        let ei = endpoint_index("/v1/solve");
+        m.record(ei, 200, Duration::from_millis(3));
+        m.record(ei, 200, Duration::from_millis(30));
+        m.record(ei, 503, Duration::from_secs(20)); // +Inf tail
+        let text = m.render();
+        assert!(text.contains("mpmb_requests_total{endpoint=\"solve\",status=\"200\"} 2"));
+        assert!(text.contains("mpmb_requests_total{endpoint=\"solve\",status=\"503\"} 1"));
+        assert!(
+            text.contains("mpmb_request_duration_seconds_bucket{endpoint=\"solve\",le=\"+Inf\"} 3")
+        );
+        assert!(text.contains("mpmb_request_duration_seconds_count{endpoint=\"solve\"} 3"));
+        // le="0.005" must include the 3 ms observation.
+        assert!(text
+            .contains("mpmb_request_duration_seconds_bucket{endpoint=\"solve\",le=\"0.005\"} 1"));
+    }
+
+    #[test]
+    fn endpoint_index_covers_all_paths() {
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/solve")], "solve");
+        assert_eq!(ENDPOINTS[endpoint_index("/admin/shutdown")], "admin");
+        assert_eq!(ENDPOINTS[endpoint_index("/nope")], "other");
+    }
+
+    #[test]
+    fn requests_for_sums_statuses() {
+        let m = Metrics::default();
+        let ei = endpoint_index("/v1/count");
+        m.record(ei, 200, Duration::from_millis(1));
+        m.record(ei, 418, Duration::from_millis(1)); // folds into `other`
+        assert_eq!(m.requests_for("count"), 2);
+        assert!(m
+            .render()
+            .contains("endpoint=\"count\",status=\"other\"} 1"));
+    }
+}

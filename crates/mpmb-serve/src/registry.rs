@@ -1,0 +1,197 @@
+//! The graph registry: named graphs, loaded once and shared read-only.
+//!
+//! Graphs come from two sources, matching the CLI's inputs:
+//!
+//! * files, via [`bigraph::io::read_auto`] (text edge lists or the
+//!   `UBGRAPH1` binary format), and
+//! * the synthetic Table III stand-ins in [`datasets`], via a
+//!   `dataset:NAME[:scale[:seed]]` spec.
+//!
+//! Entries are immutable after insertion — solvers only ever read —
+//! so lookups hand out `Arc` clones and the lock is held only for the
+//! map operation, never during a solve.
+
+use bigraph::UncertainBipartiteGraph;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// One registered graph plus provenance for `/v1/graphs` listings.
+pub struct GraphEntry {
+    /// The loaded graph.
+    pub graph: UncertainBipartiteGraph,
+    /// Human-readable origin, e.g. `file:g.txt` or `dataset:abide:0.02:7`.
+    pub source: String,
+}
+
+/// Named graphs behind a read-mostly lock.
+#[derive(Default)]
+pub struct Registry {
+    graphs: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
+}
+
+/// Why a registry operation failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is already registered (registration is insert-only so
+    /// cached results can never refer to a replaced graph).
+    Exists(String),
+    /// The spec could not be parsed or the graph could not be loaded.
+    Load(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Exists(name) => write!(f, "graph `{name}` already registered"),
+            RegistryError::Load(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads `spec` and registers it under `name`.
+    pub fn load(&self, name: &str, spec: &str) -> Result<Arc<GraphEntry>, RegistryError> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(RegistryError::Load(format!(
+                "invalid graph name `{name}` (use [A-Za-z0-9_-]+)"
+            )));
+        }
+        // Reject duplicates before the (possibly slow) load.
+        if self.get(name).is_some() {
+            return Err(RegistryError::Exists(name.to_string()));
+        }
+        let entry = Arc::new(load_spec(spec)?);
+        let mut graphs = self.graphs.write().unwrap();
+        // Re-check under the write lock: a racing registration wins.
+        if graphs.contains_key(name) {
+            return Err(RegistryError::Exists(name.to_string()));
+        }
+        graphs.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// The entry registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        self.graphs.read().unwrap().get(name).cloned()
+    }
+
+    /// All entries in name order.
+    pub fn list(&self) -> Vec<(String, Arc<GraphEntry>)> {
+        self.graphs
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(n, e)| (n.clone(), Arc::clone(e)))
+            .collect()
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.read().unwrap().len()
+    }
+
+    /// Whether no graph is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Loads a graph from a spec: a file path, or
+/// `dataset:NAME[:scale[:seed]]` with NAME one of the Table III
+/// stand-ins (`abide`, `movielens`, `jester`, `protein`).
+pub fn load_spec(spec: &str) -> Result<GraphEntry, RegistryError> {
+    if let Some(rest) = spec.strip_prefix("dataset:") {
+        let mut parts = rest.split(':');
+        let name = parts.next().unwrap_or("");
+        let scale: f64 = match parts.next() {
+            None => 0.01,
+            Some(s) => s
+                .parse()
+                .map_err(|_| RegistryError::Load(format!("bad scale `{s}` in `{spec}`")))?,
+        };
+        let seed: u64 = match parts.next() {
+            None => 0,
+            Some(s) => s
+                .parse()
+                .map_err(|_| RegistryError::Load(format!("bad seed `{s}` in `{spec}`")))?,
+        };
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(RegistryError::Load(format!(
+                "scale must be in (0,1], got {scale}"
+            )));
+        }
+        let dataset = match name.to_ascii_lowercase().as_str() {
+            "abide" => datasets::Dataset::Abide,
+            "movielens" => datasets::Dataset::MovieLens,
+            "jester" => datasets::Dataset::Jester,
+            "protein" => datasets::Dataset::Protein,
+            other => {
+                return Err(RegistryError::Load(format!(
+                    "unknown dataset `{other}` (expected abide|movielens|jester|protein)"
+                )))
+            }
+        };
+        Ok(GraphEntry {
+            graph: dataset.generate(scale, seed),
+            source: format!("dataset:{}:{scale}:{seed}", name.to_ascii_lowercase()),
+        })
+    } else {
+        let graph = bigraph::io::read_auto(std::path::Path::new(spec))
+            .map_err(|e| RegistryError::Load(format!("cannot load `{spec}`: {e}")))?;
+        Ok(GraphEntry {
+            graph,
+            source: format!("file:{spec}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_spec_loads_and_lists() {
+        let r = Registry::new();
+        let e = r.load("tiny", "dataset:abide:0.01:7").unwrap();
+        assert!(e.graph.num_edges() > 0);
+        assert_eq!(e.source, "dataset:abide:0.01:7");
+        assert_eq!(r.list().len(), 1);
+        assert!(r.get("tiny").is_some());
+        assert!(r.get("absent").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Registry::new();
+        r.load("g", "dataset:abide:0.01").unwrap();
+        match r.load("g", "dataset:abide:0.01") {
+            Err(RegistryError::Exists(n)) => assert_eq!(n, "g"),
+            other => panic!("expected Exists, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(load_spec("dataset:nope").is_err());
+        assert!(load_spec("dataset:abide:2.0").is_err());
+        assert!(load_spec("dataset:abide:0.01:x").is_err());
+        assert!(load_spec("/no/such/file.txt").is_err());
+        let r = Registry::new();
+        assert!(r.load("bad name!", "dataset:abide:0.01").is_err());
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let e = load_spec("dataset:movielens").unwrap();
+        assert_eq!(e.source, "dataset:movielens:0.01:0");
+    }
+}

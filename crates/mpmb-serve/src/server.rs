@@ -1,0 +1,749 @@
+//! The query daemon: accept loop, worker pool, routing, and handlers.
+//!
+//! One accept thread pushes connections into a bounded queue; when the
+//! queue is full the connection is answered `429` immediately (load
+//! shedding) instead of growing an unbounded backlog. A fixed pool of
+//! worker threads pops connections and speaks keep-alive HTTP/1.1 on
+//! them. Shutdown (SIGTERM, SIGINT, or `POST /admin/shutdown`) stops
+//! the accept loop, drains every queued and in-flight request, then
+//! joins the pool.
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::json::Json;
+use crate::metrics::{endpoint_index, Metrics};
+use crate::registry::{Registry, RegistryError};
+use crate::signal;
+use crate::solve::{self, Cancel};
+use mpmb_core::{Butterfly, Distribution, KlTrialPolicy, McVpConfig, OlsConfig, OsConfig};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tunables, mapped 1:1 onto `mpmb serve` flags.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7700` (port 0 = ephemeral).
+    pub listen: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Bounded accept-queue depth; beyond it connections get 429.
+    pub queue: usize,
+    /// Per-request deadline in milliseconds (0 = none); over-deadline
+    /// solves return 503 with partial trial counts.
+    pub timeout_ms: u64,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:7700".to_string(),
+            threads: 4,
+            queue: 64,
+            timeout_ms: 0,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Shared state every worker sees.
+pub struct AppState {
+    /// Named graphs.
+    pub registry: Registry,
+    /// Deterministic result cache.
+    pub cache: ResultCache,
+    /// Serving metrics.
+    pub metrics: Metrics,
+    /// Per-request deadline.
+    pub timeout: Option<Duration>,
+    /// Raised to begin a graceful drain.
+    shutdown: AtomicBool,
+}
+
+impl AppState {
+    /// Whether a drain has been requested (flag or signal).
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::requested()
+    }
+}
+
+/// A running server; dropping it does NOT stop it — call
+/// [`Server::begin_shutdown`] then [`Server::join`].
+pub struct Server {
+    /// The bound address (resolves port 0).
+    pub addr: SocketAddr,
+    state: Arc<AppState>,
+    accept_handle: std::thread::JoinHandle<()>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the pool, and starts accepting.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let state = Arc::new(AppState {
+            registry: Registry::new(),
+            cache: ResultCache::new(cfg.cache_capacity),
+            metrics: Metrics::default(),
+            timeout: (cfg.timeout_ms > 0).then(|| Duration::from_millis(cfg.timeout_ms)),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (tx, rx) = sync_channel::<TcpStream>(cfg.queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<_> = (0..cfg.threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("mpmb-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_state = Arc::clone(&state);
+        let accept_handle = std::thread::Builder::new()
+            .name("mpmb-accept".to_string())
+            .spawn(move || {
+                accept_loop(&accept_state, &listener, tx);
+                // `tx` drops here; workers drain the queue and exit.
+            })
+            .expect("spawn accept loop");
+
+        Ok(Server {
+            addr,
+            state,
+            accept_handle,
+            worker_handles,
+        })
+    }
+
+    /// The shared state (registry pre-loading, tests).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Requests a graceful drain: stop accepting, finish in-flight work.
+    pub fn begin_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the accept loop and every worker have exited.
+    pub fn join(self) {
+        self.accept_handle.join().expect("accept loop panicked");
+        for h in self.worker_handles {
+            h.join().expect("worker panicked");
+        }
+    }
+}
+
+/// How long the accept loop sleeps between polls when idle, and the
+/// worker read timeout used to poll the shutdown flag on idle
+/// keep-alive connections.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+fn accept_loop(
+    state: &AppState,
+    listener: &TcpListener,
+    tx: std::sync::mpsc::SyncSender<TcpStream>,
+) {
+    loop {
+        if state.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        state.metrics.load_shed.fetch_add(1, Ordering::Relaxed);
+                        let resp = Response::error(429, "server overloaded, try again later");
+                        let _ = write_response(&mut stream, &resp, true);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn worker_loop(state: &AppState, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Holding the lock while blocked in `recv` is the intended
+        // hand-off: whichever worker holds it takes the next connection.
+        let stream = match rx.lock().unwrap().recv() {
+            Ok(s) => s,
+            Err(_) => return, // accept loop gone and queue drained
+        };
+        handle_connection(state, stream);
+    }
+}
+
+fn handle_connection(state: &AppState, stream: TcpStream) {
+    // Finite read timeout so idle keep-alive connections notice a drain.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutting_down() {
+                    return;
+                }
+            }
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Bad { status, msg }) => {
+                let resp = Response::error(status, &msg);
+                state
+                    .metrics
+                    .record(endpoint_index("/"), status, Duration::ZERO);
+                let _ = write_response(&mut writer, &resp, true);
+                return;
+            }
+            Ok(req) => {
+                let started = Instant::now();
+                state.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+                let resp = route(state, &req);
+                state.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .record(endpoint_index(&req.path), resp.status, started.elapsed());
+                let close = !req.keep_alive() || state.shutting_down();
+                if write_response(&mut writer, &resp, close).is_err() || close {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches one request to its handler.
+fn route(state: &AppState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/v1/graphs") => handle_list_graphs(state),
+        ("POST", "/v1/graphs") => handle_register_graph(state, req),
+        ("POST", "/v1/solve") => handle_solve(state, req, SolveMode::Solve),
+        ("POST", "/v1/topk") => handle_solve(state, req, SolveMode::TopK),
+        ("POST", "/v1/query") => handle_query(state, req),
+        ("POST", "/v1/count") => handle_count(state, req),
+        ("GET", "/metrics") => Response::metrics_text(state.metrics.render()),
+        ("POST", "/admin/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::json(202, Json::obj([("draining", Json::Bool(true))]).to_string())
+        }
+        (
+            _,
+            "/healthz" | "/v1/graphs" | "/v1/solve" | "/v1/topk" | "/v1/query" | "/v1/count"
+            | "/metrics" | "/admin/shutdown",
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn handle_healthz(state: &AppState) -> Response {
+    Response::json(
+        200,
+        Json::obj([
+            ("status", Json::Str("ok".to_string())),
+            ("graphs", Json::Num(state.registry.len() as f64)),
+            ("draining", Json::Bool(state.shutting_down())),
+        ])
+        .to_string(),
+    )
+}
+
+fn graph_summary(name: &str, entry: &crate::registry::GraphEntry) -> Json {
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("left", Json::Num(entry.graph.num_left() as f64)),
+        ("right", Json::Num(entry.graph.num_right() as f64)),
+        ("edges", Json::Num(entry.graph.num_edges() as f64)),
+        ("source", Json::Str(entry.source.clone())),
+    ])
+}
+
+fn handle_list_graphs(state: &AppState) -> Response {
+    let graphs: Vec<Json> = state
+        .registry
+        .list()
+        .iter()
+        .map(|(name, entry)| graph_summary(name, entry))
+        .collect();
+    Response::json(200, Json::obj([("graphs", Json::Arr(graphs))]).to_string())
+}
+
+fn handle_register_graph(state: &AppState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let name = match body.get("name").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return Response::error(400, "missing string field `name`"),
+    };
+    // Either an explicit `spec`, a `path` shorthand, or dataset fields.
+    let spec = if let Some(s) = body.get("spec").and_then(Json::as_str) {
+        s.to_string()
+    } else if let Some(p) = body.get("path").and_then(Json::as_str) {
+        p.to_string()
+    } else if let Some(d) = body.get("dataset").and_then(Json::as_str) {
+        let scale = body.get("scale").and_then(Json::as_f64).unwrap_or(0.01);
+        let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        format!("dataset:{d}:{scale}:{seed}")
+    } else {
+        return Response::error(400, "provide `spec`, `path`, or `dataset`");
+    };
+    match state.registry.load(name, &spec) {
+        Ok(entry) => Response::json(200, graph_summary(name, &entry).to_string()),
+        Err(RegistryError::Exists(_)) => {
+            Response::error(409, &format!("graph `{name}` already registered"))
+        }
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// `/v1/solve` and `/v1/topk` share everything except result shaping.
+#[derive(Clone, Copy, PartialEq)]
+enum SolveMode {
+    Solve,
+    TopK,
+}
+
+fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let (name, entry) = match lookup_graph(state, &body) {
+        Ok(ge) => ge,
+        Err(resp) => return resp,
+    };
+    let method = body
+        .get("method")
+        .and_then(Json::as_str)
+        .unwrap_or("os")
+        .to_string();
+    let trials = body.get("trials").and_then(Json::as_u64).unwrap_or(20_000);
+    let prep = body.get("prep").and_then(Json::as_u64).unwrap_or(100);
+    let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0x5EED);
+    let threads = body
+        .get("threads")
+        .and_then(Json::as_u64)
+        .unwrap_or(1)
+        .clamp(1, 64) as usize;
+    let k = body.get("k").and_then(Json::as_u64).unwrap_or(match mode {
+        SolveMode::Solve => 0,
+        SolveMode::TopK => 5,
+    }) as usize;
+    let max_shared = body.get("max_shared").and_then(Json::as_u64);
+    if trials == 0 || (matches!(method.as_str(), "ols" | "ols-kl") && prep == 0) {
+        return Response::error(400, "trials and prep must be positive");
+    }
+
+    // Thread count is excluded: parallel runs are bit-identical.
+    let key = format!(
+        "{}|{name}|{method}|{trials}|{prep}|{seed}|{k}|{max_shared:?}",
+        if mode == SolveMode::TopK {
+            "topk"
+        } else {
+            "solve"
+        },
+    );
+    if let Some(hit) = state.cache.get(&key) {
+        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, hit);
+    }
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
+    let run = match run_method(&entry.graph, &method, trials, prep, seed, threads, &cancel) {
+        Ok(run) => run,
+        Err(resp) => return resp,
+    };
+    state
+        .metrics
+        .trials_executed
+        .fetch_add(run.trials_done, Ordering::Relaxed);
+    if !run.completed() {
+        state
+            .metrics
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        return deadline_response(&run);
+    }
+
+    let mut fields = vec![
+        ("graph".to_string(), Json::Str(name)),
+        ("method".to_string(), Json::Str(method)),
+        ("seed".to_string(), Json::Num(seed as f64)),
+        (
+            "trials_requested".to_string(),
+            Json::Num(run.trials_requested as f64),
+        ),
+        ("trials_done".to_string(), Json::Num(run.trials_done as f64)),
+        (
+            "support".to_string(),
+            Json::Num(run.distribution.len() as f64),
+        ),
+    ];
+    match mode {
+        SolveMode::Solve => {
+            fields.push(("mpmb".to_string(), mpmb_json(&run.distribution)));
+            if k > 0 {
+                fields.push((
+                    "top".to_string(),
+                    top_json(&run.distribution, k, max_shared),
+                ));
+            }
+        }
+        SolveMode::TopK => {
+            fields.push(("k".to_string(), Json::Num(k as f64)));
+            fields.push((
+                "top".to_string(),
+                top_json(&run.distribution, k, max_shared),
+            ));
+        }
+    }
+    let body = Json::Obj(fields).to_string();
+    state.cache.put(&key, &body);
+    Response::json(200, body)
+}
+
+/// Outcome of one solver dispatch.
+struct MethodRun {
+    distribution: Distribution,
+    trials_done: u64,
+    trials_requested: u64,
+}
+
+impl MethodRun {
+    fn completed(&self) -> bool {
+        self.trials_done == self.trials_requested
+    }
+}
+
+fn deadline_response(run: &MethodRun) -> Response {
+    Response::json(
+        503,
+        Json::obj([
+            ("error", Json::Str("deadline exceeded".to_string())),
+            ("trials_done", Json::Num(run.trials_done as f64)),
+            ("trials_requested", Json::Num(run.trials_requested as f64)),
+        ])
+        .to_string(),
+    )
+}
+
+/// Dispatches to the cancellable runner for `method`. Completed results
+/// are bit-identical to the corresponding direct `mpmb_core` call.
+fn run_method(
+    g: &bigraph::UncertainBipartiteGraph,
+    method: &str,
+    trials: u64,
+    prep: u64,
+    seed: u64,
+    threads: usize,
+    cancel: &Cancel,
+) -> Result<MethodRun, Response> {
+    match method {
+        "os" => {
+            let cfg = OsConfig {
+                trials,
+                seed,
+                ..Default::default()
+            };
+            let run = solve::run_os(g, &cfg, threads, cancel);
+            Ok(MethodRun {
+                distribution: run.tally.into_distribution(),
+                trials_done: run.trials_done,
+                trials_requested: run.trials_requested,
+            })
+        }
+        "mcvp" => {
+            let cfg = McVpConfig { trials, seed };
+            let run = solve::run_mcvp(g, &cfg, threads, cancel);
+            Ok(MethodRun {
+                distribution: run.tally.into_distribution(),
+                trials_done: run.trials_done,
+                trials_requested: run.trials_requested,
+            })
+        }
+        "ols" | "ols-kl" => {
+            let cfg = OlsConfig {
+                prep_trials: prep,
+                seed,
+                ..Default::default()
+            };
+            let (cands, prep_done) = solve::run_ols_prepare(g, &cfg, cancel);
+            if prep_done < prep {
+                return Ok(MethodRun {
+                    distribution: Distribution::new(),
+                    trials_done: prep_done,
+                    trials_requested: prep + trials,
+                });
+            }
+            if method == "ols" {
+                let run =
+                    solve::run_optimized(g, &cands, trials, cfg.sample_seed(), threads, cancel);
+                Ok(MethodRun {
+                    distribution: run.tally.into_distribution(),
+                    trials_done: prep_done + run.trials_done,
+                    trials_requested: prep + trials,
+                })
+            } else if cancel.expired() || cands.is_empty() {
+                // Karp-Luby cancels at phase boundaries only: its
+                // per-candidate trial counts are part of the result.
+                Ok(MethodRun {
+                    distribution: Distribution::new(),
+                    trials_done: prep_done,
+                    trials_requested: prep + trials,
+                })
+            } else {
+                let report = mpmb_core::run_karp_luby_parallel(
+                    g,
+                    &cands,
+                    KlTrialPolicy::Fixed(trials),
+                    cfg.sample_seed(),
+                    threads,
+                );
+                let kl_trials: u64 = report.trials_per_candidate.iter().sum();
+                Ok(MethodRun {
+                    distribution: report.distribution,
+                    trials_done: prep_done + kl_trials,
+                    // KL chooses its own per-candidate counts; once it
+                    // ran, the request is complete by construction.
+                    trials_requested: prep_done + kl_trials,
+                })
+            }
+        }
+        other => Err(Response::error(
+            400,
+            &format!("unknown method `{other}` (expected os|mcvp|ols|ols-kl)"),
+        )),
+    }
+}
+
+fn handle_query(state: &AppState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let (name, entry) = match lookup_graph(state, &body) {
+        Ok(ge) => ge,
+        Err(resp) => return resp,
+    };
+    let b = match butterfly_field(&body) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let trials = body.get("trials").and_then(Json::as_u64).unwrap_or(20_000);
+    let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0x5EED);
+    if trials == 0 {
+        return Response::error(400, "trials must be positive");
+    }
+
+    let key = format!("query|{name}|{b}|{trials}|{seed}");
+    if let Some(hit) = state.cache.get(&key) {
+        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, hit);
+    }
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
+    let q = match solve::run_query(&entry.graph, &b, trials, seed, &cancel) {
+        Some(q) => q,
+        None => return Response::error(404, "butterfly is not in the graph's backbone"),
+    };
+    state
+        .metrics
+        .trials_executed
+        .fetch_add(q.trials_done, Ordering::Relaxed);
+    if q.trials_done < q.trials_requested {
+        state
+            .metrics
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            503,
+            Json::obj([
+                ("error", Json::Str("deadline exceeded".to_string())),
+                ("trials_done", Json::Num(q.trials_done as f64)),
+                ("trials_requested", Json::Num(q.trials_requested as f64)),
+            ])
+            .to_string(),
+        );
+    }
+    let body = Json::obj([
+        ("graph", Json::Str(name)),
+        ("butterfly", butterfly_json(&b)),
+        ("existence_prob", Json::Num(q.existence_prob)),
+        ("conditional_max_prob", Json::Num(q.conditional_max_prob)),
+        ("prob", Json::Num(q.prob)),
+        ("trials", Json::Num(q.trials_done as f64)),
+    ])
+    .to_string();
+    state.cache.put(&key, &body);
+    Response::json(200, body)
+}
+
+fn handle_count(state: &AppState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let (name, entry) = match lookup_graph(state, &body) {
+        Ok(ge) => ge,
+        Err(resp) => return resp,
+    };
+    let trials = body.get("trials").and_then(Json::as_u64).unwrap_or(2_000);
+    let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0x5EED);
+    if trials == 0 {
+        return Response::error(400, "trials must be positive");
+    }
+
+    let key = format!("count|{name}|{trials}|{seed}");
+    if let Some(hit) = state.cache.get(&key) {
+        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, hit);
+    }
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    // Count sampling is a single mpmb-core call: the deadline is checked
+    // before it starts, not per trial block.
+    if let Some(t) = state.timeout {
+        let cancel = Cancel::at(Some(Instant::now() + t));
+        if cancel.expired() {
+            state
+                .metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::error(503, "deadline exceeded");
+        }
+    }
+    let dist = mpmb_core::sample_count_distribution(&entry.graph, trials, seed);
+    state
+        .metrics
+        .trials_executed
+        .fetch_add(trials, Ordering::Relaxed);
+    let body = Json::obj([
+        ("graph", Json::Str(name)),
+        ("mean", Json::Num(dist.mean)),
+        ("variance", Json::Num(dist.variance)),
+        ("trials", Json::Num(dist.trials as f64)),
+        ("distinct_counts", Json::Num(dist.histogram.len() as f64)),
+    ])
+    .to_string();
+    state.cache.put(&key, &body);
+    Response::json(200, body)
+}
+
+// --- small shared helpers -------------------------------------------------
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(Response::error(400, "empty JSON body"));
+    }
+    Json::parse(text).map_err(|e| Response::error(400, &format!("bad JSON: {e}")))
+}
+
+fn lookup_graph(
+    state: &AppState,
+    body: &Json,
+) -> Result<(String, Arc<crate::registry::GraphEntry>), Response> {
+    let name = body
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Response::error(400, "missing string field `graph`"))?;
+    match state.registry.get(name) {
+        Some(entry) => Ok((name.to_string(), entry)),
+        None => Err(Response::error(
+            404,
+            &format!("graph `{name}` is not registered"),
+        )),
+    }
+}
+
+fn butterfly_field(body: &Json) -> Result<Butterfly, Response> {
+    let arr = body
+        .get("butterfly")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Response::error(400, "missing field `butterfly` ([u1,u2,v1,v2])"))?;
+    if arr.len() != 4 {
+        return Err(Response::error(400, "`butterfly` must be [u1,u2,v1,v2]"));
+    }
+    let mut ids = [0u32; 4];
+    for (i, v) in arr.iter().enumerate() {
+        ids[i] = v
+            .as_u64()
+            .filter(|&x| x <= u32::MAX as u64)
+            .ok_or_else(|| Response::error(400, "`butterfly` entries must be vertex ids"))?
+            as u32;
+    }
+    if ids[0] == ids[1] || ids[2] == ids[3] {
+        return Err(Response::error(
+            400,
+            "`butterfly` vertices must be distinct per side",
+        ));
+    }
+    Ok(Butterfly::new(
+        bigraph::Left(ids[0]),
+        bigraph::Left(ids[1]),
+        bigraph::Right(ids[2]),
+        bigraph::Right(ids[3]),
+    ))
+}
+
+fn butterfly_json(b: &Butterfly) -> Json {
+    Json::Arr(vec![
+        Json::Num(b.u1.0 as f64),
+        Json::Num(b.u2.0 as f64),
+        Json::Num(b.v1.0 as f64),
+        Json::Num(b.v2.0 as f64),
+    ])
+}
+
+fn mpmb_json(dist: &Distribution) -> Json {
+    match dist.mpmb() {
+        None => Json::Null,
+        Some((b, p)) => Json::obj([("butterfly", butterfly_json(&b)), ("prob", Json::Num(p))]),
+    }
+}
+
+fn top_json(dist: &Distribution, k: usize, max_shared: Option<u64>) -> Json {
+    let pairs = match max_shared {
+        Some(m) => mpmb_core::top_k_diverse(dist, k, m.min(4) as usize),
+        None => dist.top_k(k),
+    };
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|(b, p)| Json::obj([("butterfly", butterfly_json(b)), ("prob", Json::Num(*p))]))
+            .collect(),
+    )
+}

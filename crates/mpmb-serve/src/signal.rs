@@ -1,0 +1,42 @@
+//! SIGTERM / SIGINT handling without any FFI crate.
+//!
+//! The workspace has no `libc` dependency, so the handler is installed
+//! through the C library's `signal(2)` directly. The handler body does
+//! the only async-signal-safe thing it needs to: store into a static
+//! atomic, which the server's accept loop polls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Latched true once SIGTERM or SIGINT is delivered.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)` from the C library the binary already links against.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the shutdown handler for SIGTERM and SIGINT. Process-global;
+/// calling it more than once is harmless.
+pub fn install() {
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a shutdown signal has been delivered.
+pub fn requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Clears the latch (tests re-use the process across cases).
+pub fn reset() {
+    SHUTDOWN_REQUESTED.store(false, Ordering::SeqCst);
+}

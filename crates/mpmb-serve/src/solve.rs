@@ -1,0 +1,420 @@
+//! Cancellable solver runners.
+//!
+//! These mirror the trial loops of [`mpmb_core::parallel`] exactly —
+//! same per-trial RNG streams (`trial_rng(seed, t)`), same contiguous
+//! trial ranges per worker — so a run that finishes is **bit-identical**
+//! to the corresponding `mpmb_core` call. The only addition is a shared
+//! cancellation flag checked every [`CHECK_EVERY`] trials: the first
+//! worker to observe an expired deadline raises it, every worker stops
+//! at its next check, and the partial tallies are still merged so a 503
+//! can report how far the estimate got.
+//!
+//! Cancellation granularity varies by method:
+//!
+//! * `os`, `mcvp`, optimized OLS phase 2, and `/v1/query` — per trial
+//!   block ([`CHECK_EVERY`]).
+//! * OLS phase 1 (preparing) — per trial block.
+//! * Karp-Luby (`ols-kl`) — phase boundary only: once phase 2 starts it
+//!   runs to completion, because its per-candidate trial counts are part
+//!   of the deterministic result.
+
+use bigraph::{
+    trial_rng, LazyEdgeSampler, PossibleWorld, UncertainBipartiteGraph, VertexPriority,
+    WorldSampler,
+};
+use mpmb_core::mcvp::smb_of_world;
+use mpmb_core::{CandidateSet, McVpConfig, OsConfig, OsEngine, SamplingOracle, Tally};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Trials between deadline checks. Small enough that a single block
+/// completes quickly even on large graphs; large enough that the
+/// `Instant::now` call is amortized away.
+pub const CHECK_EVERY: u64 = 64;
+
+/// A cooperative cancellation handle: an optional wall-clock deadline
+/// plus a flag that latches once any worker observes it expired.
+pub struct Cancel {
+    deadline: Option<Instant>,
+    raised: AtomicBool,
+}
+
+impl Cancel {
+    /// A handle that cancels at `deadline` (never, if `None`).
+    pub fn at(deadline: Option<Instant>) -> Self {
+        Cancel {
+            deadline,
+            raised: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether work should stop. Latches: once true, stays true.
+    pub fn expired(&self) -> bool {
+        if self.raised.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.raised.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Outcome of a (possibly cancelled) tally-producing run.
+pub struct PartialRun {
+    /// Merged trial tally — complete, or partial on cancellation.
+    pub tally: Tally,
+    /// Trials actually executed.
+    pub trials_done: u64,
+    /// Trials the request asked for.
+    pub trials_requested: u64,
+}
+
+impl PartialRun {
+    /// Whether every requested trial ran.
+    pub fn completed(&self) -> bool {
+        self.trials_done == self.trials_requested
+    }
+}
+
+/// Same contiguous split as `mpmb_core::parallel::chunk_ranges` — the
+/// ranges must match for bit-identical merges.
+fn chunk_ranges(total: u64, threads: usize) -> Vec<std::ops::Range<u64>> {
+    let threads = threads.max(1) as u64;
+    let per = total.div_ceil(threads);
+    (0..threads)
+        .map(|i| (i * per).min(total)..((i + 1) * per).min(total))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Runs per-range worker closures and merges their tallies.
+fn run_chunked<F>(trials: u64, threads: usize, cancel: &Cancel, worker: F) -> PartialRun
+where
+    F: Fn(std::ops::Range<u64>, &Cancel) -> Tally + Sync,
+{
+    assert!(trials > 0, "trials must be positive");
+    let ranges = chunk_ranges(trials, threads);
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || worker(range, cancel)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver worker panicked"))
+            .collect()
+    });
+    let mut total = Tally::new();
+    for t in tallies {
+        total.merge(t);
+    }
+    let trials_done = total.trials();
+    PartialRun {
+        tally: total,
+        trials_done,
+        trials_requested: trials,
+    }
+}
+
+/// Cancellable Ordering Sampling; bit-identical to
+/// [`mpmb_core::run_os_parallel`] when it completes.
+pub fn run_os(
+    g: &UncertainBipartiteGraph,
+    cfg: &OsConfig,
+    threads: usize,
+    cancel: &Cancel,
+) -> PartialRun {
+    run_chunked(cfg.trials, threads, cancel, |range, cancel| {
+        let mut engine = OsEngine::new(g, cfg);
+        let mut sampler = LazyEdgeSampler::new(g.num_edges());
+        let mut tally = Tally::new();
+        let mut smb = Vec::new();
+        for t in range {
+            if t % CHECK_EVERY == 0 && cancel.expired() {
+                break;
+            }
+            let mut rng = trial_rng(cfg.seed, t);
+            sampler.begin_trial();
+            let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
+            engine.trial(&mut oracle, &mut smb);
+            tally.record_trial(smb.iter());
+        }
+        tally
+    })
+}
+
+/// Cancellable MC-VP; bit-identical to
+/// [`mpmb_core::run_mcvp_parallel`] when it completes.
+pub fn run_mcvp(
+    g: &UncertainBipartiteGraph,
+    cfg: &McVpConfig,
+    threads: usize,
+    cancel: &Cancel,
+) -> PartialRun {
+    let priority = VertexPriority::from_degrees(g);
+    run_chunked(cfg.trials, threads, cancel, |range, cancel| {
+        let mut tally = Tally::new();
+        let mut world = PossibleWorld::empty(g.num_edges());
+        let mut smb = Vec::new();
+        for t in range {
+            if t % CHECK_EVERY == 0 && cancel.expired() {
+                break;
+            }
+            let mut rng = trial_rng(cfg.seed, t);
+            WorldSampler::sample_into(g, &mut world, &mut rng);
+            smb_of_world(g, &priority, &world, &mut smb);
+            tally.record_trial(smb.iter());
+        }
+        tally
+    })
+}
+
+/// Cancellable Algorithm 5 (shared-trial candidate estimation);
+/// bit-identical to [`mpmb_core::run_optimized_parallel`] when it
+/// completes.
+pub fn run_optimized(
+    g: &UncertainBipartiteGraph,
+    candidates: &CandidateSet,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    cancel: &Cancel,
+) -> PartialRun {
+    run_chunked(trials, threads, cancel, |range, cancel| {
+        let mut sampler = LazyEdgeSampler::new(g.num_edges());
+        let mut tally = Tally::new();
+        let mut smb: Vec<mpmb_core::Butterfly> = Vec::new();
+        for t in range {
+            if t % CHECK_EVERY == 0 && cancel.expired() {
+                break;
+            }
+            let mut rng = trial_rng(seed, t);
+            sampler.begin_trial();
+            smb.clear();
+            let mut w_max = f64::NEG_INFINITY;
+            for cand in candidates.iter() {
+                if cand.weight < w_max {
+                    break;
+                }
+                let exists = cand
+                    .edges
+                    .iter()
+                    .all(|&e| sampler.is_present(g, e, &mut rng));
+                if exists {
+                    smb.push(cand.butterfly);
+                    w_max = cand.weight;
+                }
+            }
+            tally.record_trial(smb.iter());
+        }
+        tally
+    })
+}
+
+/// Cancellable OLS preparing phase; bit-identical to
+/// [`mpmb_core::OrderingListingSampling::prepare`] when it completes.
+/// Returns the candidate set plus how many preparing trials ran.
+pub fn run_ols_prepare(
+    g: &UncertainBipartiteGraph,
+    cfg: &mpmb_core::OlsConfig,
+    cancel: &Cancel,
+) -> (CandidateSet, u64) {
+    let os_cfg = OsConfig {
+        trials: cfg.prep_trials,
+        seed: cfg.prep_seed(),
+        edge_ordering: cfg.edge_ordering,
+        middle_side: cfg.middle_side,
+        ..Default::default()
+    };
+    let mut engine = OsEngine::new(g, &os_cfg);
+    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    let mut smb = Vec::new();
+    let mut union: Vec<mpmb_core::Butterfly> = Vec::new();
+    let mut done = 0u64;
+    for t in 0..cfg.prep_trials {
+        if t % CHECK_EVERY == 0 && cancel.expired() {
+            break;
+        }
+        let mut rng = trial_rng(os_cfg.seed, t);
+        sampler.begin_trial();
+        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
+        engine.trial(&mut oracle, &mut smb);
+        union.extend_from_slice(&smb);
+        done = t + 1;
+    }
+    (CandidateSet::from_butterflies(g, union), done)
+}
+
+/// Outcome of a (possibly cancelled) conditioned probability query.
+pub struct PartialQuery {
+    /// `Pr[E(B)]`, exact.
+    pub existence_prob: f64,
+    /// Estimated `Pr[B ∈ S_MB | E(B)]` over the trials that ran.
+    pub conditional_max_prob: f64,
+    /// The product — the estimated `P(B)`.
+    pub prob: f64,
+    /// Trials actually executed.
+    pub trials_done: u64,
+    /// Trials requested.
+    pub trials_requested: u64,
+}
+
+/// Cancellable conditioned query; bit-identical to
+/// [`mpmb_core::estimate_prob_of`] when it completes. `None` if `b` is
+/// not a backbone butterfly of `g`.
+pub fn run_query(
+    g: &UncertainBipartiteGraph,
+    b: &mpmb_core::Butterfly,
+    trials: u64,
+    seed: u64,
+    cancel: &Cancel,
+) -> Option<PartialQuery> {
+    assert!(trials > 0, "trials must be positive");
+    let edges = b.edges(g)?;
+    let existence_prob = b.existence_prob(g)?;
+    let w_b = b.weight(g)?;
+    let cfg = OsConfig::default();
+    let mut engine = OsEngine::new(g, &cfg);
+    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    let mut smb = Vec::new();
+    let mut hits = 0u64;
+    let mut done = 0u64;
+    for t in 0..trials {
+        if t % CHECK_EVERY == 0 && cancel.expired() {
+            break;
+        }
+        let mut rng = trial_rng(seed, t);
+        sampler.begin_trial();
+        for &e in &edges {
+            sampler.force_present(e);
+        }
+        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
+        let w_max = engine.trial(&mut oracle, &mut smb);
+        if w_max <= w_b {
+            hits += 1;
+        }
+        done = t + 1;
+    }
+    let conditional = if done == 0 {
+        0.0
+    } else {
+        hits as f64 / done as f64
+    };
+    Some(PartialQuery {
+        existence_prob,
+        conditional_max_prob: conditional,
+        prob: existence_prob * conditional,
+        trials_done: done,
+        trials_requested: trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{GraphBuilder, Left, Right};
+    use mpmb_core::{OlsConfig, OrderingListingSampling};
+
+    fn fig1() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    fn no_deadline() -> Cancel {
+        Cancel::at(None)
+    }
+
+    #[test]
+    fn uncancelled_os_matches_core_bitwise() {
+        let g = fig1();
+        let cfg = OsConfig {
+            trials: 1_500,
+            seed: 11,
+            ..Default::default()
+        };
+        let core = mpmb_core::run_os_parallel(&g, &cfg, 3);
+        let run = run_os(&g, &cfg, 3, &no_deadline());
+        assert!(run.completed());
+        assert_eq!(core.max_abs_diff(&run.tally.into_distribution()), 0.0);
+    }
+
+    #[test]
+    fn uncancelled_mcvp_matches_core_bitwise() {
+        let g = fig1();
+        let cfg = McVpConfig {
+            trials: 800,
+            seed: 5,
+        };
+        let core = mpmb_core::run_mcvp_parallel(&g, &cfg, 2);
+        let run = run_mcvp(&g, &cfg, 2, &no_deadline());
+        assert!(run.completed());
+        assert_eq!(core.max_abs_diff(&run.tally.into_distribution()), 0.0);
+    }
+
+    #[test]
+    fn uncancelled_ols_pipeline_matches_core_bitwise() {
+        let g = fig1();
+        let cfg = OlsConfig {
+            prep_trials: 150,
+            seed: 21,
+            ..Default::default()
+        };
+        let core = OrderingListingSampling::new(cfg).run(&g);
+        let (cands, prep_done) = run_ols_prepare(&g, &cfg, &no_deadline());
+        assert_eq!(prep_done, 150);
+        let run = run_optimized(&g, &cands, 20_000, cfg.sample_seed(), 2, &no_deadline());
+        assert!(run.completed());
+        assert_eq!(
+            core.distribution
+                .max_abs_diff(&run.tally.into_distribution()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn uncancelled_query_matches_core_bitwise() {
+        let g = fig1();
+        let b = mpmb_core::Butterfly::new(Left(0), Left(1), Right(1), Right(2));
+        let core = mpmb_core::estimate_prob_of(&g, &b, 2_000, 9).unwrap();
+        let q = run_query(&g, &b, 2_000, 9, &no_deadline()).unwrap();
+        assert_eq!(q.trials_done, 2_000);
+        assert_eq!(q.prob, core.prob);
+        assert_eq!(q.conditional_max_prob, core.conditional_max_prob);
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_run() {
+        let g = fig1();
+        // A deadline that is already due: workers stop at their first
+        // check, so at most CHECK_EVERY trials run per worker.
+        let cancel = Cancel::at(Some(Instant::now()));
+        let cfg = OsConfig {
+            trials: 1_000_000,
+            seed: 1,
+            ..Default::default()
+        };
+        let run = run_os(&g, &cfg, 2, &cancel);
+        assert!(!run.completed());
+        assert!(run.trials_done < cfg.trials);
+        assert_eq!(run.trials_requested, 1_000_000);
+    }
+
+    #[test]
+    fn cancel_latches() {
+        let c = Cancel::at(Some(Instant::now()));
+        assert!(c.expired());
+        assert!(c.expired());
+        assert!(!Cancel::at(None).expired());
+    }
+}

@@ -27,7 +27,10 @@ fn main() {
     // Eq. 8 prediction per candidate (mu = 0.1, like Fig. 10).
     let mu = 0.1;
     println!("Eq. 8 prediction (mu={mu}):");
-    println!("  balanced ratio 1/|C_MB| = {:.4}", bounds::balanced_ratio(candidates.len()));
+    println!(
+        "  balanced ratio 1/|C_MB| = {:.4}",
+        bounds::balanced_ratio(candidates.len())
+    );
     let mut above = 0;
     for i in 0..candidates.len() {
         let c = candidates.get(i);
@@ -61,7 +64,12 @@ fn main() {
     let report = estimate_karp_luby(
         &g,
         &candidates,
-        KlTrialPolicy::Dynamic { mu, base: n_op, min: 1_000, cap: 200_000 },
+        KlTrialPolicy::Dynamic {
+            mu,
+            base: n_op,
+            min: 1_000,
+            cap: 200_000,
+        },
         9,
     );
     let kl_secs = t.elapsed().as_secs_f64();

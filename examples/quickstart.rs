@@ -35,13 +35,21 @@ fn main() {
     let exact = mpmb::mpmb_core::exact_distribution(&g, ExactConfig::default()).unwrap();
     println!("\nexact P(B) per butterfly:");
     for (butterfly, p) in exact.sorted() {
-        println!("  {butterfly}  w={}  P={p:.5}", butterfly.weight(&g).unwrap());
+        println!(
+            "  {butterfly}  w={}  P={p:.5}",
+            butterfly.weight(&g).unwrap()
+        );
     }
 
     // The three sampling solvers.
     let trials = 50_000;
     let mc = McVp::new(McVpConfig { trials, seed: 42 }).run(&g);
-    let os = OrderingSampling::new(OsConfig { trials, seed: 42, ..Default::default() }).run(&g);
+    let os = OrderingSampling::new(OsConfig {
+        trials,
+        seed: 42,
+        ..Default::default()
+    })
+    .run(&g);
     let ols = OrderingListingSampling::new(OlsConfig {
         prep_trials: 100,
         seed: 42,

@@ -45,8 +45,8 @@ fn build(cold_reward: f64) -> UncertainBipartiteGraph {
         (3, 2, 0.8),       // Dave–skating
         (3, 3, 0.8),       // Dave–chess
         // Cross edges making the graph connected and realistic.
-        (2, 0, 0.6),       // Carol also likes football
-        (3, 1, 0.5),       // Dave read Harry Potter
+        (2, 0, 0.6), // Carol also likes football
+        (3, 1, 0.5), // Dave read Harry Potter
     ];
     // Item popularity = number of fans; cold items get the reward.
     let fans = |item: u32| likes.iter().filter(|&&(_, v, _)| v == item).count() as f64;
@@ -54,13 +54,18 @@ fn build(cold_reward: f64) -> UncertainBipartiteGraph {
     let mut b = GraphBuilder::new();
     for &(u, v, p) in &likes {
         let w = 1.0 + cold_reward * (1.0 - fans(v) / max_fans);
-        b.add_edge(Left(u), Right(v), (w * 64.0).round() / 64.0, p).unwrap();
+        b.add_edge(Left(u), Right(v), (w * 64.0).round() / 64.0, p)
+            .unwrap();
     }
     b.build().unwrap()
 }
 
 fn main() {
-    let cfg = OsConfig { trials: 60_000, seed: 7, ..Default::default() };
+    let cfg = OsConfig {
+        trials: 60_000,
+        seed: 7,
+        ..Default::default()
+    };
 
     // Unweighted: every like counts 1.0 — the hot-item butterfly wins on
     // probability (Fig. 2(a)).
@@ -79,7 +84,11 @@ fn main() {
     // its lower probability.
     let weighted = build(1.4);
     let d_weighted = OrderingSampling::new(cfg).run(&weighted);
-    show("\ncold-item reward (diverse recommendation wins)", &d_weighted, &weighted);
+    show(
+        "\ncold-item reward (diverse recommendation wins)",
+        &d_weighted,
+        &weighted,
+    );
     let (top_w, p_w) = d_weighted.mpmb().unwrap();
     assert_eq!(
         (top_w.u1.index(), top_w.u2.index()),

@@ -21,7 +21,10 @@ fn main() {
     // 1. How heavy does the strongest connection pattern get?
     let dist = max_weight_distribution(&g, 20_000, 3);
     println!("\nmax butterfly weight across possible worlds:");
-    println!("  Pr[no butterfly at all] = {:.4}", dist.prob_no_butterfly());
+    println!(
+        "  Pr[no butterfly at all] = {:.4}",
+        dist.prob_no_butterfly()
+    );
     println!("  mean w_max              = {:.1}", dist.mean());
     for q in [0.5, 0.9, 0.99] {
         match dist.quantile(q) {
@@ -64,5 +67,8 @@ fn main() {
          (Theorem IV.1) or check with mpmb_core::validate_accuracy",
         ensemble.max_std_dev()
     );
-    assert!(ensemble.max_std_dev() < 0.05, "replicas unexpectedly unstable");
+    assert!(
+        ensemble.max_std_dev() < 0.05,
+        "replicas unexpectedly unstable"
+    );
 }

@@ -41,14 +41,16 @@ fn main() {
     let eps = 0.1;
     let delta = 0.1;
     let bound = mpmb_core::bounds::mc_trial_lower_bound(p_ref.max(1e-3), eps, delta);
-    println!(
-        "\ntracking {target} (P≈{p_ref:.4}); Theorem IV.1 bound for ε=δ=0.1: N ≥ {bound:.0}"
-    );
+    println!("\ntracking {target} (P≈{p_ref:.4}); Theorem IV.1 bound for ε=δ=0.1: N ≥ {bound:.0}");
 
     let trials = (bound as u64).clamp(2_000, 200_000);
     let mut tracker = ConvergenceTracker::new(target, trials / 10);
-    OrderingSampling::new(OsConfig { trials, seed: 17, ..Default::default() })
-        .run_with_observer(&g, &mut tracker);
+    OrderingSampling::new(OsConfig {
+        trials,
+        seed: 17,
+        ..Default::default()
+    })
+    .run_with_observer(&g, &mut tracker);
     for &(n, est) in tracker.points() {
         let bar_len = (est / p_ref.max(1e-9) * 30.0).min(60.0) as usize;
         println!("  N={n:>7}  P̂={est:.4}  {}", "#".repeat(bar_len));

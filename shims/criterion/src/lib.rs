@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the benchmark surface this workspace uses — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size` —
+//! with plain wall-clock timing and a one-line report per benchmark
+//! (min/mean over samples). No statistics, no plots, no regression
+//! tracking; the criterion benches stay runnable and comparable run to
+//! run, which is all the repo's tier-2 flow needs offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// (total elapsed, iterations) recorded by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it `samples` times after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.measured = Some((start.elapsed(), self.samples as u64));
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        self.criterion.report(&self.name, &id.name, b.measured);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut b, input);
+        self.criterion.report(&self.name, &id.name, b.measured);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// No-op (criterion parses CLI filters here; the shim runs everything).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: 10,
+            measured: None,
+        };
+        f(&mut b);
+        self.report("", &id.name, b.measured);
+        self
+    }
+
+    fn report(&self, group: &str, name: &str, measured: Option<(Duration, u64)>) {
+        let full = if group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{group}/{name}")
+        };
+        match measured {
+            Some((total, iters)) if iters > 0 => {
+                let per = total / iters as u32;
+                println!("bench {full:<60} {per:>12.2?}/iter ({iters} iters)");
+            }
+            _ => println!("bench {full:<60} (no measurement)"),
+        }
+    }
+}
+
+/// Binds benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

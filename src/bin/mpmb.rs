@@ -10,23 +10,58 @@
 //! mpmb stats    --input G.tsv
 //! mpmb generate --dataset abide|movielens|jester|protein --scale F
 //!               [--seed N] [--output FILE]
+//! mpmb serve    [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
+//!               [--cache-capacity N] [--graph NAME=SPEC]...
+//! mpmb loadgen  [--target ADDR] [--requests N] [--concurrency N]
+//!               [--graph NAME] [--method M] [--trials N] [--seed N]
+//!               [--vary-seed [true|false]]
 //! ```
 //!
 //! Edge-list format: `LEFT RIGHT WEIGHT PROB` per line (tabs or spaces),
-//! `#` comments allowed.
+//! `#` comments allowed. Graph SPECs for `serve` are file paths or
+//! `dataset:NAME[:scale[:seed]]` (see docs/SERVING.md).
 
 use datasets::Dataset;
 use mpmb::prelude::*;
 use mpmb_core::{run_os_parallel, top_k_diverse, Distribution};
 use std::process::exit;
 
+const USAGE: &str = "usage: mpmb <subcommand> [--flag value]...
+
+subcommands:
+  solve     estimate the MPMB of an edge-list graph
+            --input FILE  [--method os|mcvp|ols|ols-kl] [--trials N] [--prep N]
+            [--seed N] [--top-k K] [--diverse MAX_SHARED] [--threads N]
+  exact     exact distribution by possible-world enumeration
+            --input FILE  [--max-uncertain N] [--top-k K]
+  query     conditioned P(B) estimate for one butterfly
+            --input FILE  --u1 A --u2 B --v1 C --v2 D  [--trials N] [--seed N]
+  count     butterfly-count distribution over possible worlds
+            --input FILE  [--trials N] [--seed N]
+  stats     structural statistics of a graph
+            --input FILE
+  generate  synthetic Table III stand-in datasets
+            --dataset abide|movielens|jester|protein  [--scale F] [--seed N]
+            [--output FILE]
+  serve     long-running HTTP query daemon (see docs/SERVING.md)
+            [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
+            [--cache-capacity N] [--graph NAME=SPEC]...
+  loadgen   closed-loop load generator against a running daemon
+            [--target ADDR] [--requests N] [--concurrency N] [--graph NAME]
+            [--method M] [--trials N] [--seed N] [--vary-seed [true|false]]
+
+Edge-list format: `LEFT RIGHT WEIGHT PROB` per line, `#` comments allowed.
+`--help` anywhere prints this text.";
+
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!(
-        "usage: mpmb <solve|exact|query|count|stats|generate> [flags]   (see --help in source header)"
-    );
+    eprintln!("run `mpmb --help` for usage");
     exit(2)
 }
+
+/// Flags that are on/off switches: the value may be omitted
+/// (`--vary-seed` reads as `--vary-seed true`).
+const BOOL_FLAGS: &[&str] = &["vary-seed"];
 
 /// Minimal flag parser: `--name value` pairs after the subcommand.
 struct Flags(Vec<(String, String)>);
@@ -34,11 +69,19 @@ struct Flags(Vec<(String, String)>);
 impl Flags {
     fn parse(args: &[String]) -> Flags {
         let mut pairs = Vec::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             let Some(name) = a.strip_prefix("--") else {
                 fail(&format!("unexpected argument `{a}`"));
             };
+            if BOOL_FLAGS.contains(&name) {
+                let value = match it.peek().map(|s| s.as_str()) {
+                    Some("true") | Some("false") => it.next().unwrap().clone(),
+                    _ => "true".to_string(),
+                };
+                pairs.push((name.to_string(), value));
+                continue;
+            }
             let Some(value) = it.next() else {
                 fail(&format!("--{name} requires a value"));
             };
@@ -47,11 +90,43 @@ impl Flags {
         Flags(pairs)
     }
 
+    /// Rejects flags outside `allowed`, reporting every unknown flag at
+    /// once instead of dying on the first.
+    fn expect(&self, allowed: &[&str]) {
+        let unknown: Vec<String> = self
+            .0
+            .iter()
+            .filter(|(n, _)| !allowed.contains(&n.as_str()))
+            .map(|(n, _)| format!("--{n}"))
+            .collect();
+        if !unknown.is_empty() {
+            fail(&format!(
+                "unknown flag{} {} (allowed: {})",
+                if unknown.len() > 1 { "s" } else { "" },
+                unknown.join(", "),
+                allowed
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+
     fn get(&self, name: &str) -> Option<&str> {
         self.0
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of a repeatable flag, in order (e.g. `--graph`).
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.0
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
@@ -65,13 +140,20 @@ impl Flags {
 }
 
 fn load(flags: &Flags) -> UncertainBipartiteGraph {
-    let path = flags.get("input").unwrap_or_else(|| fail("--input is required"));
+    let path = flags
+        .get("input")
+        .unwrap_or_else(|| fail("--input is required"));
     // Dispatches on the binary magic, so both .tsv and .ubg files work.
     bigraph::io::read_auto(std::path::Path::new(path))
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
 }
 
-fn print_ranking(g: &UncertainBipartiteGraph, dist: &Distribution, k: usize, diverse: Option<usize>) {
+fn print_ranking(
+    g: &UncertainBipartiteGraph,
+    dist: &Distribution,
+    k: usize,
+    diverse: Option<usize>,
+) {
     let ranking = match diverse {
         Some(max_shared) => top_k_diverse(dist, k, max_shared),
         None => dist.top_k(k),
@@ -93,6 +175,9 @@ fn print_ranking(g: &UncertainBipartiteGraph, dist: &Distribution, k: usize, div
 }
 
 fn cmd_solve(flags: &Flags) {
+    flags.expect(&[
+        "input", "method", "trials", "prep", "seed", "top-k", "diverse", "threads",
+    ]);
     let g = load(flags);
     let method = flags.get("method").unwrap_or("ols");
     let trials: u64 = flags.get_parsed("trials", 20_000);
@@ -107,7 +192,11 @@ fn cmd_solve(flags: &Flags) {
 
     let dist = match method {
         "os" => {
-            let cfg = OsConfig { trials, seed, ..Default::default() };
+            let cfg = OsConfig {
+                trials,
+                seed,
+                ..Default::default()
+            };
             if threads > 1 {
                 run_os_parallel(&g, &cfg, threads)
             } else {
@@ -143,16 +232,23 @@ fn cmd_solve(flags: &Flags) {
 }
 
 fn cmd_exact(flags: &Flags) {
+    flags.expect(&["input", "max-uncertain", "top-k"]);
     let g = load(flags);
     let limit: u32 = flags.get_parsed("max-uncertain", 22);
     let k: usize = flags.get_parsed("top-k", 10);
-    match mpmb_core::exact_distribution(&g, ExactConfig { max_uncertain_edges: limit }) {
+    match mpmb_core::exact_distribution(
+        &g,
+        ExactConfig {
+            max_uncertain_edges: limit,
+        },
+    ) {
         Ok(dist) => print_ranking(&g, &dist, k, None),
         Err(e) => fail(&e.to_string()),
     }
 }
 
 fn cmd_query(flags: &Flags) {
+    flags.expect(&["input", "u1", "u2", "v1", "v2", "trials", "seed"]);
     let g = load(flags);
     let need = |n: &str| -> u32 {
         flags
@@ -174,20 +270,27 @@ fn cmd_query(flags: &Flags) {
         Some(q) => {
             println!("butterfly {b}: w = {}", b.weight(&g).unwrap());
             println!("Pr[E(B)]              = {:.6} (exact)", q.existence_prob);
-            println!("Pr[B maximum | E(B)]  = {:.6} ({} conditioned trials)", q.conditional_max_prob, q.trials);
+            println!(
+                "Pr[B maximum | E(B)]  = {:.6} ({} conditioned trials)",
+                q.conditional_max_prob, q.trials
+            );
             println!("P(B)                  = {:.6}", q.prob);
         }
     }
 }
 
 fn cmd_count(flags: &Flags) {
+    flags.expect(&["input", "trials", "seed"]);
     let g = load(flags);
     let trials: u64 = flags.get_parsed("trials", 5_000);
     let seed: u64 = flags.get_parsed("seed", 42);
     let expect = bigraph::expected::expected_butterfly_count(&g);
     let d = mpmb_core::sample_count_distribution(&g, trials, seed);
     println!("expected butterflies (closed form) = {expect:.4}");
-    println!("sampled mean = {:.4}  variance = {:.4}  ({} trials)", d.mean, d.variance, d.trials);
+    println!(
+        "sampled mean = {:.4}  variance = {:.4}  ({} trials)",
+        d.mean, d.variance, d.trials
+    );
     let mut counts: Vec<(u64, u64)> = d.histogram.iter().map(|(&c, &n)| (c, n)).collect();
     counts.sort_unstable();
     println!("count\tfreq");
@@ -197,6 +300,7 @@ fn cmd_count(flags: &Flags) {
 }
 
 fn cmd_stats(flags: &Flags) {
+    flags.expect(&["input"]);
     let g = load(flags);
     println!("{}", GraphStats::compute(&g));
     println!(
@@ -208,7 +312,10 @@ fn cmd_stats(flags: &Flags) {
 }
 
 fn cmd_generate(flags: &Flags) {
-    let name = flags.get("dataset").unwrap_or_else(|| fail("--dataset is required"));
+    flags.expect(&["dataset", "scale", "seed", "output"]);
+    let name = flags
+        .get("dataset")
+        .unwrap_or_else(|| fail("--dataset is required"));
     let dataset = match name.to_ascii_lowercase().as_str() {
         "abide" => Dataset::Abide,
         "movielens" => Dataset::MovieLens,
@@ -241,8 +348,81 @@ fn cmd_generate(flags: &Flags) {
     }
 }
 
+fn cmd_serve(flags: &Flags) {
+    flags.expect(&[
+        "listen",
+        "threads",
+        "queue",
+        "timeout-ms",
+        "cache-capacity",
+        "graph",
+    ]);
+    let cfg = mpmb_serve::ServerConfig {
+        listen: flags.get("listen").unwrap_or("127.0.0.1:7700").to_string(),
+        threads: flags.get_parsed("threads", 4),
+        queue: flags.get_parsed("queue", 64),
+        timeout_ms: flags.get_parsed("timeout-ms", 0),
+        cache_capacity: flags.get_parsed("cache-capacity", 256),
+    };
+    mpmb_serve::signal::install();
+    let server = mpmb_serve::Server::start(cfg)
+        .unwrap_or_else(|e| fail(&format!("cannot start server: {e}")));
+    for spec in flags.get_all("graph") {
+        let Some((name, src)) = spec.split_once('=') else {
+            fail(&format!("--graph expects NAME=SPEC, got `{spec}`"));
+        };
+        match server.state().registry.load(name, src) {
+            Ok(entry) => eprintln!(
+                "loaded graph `{name}` from {} ({} x {} vertices, {} edges)",
+                entry.source,
+                entry.graph.num_left(),
+                entry.graph.num_right(),
+                entry.graph.num_edges()
+            ),
+            Err(e) => fail(&e.to_string()),
+        }
+    }
+    eprintln!("mpmb-serve listening on {}", server.addr);
+    // Blocks until SIGTERM/SIGINT or POST /admin/shutdown drains the pool.
+    server.join();
+    eprintln!("mpmb-serve drained, exiting");
+}
+
+fn cmd_loadgen(flags: &Flags) {
+    flags.expect(&[
+        "target",
+        "requests",
+        "concurrency",
+        "graph",
+        "method",
+        "trials",
+        "seed",
+        "vary-seed",
+    ]);
+    let cfg = mpmb_serve::LoadgenConfig {
+        target: flags.get("target").unwrap_or("127.0.0.1:7700").to_string(),
+        requests: flags.get_parsed("requests", 100),
+        concurrency: flags.get_parsed("concurrency", 4),
+        graph: flags.get("graph").unwrap_or("default").to_string(),
+        method: flags.get("method").unwrap_or("os").to_string(),
+        trials: flags.get_parsed("trials", 2_000),
+        seed: flags.get_parsed("seed", 0x5EED),
+        vary_seed: flags.get_parsed("vary-seed", true),
+    };
+    let report = mpmb_serve::loadgen::run(&cfg);
+    println!("{}", report.render());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--help` anywhere wins, before any flag parsing can trip on it.
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{USAGE}");
+        return;
+    }
     let Some((cmd, rest)) = args.split_first() else {
         fail("missing subcommand");
     };
@@ -254,6 +434,8 @@ fn main() {
         "exact" => cmd_exact(&flags),
         "stats" => cmd_stats(&flags),
         "generate" => cmd_generate(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         other => fail(&format!("unknown subcommand `{other}`")),
     }
 }

@@ -69,7 +69,12 @@ fn all_solvers_converge_to_exact_on_random_instances() {
         }
         let trials = 30_000;
         let mc = McVp::new(McVpConfig { trials, seed }).run(&g);
-        let os = OrderingSampling::new(OsConfig { trials, seed, ..Default::default() }).run(&g);
+        let os = OrderingSampling::new(OsConfig {
+            trials,
+            seed,
+            ..Default::default()
+        })
+        .run(&g);
         let ols = OrderingListingSampling::new(OlsConfig {
             prep_trials: 300,
             seed,
@@ -109,8 +114,12 @@ fn convergence_tracker_stabilizes_within_band() {
     let (target, p_exact) = exact.mpmb().unwrap();
     let trials = 40_000;
     let mut tracker = ConvergenceTracker::new(target, trials / 8);
-    OrderingSampling::new(OsConfig { trials, seed: 8, ..Default::default() })
-        .run_with_observer(&g, &mut tracker);
+    OrderingSampling::new(OsConfig {
+        trials,
+        seed: 8,
+        ..Default::default()
+    })
+    .run_with_observer(&g, &mut tracker);
     // The paper's Fig. 11 criterion: the trace enters and stays in the 2ε
     // band over the second half of the budget.
     let eps = 0.1;

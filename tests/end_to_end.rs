@@ -62,7 +62,8 @@ fn ols_and_os_agree_on_the_mpmb() {
         "top probabilities diverged: {p_os} vs {p_ols}"
     );
     assert!(
-        (os.prob(&b_ols) - p_ols).abs() < 0.05 && (ols.distribution.prob(&b_os) - p_os).abs() < 0.05,
+        (os.prob(&b_ols) - p_ols).abs() < 0.05
+            && (ols.distribution.prob(&b_os) - p_os).abs() < 0.05,
         "cross-method estimates diverged for {b_os} / {b_ols}"
     );
 }

@@ -86,15 +86,24 @@ fn cross_solver_stress_on_many_random_graphs() {
             }
         }
         let g = b.build().unwrap();
-        let Ok(exact) = mpmb_core::exact_distribution(&g, ExactConfig { max_uncertain_edges: 25 })
-        else {
+        let Ok(exact) = mpmb_core::exact_distribution(
+            &g,
+            ExactConfig {
+                max_uncertain_edges: 25,
+            },
+        ) else {
             continue;
         };
         if exact.is_empty() {
             continue;
         }
         let trials = 50_000;
-        let os = OrderingSampling::new(OsConfig { trials, seed, ..Default::default() }).run(&g);
+        let os = OrderingSampling::new(OsConfig {
+            trials,
+            seed,
+            ..Default::default()
+        })
+        .run(&g);
         let ols = OrderingListingSampling::new(OlsConfig {
             prep_trials: 300,
             seed,

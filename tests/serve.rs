@@ -1,0 +1,337 @@
+//! End-to-end tests of the `mpmb-serve` daemon: concurrency with
+//! bit-for-bit result fidelity, cache hits observed through `/metrics`,
+//! deadline 503s, and SIGTERM draining.
+//!
+//! Servers bind ephemeral ports (`127.0.0.1:0`). The SIGTERM test
+//! latches a process-global flag that every server instance observes,
+//! so all tests serialize on one mutex and clear the latch up front.
+
+use mpmb_serve::client::call;
+use mpmb_serve::json::Json;
+use mpmb_serve::{signal, Server, ServerConfig};
+use std::sync::{Barrier, Mutex, OnceLock};
+
+/// Serializes the tests: the SIGTERM latch is process-global.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    let m = GUARD.get_or_init(|| Mutex::new(()));
+    let guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    signal::reset();
+    guard
+}
+
+fn start(cfg: ServerConfig) -> (Server, String) {
+    let server = Server::start(cfg).expect("bind ephemeral port");
+    let addr = server.addr.to_string();
+    (server, addr)
+}
+
+fn default_cfg() -> ServerConfig {
+    ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        threads: 8,
+        queue: 64,
+        timeout_ms: 0,
+        cache_capacity: 64,
+    }
+}
+
+/// The graph every test registers: tiny, deterministic, non-trivial.
+const GRAPH_SPEC: &str = "dataset:abide:0.01:3";
+
+fn register_graph(addr: &str) {
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/v1/graphs",
+        &format!("{{\"name\":\"g\",\"spec\":\"{GRAPH_SPEC}\"}}"),
+    )
+    .expect("register graph");
+    assert_eq!(status, 200, "register failed: {body}");
+}
+
+fn reference_graph() -> bigraph::UncertainBipartiteGraph {
+    datasets::Dataset::Abide.generate(0.01, 3)
+}
+
+fn metric_value(metrics_text: &str, name: &str) -> u64 {
+    metrics_text
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric `{name}` missing:\n{metrics_text}"))
+}
+
+#[test]
+fn concurrent_solves_match_direct_calls_bit_for_bit() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+    register_graph(&addr);
+    let g = reference_graph();
+
+    // 32 clients fire simultaneously: 8 are in service, the rest sit in
+    // the accept queue — all 32 in flight at once.
+    const CLIENTS: u64 = 32;
+    const TRIALS: u64 = 400;
+    let barrier = Barrier::new(CLIENTS as usize);
+    let responses: Vec<(u64, u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let (barrier, addr) = (&barrier, addr.as_str());
+                scope.spawn(move || {
+                    let seed = 1_000 + i;
+                    let body = format!(
+                        "{{\"graph\":\"g\",\"method\":\"os\",\"trials\":{TRIALS},\"seed\":{seed},\"k\":3}}"
+                    );
+                    barrier.wait();
+                    let (status, resp) = call(addr, "POST", "/v1/solve", &body).expect("solve");
+                    (seed, status, resp)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (seed, status, resp) in responses {
+        assert_eq!(status, 200, "seed {seed}: {resp}");
+        let json = Json::parse(&resp).expect("valid JSON");
+        assert_eq!(json.get("trials_done").and_then(Json::as_u64), Some(TRIALS));
+
+        // The direct library call with the same parameters.
+        let cfg = mpmb_core::OsConfig {
+            trials: TRIALS,
+            seed,
+            ..Default::default()
+        };
+        let direct = mpmb_core::OrderingSampling::new(cfg).run(&g);
+        assert_eq!(
+            json.get("support").and_then(Json::as_u64),
+            Some(direct.len() as u64),
+            "seed {seed}"
+        );
+        let (db, dp) = direct.mpmb().expect("non-empty distribution");
+        let mpmb = json.get("mpmb").expect("mpmb field");
+        // Rust renders f64 shortest-roundtrip, so parse-back equality is
+        // bit equality.
+        let served_p = mpmb.get("prob").and_then(Json::as_f64).unwrap();
+        assert_eq!(served_p.to_bits(), dp.to_bits(), "seed {seed}");
+        let ids: Vec<u64> = mpmb
+            .get("butterfly")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                db.u1.0 as u64,
+                db.u2.0 as u64,
+                db.v1.0 as u64,
+                db.v2.0 as u64
+            ],
+            "seed {seed}"
+        );
+        // Top-3 probabilities match bit-for-bit too.
+        let top = json.get("top").and_then(Json::as_arr).unwrap();
+        let direct_top = direct.top_k(3);
+        assert_eq!(top.len(), direct_top.len());
+        for (served, (_, p)) in top.iter().zip(&direct_top) {
+            let sp = served.get("prob").and_then(Json::as_f64).unwrap();
+            assert_eq!(sp.to_bits(), p.to_bits(), "seed {seed}");
+        }
+    }
+
+    // The query endpoint matches estimate_prob_of bit-for-bit as well.
+    let b = reference_graph();
+    let some_bf = mpmb_core::enumerate_backbone_butterflies(&b)
+        .into_iter()
+        .next()
+        .expect("graph has butterflies");
+    let body = format!(
+        "{{\"graph\":\"g\",\"butterfly\":[{},{},{},{}],\"trials\":500,\"seed\":7}}",
+        some_bf.u1.0, some_bf.u2.0, some_bf.v1.0, some_bf.v2.0
+    );
+    let (status, resp) = call(addr.as_str(), "POST", "/v1/query", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let json = Json::parse(&resp).unwrap();
+    let direct = mpmb_core::estimate_prob_of(&g, &some_bf, 500, 7).unwrap();
+    assert_eq!(
+        json.get("prob").and_then(Json::as_f64).unwrap().to_bits(),
+        direct.prob.to_bits()
+    );
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn repeated_request_hits_cache_observed_via_metrics() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+    register_graph(&addr);
+
+    let body = "{\"graph\":\"g\",\"method\":\"os\",\"trials\":300,\"seed\":42}";
+    let (s1, r1) = call(addr.as_str(), "POST", "/v1/solve", body).unwrap();
+    let (s2, r2) = call(addr.as_str(), "POST", "/v1/solve", body).unwrap();
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(r1, r2, "cached replay must be byte-identical");
+
+    let (ms, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert_eq!(ms, 200);
+    assert_eq!(metric_value(&metrics, "mpmb_cache_hits_total"), 1);
+    assert_eq!(metric_value(&metrics, "mpmb_cache_misses_total"), 1);
+    // Only the miss executed trials.
+    assert_eq!(metric_value(&metrics, "mpmb_trials_executed_total"), 300);
+
+    // A different seed is a different key: no new hit.
+    let body2 = "{\"graph\":\"g\",\"method\":\"os\",\"trials\":300,\"seed\":43}";
+    let (s3, _) = call(addr.as_str(), "POST", "/v1/solve", body2).unwrap();
+    assert_eq!(s3, 200);
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert_eq!(metric_value(&metrics, "mpmb_cache_hits_total"), 1);
+    assert_eq!(metric_value(&metrics, "mpmb_cache_misses_total"), 2);
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn over_deadline_solve_returns_503_and_server_survives() {
+    let _guard = lock();
+    let cfg = ServerConfig {
+        timeout_ms: 50,
+        ..default_cfg()
+    };
+    let (server, addr) = start(cfg);
+    register_graph(&addr);
+
+    // Hundreds of millions of trials cannot finish in 50 ms; the workers
+    // notice the deadline and return a partial count.
+    let body = "{\"graph\":\"g\",\"method\":\"os\",\"trials\":200000000,\"seed\":1,\"threads\":2}";
+    let (status, resp) = call(addr.as_str(), "POST", "/v1/solve", body).unwrap();
+    assert_eq!(status, 503, "{resp}");
+    let json = Json::parse(&resp).unwrap();
+    assert_eq!(
+        json.get("error").and_then(Json::as_str),
+        Some("deadline exceeded")
+    );
+    let done = json.get("trials_done").and_then(Json::as_u64).unwrap();
+    assert!(done < 200_000_000, "partial count expected, got {done}");
+    assert_eq!(
+        json.get("trials_requested").and_then(Json::as_u64),
+        Some(200_000_000)
+    );
+
+    // The server is still healthy and still answers normal requests.
+    let (hs, hb) = call(addr.as_str(), "GET", "/healthz", "").unwrap();
+    assert_eq!(hs, 200, "{hb}");
+    let (ss, _) = call(
+        addr.as_str(),
+        "POST",
+        "/v1/solve",
+        "{\"graph\":\"g\",\"method\":\"os\",\"trials\":100,\"seed\":2}",
+    )
+    .unwrap();
+    assert_eq!(ss, 200);
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert_eq!(metric_value(&metrics, "mpmb_deadline_exceeded_total"), 1);
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn sigterm_drains_in_flight_request_then_exits() {
+    let _guard = lock();
+    signal::install();
+    let (server, addr) = start(default_cfg());
+    register_graph(&addr);
+
+    // A solve sized to run for a couple of seconds on one core.
+    let slow = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            call(
+                addr.as_str(),
+                "POST",
+                "/v1/solve",
+                "{\"graph\":\"g\",\"method\":\"os\",\"trials\":3000000,\"seed\":9}",
+            )
+        }
+    });
+    // Let the request reach a worker, then deliver a real SIGTERM.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let status = std::process::Command::new("kill")
+        .args(["-TERM", &std::process::id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success());
+
+    // The in-flight request completes with a full answer…
+    let (status, resp) = slow.join().unwrap().expect("in-flight request answered");
+    assert_eq!(status, 200, "{resp}");
+    let json = Json::parse(&resp).unwrap();
+    assert_eq!(
+        json.get("trials_done").and_then(Json::as_u64),
+        Some(3_000_000)
+    );
+    // …and the pool drains: join() returns instead of hanging.
+    server.join();
+
+    // The listener is gone — new connections are refused.
+    assert!(std::net::TcpStream::connect(addr.as_str()).is_err());
+    signal::reset();
+}
+
+#[test]
+fn unknown_graph_and_bad_requests_are_4xx() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+    register_graph(&addr);
+
+    let cases = [
+        (
+            "POST",
+            "/v1/solve",
+            "{\"graph\":\"nope\",\"trials\":10}",
+            404,
+        ),
+        ("POST", "/v1/solve", "not json", 400),
+        (
+            "POST",
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"bogus\"}",
+            400,
+        ),
+        ("POST", "/v1/solve", "{\"graph\":\"g\",\"trials\":0}", 400),
+        ("GET", "/v1/nope", "", 404),
+        ("DELETE", "/v1/solve", "", 405),
+        (
+            "POST",
+            "/v1/query",
+            "{\"graph\":\"g\",\"butterfly\":[1,1,2,3]}",
+            400,
+        ),
+        (
+            "POST",
+            "/v1/graphs",
+            "{\"name\":\"g\",\"spec\":\"dataset:abide:0.01\"}",
+            409,
+        ),
+        (
+            "POST",
+            "/v1/graphs",
+            "{\"name\":\"x\",\"spec\":\"dataset:zzz\"}",
+            400,
+        ),
+    ];
+    for (method, path, body, expected) in cases {
+        let (status, resp) = call(addr.as_str(), method, path, body).unwrap();
+        assert_eq!(status, expected, "{method} {path} {body}: {resp}");
+    }
+
+    server.begin_shutdown();
+    server.join();
+}

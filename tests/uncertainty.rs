@@ -5,8 +5,8 @@
 use datasets::Dataset;
 use mpmb::prelude::*;
 use mpmb_core::{
-    estimate_prob_of, max_weight_distribution, run_os_adaptive, run_os_ensemble,
-    validate_accuracy, AdaptiveConfig,
+    estimate_prob_of, max_weight_distribution, run_os_adaptive, run_os_ensemble, validate_accuracy,
+    AdaptiveConfig,
 };
 
 fn graph() -> UncertainBipartiteGraph {
@@ -16,8 +16,12 @@ fn graph() -> UncertainBipartiteGraph {
 #[test]
 fn max_weight_tail_brackets_the_mpmb_weight() {
     let g = graph();
-    let dist = OrderingSampling::new(OsConfig { trials: 4_000, seed: 1, ..Default::default() })
-        .run(&g);
+    let dist = OrderingSampling::new(OsConfig {
+        trials: 4_000,
+        seed: 1,
+        ..Default::default()
+    })
+    .run(&g);
     let (b, p) = dist.mpmb().expect("butterflies exist");
     let w = b.weight(&g).unwrap();
     let mw = max_weight_distribution(&g, 4_000, 1);
@@ -41,7 +45,11 @@ fn ensemble_interval_covers_targeted_query() {
     let g = graph();
     let ensemble = run_os_ensemble(
         &g,
-        &OsConfig { trials: 4_000, seed: 10, ..Default::default() },
+        &OsConfig {
+            trials: 4_000,
+            seed: 10,
+            ..Default::default()
+        },
         6,
     );
     let (b, _) = ensemble.mean_distribution().mpmb().unwrap();
