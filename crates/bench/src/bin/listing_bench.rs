@@ -1,0 +1,169 @@
+//! `listing_bench` — listing-phase benchmark: sequential backbone
+//! enumeration vs the sharded parallel kernel, as machine-readable JSON.
+//!
+//! ```text
+//! listing_bench [--dataset NAME] [--scale F] [--seed N]
+//!               [--threads LIST] [--repeats N]
+//!
+//! --dataset   abide | movielens | jester | protein (default: movielens)
+//! --scale     generation scale, 1.0 = Table III size (default: the
+//!             laptop-scale default for the dataset)
+//! --seed      generation seed (default 42)
+//! --threads   comma-separated thread counts (default 2,4,8)
+//! --repeats   timing repeats per configuration; min is reported (default 3)
+//! ```
+//!
+//! Each parallel run is checked for byte-identity against the sequential
+//! candidate set (`identical` in the output) — a speedup that changes
+//! candidate indices would be a correctness bug, not a win.
+
+use bench::default_scale;
+use datasets::Dataset;
+use mpmb_core::{backbone_candidate_set, CandidateSet};
+use std::time::Instant;
+
+struct Args {
+    dataset: Dataset,
+    scale: Option<f64>,
+    seed: u64,
+    threads: Vec<usize>,
+    repeats: u32,
+}
+
+const HELP: &str =
+    "listing_bench [--dataset abide|movielens|jester|protein] [--scale F] [--seed N] \
+[--threads LIST] [--repeats N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: Dataset::MovieLens,
+        scale: None,
+        seed: 42,
+        threads: vec![2, 4, 8],
+        repeats: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--dataset" => {
+                let name = value("--dataset")?;
+                args.dataset = match name.to_ascii_lowercase().as_str() {
+                    "abide" => Dataset::Abide,
+                    "movielens" => Dataset::MovieLens,
+                    "jester" => Dataset::Jester,
+                    "protein" => Dataset::Protein,
+                    other => return Err(format!("unknown dataset `{other}`")),
+                };
+            }
+            "--scale" => {
+                args.scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.threads.is_empty() {
+                    return Err("--threads needs at least one count".into());
+                }
+            }
+            "--repeats" => {
+                args.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+                if args.repeats == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Minimum wall-clock seconds over `repeats` runs of `f`, plus the last
+/// result (every repeat must produce the same set — that's asserted by
+/// the caller's identity check, so keeping one is enough).
+fn time_min<F: FnMut() -> CandidateSet>(repeats: u32, mut f: F) -> (f64, CandidateSet) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let set = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(set);
+    }
+    (best, last.expect("repeats >= 1"))
+}
+
+/// Byte-level equality of two candidate sets: indices, butterflies,
+/// weight bits, edges, existence-probability bits.
+fn identical(a: &CandidateSet, b: &CandidateSet) -> bool {
+    a.len() == b.len()
+        && (0..a.len()).all(|i| {
+            let (ca, cb) = (a.get(i), b.get(i));
+            ca.butterfly == cb.butterfly
+                && ca.weight.to_bits() == cb.weight.to_bits()
+                && ca.edges == cb.edges
+                && ca.existence_prob.to_bits() == cb.existence_prob.to_bits()
+        })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let scale = args.scale.unwrap_or_else(|| default_scale(args.dataset));
+    let g = args.dataset.generate(scale, args.seed);
+
+    let (seq_secs, seq) = time_min(args.repeats, || backbone_candidate_set(&g, 1));
+
+    let mut runs = Vec::new();
+    for &threads in &args.threads {
+        let (secs, set) = time_min(args.repeats, || backbone_candidate_set(&g, threads));
+        runs.push(format!(
+            "    {{\"threads\": {}, \"secs\": {:.6}, \"speedup\": {:.3}, \"identical\": {}}}",
+            threads,
+            secs,
+            seq_secs / secs,
+            identical(&seq, &set)
+        ));
+    }
+
+    println!("{{");
+    println!("  \"phase\": \"listing\",");
+    println!("  \"dataset\": \"{}\",", args.dataset.name());
+    println!("  \"scale\": {scale},");
+    println!("  \"seed\": {},", args.seed);
+    println!(
+        "  \"graph\": {{\"left\": {}, \"right\": {}, \"edges\": {}}},",
+        g.num_left(),
+        g.num_right(),
+        g.num_edges()
+    );
+    println!("  \"butterflies\": {},", seq.len());
+    println!("  \"sequential\": {{\"secs\": {seq_secs:.6}}},");
+    println!("  \"parallel\": [");
+    println!("{}", runs.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -84,12 +84,13 @@ impl fmt::Display for Butterfly {
     }
 }
 
-/// Brute-force enumeration of every butterfly in the backbone of `g`.
+/// Enumeration of every butterfly in the backbone of `g`, in canonical
+/// `(u₁, u₂)`-major order.
 ///
-/// Quadratic in neighborhood sizes — this is a *reference* implementation
-/// for tests and the exact engine, not a performance path. For large
-/// graphs prefer [`for_each_backbone_butterfly`], which streams without
-/// materializing the (potentially enormous) output vector.
+/// For graphs with many butterflies prefer [`for_each_backbone_butterfly`]
+/// (streams without materializing the output vector) or the
+/// multi-threaded [`crate::listing::enumerate_backbone_butterflies_parallel`]
+/// (identical output, shard-parallel).
 pub fn enumerate_backbone_butterflies(g: &UncertainBipartiteGraph) -> Vec<Butterfly> {
     let mut out = Vec::new();
     for_each_backbone_butterfly(g, |b| out.push(b));
@@ -98,22 +99,16 @@ pub fn enumerate_backbone_butterflies(g: &UncertainBipartiteGraph) -> Vec<Butter
 
 /// Streams every backbone butterfly of `g` to `f`, each exactly once, in
 /// canonical `(u₁, u₂)`-major order.
-pub fn for_each_backbone_butterfly(g: &UncertainBipartiteGraph, mut f: impl FnMut(Butterfly)) {
-    let nl = g.num_left() as u32;
-    for a in 0..nl {
-        for b in (a + 1)..nl {
-            common_right_pairs(g, Left(a), Left(b), |v1, v2| {
-                f(Butterfly::new(Left(a), Left(b), v1, v2));
-            });
-        }
-    }
+///
+/// Backed by the wedge kernel in [`crate::listing`]: `O(Σ wedges)` rather
+/// than the `O(|L|²)` pair scan the order is defined by.
+pub fn for_each_backbone_butterfly(g: &UncertainBipartiteGraph, f: impl FnMut(Butterfly)) {
+    crate::listing::for_each_sequential(g, f);
 }
 
 /// Counts backbone butterflies without materializing them.
 pub fn count_backbone_butterflies(g: &UncertainBipartiteGraph) -> u64 {
-    let mut n = 0u64;
-    for_each_backbone_butterfly(g, |_| n += 1);
-    n
+    crate::listing::count_backbone_butterflies_parallel(g, 1)
 }
 
 /// Brute-force maximum-weighted butterfly set `S_MB(W)` (Equation 3) of a
@@ -144,36 +139,6 @@ pub fn max_butterflies_in_world(
         (0.0, smb)
     } else {
         (best, smb)
-    }
-}
-
-/// Calls `f(v1, v2)` for every pair `v1 < v2` of common right neighbors of
-/// `a` and `b` (backbone adjacency; both lists are id-sorted, so this is a
-/// linear merge followed by pair expansion).
-fn common_right_pairs(
-    g: &UncertainBipartiteGraph,
-    a: Left,
-    b: Left,
-    mut f: impl FnMut(Right, Right),
-) {
-    let (la, lb) = (g.left_adj(a), g.left_adj(b));
-    let mut common: Vec<u32> = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < la.len() && j < lb.len() {
-        match la[i].nbr.cmp(&lb[j].nbr) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                common.push(la[i].nbr);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    for x in 0..common.len() {
-        for y in (x + 1)..common.len() {
-            f(Right(common[x]), Right(common[y]));
-        }
     }
 }
 

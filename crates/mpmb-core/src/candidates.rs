@@ -61,6 +61,17 @@ impl CandidateSet {
                 existence_prob: b.existence_prob(g).expect("edges exist"),
             });
         }
+        Self::from_unique_candidates(candidates)
+    }
+
+    /// Finishes a candidate set from already-deduplicated candidates:
+    /// sorts by weight descending (ties by canonical butterfly order) and
+    /// computes `L(i)`. The sort key is a *total* order, so the resulting
+    /// indices depend only on the candidate contents — never on the input
+    /// order. This is what lets [`crate::listing::backbone_candidate_set`]
+    /// merge per-shard buffers and still match the sequential build
+    /// byte-for-byte.
+    pub(crate) fn from_unique_candidates(mut candidates: Vec<Candidate>) -> Self {
         candidates.sort_unstable_by(|a, b| {
             b.weight
                 .total_cmp(&a.weight)

@@ -44,17 +44,54 @@ pub fn sample_count_distribution(
     trials: u64,
     seed: u64,
 ) -> CountDistribution {
+    sample_count_distribution_parallel(g, trials, seed, 1)
+}
+
+/// Multi-threaded [`sample_count_distribution`]: the trial range is split
+/// with [`crate::parallel::chunk_ranges`] and per-range histograms are
+/// merged.
+///
+/// Bit-identical to the sequential run at every thread count: per-trial
+/// RNG streams make the merged histogram independent of scheduling, and
+/// the moments are computed from the histogram in sorted-count order —
+/// per-world counts are integers, so the moment sums are exact in `f64`
+/// and do not depend on trial accumulation order.
+pub fn sample_count_distribution_parallel(
+    g: &UncertainBipartiteGraph,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> CountDistribution {
     assert!(trials > 0, "trials must be positive");
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut histogram: FxHashMap<u64, u64> = FxHashMap::default();
+    let histogram = if threads.max(1) == 1 {
+        histogram_of_range(g, seed, 0..trials)
+    } else {
+        let ranges = crate::parallel::chunk_ranges(trials, threads);
+        let partials: Vec<FxHashMap<u64, u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || histogram_of_range(g, seed, range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("counting worker panicked"))
+                .collect()
+        });
+        let mut merged: FxHashMap<u64, u64> = FxHashMap::default();
+        for partial in partials {
+            for (count, n) in partial {
+                *merged.entry(count).or_insert(0) += n;
+            }
+        }
+        merged
+    };
+    let mut keys: Vec<u64> = histogram.keys().copied().collect();
+    keys.sort_unstable();
     let (mut s1, mut s2) = (0.0f64, 0.0f64);
-    for t in 0..trials {
-        let mut rng = trial_rng(seed ^ 0xC0_17_17, t);
-        sampler.begin_trial();
-        let count = count_in_trial(g, &mut sampler, &mut rng);
-        *histogram.entry(count).or_insert(0) += 1;
-        s1 += count as f64;
-        s2 += (count as f64) * (count as f64);
+    for &count in &keys {
+        let n = histogram[&count] as f64;
+        s1 += n * count as f64;
+        s2 += n * (count as f64) * (count as f64);
     }
     let mean = s1 / trials as f64;
     let variance = if trials > 1 {
@@ -68,6 +105,23 @@ pub fn sample_count_distribution(
         histogram,
         trials,
     }
+}
+
+/// Per-world butterfly counts for the trial sub-range, as a histogram.
+fn histogram_of_range(
+    g: &UncertainBipartiteGraph,
+    seed: u64,
+    range: std::ops::Range<u64>,
+) -> FxHashMap<u64, u64> {
+    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    let mut histogram: FxHashMap<u64, u64> = FxHashMap::default();
+    for t in range {
+        let mut rng = trial_rng(seed ^ 0xC0_17_17, t);
+        sampler.begin_trial();
+        let count = count_in_trial(g, &mut sampler, &mut rng);
+        *histogram.entry(count).or_insert(0) += 1;
+    }
+    histogram
 }
 
 /// Exact variance of the butterfly count over the possible-world
@@ -345,5 +399,18 @@ mod tests {
         let b = sample_count_distribution(&g, 1_000, 9);
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.histogram, b.histogram);
+    }
+
+    #[test]
+    fn parallel_count_distribution_matches_sequential_bitwise() {
+        let g = fig1();
+        let seq = sample_count_distribution(&g, 2_000, 11);
+        for threads in [1, 2, 3, 8] {
+            let par = sample_count_distribution_parallel(&g, 2_000, 11, threads);
+            assert_eq!(seq.mean.to_bits(), par.mean.to_bits(), "threads={threads}");
+            assert_eq!(seq.variance.to_bits(), par.variance.to_bits());
+            assert_eq!(seq.histogram, par.histogram);
+            assert_eq!(seq.trials, par.trials);
+        }
     }
 }

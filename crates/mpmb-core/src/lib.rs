@@ -31,6 +31,7 @@ pub mod ensemble;
 pub mod estimators;
 pub mod exact;
 pub mod hardness;
+pub mod listing;
 pub mod mcvp;
 pub mod observer;
 pub mod ols;
@@ -49,7 +50,8 @@ pub use butterfly::{
 };
 pub use candidates::{Candidate, CandidateSet};
 pub use counting::{
-    exact_count_variance, sample_count_distribution, CountDistribution, TooManyButterflies,
+    exact_count_variance, sample_count_distribution, sample_count_distribution_parallel,
+    CountDistribution, TooManyButterflies,
 };
 pub use distribution::{Distribution, Tally};
 pub use ensemble::{aggregate, run_os_ensemble, EnsembleEntry, EnsembleReport};
@@ -58,6 +60,10 @@ pub use estimators::karp_luby::{estimate_karp_luby, KlReport, KlTrialPolicy};
 pub use estimators::optimized::{estimate_optimized, estimate_optimized_with_observer};
 pub use exact::{exact_distribution, exact_mpmb, exact_prob, ExactConfig, ExactError};
 pub use hardness::{Monotone2Sat, Reduction};
+pub use listing::{
+    backbone_candidate_set, count_backbone_butterflies_parallel,
+    enumerate_backbone_butterflies_parallel, listing_shards,
+};
 pub use mcvp::{McVp, McVpConfig};
 pub use observer::{ConvergenceTracker, MultiObserver, NoopObserver, TrialObserver};
 pub use ols::{EstimatorKind, OlsConfig, OlsResult, OrderingListingSampling};
@@ -65,7 +71,8 @@ pub use os::{
     os_smb_of_world, EdgeOracle, OrderingSampling, OsConfig, OsEngine, SamplingOracle, WorldOracle,
 };
 pub use parallel::{
-    run_karp_luby_parallel, run_mcvp_parallel, run_optimized_parallel, run_os_parallel,
+    chunk_ranges, run_karp_luby_parallel, run_mcvp_parallel, run_optimized_parallel,
+    run_os_parallel,
 };
 pub use query::{estimate_prob_of, QueryResult};
 pub use threshold::{max_weight_distribution, MaxWeightDistribution};

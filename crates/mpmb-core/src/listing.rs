@@ -1,0 +1,424 @@
+//! Deterministic (parallel) backbone butterfly listing.
+//!
+//! The listing phase — enumerating every butterfly of the backbone, or
+//! building a full-backbone [`CandidateSet`] — used to be the last
+//! single-threaded wall in the pipeline: the sampling phases have had
+//! deterministic multi-threaded runners in [`crate::parallel`] since the
+//! start, but `for_each_backbone_butterfly` walked all `O(|L|²)` left
+//! pairs on one core.
+//!
+//! This module replaces that with a wedge-based kernel in the style of
+//! BFC-VP [Wang et al., PVLDB 2019] / parallel butterfly counting
+//! [Shi & Shun, 2020]:
+//!
+//! * **Wedge enumeration** — for a start vertex `u₁`, walk each right
+//!   neighbor `v` and each of `v`'s left neighbors `u₂ > u₁`; bucketing
+//!   the wedge middles per `u₂` yields every common-neighbor list in one
+//!   pass, `O(Σ wedges)` instead of `O(|L|²)` pair probes.
+//! * **Work-balanced shards** — start vertices are partitioned into
+//!   contiguous shards whose *estimated* wedge work (the degree-profile
+//!   cost model that BFC-VP's priority order is built from) is equal, so
+//!   one hub vertex cannot serialize the run.
+//! * **Deterministic merge** — each worker writes into a private buffer
+//!   and buffers are concatenated in shard order. Because shards are
+//!   contiguous start-vertex ranges, the merged stream is *exactly* the
+//!   sequential canonical `(u₁, u₂)`-major order, independent of how the
+//!   OS schedules workers.
+//!
+//! The ordering guarantee is not cosmetic: OLS keys the Karp-Luby
+//! per-candidate RNG streams by candidate *index*, so a candidate set
+//! whose indices depend on thread count would silently change results.
+//! Everything here is byte-for-byte identical to the sequential build at
+//! every thread count (property-tested in `tests/listing_proptests.rs`).
+
+use crate::butterfly::Butterfly;
+use crate::candidates::{Candidate, CandidateSet};
+use bigraph::{Left, Right, UncertainBipartiteGraph};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shards handed out per worker: oversubscription lets fast workers
+/// steal remaining shards when the work estimate is off.
+const SHARDS_PER_THREAD: usize = 4;
+
+/// Reusable per-worker buckets for one start vertex's wedge expansion.
+///
+/// `buckets[u₂]` collects the right middles common to the current start
+/// and `u₂`; `touched` remembers which buckets are dirty so clearing is
+/// `O(touched)` rather than `O(|L|)` per start vertex.
+struct WedgeScratch {
+    buckets: Vec<Vec<u32>>,
+    touched: Vec<u32>,
+}
+
+impl WedgeScratch {
+    fn new(num_left: usize) -> Self {
+        WedgeScratch {
+            buckets: vec![Vec::new(); num_left],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Streams every butterfly with smaller left vertex `a`, in canonical
+/// order (`u₂` ascending, then `(v₁, v₂)` lexicographic) — the same
+/// order the pairwise reference produces for this start vertex.
+fn for_each_from_start(
+    g: &UncertainBipartiteGraph,
+    a: u32,
+    scratch: &mut WedgeScratch,
+    f: &mut impl FnMut(Butterfly),
+) {
+    for adj in g.left_adj(Left(a)) {
+        let radj = g.right_adj(Right(adj.nbr));
+        // Only wedges toward larger left ids: each butterfly is listed
+        // exactly once, from its smaller left vertex.
+        let from = radj.partition_point(|x| x.nbr <= a);
+        for x in &radj[from..] {
+            let bucket = &mut scratch.buckets[x.nbr as usize];
+            if bucket.is_empty() {
+                scratch.touched.push(x.nbr);
+            }
+            // Middles arrive ascending because `left_adj(a)` is id-sorted.
+            bucket.push(adj.nbr);
+        }
+    }
+    scratch.touched.sort_unstable();
+    for &b in &scratch.touched {
+        let common = &scratch.buckets[b as usize];
+        for x in 0..common.len() {
+            for &v2 in &common[(x + 1)..] {
+                f(Butterfly::new(
+                    Left(a),
+                    Left(b),
+                    Right(common[x]),
+                    Right(v2),
+                ));
+            }
+        }
+    }
+    for &b in &scratch.touched {
+        scratch.buckets[b as usize].clear();
+    }
+    scratch.touched.clear();
+}
+
+/// Butterflies with smaller left vertex `a`, counted without
+/// materialization: each bucket of `c` common middles holds `C(c, 2)`.
+fn count_from_start(g: &UncertainBipartiteGraph, a: u32, scratch: &mut WedgeScratch) -> u64 {
+    let mut n = 0u64;
+    for adj in g.left_adj(Left(a)) {
+        let radj = g.right_adj(Right(adj.nbr));
+        let from = radj.partition_point(|x| x.nbr <= a);
+        for x in &radj[from..] {
+            let bucket = &mut scratch.buckets[x.nbr as usize];
+            if bucket.is_empty() {
+                scratch.touched.push(x.nbr);
+            }
+            bucket.push(adj.nbr);
+        }
+    }
+    for &b in &scratch.touched {
+        let c = scratch.buckets[b as usize].len() as u64;
+        n += c * (c - 1) / 2;
+        scratch.buckets[b as usize].clear();
+    }
+    scratch.touched.clear();
+    n
+}
+
+/// Sequential wedge-kernel enumeration over all start vertices, in
+/// canonical order. [`crate::for_each_backbone_butterfly`] delegates
+/// here.
+pub(crate) fn for_each_sequential(g: &UncertainBipartiteGraph, mut f: impl FnMut(Butterfly)) {
+    let mut scratch = WedgeScratch::new(g.num_left());
+    for a in 0..g.num_left() as u32 {
+        for_each_from_start(g, a, &mut scratch, &mut f);
+    }
+}
+
+/// Estimated listing work for start vertex `a`: the number of wedges it
+/// expands (`Σ_{v ∈ N(a)} deg(v)`), plus one so degree-0 vertices still
+/// carry weight and shards stay non-degenerate.
+fn start_vertex_work(g: &UncertainBipartiteGraph, a: u32) -> u64 {
+    1 + g
+        .left_adj(Left(a))
+        .iter()
+        .map(|adj| g.right_degree(Right(adj.nbr)) as u64)
+        .sum::<u64>()
+}
+
+/// Partitions the start vertices `0..|L|` into at most `parts`
+/// contiguous ranges of approximately equal estimated wedge work (the
+/// degree-based cost model behind BFC-VP's priority order).
+///
+/// The split is a pure function of the graph and `parts` — never of
+/// scheduling — so shard-order merges are deterministic.
+pub fn listing_shards(g: &UncertainBipartiteGraph, parts: usize) -> Vec<Range<u32>> {
+    let nl = g.num_left() as u32;
+    if nl == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, nl as usize) as u64;
+    let total: u64 = (0..nl).map(|a| start_vertex_work(g, a)).sum();
+    let target = total.div_ceil(parts);
+    let mut shards = Vec::with_capacity(parts as usize);
+    let mut start = 0u32;
+    let mut acc = 0u64;
+    for a in 0..nl {
+        acc += start_vertex_work(g, a);
+        // Cut when the shard reached its work target, unless the shards
+        // left behind would outnumber the vertices left to place.
+        let remaining_vertices = (nl - a - 1) as u64;
+        let remaining_shards = parts - shards.len() as u64 - 1;
+        if acc >= target && remaining_shards <= remaining_vertices {
+            shards.push(start..a + 1);
+            start = a + 1;
+            acc = 0;
+        }
+    }
+    if start < nl {
+        shards.push(start..nl);
+    }
+    shards
+}
+
+/// Runs `work` over every shard on `threads` workers and returns the
+/// per-shard results **in shard order**, regardless of which worker ran
+/// which shard. Workers pull shards from a shared counter, so a
+/// mis-estimated heavy shard only occupies one of them.
+fn run_sharded<T: Send>(
+    g: &UncertainBipartiteGraph,
+    threads: usize,
+    shards: &[Range<u32>],
+    work: impl Fn(Range<u32>, &mut WedgeScratch) -> T + Sync,
+) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(shards.len()).max(1);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, work) = (&next, &work);
+                scope.spawn(move || {
+                    let mut scratch = WedgeScratch::new(g.num_left());
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(shard) = shards.get(i) else { break };
+                        out.push((i, work(shard.clone(), &mut scratch)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("listing worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Parallel backbone butterfly enumeration: bit-identical (content *and*
+/// order) to [`crate::enumerate_backbone_butterflies`] at every thread
+/// count.
+pub fn enumerate_backbone_butterflies_parallel(
+    g: &UncertainBipartiteGraph,
+    threads: usize,
+) -> Vec<Butterfly> {
+    if threads.max(1) == 1 {
+        let mut out = Vec::new();
+        for_each_sequential(g, |b| out.push(b));
+        return out;
+    }
+    let shards = listing_shards(g, threads * SHARDS_PER_THREAD);
+    let buffers = run_sharded(g, threads, &shards, |shard, scratch| {
+        let mut buf = Vec::new();
+        for a in shard {
+            for_each_from_start(g, a, scratch, &mut |b| buf.push(b));
+        }
+        buf
+    });
+    let mut out = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
+    for buf in buffers {
+        out.extend(buf);
+    }
+    out
+}
+
+/// Parallel backbone butterfly count: equals
+/// [`crate::count_backbone_butterflies`] at every thread count.
+pub fn count_backbone_butterflies_parallel(g: &UncertainBipartiteGraph, threads: usize) -> u64 {
+    if threads.max(1) == 1 {
+        let mut scratch = WedgeScratch::new(g.num_left());
+        return (0..g.num_left() as u32)
+            .map(|a| count_from_start(g, a, &mut scratch))
+            .sum();
+    }
+    let shards = listing_shards(g, threads * SHARDS_PER_THREAD);
+    run_sharded(g, threads, &shards, |shard, scratch| {
+        shard.map(|a| count_from_start(g, a, scratch)).sum::<u64>()
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Builds the [`CandidateSet`] of the **entire backbone** in parallel:
+/// each worker lists its shard and precomputes candidate attributes
+/// (edge ids, weight, existence probability); buffers merge in shard
+/// order and the final weight sort uses the same total order as
+/// [`CandidateSet::from_butterflies`], so candidate *indices* are
+/// byte-identical to the sequential build at every thread count.
+pub fn backbone_candidate_set(g: &UncertainBipartiteGraph, threads: usize) -> CandidateSet {
+    let shards = listing_shards(g, threads.max(1) * SHARDS_PER_THREAD);
+    let buffers = run_sharded(g, threads.max(1), &shards, |shard, scratch| {
+        let mut buf: Vec<Candidate> = Vec::new();
+        for a in shard {
+            for_each_from_start(g, a, scratch, &mut |b| {
+                let edges = b.edges(g).expect("listed butterfly is in the backbone");
+                buf.push(Candidate {
+                    butterfly: b,
+                    weight: b.weight(g).expect("edges exist"),
+                    edges,
+                    existence_prob: b.existence_prob(g).expect("edges exist"),
+                });
+            });
+        }
+        buf
+    });
+    let mut candidates = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
+    for buf in buffers {
+        candidates.extend(buf);
+    }
+    // Listing emits each butterfly exactly once: no dedup pass needed.
+    CandidateSet::from_unique_candidates(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterfly::enumerate_backbone_butterflies;
+    use bigraph::GraphBuilder;
+
+    fn fig1() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    fn k33_distinct_weights() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                b.add_edge(Left(u), Right(v), (3 * u + v) as f64, 0.5)
+                    .unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shards_partition_all_start_vertices() {
+        let g = k33_distinct_weights();
+        for parts in [1, 2, 3, 7, 100] {
+            let shards = listing_shards(&g, parts);
+            assert!(shards.len() <= parts.min(g.num_left()));
+            let mut expect = 0u32;
+            for s in &shards {
+                assert_eq!(s.start, expect, "parts={parts}");
+                assert!(!s.is_empty());
+                expect = s.end;
+            }
+            assert_eq!(expect, g.num_left() as u32);
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_shards_or_butterflies() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert!(listing_shards(&g, 4).is_empty());
+        assert!(enumerate_backbone_butterflies_parallel(&g, 4).is_empty());
+        assert_eq!(count_backbone_butterflies_parallel(&g, 4), 0);
+        assert!(backbone_candidate_set(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential_order() {
+        for g in [fig1(), k33_distinct_weights()] {
+            let seq = enumerate_backbone_butterflies(&g);
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(
+                    enumerate_backbone_butterflies_parallel(&g, threads),
+                    seq,
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    count_backbone_butterflies_parallel(&g, threads),
+                    seq.len() as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_candidate_set_is_byte_identical() {
+        let g = k33_distinct_weights();
+        let seq = CandidateSet::from_butterflies(&g, enumerate_backbone_butterflies(&g));
+        for threads in [1, 2, 3, 8] {
+            let par = backbone_candidate_set(&g, threads);
+            assert_eq!(par.len(), seq.len());
+            for i in 0..seq.len() {
+                let (a, b) = (seq.get(i), par.get(i));
+                assert_eq!(a.butterfly, b.butterfly, "index {i} threads {threads}");
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+                assert_eq!(a.edges, b.edges);
+                assert_eq!(a.existence_prob.to_bits(), b.existence_prob.to_bits());
+                assert_eq!(seq.larger_count(i), par.larger_count(i));
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_reference_agrees_with_wedge_kernel() {
+        // The original O(|L|²) pair-merge enumeration, kept as a test
+        // oracle for the wedge kernel's order guarantee.
+        let g = k33_distinct_weights();
+        let mut reference = Vec::new();
+        let nl = g.num_left() as u32;
+        for a in 0..nl {
+            for b in (a + 1)..nl {
+                let (la, lb) = (g.left_adj(Left(a)), g.left_adj(Left(b)));
+                let mut common: Vec<u32> = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < la.len() && j < lb.len() {
+                    match la[i].nbr.cmp(&lb[j].nbr) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            common.push(la[i].nbr);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                for x in 0..common.len() {
+                    for &v2 in &common[(x + 1)..] {
+                        reference.push(Butterfly::new(
+                            Left(a),
+                            Left(b),
+                            Right(common[x]),
+                            Right(v2),
+                        ));
+                    }
+                }
+            }
+        }
+        assert_eq!(enumerate_backbone_butterflies(&g), reference);
+    }
+}

@@ -19,6 +19,7 @@ use crate::estimators::karp_luby::{estimate_karp_luby, KlReport, KlTrialPolicy};
 use crate::estimators::optimized::estimate_optimized_with_observer;
 use crate::observer::{NoopObserver, TrialObserver};
 use crate::os::{OsConfig, OsEngine, SamplingOracle};
+use crate::parallel::{run_karp_luby_parallel, run_optimized_parallel};
 use bigraph::{trial_rng, LazyEdgeSampler, Side, UncertainBipartiteGraph};
 
 /// Which probability estimator the sampling phase uses.
@@ -67,6 +68,12 @@ pub struct OlsConfig {
     pub edge_ordering: bool,
     /// Middle side override for the preparing phase.
     pub middle_side: Option<Side>,
+    /// Worker threads for both phases (values ≤ 1 mean sequential).
+    /// Results are bit-identical at every thread count: the preparing
+    /// phase merges per-range trial unions in range order (the candidate
+    /// sort is a total order, so indices are stable), and the sampling
+    /// phase uses the deterministic runners in [`crate::parallel`].
+    pub threads: usize,
 }
 
 impl Default for OlsConfig {
@@ -77,6 +84,7 @@ impl Default for OlsConfig {
             estimator: EstimatorKind::default(),
             edge_ordering: true,
             middle_side: None,
+            threads: 1,
         }
     }
 }
@@ -155,6 +163,12 @@ impl OrderingListingSampling {
 
     /// Phase 1 alone: the candidate set after `prep_trials` OS trials
     /// (Algorithm 3 lines 2–4).
+    ///
+    /// With `threads > 1` the trial range is split with
+    /// [`crate::parallel::chunk_ranges`] and per-range `S_MB` unions are
+    /// merged in range order before the (total-order) candidate sort —
+    /// the result is byte-identical to the sequential build, candidate
+    /// indices included.
     pub fn prepare(&self, g: &UncertainBipartiteGraph) -> CandidateSet {
         let os_cfg = OsConfig {
             trials: self.cfg.prep_trials,
@@ -163,22 +177,36 @@ impl OrderingListingSampling {
             middle_side: self.cfg.middle_side,
             ..Default::default()
         };
-        let mut engine = OsEngine::new(g, &os_cfg);
-        let mut sampler = LazyEdgeSampler::new(g.num_edges());
-        let mut smb = Vec::new();
-        let mut union: Vec<Butterfly> = Vec::new();
-        for t in 0..self.cfg.prep_trials {
-            let mut rng = trial_rng(os_cfg.seed, t);
-            sampler.begin_trial();
-            let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-            engine.trial(&mut oracle, &mut smb);
-            union.extend_from_slice(&smb);
-        }
+        let union = if self.cfg.threads <= 1 {
+            prepare_union_range(g, &os_cfg, 0..self.cfg.prep_trials)
+        } else {
+            let ranges = crate::parallel::chunk_ranges(self.cfg.prep_trials, self.cfg.threads);
+            let os_cfg = &os_cfg;
+            let unions: Vec<Vec<Butterfly>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|range| scope.spawn(move || prepare_union_range(g, os_cfg, range)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("prepare worker panicked"))
+                    .collect()
+            });
+            // Concatenating in range order reproduces the sequential
+            // trial order (only deduplication observes it; the final
+            // sort is a total order either way).
+            unions.concat()
+        };
         CandidateSet::from_butterflies(g, union)
     }
 
     /// Phase 2 alone: probability estimation over a prepared candidate
     /// set (Algorithm 3 line 5, dispatching to Algorithm 4 or 5).
+    ///
+    /// With `threads > 1` the estimators run on the deterministic
+    /// parallel runners (identical output); per-trial observers are only
+    /// fed on the sequential path, so pass `threads: 1` when attaching
+    /// one.
     pub fn estimate(
         &self,
         g: &UncertainBipartiteGraph,
@@ -192,15 +220,25 @@ impl OrderingListingSampling {
                 kl_report: None,
             };
         }
-        match self.cfg.estimator {
-            EstimatorKind::Optimized { trials } => {
-                let distribution = estimate_optimized_with_observer(
+        let threads = self.cfg.threads.max(1);
+        let optimized = |candidates: &CandidateSet,
+                         trials: u64,
+                         observer: &mut dyn TrialObserver| {
+            if threads > 1 {
+                run_optimized_parallel(g, candidates, trials, sample_seed(self.cfg.seed), threads)
+            } else {
+                estimate_optimized_with_observer(
                     g,
-                    &candidates,
+                    candidates,
                     trials,
                     sample_seed(self.cfg.seed),
                     observer,
-                );
+                )
+            }
+        };
+        match self.cfg.estimator {
+            EstimatorKind::Optimized { trials } => {
+                let distribution = optimized(&candidates, trials, observer);
                 OlsResult {
                     distribution,
                     candidates,
@@ -208,7 +246,17 @@ impl OrderingListingSampling {
                 }
             }
             EstimatorKind::KarpLuby { policy } => {
-                let report = estimate_karp_luby(g, &candidates, policy, sample_seed(self.cfg.seed));
+                let report = if threads > 1 {
+                    run_karp_luby_parallel(
+                        g,
+                        &candidates,
+                        policy,
+                        sample_seed(self.cfg.seed),
+                        threads,
+                    )
+                } else {
+                    estimate_karp_luby(g, &candidates, policy, sample_seed(self.cfg.seed))
+                };
                 OlsResult {
                     distribution: report.distribution.clone(),
                     candidates,
@@ -225,13 +273,7 @@ impl OrderingListingSampling {
                     max_union_edges,
                 ) {
                     Ok(d) => d,
-                    Err(_) => estimate_optimized_with_observer(
-                        g,
-                        &candidates,
-                        fallback_trials,
-                        sample_seed(self.cfg.seed),
-                        observer,
-                    ),
+                    Err(_) => optimized(&candidates, fallback_trials, observer),
                 };
                 OlsResult {
                     distribution,
@@ -241,6 +283,28 @@ impl OrderingListingSampling {
             }
         }
     }
+}
+
+/// Runs preparing-phase OS trials `range` and returns the concatenated
+/// per-trial `S_MB` union, exactly as the sequential loop produces for
+/// that sub-range (per-trial RNG streams make this scheduling-free).
+fn prepare_union_range(
+    g: &UncertainBipartiteGraph,
+    os_cfg: &OsConfig,
+    range: std::ops::Range<u64>,
+) -> Vec<Butterfly> {
+    let mut engine = OsEngine::new(g, os_cfg);
+    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    let mut smb = Vec::new();
+    let mut union: Vec<Butterfly> = Vec::new();
+    for t in range {
+        let mut rng = trial_rng(os_cfg.seed, t);
+        sampler.begin_trial();
+        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
+        engine.trial(&mut oracle, &mut smb);
+        union.extend_from_slice(&smb);
+    }
+    union
 }
 
 /// Disjoint derived seeds for the two phases.
@@ -429,6 +493,42 @@ mod tests {
         let b = OrderingListingSampling::new(cfg).run(&g);
         assert_eq!(a.distribution.max_abs_diff(&b.distribution), 0.0);
         assert_eq!(a.candidates.len(), b.candidates.len());
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let g = fig1();
+        let estimators = [
+            EstimatorKind::Optimized { trials: 2_000 },
+            EstimatorKind::KarpLuby {
+                policy: KlTrialPolicy::Fixed(1_000),
+            },
+        ];
+        for estimator in estimators {
+            let base = OlsConfig {
+                prep_trials: 150,
+                seed: 9,
+                estimator,
+                ..Default::default()
+            };
+            let seq = OrderingListingSampling::new(base).run(&g);
+            for threads in [2, 3, 8] {
+                let par = OrderingListingSampling::new(OlsConfig { threads, ..base }).run(&g);
+                assert_eq!(
+                    seq.distribution.max_abs_diff(&par.distribution),
+                    0.0,
+                    "threads={threads}"
+                );
+                assert_eq!(seq.candidates.len(), par.candidates.len());
+                for i in 0..seq.candidates.len() {
+                    assert_eq!(
+                        seq.candidates.get(i).butterfly,
+                        par.candidates.get(i).butterfly,
+                        "candidate index {i} differs at threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,8 +16,17 @@ use bigraph::{
     WorldSampler,
 };
 
-/// Splits `total` trials into at most `threads` contiguous ranges.
-fn chunk_ranges(total: u64, threads: usize) -> Vec<std::ops::Range<u64>> {
+/// Splits `total` trials into at most `threads` contiguous, non-empty
+/// ranges covering `0..total` in order.
+///
+/// This is the canonical trial partition for every deterministic parallel
+/// runner in the workspace: merging per-range results *in range order*
+/// reproduces the sequential trial order exactly, so any two callers that
+/// split with this function and merge in order produce bit-identical
+/// output. External drivers (e.g. the serving daemon's cancellable
+/// runners) must use this exact function rather than reimplementing the
+/// split.
+pub fn chunk_ranges(total: u64, threads: usize) -> Vec<std::ops::Range<u64>> {
     let threads = threads.max(1) as u64;
     let per = total.div_ceil(threads);
     (0..threads)

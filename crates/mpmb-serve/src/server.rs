@@ -37,6 +37,11 @@ pub struct ServerConfig {
     pub timeout_ms: u64,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Maximum client-requested solver `threads` per request (0 = use
+    /// the worker-pool size). Requests above the cap are rejected with
+    /// 400 rather than silently clamped — results are thread-count
+    /// independent, so clamping would only hide a misconfigured client.
+    pub max_solver_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +52,7 @@ impl Default for ServerConfig {
             queue: 64,
             timeout_ms: 0,
             cache_capacity: 256,
+            max_solver_threads: 0,
         }
     }
 }
@@ -61,6 +67,9 @@ pub struct AppState {
     pub metrics: Metrics,
     /// Per-request deadline.
     pub timeout: Option<Duration>,
+    /// Resolved per-request solver thread cap (`max_solver_threads`, or
+    /// the worker-pool size when that was 0).
+    pub solver_thread_cap: usize,
     /// Raised to begin a graceful drain.
     shutdown: AtomicBool,
 }
@@ -94,6 +103,11 @@ impl Server {
             cache: ResultCache::new(cfg.cache_capacity),
             metrics: Metrics::default(),
             timeout: (cfg.timeout_ms > 0).then(|| Duration::from_millis(cfg.timeout_ms)),
+            solver_thread_cap: if cfg.max_solver_threads == 0 {
+                cfg.threads.max(1)
+            } else {
+                cfg.max_solver_threads
+            },
             shutdown: AtomicBool::new(false),
         });
 
@@ -293,7 +307,14 @@ fn handle_list_graphs(state: &AppState) -> Response {
         .iter()
         .map(|(name, entry)| graph_summary(name, entry))
         .collect();
-    Response::json(200, Json::obj([("graphs", Json::Arr(graphs))]).to_string())
+    Response::json(
+        200,
+        Json::obj([
+            ("graphs", Json::Arr(graphs)),
+            ("max_threads", Json::Num(state.solver_thread_cap as f64)),
+        ])
+        .to_string(),
+    )
 }
 
 fn handle_register_graph(state: &AppState, req: &Request) -> Response {
@@ -350,11 +371,10 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
     let trials = body.get("trials").and_then(Json::as_u64).unwrap_or(20_000);
     let prep = body.get("prep").and_then(Json::as_u64).unwrap_or(100);
     let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0x5EED);
-    let threads = body
-        .get("threads")
-        .and_then(Json::as_u64)
-        .unwrap_or(1)
-        .clamp(1, 64) as usize;
+    let threads = match solver_threads(state, &body) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
     let k = body.get("k").and_then(Json::as_u64).unwrap_or(match mode {
         SolveMode::Solve => 0,
         SolveMode::TopK => 5,
@@ -498,7 +518,7 @@ fn run_method(
                 seed,
                 ..Default::default()
             };
-            let (cands, prep_done) = solve::run_ols_prepare(g, &cfg, cancel);
+            let (cands, prep_done) = solve::run_ols_prepare(g, &cfg, threads, cancel);
             if prep_done < prep {
                 return Ok(MethodRun {
                     distribution: Distribution::new(),
@@ -621,10 +641,15 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
     };
     let trials = body.get("trials").and_then(Json::as_u64).unwrap_or(2_000);
     let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0x5EED);
+    let threads = match solver_threads(state, &body) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
     if trials == 0 {
         return Response::error(400, "trials must be positive");
     }
 
+    // Thread count is excluded: parallel runs are bit-identical.
     let key = format!("count|{name}|{trials}|{seed}");
     if let Some(hit) = state.cache.get(&key) {
         state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -644,7 +669,7 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
             return Response::error(503, "deadline exceeded");
         }
     }
-    let dist = mpmb_core::sample_count_distribution(&entry.graph, trials, seed);
+    let dist = mpmb_core::sample_count_distribution_parallel(&entry.graph, trials, seed, threads);
     state
         .metrics
         .trials_executed
@@ -662,6 +687,37 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
 }
 
 // --- small shared helpers -------------------------------------------------
+
+/// Validates the request-body `threads` field against the server's cap.
+/// Absent means 1; zero or above-cap values are 400s, with the cap
+/// reported in the error body so clients can self-correct.
+fn solver_threads(state: &AppState, body: &Json) -> Result<usize, Response> {
+    let cap = state.solver_thread_cap;
+    match body.get("threads").and_then(Json::as_u64) {
+        None => Ok(1),
+        Some(0) => Err(Response::json(
+            400,
+            Json::obj([
+                ("error", Json::Str("threads must be at least 1".to_string())),
+                ("max_threads", Json::Num(cap as f64)),
+            ])
+            .to_string(),
+        )),
+        Some(t) if t > cap as u64 => Err(Response::json(
+            400,
+            Json::obj([
+                (
+                    "error",
+                    Json::Str(format!("threads {t} exceeds this server's limit of {cap}")),
+                ),
+                ("max_threads", Json::Num(cap as f64)),
+                ("requested", Json::Num(t as f64)),
+            ])
+            .to_string(),
+        )),
+        Some(t) => Ok(t as usize),
+    }
+}
 
 fn parse_body(req: &Request) -> Result<Json, Response> {
     let text =

@@ -13,7 +13,8 @@
 //!
 //! * `os`, `mcvp`, optimized OLS phase 2, and `/v1/query` — per trial
 //!   block ([`CHECK_EVERY`]).
-//! * OLS phase 1 (preparing) — per trial block.
+//! * OLS phase 1 (preparing) — per worker range start, then per trial
+//!   block within the range.
 //! * Karp-Luby (`ols-kl`) — phase boundary only: once phase 2 starts it
 //!   runs to completion, because its per-candidate trial counts are part
 //!   of the deterministic result.
@@ -23,7 +24,9 @@ use bigraph::{
     WorldSampler,
 };
 use mpmb_core::mcvp::smb_of_world;
-use mpmb_core::{CandidateSet, McVpConfig, OsConfig, OsEngine, SamplingOracle, Tally};
+use mpmb_core::{
+    chunk_ranges, CandidateSet, McVpConfig, OsConfig, OsEngine, SamplingOracle, Tally,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
@@ -80,18 +83,9 @@ impl PartialRun {
     }
 }
 
-/// Same contiguous split as `mpmb_core::parallel::chunk_ranges` — the
-/// ranges must match for bit-identical merges.
-fn chunk_ranges(total: u64, threads: usize) -> Vec<std::ops::Range<u64>> {
-    let threads = threads.max(1) as u64;
-    let per = total.div_ceil(threads);
-    (0..threads)
-        .map(|i| (i * per).min(total)..((i + 1) * per).min(total))
-        .filter(|r| !r.is_empty())
-        .collect()
-}
-
-/// Runs per-range worker closures and merges their tallies.
+/// Runs per-range worker closures and merges their tallies. Ranges come
+/// from [`mpmb_core::chunk_ranges`] — the same split the core parallel
+/// runners use, which is what makes completed runs bit-identical.
 fn run_chunked<F>(trials: u64, threads: usize, cancel: &Cancel, worker: F) -> PartialRun
 where
     F: Fn(std::ops::Range<u64>, &Cancel) -> Tally + Sync,
@@ -217,11 +211,19 @@ pub fn run_optimized(
 }
 
 /// Cancellable OLS preparing phase; bit-identical to
-/// [`mpmb_core::OrderingListingSampling::prepare`] when it completes.
-/// Returns the candidate set plus how many preparing trials ran.
+/// [`mpmb_core::OrderingListingSampling::prepare`] when it completes,
+/// at every thread count. Returns the candidate set plus how many
+/// preparing trials ran.
+///
+/// Each worker owns a contiguous trial range ([`mpmb_core::chunk_ranges`])
+/// and checks the deadline at its range start and then every
+/// [`CHECK_EVERY`] trials; partial per-range unions still merge in range
+/// order, so a cancelled run reports a usable (if under-sampled)
+/// candidate set along with the exact number of trials that ran.
 pub fn run_ols_prepare(
     g: &UncertainBipartiteGraph,
     cfg: &mpmb_core::OlsConfig,
+    threads: usize,
     cancel: &Cancel,
 ) -> (CandidateSet, u64) {
     let os_cfg = OsConfig {
@@ -231,21 +233,46 @@ pub fn run_ols_prepare(
         middle_side: cfg.middle_side,
         ..Default::default()
     };
-    let mut engine = OsEngine::new(g, &os_cfg);
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut smb = Vec::new();
+    let worker = |range: std::ops::Range<u64>| -> (Vec<mpmb_core::Butterfly>, u64) {
+        let mut engine = OsEngine::new(g, &os_cfg);
+        let mut sampler = LazyEdgeSampler::new(g.num_edges());
+        let mut smb = Vec::new();
+        let mut union: Vec<mpmb_core::Butterfly> = Vec::new();
+        let mut done = 0u64;
+        for t in range.clone() {
+            if (t - range.start).is_multiple_of(CHECK_EVERY) && cancel.expired() {
+                break;
+            }
+            let mut rng = trial_rng(os_cfg.seed, t);
+            sampler.begin_trial();
+            let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
+            engine.trial(&mut oracle, &mut smb);
+            union.extend_from_slice(&smb);
+            done += 1;
+        }
+        (union, done)
+    };
+    let ranges = chunk_ranges(cfg.prep_trials, threads);
+    let parts: Vec<(Vec<mpmb_core::Butterfly>, u64)> = if threads.max(1) == 1 {
+        ranges.into_iter().map(worker).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || worker(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prepare worker panicked"))
+                .collect()
+        })
+    };
     let mut union: Vec<mpmb_core::Butterfly> = Vec::new();
     let mut done = 0u64;
-    for t in 0..cfg.prep_trials {
-        if t % CHECK_EVERY == 0 && cancel.expired() {
-            break;
-        }
-        let mut rng = trial_rng(os_cfg.seed, t);
-        sampler.begin_trial();
-        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-        engine.trial(&mut oracle, &mut smb);
-        union.extend_from_slice(&smb);
-        done = t + 1;
+    for (part, part_done) in parts {
+        union.extend(part);
+        done += part_done;
     }
     (CandidateSet::from_butterflies(g, union), done)
 }
@@ -371,7 +398,7 @@ mod tests {
             ..Default::default()
         };
         let core = OrderingListingSampling::new(cfg).run(&g);
-        let (cands, prep_done) = run_ols_prepare(&g, &cfg, &no_deadline());
+        let (cands, prep_done) = run_ols_prepare(&g, &cfg, 1, &no_deadline());
         assert_eq!(prep_done, 150);
         let run = run_optimized(&g, &cands, 20_000, cfg.sample_seed(), 2, &no_deadline());
         assert!(run.completed());
@@ -394,6 +421,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_prepare_matches_sequential_candidate_indices() {
+        let g = fig1();
+        let cfg = OlsConfig {
+            prep_trials: 150,
+            seed: 21,
+            ..Default::default()
+        };
+        let seq = OrderingListingSampling::new(cfg).prepare(&g);
+        for threads in [1, 2, 3, 8] {
+            let (par, done) = run_ols_prepare(&g, &cfg, threads, &no_deadline());
+            assert_eq!(done, 150, "threads={threads}");
+            assert_eq!(par.len(), seq.len());
+            for i in 0..seq.len() {
+                assert_eq!(par.get(i).butterfly, seq.get(i).butterfly, "index {i}");
+                assert_eq!(par.get(i).weight.to_bits(), seq.get(i).weight.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_parallel_prepare_reports_partial_progress() {
+        let g = fig1();
+        let cfg = OlsConfig {
+            prep_trials: 1_000_000,
+            seed: 3,
+            ..Default::default()
+        };
+        let cancel = Cancel::at(Some(Instant::now()));
+        let (_, done) = run_ols_prepare(&g, &cfg, 4, &cancel);
+        // Each worker stops at a deadline check, so at most
+        // CHECK_EVERY trials run per worker range.
+        assert!(done < cfg.prep_trials);
+    }
+
+    #[test]
     fn expired_deadline_yields_partial_run() {
         let g = fig1();
         // A deadline that is already due: workers stop at their first
@@ -408,6 +470,25 @@ mod tests {
         assert!(!run.completed());
         assert!(run.trials_done < cfg.trials);
         assert_eq!(run.trials_requested, 1_000_000);
+    }
+
+    #[test]
+    fn chunk_split_is_the_core_one() {
+        // The split used here IS mpmb_core::chunk_ranges (single
+        // definition since the duplicate was removed); check the
+        // properties the bit-identical merge relies on from this side
+        // too: in-order, gapless, complete coverage.
+        for (total, threads) in [(10u64, 3usize), (1, 8), (100, 1), (0, 4), (1_000_000, 7)] {
+            let ranges = chunk_ranges(total, threads);
+            assert!(ranges.len() <= threads.max(1));
+            let mut expect_start = 0u64;
+            for r in &ranges {
+                assert_eq!(r.start, expect_start, "total={total} threads={threads}");
+                assert!(!r.is_empty());
+                expect_start = r.end;
+            }
+            assert_eq!(expect_start, total);
+        }
     }
 
     #[test]

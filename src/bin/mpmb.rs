@@ -6,12 +6,13 @@
 //!               [--threads N]
 //! mpmb exact    --input G.tsv [--max-uncertain N] [--top-k K]
 //! mpmb query    --input G.tsv --u1 A --u2 B --v1 C --v2 D [--trials N] [--seed N]
-//! mpmb count    --input G.tsv [--trials N] [--seed N]
+//! mpmb count    --input G.tsv [--trials N] [--seed N] [--threads N]
 //! mpmb stats    --input G.tsv
 //! mpmb generate --dataset abide|movielens|jester|protein --scale F
 //!               [--seed N] [--output FILE]
 //! mpmb serve    [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
-//!               [--cache-capacity N] [--graph NAME=SPEC]...
+//!               [--cache-capacity N] [--max-solver-threads N]
+//!               [--graph NAME=SPEC]...
 //! mpmb loadgen  [--target ADDR] [--requests N] [--concurrency N]
 //!               [--graph NAME] [--method M] [--trials N] [--seed N]
 //!               [--vary-seed [true|false]]
@@ -23,7 +24,7 @@
 
 use datasets::Dataset;
 use mpmb::prelude::*;
-use mpmb_core::{run_os_parallel, top_k_diverse, Distribution};
+use mpmb_core::{run_mcvp_parallel, run_os_parallel, top_k_diverse, Distribution};
 use std::process::exit;
 
 const USAGE: &str = "usage: mpmb <subcommand> [--flag value]...
@@ -32,12 +33,14 @@ subcommands:
   solve     estimate the MPMB of an edge-list graph
             --input FILE  [--method os|mcvp|ols|ols-kl] [--trials N] [--prep N]
             [--seed N] [--top-k K] [--diverse MAX_SHARED] [--threads N]
+            (--threads applies to every method; results are identical at
+            any thread count)
   exact     exact distribution by possible-world enumeration
             --input FILE  [--max-uncertain N] [--top-k K]
   query     conditioned P(B) estimate for one butterfly
             --input FILE  --u1 A --u2 B --v1 C --v2 D  [--trials N] [--seed N]
   count     butterfly-count distribution over possible worlds
-            --input FILE  [--trials N] [--seed N]
+            --input FILE  [--trials N] [--seed N] [--threads N]
   stats     structural statistics of a graph
             --input FILE
   generate  synthetic Table III stand-in datasets
@@ -45,7 +48,8 @@ subcommands:
             [--output FILE]
   serve     long-running HTTP query daemon (see docs/SERVING.md)
             [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
-            [--cache-capacity N] [--graph NAME=SPEC]...
+            [--cache-capacity N] [--max-solver-threads N]
+            [--graph NAME=SPEC]...
   loadgen   closed-loop load generator against a running daemon
             [--target ADDR] [--requests N] [--concurrency N] [--graph NAME]
             [--method M] [--trials N] [--seed N] [--vary-seed [true|false]]
@@ -190,6 +194,8 @@ fn cmd_solve(flags: &Flags) {
     });
     let threads: usize = flags.get_parsed("threads", 1);
 
+    // Every method honors --threads; results are bit-identical to the
+    // sequential run at any thread count.
     let dist = match method {
         "os" => {
             let cfg = OsConfig {
@@ -203,12 +209,20 @@ fn cmd_solve(flags: &Flags) {
                 OrderingSampling::new(cfg).run(&g)
             }
         }
-        "mcvp" => McVp::new(McVpConfig { trials, seed }).run(&g),
+        "mcvp" => {
+            let cfg = McVpConfig { trials, seed };
+            if threads > 1 {
+                run_mcvp_parallel(&g, &cfg, threads)
+            } else {
+                McVp::new(cfg).run(&g)
+            }
+        }
         "ols" => {
             OrderingListingSampling::new(OlsConfig {
                 prep_trials: prep,
                 seed,
                 estimator: EstimatorKind::Optimized { trials },
+                threads,
                 ..Default::default()
             })
             .run(&g)
@@ -221,6 +235,7 @@ fn cmd_solve(flags: &Flags) {
                 estimator: EstimatorKind::KarpLuby {
                     policy: KlTrialPolicy::Fixed(trials),
                 },
+                threads,
                 ..Default::default()
             })
             .run(&g)
@@ -280,12 +295,13 @@ fn cmd_query(flags: &Flags) {
 }
 
 fn cmd_count(flags: &Flags) {
-    flags.expect(&["input", "trials", "seed"]);
+    flags.expect(&["input", "trials", "seed", "threads"]);
     let g = load(flags);
     let trials: u64 = flags.get_parsed("trials", 5_000);
     let seed: u64 = flags.get_parsed("seed", 42);
+    let threads: usize = flags.get_parsed("threads", 1);
     let expect = bigraph::expected::expected_butterfly_count(&g);
-    let d = mpmb_core::sample_count_distribution(&g, trials, seed);
+    let d = mpmb_core::sample_count_distribution_parallel(&g, trials, seed, threads);
     println!("expected butterflies (closed form) = {expect:.4}");
     println!(
         "sampled mean = {:.4}  variance = {:.4}  ({} trials)",
@@ -355,6 +371,7 @@ fn cmd_serve(flags: &Flags) {
         "queue",
         "timeout-ms",
         "cache-capacity",
+        "max-solver-threads",
         "graph",
     ]);
     let cfg = mpmb_serve::ServerConfig {
@@ -363,6 +380,7 @@ fn cmd_serve(flags: &Flags) {
         queue: flags.get_parsed("queue", 64),
         timeout_ms: flags.get_parsed("timeout-ms", 0),
         cache_capacity: flags.get_parsed("cache-capacity", 256),
+        max_solver_threads: flags.get_parsed("max-solver-threads", 0),
     };
     mpmb_serve::signal::install();
     let server = mpmb_serve::Server::start(cfg)
