@@ -1,0 +1,263 @@
+//! `solver_bench` — trial-engine throughput benchmark: every sampler
+//! (os, mcvp, ols, ols-kl) through the unified `Executor` at several
+//! thread counts, as machine-readable JSON (`BENCH_solvers.json` in CI).
+//!
+//! ```text
+//! solver_bench [--dataset NAME] [--scale F] [--seed N]
+//!              [--threads LIST] [--trials N] [--prep N] [--repeats N]
+//!
+//! --dataset   abide | movielens | jester | protein (default: movielens)
+//! --scale     generation scale, 1.0 = Table III size (default: the
+//!             laptop-scale default for the dataset)
+//! --seed      solver seed (default 42; also the generation seed)
+//! --threads   comma-separated thread counts (default 1,4,8)
+//! --trials    sampling-phase trials per solver (default 20000)
+//! --prep      OLS preparing-phase trials (default 200)
+//! --repeats   timing repeats per configuration; min is reported (default 3)
+//! ```
+//!
+//! Every parallel run is checked against the sequential distribution
+//! (`identical` in the output) — the executor's contract is that thread
+//! count never changes a byte of the answer, so a "speedup" that fails
+//! the check would be a correctness bug, not a win.
+
+use bench::default_scale;
+use datasets::Dataset;
+use mpmb_core::{
+    Cancel, Distribution, EstimatorKind, Executor, KlTrialPolicy, McVpConfig, McVpTrials,
+    OlsConfig, OrderingListingSampling, OsConfig, OsTrials,
+};
+use std::time::Instant;
+
+struct Args {
+    dataset: Dataset,
+    scale: Option<f64>,
+    seed: u64,
+    threads: Vec<usize>,
+    trials: u64,
+    prep: u64,
+    repeats: u32,
+}
+
+const HELP: &str =
+    "solver_bench [--dataset abide|movielens|jester|protein] [--scale F] [--seed N] \
+[--threads LIST] [--trials N] [--prep N] [--repeats N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: Dataset::MovieLens,
+        scale: None,
+        seed: 42,
+        threads: vec![1, 4, 8],
+        trials: 20_000,
+        prep: 200,
+        repeats: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--dataset" => {
+                let name = value("--dataset")?;
+                args.dataset = match name.to_ascii_lowercase().as_str() {
+                    "abide" => Dataset::Abide,
+                    "movielens" => Dataset::MovieLens,
+                    "jester" => Dataset::Jester,
+                    "protein" => Dataset::Protein,
+                    other => return Err(format!("unknown dataset `{other}`")),
+                };
+            }
+            "--scale" => {
+                args.scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.threads.is_empty() {
+                    return Err("--threads needs at least one count".into());
+                }
+            }
+            "--trials" => {
+                args.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+                if args.trials == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+            }
+            "--prep" => {
+                args.prep = value("--prep")?
+                    .parse()
+                    .map_err(|e| format!("--prep: {e}"))?
+            }
+            "--repeats" => {
+                args.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+                if args.repeats == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+const METHODS: [&str; 4] = ["os", "mcvp", "ols", "ols-kl"];
+
+/// One solver pass on `threads` workers; returns the distribution and
+/// the total executor trials it ran (for the trials/sec figure).
+fn run_method(
+    g: &bigraph::UncertainBipartiteGraph,
+    method: &str,
+    args: &Args,
+    threads: usize,
+) -> (Distribution, u64) {
+    let (trials, prep, seed) = (args.trials, args.prep, args.seed);
+    match method {
+        "os" => {
+            let cfg = OsConfig {
+                trials,
+                seed,
+                ..Default::default()
+            };
+            let dist = Executor::new(threads)
+                .run(&OsTrials::new(g, &cfg), trials, &Cancel::never())
+                .acc
+                .into_distribution();
+            (dist, trials)
+        }
+        "mcvp" => {
+            let cfg = McVpConfig { trials, seed };
+            let dist = Executor::new(threads)
+                .run(&McVpTrials::new(g, &cfg), trials, &Cancel::never())
+                .acc
+                .into_distribution();
+            (dist, trials)
+        }
+        "ols" => {
+            let res = OrderingListingSampling::new(OlsConfig {
+                prep_trials: prep,
+                seed,
+                estimator: EstimatorKind::Optimized { trials },
+                threads,
+                ..Default::default()
+            })
+            .run(g);
+            (res.distribution, prep + trials)
+        }
+        "ols-kl" => {
+            let res = OrderingListingSampling::new(OlsConfig {
+                prep_trials: prep,
+                seed,
+                estimator: EstimatorKind::KarpLuby {
+                    policy: KlTrialPolicy::Fixed(trials),
+                },
+                threads,
+                ..Default::default()
+            })
+            .run(g);
+            let consumed: u64 = res
+                .kl_report
+                .as_ref()
+                .map(|r| r.trials_per_candidate.iter().sum())
+                .unwrap_or(0);
+            (res.distribution, prep + consumed)
+        }
+        other => unreachable!("unknown method {other}"),
+    }
+}
+
+/// Minimum wall-clock seconds over `repeats` runs, plus the last result.
+fn time_min<F: FnMut() -> (Distribution, u64)>(repeats: u32, mut f: F) -> (f64, Distribution, u64) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    let (dist, trials) = last.expect("repeats >= 1");
+    (best, dist, trials)
+}
+
+/// Distribution equality: same support, zero maximum deviation.
+fn identical(a: &Distribution, b: &Distribution) -> bool {
+    a.len() == b.len() && a.max_abs_diff(b) == 0.0
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let scale = args.scale.unwrap_or_else(|| default_scale(args.dataset));
+    let g = args.dataset.generate(scale, args.seed);
+
+    let mut methods_json = Vec::new();
+    for method in METHODS {
+        let (seq_secs, seq_dist, seq_trials) =
+            time_min(args.repeats, || run_method(&g, method, &args, 1));
+        let mut runs = Vec::new();
+        for &threads in &args.threads {
+            let (secs, dist, trials) =
+                time_min(args.repeats, || run_method(&g, method, &args, threads));
+            runs.push(format!(
+                "      {{\"threads\": {}, \"secs\": {:.6}, \"trials_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}, \"identical\": {}}}",
+                threads,
+                secs,
+                trials as f64 / secs,
+                seq_secs / secs,
+                identical(&seq_dist, &dist)
+            ));
+        }
+        methods_json.push(format!(
+            "    {{\n      \"method\": \"{}\",\n      \"trials\": {},\n      \
+             \"sequential\": {{\"secs\": {:.6}, \"trials_per_sec\": {:.1}}},\n      \
+             \"runs\": [\n{}\n      ]\n    }}",
+            method,
+            seq_trials,
+            seq_secs,
+            seq_trials as f64 / seq_secs,
+            runs.join(",\n")
+        ));
+    }
+
+    println!("{{");
+    println!("  \"phase\": \"solvers\",");
+    println!("  \"dataset\": \"{}\",", args.dataset.name());
+    println!("  \"scale\": {scale},");
+    println!("  \"seed\": {},", args.seed);
+    println!(
+        "  \"graph\": {{\"left\": {}, \"right\": {}, \"edges\": {}}},",
+        g.num_left(),
+        g.num_right(),
+        g.num_edges()
+    );
+    println!("  \"methods\": [");
+    println!("{}", methods_json.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -12,8 +12,10 @@
 use crate::bounds::mc_trial_lower_bound;
 use crate::butterfly::Butterfly;
 use crate::distribution::{Distribution, Tally};
-use crate::os::{OsConfig, OsEngine, SamplingOracle};
-use bigraph::{trial_rng, LazyEdgeSampler, UncertainBipartiteGraph};
+use crate::engine::{Cancel, Executor, TrialEngine};
+use crate::observer::NoopObserver;
+use crate::os::{OsConfig, OsTrials};
+use bigraph::UncertainBipartiteGraph;
 
 /// Configuration for [`run_os_adaptive`].
 #[derive(Clone, Copy, Debug)]
@@ -72,23 +74,28 @@ pub fn run_os_adaptive(g: &UncertainBipartiteGraph, cfg: &AdaptiveConfig) -> Ada
         "trial counts must be positive"
     );
 
-    let mut engine = OsEngine::new(g, &cfg.os);
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    // The adaptive stream is keyed by cfg.seed (not cfg.os.seed), batch
+    // after batch on the one trial engine.
+    let os = OsTrials::new(
+        g,
+        &OsConfig {
+            seed: cfg.seed,
+            ..cfg.os
+        },
+    );
+    let executor = Executor::new(1);
     let mut tally = Tally::new();
-    let mut smb = Vec::new();
     let mut satisfied = false;
 
     let mut t = 0u64;
     while t < cfg.max_trials {
         let stop_at = (t + cfg.batch).min(cfg.max_trials);
-        while t < stop_at {
-            let mut rng = trial_rng(cfg.seed, t);
-            sampler.begin_trial();
-            let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-            engine.trial(&mut oracle, &mut smb);
-            tally.record_trial(smb.iter());
-            t += 1;
+        for (acc, done) in executor.run_range(&os, t..stop_at, &Cancel::never(), &mut NoopObserver)
+        {
+            debug_assert_eq!(done, t..stop_at);
+            os.merge(&mut tally, acc);
         }
+        t = stop_at;
         // Stopping rule: enough trials for the running MPMB estimate?
         if let Some((_, count)) = running_argmax(&tally) {
             let mu = count as f64 / t as f64;

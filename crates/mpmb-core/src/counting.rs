@@ -8,6 +8,8 @@
 //! empirical PMF), cross-checkable against the closed-form expectation in
 //! [`bigraph::expected`].
 
+use crate::engine::{Cancel, Executor, TrialEngine};
+use crate::observer::TrialObserver;
 use bigraph::fx::FxHashMap;
 use bigraph::{trial_rng, LazyEdgeSampler, Right, UncertainBipartiteGraph};
 use rand::Rng;
@@ -47,8 +49,8 @@ pub fn sample_count_distribution(
     sample_count_distribution_parallel(g, trials, seed, 1)
 }
 
-/// Multi-threaded [`sample_count_distribution`]: the trial range is split
-/// with [`crate::parallel::chunk_ranges`] and per-range histograms are
+/// Multi-threaded [`sample_count_distribution`]: runs on the
+/// [`Executor`](crate::engine::Executor) with per-range histograms
 /// merged.
 ///
 /// Bit-identical to the sequential run at every thread count: per-trial
@@ -63,28 +65,18 @@ pub fn sample_count_distribution_parallel(
     threads: usize,
 ) -> CountDistribution {
     assert!(trials > 0, "trials must be positive");
-    let histogram = if threads.max(1) == 1 {
-        histogram_of_range(g, seed, 0..trials)
-    } else {
-        let ranges = crate::parallel::chunk_ranges(trials, threads);
-        let partials: Vec<FxHashMap<u64, u64>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| scope.spawn(move || histogram_of_range(g, seed, range)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("counting worker panicked"))
-                .collect()
-        });
-        let mut merged: FxHashMap<u64, u64> = FxHashMap::default();
-        for partial in partials {
-            for (count, n) in partial {
-                *merged.entry(count).or_insert(0) += n;
-            }
-        }
-        merged
-    };
+    let histogram = Executor::new(threads)
+        .run(&CountTrials::new(g, seed), trials, &Cancel::never())
+        .acc;
+    count_distribution_from_histogram(histogram, trials)
+}
+
+/// Finalizes a (possibly resumed) count histogram into the moment
+/// summary. `trials` must equal the histogram's total mass.
+pub fn count_distribution_from_histogram(
+    histogram: FxHashMap<u64, u64>,
+    trials: u64,
+) -> CountDistribution {
     let mut keys: Vec<u64> = histogram.keys().copied().collect();
     keys.sort_unstable();
     let (mut s1, mut s2) = (0.0f64, 0.0f64);
@@ -107,21 +99,55 @@ pub fn sample_count_distribution_parallel(
     }
 }
 
-/// Per-world butterfly counts for the trial sub-range, as a histogram.
-fn histogram_of_range(
-    g: &UncertainBipartiteGraph,
+/// Per-world butterfly counting as a [`TrialEngine`]: each trial samples
+/// a world lazily (derived stream `seed ^ 0xC0_17_17`) and bumps its
+/// count's histogram bucket. Histogram merges are integer additions, so
+/// accumulation order never shows in the result.
+pub struct CountTrials<'g> {
+    g: &'g UncertainBipartiteGraph,
     seed: u64,
-    range: std::ops::Range<u64>,
-) -> FxHashMap<u64, u64> {
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut histogram: FxHashMap<u64, u64> = FxHashMap::default();
-    for t in range {
-        let mut rng = trial_rng(seed ^ 0xC0_17_17, t);
+}
+
+impl<'g> CountTrials<'g> {
+    /// Builds the engine (`seed` is the caller-facing base seed).
+    pub fn new(g: &'g UncertainBipartiteGraph, seed: u64) -> Self {
+        CountTrials {
+            g,
+            seed: seed ^ 0xC0_17_17,
+        }
+    }
+}
+
+impl TrialEngine for CountTrials<'_> {
+    type Acc = FxHashMap<u64, u64>;
+    type Scratch = LazyEdgeSampler;
+
+    fn new_acc(&self) -> Self::Acc {
+        FxHashMap::default()
+    }
+
+    fn new_scratch(&self) -> LazyEdgeSampler {
+        LazyEdgeSampler::new(self.g.num_edges())
+    }
+
+    fn trial(
+        &self,
+        t: u64,
+        sampler: &mut LazyEdgeSampler,
+        histogram: &mut Self::Acc,
+        _observer: &mut dyn TrialObserver,
+    ) {
+        let mut rng = trial_rng(self.seed, t);
         sampler.begin_trial();
-        let count = count_in_trial(g, &mut sampler, &mut rng);
+        let count = count_in_trial(self.g, sampler, &mut rng);
         *histogram.entry(count).or_insert(0) += 1;
     }
-    histogram
+
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc) {
+        for (count, n) in from {
+            *into.entry(count).or_insert(0) += n;
+        }
+    }
 }
 
 /// Exact variance of the butterfly count over the possible-world

@@ -1,0 +1,539 @@
+//! The single trial-execution engine behind every sampler.
+//!
+//! All of the paper's samplers — MC-VP (Alg. 1), Ordering Sampling
+//! (Alg. 2), the OLS preparing phase and both of its estimators
+//! (Alg. 4/5) — plus the counting and conditioned-query extensions share
+//! one shape: *run N independent, index-keyed trials and fold the
+//! results*. This module implements that shape exactly once.
+//!
+//! * [`TrialEngine`] is the per-method plug-in: how to run trial `t`
+//!   into an accumulator, and how to merge two accumulators.
+//! * [`Executor`] owns the loop: sequential or chunked-parallel
+//!   (via [`chunk_ranges`](crate::parallel::chunk_ranges)), observer
+//!   hooks on the sequential path, and a cooperative [`Cancel`] check
+//!   every [`CHECK_EVERY`] trials.
+//! * [`Partial`] is the resumable outcome: the accumulator plus the
+//!   exact trial ranges that ran. A cancelled run can be
+//!   [resumed](Executor::resume) — even across processes holding the
+//!   same inputs — to a final result **bit-identical** to an
+//!   uninterrupted run.
+//!
+//! # Determinism contract
+//!
+//! Engines must derive each trial's randomness from the trial index
+//! alone (`trial_rng(seed, t)` streams), never from execution order,
+//! and their `merge` must be order-insensitive up to the finalized
+//! output (integer tallies, index-tagged rows, set unions). Under that
+//! contract the executor guarantees: for any thread count, any
+//! cancellation point, and any resume schedule, completing all `N`
+//! trials yields the same bytes as one sequential pass.
+
+use crate::observer::{NoopObserver, TrialObserver};
+use crate::parallel::chunk_ranges;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Trials between cancellation checks. Small enough that a block
+/// finishes quickly even on large graphs; large enough that the
+/// `Instant::now` call is amortized away. Heavy-trial engines
+/// (Karp-Luby, where one "trial" is a whole candidate) should lower it
+/// with [`Executor::check_every`].
+pub const CHECK_EVERY: u64 = 64;
+
+/// A cooperative cancellation handle shared by every worker of a run:
+/// an optional wall-clock deadline, an optional trial budget, and a
+/// flag that latches once any of them fires (or [`Cancel::raise`] is
+/// called).
+#[derive(Debug, Default)]
+pub struct Cancel {
+    deadline: Option<Instant>,
+    budget: Option<u64>,
+    progressed: AtomicU64,
+    raised: AtomicBool,
+}
+
+impl Cancel {
+    /// A handle that never cancels.
+    pub fn never() -> Self {
+        Cancel::default()
+    }
+
+    /// A handle that cancels at `deadline` (never, if `None`).
+    pub fn at(deadline: Option<Instant>) -> Self {
+        Cancel {
+            deadline,
+            ..Cancel::default()
+        }
+    }
+
+    /// A handle that cancels once roughly `budget` trials have run
+    /// (workers report progress at block granularity, so a few more
+    /// than `budget` may complete). Deterministic — no clock involved —
+    /// which is what the cancel-and-resume tests are built on.
+    pub fn after_trials(budget: u64) -> Self {
+        Cancel {
+            budget: Some(budget),
+            ..Cancel::default()
+        }
+    }
+
+    /// Cancels now. Latches; `expired` returns true from here on.
+    pub fn raise(&self) {
+        self.raised.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether work should stop. Latches: once true, stays true.
+    pub fn expired(&self) -> bool {
+        if self.raised.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.raise();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reports `trials` newly completed trials; raises the flag once
+    /// the budget (if any) is spent. Called by executor workers at
+    /// block boundaries.
+    pub fn note_progress(&self, trials: u64) {
+        if let Some(budget) = self.budget {
+            let done = self.progressed.fetch_add(trials, Ordering::Relaxed) + trials;
+            if done >= budget {
+                self.raise();
+            }
+        }
+    }
+}
+
+/// A sampler expressed as independent, index-keyed trials.
+///
+/// The executor may run trials in any order, on any thread, in any
+/// grouping — implementations must make trial `t`'s contribution a pure
+/// function of `t` (derive RNG streams as `trial_rng(seed, t)`), and
+/// `merge` must commute up to the finalized output.
+pub trait TrialEngine: Sync {
+    /// Per-worker result accumulator (a tally, a union, tagged rows…).
+    type Acc: Send;
+    /// Per-worker scratch reused across trials (samplers, buffers).
+    type Scratch;
+
+    /// A fresh, empty accumulator.
+    fn new_acc(&self) -> Self::Acc;
+
+    /// Fresh per-worker scratch.
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Runs trial `trial_idx`, folding its outcome into `acc`. The
+    /// observer receives the trial's `S_MB` where the engine has one
+    /// (solvers); engines without a per-trial butterfly set may skip
+    /// the call.
+    fn trial(
+        &self,
+        trial_idx: u64,
+        scratch: &mut Self::Scratch,
+        acc: &mut Self::Acc,
+        observer: &mut dyn TrialObserver,
+    );
+
+    /// Folds `from` (a disjoint trial range's accumulator) into `into`.
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc);
+}
+
+/// Outcome of a (possibly cancelled) run: the merged accumulator plus
+/// the exact set of trial indices that produced it. Resumable via
+/// [`Executor::resume`]; a resumed-to-completion partial finalizes
+/// bit-identically to an uninterrupted run.
+#[derive(Clone, Debug)]
+pub struct Partial<A> {
+    /// The merged accumulator over every completed trial.
+    pub acc: A,
+    /// Completed trial ranges: sorted, disjoint, non-adjacent.
+    done: Vec<Range<u64>>,
+    trials_requested: u64,
+}
+
+impl<A> Partial<A> {
+    /// An empty partial: nothing run yet out of `trials_requested`.
+    pub fn empty(acc: A, trials_requested: u64) -> Self {
+        Partial {
+            acc,
+            done: Vec::new(),
+            trials_requested,
+        }
+    }
+
+    /// Trials the caller asked for.
+    pub fn trials_requested(&self) -> u64 {
+        self.trials_requested
+    }
+
+    /// Trials actually completed so far.
+    pub fn trials_done(&self) -> u64 {
+        self.done.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// Whether every requested trial ran.
+    pub fn completed(&self) -> bool {
+        self.trials_done() == self.trials_requested
+    }
+
+    /// The completed trial ranges (sorted, disjoint).
+    pub fn done_ranges(&self) -> &[Range<u64>] {
+        &self.done
+    }
+
+    /// The gaps still to run, in index order.
+    pub fn missing(&self) -> Vec<Range<u64>> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0u64;
+        for r in &self.done {
+            if r.start > cursor {
+                gaps.push(cursor..r.start);
+            }
+            cursor = cursor.max(r.end);
+        }
+        if cursor < self.trials_requested {
+            gaps.push(cursor..self.trials_requested);
+        }
+        gaps
+    }
+
+    /// Records `range` as completed, keeping `done` normalized.
+    fn mark_done(&mut self, range: Range<u64>) {
+        if range.is_empty() {
+            return;
+        }
+        self.done.push(range);
+        self.done.sort_by_key(|r| r.start);
+        let mut merged: Vec<Range<u64>> = Vec::with_capacity(self.done.len());
+        for r in self.done.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.end >= r.start => last.end = last.end.max(r.end),
+                _ => merged.push(r),
+            }
+        }
+        self.done = merged;
+    }
+}
+
+/// The one trial loop in the workspace: sequential or chunked-parallel
+/// execution of a [`TrialEngine`], with cancellation and resume.
+///
+/// Parallel runs split the trial range with
+/// [`chunk_ranges`](crate::parallel::chunk_ranges) — the canonical
+/// contiguous partition — and merge per-range accumulators in range
+/// order, reproducing the sequential fold exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    threads: usize,
+    check_every: u64,
+}
+
+impl Executor {
+    /// An executor running on `threads` workers (values ≤ 1 mean
+    /// sequential) with the default [`CHECK_EVERY`] cancellation
+    /// granularity.
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+            check_every: CHECK_EVERY,
+        }
+    }
+
+    /// Overrides the cancellation-check granularity (trials per block).
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn check_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "check granularity must be positive");
+        self.check_every = every;
+        self
+    }
+
+    /// The worker count this executor runs on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs trials `0..trials`, stopping early if `cancel` fires.
+    pub fn run<E: TrialEngine>(&self, engine: &E, trials: u64, cancel: &Cancel) -> Partial<E::Acc> {
+        self.run_with_observer(engine, trials, cancel, &mut NoopObserver)
+    }
+
+    /// [`Executor::run`] with a per-trial observer. Observers are fed
+    /// only on the sequential path (`threads <= 1`); parallel runs
+    /// ignore them, matching the historical solver semantics.
+    pub fn run_with_observer<E: TrialEngine>(
+        &self,
+        engine: &E,
+        trials: u64,
+        cancel: &Cancel,
+        observer: &mut dyn TrialObserver,
+    ) -> Partial<E::Acc> {
+        let mut partial = Partial::empty(engine.new_acc(), trials);
+        self.advance(engine, &mut partial, cancel, observer);
+        partial
+    }
+
+    /// Resumes a cancelled run: executes the partial's missing ranges
+    /// (until `cancel` fires) and folds them in. Completing every trial
+    /// this way yields an accumulator bit-identical to an uninterrupted
+    /// [`Executor::run`].
+    pub fn resume<E: TrialEngine>(
+        &self,
+        engine: &E,
+        partial: &mut Partial<E::Acc>,
+        cancel: &Cancel,
+    ) {
+        self.advance(engine, partial, cancel, &mut NoopObserver);
+    }
+
+    fn advance<E: TrialEngine>(
+        &self,
+        engine: &E,
+        partial: &mut Partial<E::Acc>,
+        cancel: &Cancel,
+        observer: &mut dyn TrialObserver,
+    ) {
+        for gap in partial.missing() {
+            if cancel.expired() {
+                break;
+            }
+            for (acc, done) in self.run_range(engine, gap, cancel, observer) {
+                engine.merge(&mut partial.acc, acc);
+                partial.mark_done(done);
+            }
+        }
+    }
+
+    /// Executes one contiguous trial range, split across the executor's
+    /// workers. Returns per-chunk `(accumulator, completed sub-range)`
+    /// pairs in range order. `pub(crate)` so batched drivers (the
+    /// adaptive stopping rule) can run range-at-a-time without a
+    /// private trial loop of their own.
+    pub(crate) fn run_range<E: TrialEngine>(
+        &self,
+        engine: &E,
+        range: Range<u64>,
+        cancel: &Cancel,
+        observer: &mut dyn TrialObserver,
+    ) -> Vec<(E::Acc, Range<u64>)> {
+        if range.is_empty() {
+            return Vec::new();
+        }
+        if self.threads == 1 {
+            let mut acc = engine.new_acc();
+            let mut scratch = engine.new_scratch();
+            let end = self.run_chunk(
+                engine,
+                range.clone(),
+                cancel,
+                &mut scratch,
+                &mut acc,
+                observer,
+            );
+            return vec![(acc, range.start..end)];
+        }
+        let chunks: Vec<Range<u64>> = chunk_ranges(range.end - range.start, self.threads)
+            .into_iter()
+            .map(|r| (range.start + r.start)..(range.start + r.end))
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut acc = engine.new_acc();
+                        let mut scratch = engine.new_scratch();
+                        let end = self.run_chunk(
+                            engine,
+                            chunk.clone(),
+                            cancel,
+                            &mut scratch,
+                            &mut acc,
+                            &mut NoopObserver,
+                        );
+                        (acc, chunk.start..end)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trial worker panicked"))
+                .collect()
+        })
+    }
+
+    /// One worker's loop over one contiguous chunk, checking `cancel`
+    /// every `check_every` trials. Returns the end of the completed
+    /// prefix (`chunk.start..end` ran).
+    fn run_chunk<E: TrialEngine>(
+        &self,
+        engine: &E,
+        chunk: Range<u64>,
+        cancel: &Cancel,
+        scratch: &mut E::Scratch,
+        acc: &mut E::Acc,
+        observer: &mut dyn TrialObserver,
+    ) -> u64 {
+        let mut t = chunk.start;
+        while t < chunk.end {
+            if cancel.expired() {
+                break;
+            }
+            let block_start = t;
+            let block_end = (t + self.check_every).min(chunk.end);
+            while t < block_end {
+                engine.trial(t, scratch, acc, observer);
+                t += 1;
+            }
+            cancel.note_progress(block_end - block_start);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy engine: acc is the sum of (idx+1) over completed trials
+    /// (order-insensitive), so any scheduling must produce the same sum
+    /// and `trials_done` tracks exactly which indices ran.
+    struct SumEngine;
+
+    impl TrialEngine for SumEngine {
+        type Acc = u64;
+        type Scratch = ();
+
+        fn new_acc(&self) -> u64 {
+            0
+        }
+
+        fn new_scratch(&self) {}
+
+        fn trial(&self, t: u64, _s: &mut (), acc: &mut u64, _obs: &mut dyn TrialObserver) {
+            *acc += t + 1;
+        }
+
+        fn merge(&self, into: &mut u64, from: u64) {
+            *into += from;
+        }
+    }
+
+    fn full_sum(n: u64) -> u64 {
+        n * (n + 1) / 2
+    }
+
+    #[test]
+    fn sequential_run_completes() {
+        let p = Executor::new(1).run(&SumEngine, 100, &Cancel::never());
+        assert!(p.completed());
+        assert_eq!(p.acc, full_sum(100));
+        assert_eq!(p.trials_done(), 100);
+        assert_eq!(p.done_ranges(), std::slice::from_ref(&(0..100)));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for threads in [1, 2, 3, 8, 16] {
+            let p = Executor::new(threads).run(&SumEngine, 1_000, &Cancel::never());
+            assert!(p.completed(), "threads={threads}");
+            assert_eq!(p.acc, full_sum(1_000));
+        }
+    }
+
+    #[test]
+    fn budget_cancel_then_resume_is_exact() {
+        for threads in [1, 2, 4] {
+            for budget in [1u64, 7, 64, 65, 500, 999] {
+                let exec = Executor::new(threads).check_every(16);
+                let cancel = Cancel::after_trials(budget);
+                let mut p = exec.run(&SumEngine, 1_000, &cancel);
+                assert!(p.trials_done() >= budget.min(1_000) || p.completed());
+                exec.resume(&SumEngine, &mut p, &Cancel::never());
+                assert!(p.completed(), "threads={threads} budget={budget}");
+                assert_eq!(p.acc, full_sum(1_000));
+            }
+        }
+    }
+
+    #[test]
+    fn raised_cancel_runs_nothing() {
+        let cancel = Cancel::never();
+        cancel.raise();
+        let p = Executor::new(4).run(&SumEngine, 1_000, &cancel);
+        assert_eq!(p.trials_done(), 0);
+        assert!(!p.completed());
+        assert_eq!(p.missing(), vec![0..1_000]);
+    }
+
+    #[test]
+    fn deadline_cancel_latches() {
+        let c = Cancel::at(Some(Instant::now()));
+        assert!(c.expired());
+        assert!(c.expired());
+        assert!(!Cancel::never().expired());
+    }
+
+    #[test]
+    fn zero_trials_is_complete() {
+        let p = Executor::new(4).run(&SumEngine, 0, &Cancel::never());
+        assert!(p.completed());
+        assert_eq!(p.trials_done(), 0);
+    }
+
+    #[test]
+    fn partial_bookkeeping_normalizes() {
+        let mut p: Partial<u64> = Partial::empty(0, 100);
+        p.mark_done(10..20);
+        p.mark_done(0..10);
+        p.mark_done(50..60);
+        assert_eq!(p.done_ranges(), &[0..20, 50..60]);
+        assert_eq!(p.trials_done(), 30);
+        assert_eq!(p.missing(), vec![20..50, 60..100]);
+        p.mark_done(20..50);
+        p.mark_done(60..100);
+        assert!(p.completed());
+        assert_eq!(p.done_ranges(), std::slice::from_ref(&(0..100)));
+    }
+
+    #[test]
+    fn observer_fed_only_sequentially() {
+        use crate::butterfly::Butterfly;
+        struct Count(u64);
+        impl TrialObserver for Count {
+            fn observe(&mut self, _t: u64, _s: &[Butterfly]) {
+                self.0 += 1;
+            }
+        }
+        /// Engine that reports every trial to the observer.
+        struct Observing;
+        impl TrialEngine for Observing {
+            type Acc = u64;
+            type Scratch = ();
+            fn new_acc(&self) -> u64 {
+                0
+            }
+            fn new_scratch(&self) {}
+            fn trial(&self, t: u64, _s: &mut (), acc: &mut u64, obs: &mut dyn TrialObserver) {
+                *acc += 1;
+                obs.observe(t, &[]);
+            }
+            fn merge(&self, into: &mut u64, from: u64) {
+                *into += from;
+            }
+        }
+        let mut c = Count(0);
+        Executor::new(1).run_with_observer(&Observing, 50, &Cancel::never(), &mut c);
+        assert_eq!(c.0, 50);
+        let mut c = Count(0);
+        Executor::new(4).run_with_observer(&Observing, 50, &Cancel::never(), &mut c);
+        assert_eq!(c.0, 0, "parallel runs must not feed observers");
+    }
+}

@@ -14,6 +14,8 @@
 use crate::bounds::kl_over_op_ratio;
 use crate::candidates::CandidateSet;
 use crate::distribution::Distribution;
+use crate::engine::{Cancel, Executor, TrialEngine};
+use crate::observer::TrialObserver;
 use bigraph::fx::FxHashMap;
 use bigraph::{trial_rng, EdgeId, LazyEdgeSampler, UncertainBipartiteGraph};
 use rand::Rng;
@@ -89,78 +91,194 @@ pub fn estimate_karp_luby(
     policy: KlTrialPolicy,
     seed: u64,
 ) -> KlReport {
-    let mut probs: FxHashMap<crate::butterfly::Butterfly, f64> = FxHashMap::default();
-    let mut trials_per_candidate = Vec::with_capacity(candidates.len());
-    let mut s_values = Vec::with_capacity(candidates.len());
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut max_trials = 1u64;
+    let kl = KarpLubyTrials::new(g, candidates, policy, seed);
+    let partial = Executor::new(1)
+        .check_every(1)
+        .run(&kl, kl.trials(), &Cancel::never());
+    kl.finalize(partial.acc)
+}
 
-    for i in 0..candidates.len() {
-        let cand = candidates.get(i);
-        let l_i = candidates.larger_count(i);
+/// Outcome of Algorithm 4 for one candidate: its estimated probability,
+/// the trials it consumed, and its residual mass `S_i`.
+#[derive(Clone, Copy, Debug)]
+pub struct KlCandidate {
+    /// Estimated `P(B_i)`, clamped to `[0, 1]`.
+    pub prob: f64,
+    /// Karp-Luby trials spent (0 when `S_i = 0`).
+    pub trials: u64,
+    /// `S_i = Σ_{j≤L(i)} Pr[E(B_j ∖ B_i)]`.
+    pub s_value: f64,
+}
 
-        // Residual events D_j = B_j ∖ B_i and their probabilities
-        // (Algorithm 4 lines 3–4). Impossible events (p = 0) can never
-        // occur and are excluded from the union outright.
-        let mut residuals: Vec<Vec<EdgeId>> = Vec::with_capacity(l_i);
-        let mut prefix: Vec<f64> = Vec::with_capacity(l_i);
-        let mut s_i = 0.0;
-        for j in 0..l_i {
-            let d_j = candidates.residual(j, i);
-            let p_j: f64 = g.edges_existence_prob(&d_j);
-            if p_j > 0.0 {
-                s_i += p_j;
-                residuals.push(d_j);
-                prefix.push(s_i);
-            }
+/// Runs Algorithm 4 for exactly one candidate index, with the
+/// per-`(candidate, trial)` RNG stream `trial_rng(seed ^ (0xA5A5… | i),
+/// t)` — the unit every execution mode (sequential, parallel, resumed)
+/// is built from.
+pub fn kl_single_candidate(
+    g: &UncertainBipartiteGraph,
+    candidates: &CandidateSet,
+    i: usize,
+    policy: KlTrialPolicy,
+    seed: u64,
+) -> KlCandidate {
+    let cand = candidates.get(i);
+    let l_i = candidates.larger_count(i);
+
+    // Residual events D_j = B_j ∖ B_i and their probabilities
+    // (Algorithm 4 lines 3–4). Impossible events (p = 0) can never
+    // occur and are excluded from the union outright.
+    let mut residuals: Vec<Vec<EdgeId>> = Vec::with_capacity(l_i);
+    let mut prefix: Vec<f64> = Vec::with_capacity(l_i);
+    let mut s_i = 0.0;
+    for j in 0..l_i {
+        let d_j = candidates.residual(j, i);
+        let p_j: f64 = g.edges_existence_prob(&d_j);
+        if p_j > 0.0 {
+            s_i += p_j;
+            residuals.push(d_j);
+            prefix.push(s_i);
         }
-        s_values.push(s_i);
-
-        if s_i == 0.0 {
-            // No heavier candidate can ever exist: P(B_i) = Pr[E(B_i)].
-            trials_per_candidate.push(0);
-            probs.insert(cand.butterfly, cand.existence_prob);
-            continue;
-        }
-
-        let n = policy.trials_for(cand.existence_prob, s_i).max(1);
-        trials_per_candidate.push(n);
-        max_trials = max_trials.max(n);
-        let mut cnt = 0u64;
-        for t in 0..n {
-            // Independent stream per (candidate, trial).
-            let mut rng = trial_rng(seed ^ (0xA5A5_0000_0000_0000 | i as u64), t);
-            sampler.begin_trial();
-            // Line 6: choose event j with probability Pr[E(D_j)]/S_i.
-            let x: f64 = rng.random::<f64>() * s_i;
-            let j = prefix.partition_point(|&c| c <= x).min(residuals.len() - 1);
-            // Line 7: condition on D_j present.
-            for &e in &residuals[j] {
-                sampler.force_present(e);
-            }
-            // Line 8: canonical iff no earlier event fully present.
-            let mut canonical = true;
-            'earlier: for d_k in residuals.iter().take(j) {
-                if d_k.iter().all(|&e| sampler.is_present(g, e, &mut rng)) {
-                    canonical = false;
-                    break 'earlier;
-                }
-            }
-            if canonical {
-                cnt += 1;
-            }
-        }
-        // Line 10; clamped because the unbiased estimate of
-        // 1 − S·Cnt/N can stray outside [0,1] when S_i > 1.
-        let union_est = s_i * cnt as f64 / n as f64;
-        let p = ((1.0 - union_est) * cand.existence_prob).clamp(0.0, 1.0);
-        probs.insert(cand.butterfly, p);
+    }
+    if s_i == 0.0 {
+        // No heavier candidate can ever exist: P(B_i) = Pr[E(B_i)].
+        return KlCandidate {
+            prob: cand.existence_prob,
+            trials: 0,
+            s_value: 0.0,
+        };
     }
 
-    KlReport {
-        distribution: Distribution::from_estimates(probs, max_trials),
-        trials_per_candidate,
-        s_values,
+    let n = policy.trials_for(cand.existence_prob, s_i).max(1);
+    let mut sampler = LazyEdgeSampler::new(g.num_edges());
+    let mut cnt = 0u64;
+    for t in 0..n {
+        // Independent stream per (candidate, trial).
+        let mut rng = trial_rng(seed ^ (0xA5A5_0000_0000_0000 | i as u64), t);
+        sampler.begin_trial();
+        // Line 6: choose event j with probability Pr[E(D_j)]/S_i.
+        let x: f64 = rng.random::<f64>() * s_i;
+        let j = prefix.partition_point(|&c| c <= x).min(residuals.len() - 1);
+        // Line 7: condition on D_j present.
+        for &e in &residuals[j] {
+            sampler.force_present(e);
+        }
+        // Line 8: canonical iff no earlier event fully present.
+        let mut canonical = true;
+        'earlier: for d_k in residuals.iter().take(j) {
+            if d_k.iter().all(|&e| sampler.is_present(g, e, &mut rng)) {
+                canonical = false;
+                break 'earlier;
+            }
+        }
+        if canonical {
+            cnt += 1;
+        }
+    }
+    // Line 10; clamped because the unbiased estimate of
+    // 1 − S·Cnt/N can stray outside [0,1] when S_i > 1.
+    let union_est = s_i * cnt as f64 / n as f64;
+    KlCandidate {
+        prob: ((1.0 - union_est) * cand.existence_prob).clamp(0.0, 1.0),
+        trials: n,
+        s_value: s_i,
+    }
+}
+
+/// Algorithm 4 as a [`TrialEngine`]: executor trial `t` runs *candidate*
+/// `t` end to end (its whole inner trial loop), so cancellation and
+/// resume operate at candidate granularity and the per-candidate RNG
+/// streams are untouched by scheduling. Run with
+/// [`Executor::check_every`]`(1)` — one "trial" here is heavy.
+pub struct KarpLubyTrials<'a> {
+    g: &'a UncertainBipartiteGraph,
+    candidates: &'a CandidateSet,
+    policy: KlTrialPolicy,
+    seed: u64,
+}
+
+impl<'a> KarpLubyTrials<'a> {
+    /// Builds the engine over a prepared candidate set.
+    pub fn new(
+        g: &'a UncertainBipartiteGraph,
+        candidates: &'a CandidateSet,
+        policy: KlTrialPolicy,
+        seed: u64,
+    ) -> Self {
+        KarpLubyTrials {
+            g,
+            candidates,
+            policy,
+            seed,
+        }
+    }
+
+    /// The executor trial count: one trial per candidate.
+    pub fn trials(&self) -> u64 {
+        self.candidates.len() as u64
+    }
+
+    /// Assembles the final report from a *complete* accumulator (one row
+    /// per candidate, any order).
+    ///
+    /// # Panics
+    /// Panics if `acc` does not cover every candidate exactly once.
+    pub fn finalize(&self, mut acc: Vec<(u32, KlCandidate)>) -> KlReport {
+        assert_eq!(
+            acc.len(),
+            self.candidates.len(),
+            "finalize requires a completed run"
+        );
+        acc.sort_by_key(|&(i, _)| i);
+        let mut probs: FxHashMap<crate::butterfly::Butterfly, f64> = FxHashMap::default();
+        let mut trials_per_candidate = Vec::with_capacity(acc.len());
+        let mut s_values = Vec::with_capacity(acc.len());
+        let mut max_trials = 1u64;
+        for (i, single) in acc {
+            probs.insert(self.candidates.get(i as usize).butterfly, single.prob);
+            trials_per_candidate.push(single.trials);
+            s_values.push(single.s_value);
+            max_trials = max_trials.max(single.trials);
+        }
+        KlReport {
+            distribution: Distribution::from_estimates(probs, max_trials),
+            trials_per_candidate,
+            s_values,
+        }
+    }
+
+    /// Karp-Luby trials actually consumed by the rows of a (possibly
+    /// partial) accumulator — the server reports these as `trials_done`.
+    pub fn consumed(acc: &[(u32, KlCandidate)]) -> u64 {
+        acc.iter().map(|(_, s)| s.trials).sum()
+    }
+}
+
+impl TrialEngine for KarpLubyTrials<'_> {
+    type Acc = Vec<(u32, KlCandidate)>;
+    type Scratch = ();
+
+    fn new_acc(&self) -> Self::Acc {
+        Vec::new()
+    }
+
+    fn new_scratch(&self) {}
+
+    fn trial(
+        &self,
+        t: u64,
+        _scratch: &mut (),
+        acc: &mut Self::Acc,
+        _observer: &mut dyn TrialObserver,
+    ) {
+        let i = t as usize;
+        acc.push((
+            t as u32,
+            kl_single_candidate(self.g, self.candidates, i, self.policy, self.seed),
+        ));
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc) {
+        into.extend(from);
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::butterfly::Butterfly;
 use crate::candidates::CandidateSet;
 use crate::distribution::{Distribution, Tally};
+use crate::engine::{Cancel, Executor, TrialEngine};
 use crate::observer::{NoopObserver, TrialObserver};
 use bigraph::{trial_rng, LazyEdgeSampler, UncertainBipartiteGraph};
 
@@ -32,15 +33,61 @@ pub fn estimate_optimized_with_observer(
     observer: &mut dyn TrialObserver,
 ) -> Distribution {
     assert!(trials > 0, "trials must be positive");
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut tally = Tally::new();
-    let mut smb: Vec<Butterfly> = Vec::new();
-    for t in 0..trials {
-        let mut rng = trial_rng(seed, t);
+    Executor::new(1)
+        .run_with_observer(
+            &OptimizedTrials::new(g, candidates, seed),
+            trials,
+            &Cancel::never(),
+            observer,
+        )
+        .acc
+        .into_distribution()
+}
+
+/// Algorithm 5's shared trial as a [`TrialEngine`]: scan candidates in
+/// weight order, sample their edges lazily (memoized within the trial),
+/// stop below the first existing weight class, tally the survivors.
+pub struct OptimizedTrials<'a> {
+    g: &'a UncertainBipartiteGraph,
+    candidates: &'a CandidateSet,
+    seed: u64,
+}
+
+impl<'a> OptimizedTrials<'a> {
+    /// Builds the engine over a prepared candidate set.
+    pub fn new(g: &'a UncertainBipartiteGraph, candidates: &'a CandidateSet, seed: u64) -> Self {
+        OptimizedTrials {
+            g,
+            candidates,
+            seed,
+        }
+    }
+}
+
+impl TrialEngine for OptimizedTrials<'_> {
+    type Acc = Tally;
+    type Scratch = (LazyEdgeSampler, Vec<Butterfly>);
+
+    fn new_acc(&self) -> Tally {
+        Tally::new()
+    }
+
+    fn new_scratch(&self) -> Self::Scratch {
+        (LazyEdgeSampler::new(self.g.num_edges()), Vec::new())
+    }
+
+    fn trial(
+        &self,
+        t: u64,
+        (sampler, smb): &mut Self::Scratch,
+        tally: &mut Tally,
+        observer: &mut dyn TrialObserver,
+    ) {
+        let mut rng = trial_rng(self.seed, t);
         sampler.begin_trial();
         smb.clear();
         let mut w_max = f64::NEG_INFINITY;
-        for cand in candidates.iter() {
+        for cand in self.candidates.iter() {
             // Algorithm 5 lines 5–6: strictly lighter candidates cannot be
             // maximum once some butterfly exists.
             if cand.weight < w_max {
@@ -50,16 +97,19 @@ pub fn estimate_optimized_with_observer(
             let exists = cand
                 .edges
                 .iter()
-                .all(|&e| sampler.is_present(g, e, &mut rng));
+                .all(|&e| sampler.is_present(self.g, e, &mut rng));
             if exists {
                 smb.push(cand.butterfly);
                 w_max = cand.weight;
             }
         }
-        observer.observe(t, &smb);
+        observer.observe(t, smb);
         tally.record_trial(smb.iter());
     }
-    tally.into_distribution()
+
+    fn merge(&self, into: &mut Tally, from: Tally) {
+        into.merge(from);
+    }
 }
 
 #[cfg(test)]

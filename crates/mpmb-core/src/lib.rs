@@ -27,6 +27,7 @@ pub mod butterfly;
 pub mod candidates;
 pub mod counting;
 pub mod distribution;
+pub mod engine;
 pub mod ensemble;
 pub mod estimators;
 pub mod exact;
@@ -49,32 +50,40 @@ pub use butterfly::{
     max_butterflies_in_world, Butterfly,
 };
 pub use candidates::{Candidate, CandidateSet};
+pub use counting::CountTrials;
 pub use counting::{
-    exact_count_variance, sample_count_distribution, sample_count_distribution_parallel,
-    CountDistribution, TooManyButterflies,
+    count_distribution_from_histogram, exact_count_variance, sample_count_distribution,
+    sample_count_distribution_parallel, CountDistribution, TooManyButterflies,
 };
 pub use distribution::{Distribution, Tally};
+pub use engine::{Cancel, Executor, Partial, TrialEngine, CHECK_EVERY};
 pub use ensemble::{aggregate, run_os_ensemble, EnsembleEntry, EnsembleReport};
 pub use estimators::exact_prefix::estimate_exact_prefix;
-pub use estimators::karp_luby::{estimate_karp_luby, KlReport, KlTrialPolicy};
-pub use estimators::optimized::{estimate_optimized, estimate_optimized_with_observer};
+pub use estimators::karp_luby::{
+    estimate_karp_luby, KarpLubyTrials, KlCandidate, KlReport, KlTrialPolicy,
+};
+pub use estimators::optimized::{
+    estimate_optimized, estimate_optimized_with_observer, OptimizedTrials,
+};
 pub use exact::{exact_distribution, exact_mpmb, exact_prob, ExactConfig, ExactError};
 pub use hardness::{Monotone2Sat, Reduction};
 pub use listing::{
     backbone_candidate_set, count_backbone_butterflies_parallel,
     enumerate_backbone_butterflies_parallel, listing_shards,
 };
-pub use mcvp::{McVp, McVpConfig};
+pub use mcvp::{McVp, McVpConfig, McVpTrials};
 pub use observer::{ConvergenceTracker, MultiObserver, NoopObserver, TrialObserver};
-pub use ols::{EstimatorKind, OlsConfig, OlsResult, OrderingListingSampling};
+pub use ols::{EstimatorKind, OlsConfig, OlsResult, OrderingListingSampling, PrepareTrials};
 pub use os::{
-    os_smb_of_world, EdgeOracle, OrderingSampling, OsConfig, OsEngine, SamplingOracle, WorldOracle,
+    os_smb_of_world, EdgeOracle, OrderingSampling, OsConfig, OsEngine, OsTrials, SamplingOracle,
+    WorldOracle,
 };
+pub use parallel::chunk_ranges;
+#[allow(deprecated)]
 pub use parallel::{
-    chunk_ranges, run_karp_luby_parallel, run_mcvp_parallel, run_optimized_parallel,
-    run_os_parallel,
+    run_karp_luby_parallel, run_mcvp_parallel, run_optimized_parallel, run_os_parallel,
 };
-pub use query::{estimate_prob_of, QueryResult};
+pub use query::{estimate_prob_of, QueryResult, QueryTrials};
 pub use threshold::{max_weight_distribution, MaxWeightDistribution};
 pub use topk::{shared_vertices, top_k_diverse};
 pub use validation::{validate_accuracy, AccuracyReport, Reference};

@@ -8,6 +8,7 @@
 
 use crate::butterfly::Butterfly;
 use crate::distribution::{Distribution, Tally};
+use crate::engine::{Cancel, Executor, TrialEngine};
 use crate::observer::{NoopObserver, TrialObserver};
 use bigraph::fx::FxHashMap;
 use bigraph::{
@@ -62,18 +63,65 @@ impl McVp {
         observer: &mut dyn TrialObserver,
     ) -> Distribution {
         assert!(self.cfg.trials > 0, "trials must be positive");
-        let priority = VertexPriority::from_degrees(g);
-        let mut tally = Tally::new();
-        let mut world = PossibleWorld::empty(g.num_edges());
-        let mut smb = Vec::new();
-        for t in 0..self.cfg.trials {
-            let mut rng = trial_rng(self.cfg.seed, t);
-            WorldSampler::sample_into(g, &mut world, &mut rng);
-            smb_of_world(g, &priority, &world, &mut smb);
-            observer.observe(t, &smb);
-            tally.record_trial(smb.iter());
+        Executor::new(1)
+            .run_with_observer(
+                &McVpTrials::new(g, &self.cfg),
+                self.cfg.trials,
+                &Cancel::never(),
+                observer,
+            )
+            .acc
+            .into_distribution()
+    }
+}
+
+/// Algorithm 1's per-trial body as a [`TrialEngine`]: sample a world,
+/// list its `S_MB` with vertex-priority wedge generation, tally it.
+pub struct McVpTrials<'g> {
+    g: &'g UncertainBipartiteGraph,
+    priority: VertexPriority,
+    seed: u64,
+}
+
+impl<'g> McVpTrials<'g> {
+    /// Builds the engine (precomputes the vertex priority once).
+    pub fn new(g: &'g UncertainBipartiteGraph, cfg: &McVpConfig) -> Self {
+        McVpTrials {
+            g,
+            priority: VertexPriority::from_degrees(g),
+            seed: cfg.seed,
         }
-        tally.into_distribution()
+    }
+}
+
+impl TrialEngine for McVpTrials<'_> {
+    type Acc = Tally;
+    type Scratch = (PossibleWorld, Vec<Butterfly>);
+
+    fn new_acc(&self) -> Tally {
+        Tally::new()
+    }
+
+    fn new_scratch(&self) -> Self::Scratch {
+        (PossibleWorld::empty(self.g.num_edges()), Vec::new())
+    }
+
+    fn trial(
+        &self,
+        t: u64,
+        (world, smb): &mut Self::Scratch,
+        tally: &mut Tally,
+        observer: &mut dyn TrialObserver,
+    ) {
+        let mut rng = trial_rng(self.seed, t);
+        WorldSampler::sample_into(self.g, world, &mut rng);
+        smb_of_world(self.g, &self.priority, world, smb);
+        observer.observe(t, smb);
+        tally.record_trial(smb.iter());
+    }
+
+    fn merge(&self, into: &mut Tally, from: Tally) {
+        into.merge(from);
     }
 }
 

@@ -15,11 +15,11 @@
 use crate::butterfly::Butterfly;
 use crate::candidates::CandidateSet;
 use crate::distribution::Distribution;
-use crate::estimators::karp_luby::{estimate_karp_luby, KlReport, KlTrialPolicy};
-use crate::estimators::optimized::estimate_optimized_with_observer;
+use crate::engine::{Cancel, Executor, TrialEngine};
+use crate::estimators::karp_luby::{KarpLubyTrials, KlReport, KlTrialPolicy};
+use crate::estimators::optimized::OptimizedTrials;
 use crate::observer::{NoopObserver, TrialObserver};
 use crate::os::{OsConfig, OsEngine, SamplingOracle};
-use crate::parallel::{run_karp_luby_parallel, run_optimized_parallel};
 use bigraph::{trial_rng, LazyEdgeSampler, Side, UncertainBipartiteGraph};
 
 /// Which probability estimator the sampling phase uses.
@@ -69,10 +69,10 @@ pub struct OlsConfig {
     /// Middle side override for the preparing phase.
     pub middle_side: Option<Side>,
     /// Worker threads for both phases (values ≤ 1 mean sequential).
-    /// Results are bit-identical at every thread count: the preparing
-    /// phase merges per-range trial unions in range order (the candidate
-    /// sort is a total order, so indices are stable), and the sampling
-    /// phase uses the deterministic runners in [`crate::parallel`].
+    /// Results are bit-identical at every thread count: both phases run
+    /// on the deterministic [`Executor`](crate::engine::Executor) (the
+    /// preparing phase merges per-range trial unions in range order, and
+    /// the candidate sort is a total order, so indices are stable).
     pub threads: usize,
 }
 
@@ -164,39 +164,16 @@ impl OrderingListingSampling {
     /// Phase 1 alone: the candidate set after `prep_trials` OS trials
     /// (Algorithm 3 lines 2–4).
     ///
-    /// With `threads > 1` the trial range is split with
-    /// [`crate::parallel::chunk_ranges`] and per-range `S_MB` unions are
-    /// merged in range order before the (total-order) candidate sort —
+    /// With `threads > 1` the [`Executor`] splits the trial range with
+    /// [`crate::parallel::chunk_ranges`] and merges per-range `S_MB`
+    /// unions in range order before the (total-order) candidate sort —
     /// the result is byte-identical to the sequential build, candidate
     /// indices included.
     pub fn prepare(&self, g: &UncertainBipartiteGraph) -> CandidateSet {
-        let os_cfg = OsConfig {
-            trials: self.cfg.prep_trials,
-            seed: prep_seed(self.cfg.seed),
-            edge_ordering: self.cfg.edge_ordering,
-            middle_side: self.cfg.middle_side,
-            ..Default::default()
-        };
-        let union = if self.cfg.threads <= 1 {
-            prepare_union_range(g, &os_cfg, 0..self.cfg.prep_trials)
-        } else {
-            let ranges = crate::parallel::chunk_ranges(self.cfg.prep_trials, self.cfg.threads);
-            let os_cfg = &os_cfg;
-            let unions: Vec<Vec<Butterfly>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = ranges
-                    .into_iter()
-                    .map(|range| scope.spawn(move || prepare_union_range(g, os_cfg, range)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("prepare worker panicked"))
-                    .collect()
-            });
-            // Concatenating in range order reproduces the sequential
-            // trial order (only deduplication observes it; the final
-            // sort is a total order either way).
-            unions.concat()
-        };
+        let prep = PrepareTrials::new(g, &self.cfg);
+        let union = Executor::new(self.cfg.threads)
+            .run(&prep, self.cfg.prep_trials, &Cancel::never())
+            .acc;
         CandidateSet::from_butterflies(g, union)
     }
 
@@ -204,9 +181,9 @@ impl OrderingListingSampling {
     /// set (Algorithm 3 line 5, dispatching to Algorithm 4 or 5).
     ///
     /// With `threads > 1` the estimators run on the deterministic
-    /// parallel runners (identical output); per-trial observers are only
-    /// fed on the sequential path, so pass `threads: 1` when attaching
-    /// one.
+    /// [`Executor`](crate::engine::Executor) (identical output);
+    /// per-trial observers are only fed on the sequential path, so pass
+    /// `threads: 1` when attaching one.
     pub fn estimate(
         &self,
         g: &UncertainBipartiteGraph,
@@ -221,21 +198,19 @@ impl OrderingListingSampling {
             };
         }
         let threads = self.cfg.threads.max(1);
-        let optimized = |candidates: &CandidateSet,
-                         trials: u64,
-                         observer: &mut dyn TrialObserver| {
-            if threads > 1 {
-                run_optimized_parallel(g, candidates, trials, sample_seed(self.cfg.seed), threads)
-            } else {
-                estimate_optimized_with_observer(
-                    g,
-                    candidates,
-                    trials,
-                    sample_seed(self.cfg.seed),
-                    observer,
-                )
-            }
-        };
+        let optimized =
+            |candidates: &CandidateSet, trials: u64, observer: &mut dyn TrialObserver| {
+                assert!(trials > 0, "trials must be positive");
+                Executor::new(threads)
+                    .run_with_observer(
+                        &OptimizedTrials::new(g, candidates, sample_seed(self.cfg.seed)),
+                        trials,
+                        &Cancel::never(),
+                        observer,
+                    )
+                    .acc
+                    .into_distribution()
+            };
         match self.cfg.estimator {
             EstimatorKind::Optimized { trials } => {
                 let distribution = optimized(&candidates, trials, observer);
@@ -246,17 +221,12 @@ impl OrderingListingSampling {
                 }
             }
             EstimatorKind::KarpLuby { policy } => {
-                let report = if threads > 1 {
-                    run_karp_luby_parallel(
-                        g,
-                        &candidates,
-                        policy,
-                        sample_seed(self.cfg.seed),
-                        threads,
-                    )
-                } else {
-                    estimate_karp_luby(g, &candidates, policy, sample_seed(self.cfg.seed))
-                };
+                let kl = KarpLubyTrials::new(g, &candidates, policy, sample_seed(self.cfg.seed));
+                let acc = Executor::new(threads)
+                    .check_every(1)
+                    .run(&kl, kl.trials(), &Cancel::never())
+                    .acc;
+                let report = kl.finalize(acc);
                 OlsResult {
                     distribution: report.distribution.clone(),
                     candidates,
@@ -285,26 +255,71 @@ impl OrderingListingSampling {
     }
 }
 
-/// Runs preparing-phase OS trials `range` and returns the concatenated
-/// per-trial `S_MB` union, exactly as the sequential loop produces for
-/// that sub-range (per-trial RNG streams make this scheduling-free).
-fn prepare_union_range(
-    g: &UncertainBipartiteGraph,
-    os_cfg: &OsConfig,
-    range: std::ops::Range<u64>,
-) -> Vec<Butterfly> {
-    let mut engine = OsEngine::new(g, os_cfg);
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut smb = Vec::new();
-    let mut union: Vec<Butterfly> = Vec::new();
-    for t in range {
-        let mut rng = trial_rng(os_cfg.seed, t);
-        sampler.begin_trial();
-        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-        engine.trial(&mut oracle, &mut smb);
-        union.extend_from_slice(&smb);
+/// The OLS preparing phase as a [`TrialEngine`]: each trial runs one OS
+/// trial (on the derived `prep_seed` stream) and appends its `S_MB` to
+/// the growing butterfly union. Only deduplication ever observes the
+/// concatenation order, and the final candidate sort is a total order —
+/// so merges commute up to the finalized [`CandidateSet`].
+pub struct PrepareTrials<'g> {
+    g: &'g UncertainBipartiteGraph,
+    os_cfg: OsConfig,
+}
+
+impl<'g> PrepareTrials<'g> {
+    /// Builds the phase-1 engine from an OLS configuration.
+    pub fn new(g: &'g UncertainBipartiteGraph, cfg: &OlsConfig) -> Self {
+        PrepareTrials {
+            g,
+            os_cfg: OsConfig {
+                trials: cfg.prep_trials,
+                seed: prep_seed(cfg.seed),
+                edge_ordering: cfg.edge_ordering,
+                middle_side: cfg.middle_side,
+                ..Default::default()
+            },
+        }
     }
-    union
+
+    /// Finalizes a completed union into the candidate set.
+    pub fn finalize(&self, union: Vec<Butterfly>) -> CandidateSet {
+        CandidateSet::from_butterflies(self.g, union)
+    }
+}
+
+impl<'g> TrialEngine for PrepareTrials<'g> {
+    type Acc = Vec<Butterfly>;
+    type Scratch = (OsEngine<'g>, LazyEdgeSampler, Vec<Butterfly>);
+
+    fn new_acc(&self) -> Vec<Butterfly> {
+        Vec::new()
+    }
+
+    fn new_scratch(&self) -> Self::Scratch {
+        (
+            OsEngine::new(self.g, &self.os_cfg),
+            LazyEdgeSampler::new(self.g.num_edges()),
+            Vec::new(),
+        )
+    }
+
+    fn trial(
+        &self,
+        t: u64,
+        (engine, sampler, smb): &mut Self::Scratch,
+        union: &mut Vec<Butterfly>,
+        observer: &mut dyn TrialObserver,
+    ) {
+        let mut rng = trial_rng(self.os_cfg.seed, t);
+        sampler.begin_trial();
+        let mut oracle = SamplingOracle::new(self.g, sampler, &mut rng);
+        engine.trial(&mut oracle, smb);
+        observer.observe(t, smb);
+        union.extend_from_slice(smb);
+    }
+
+    fn merge(&self, into: &mut Vec<Butterfly>, from: Vec<Butterfly>) {
+        into.extend(from);
+    }
 }
 
 /// Disjoint derived seeds for the two phases.

@@ -14,6 +14,7 @@
 use crate::angle::TopTwoAngles;
 use crate::butterfly::Butterfly;
 use crate::distribution::{Distribution, Tally};
+use crate::engine::{Cancel, Executor, TrialEngine};
 use crate::observer::{NoopObserver, TrialObserver};
 use bigraph::fx::FxHashMap;
 use bigraph::{
@@ -127,19 +128,66 @@ impl OrderingSampling {
         observer: &mut dyn TrialObserver,
     ) -> Distribution {
         assert!(self.cfg.trials > 0, "trials must be positive");
-        let mut engine = OsEngine::new(g, &self.cfg);
-        let mut sampler = LazyEdgeSampler::new(g.num_edges());
-        let mut tally = Tally::new();
-        let mut smb = Vec::new();
-        for t in 0..self.cfg.trials {
-            let mut rng = trial_rng(self.cfg.seed, t);
-            sampler.begin_trial();
-            let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-            engine.trial(&mut oracle, &mut smb);
-            observer.observe(t, &smb);
-            tally.record_trial(smb.iter());
-        }
-        tally.into_distribution()
+        Executor::new(1)
+            .run_with_observer(
+                &OsTrials::new(g, &self.cfg),
+                self.cfg.trials,
+                &Cancel::never(),
+                observer,
+            )
+            .acc
+            .into_distribution()
+    }
+}
+
+/// Algorithm 2's per-trial body as a [`TrialEngine`]: lazily sample a
+/// world under the weight-descending scan, extract `S_MB`, tally it.
+pub struct OsTrials<'g> {
+    g: &'g UncertainBipartiteGraph,
+    cfg: OsConfig,
+}
+
+impl<'g> OsTrials<'g> {
+    /// Builds the engine for `g` under `cfg` (trial streams use
+    /// `cfg.seed`).
+    pub fn new(g: &'g UncertainBipartiteGraph, cfg: &OsConfig) -> Self {
+        OsTrials { g, cfg: *cfg }
+    }
+}
+
+impl<'g> TrialEngine for OsTrials<'g> {
+    type Acc = Tally;
+    type Scratch = (OsEngine<'g>, LazyEdgeSampler, Vec<Butterfly>);
+
+    fn new_acc(&self) -> Tally {
+        Tally::new()
+    }
+
+    fn new_scratch(&self) -> Self::Scratch {
+        (
+            OsEngine::new(self.g, &self.cfg),
+            LazyEdgeSampler::new(self.g.num_edges()),
+            Vec::new(),
+        )
+    }
+
+    fn trial(
+        &self,
+        t: u64,
+        (engine, sampler, smb): &mut Self::Scratch,
+        tally: &mut Tally,
+        observer: &mut dyn TrialObserver,
+    ) {
+        let mut rng = trial_rng(self.cfg.seed, t);
+        sampler.begin_trial();
+        let mut oracle = SamplingOracle::new(self.g, sampler, &mut rng);
+        engine.trial(&mut oracle, smb);
+        observer.observe(t, smb);
+        tally.record_trial(smb.iter());
+    }
+
+    fn merge(&self, into: &mut Tally, from: Tally) {
+        into.merge(from);
     }
 }
 

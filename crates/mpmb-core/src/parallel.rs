@@ -1,20 +1,18 @@
 //! Deterministic multi-threaded trial execution (extension feature).
 //!
 //! Monte-Carlo trials are embarrassingly parallel and the per-trial RNG
-//! streams (`trial_rng(seed, t)`) make results independent of scheduling:
-//! each worker owns a disjoint global trial range, builds a private
-//! [`Tally`], and tallies are merged at the end. Output is bit-identical
-//! to a sequential run with the same seed.
-//!
-//! Implemented with `std::thread::scope` — no extra dependencies.
+//! streams (`trial_rng(seed, t)`) make results independent of scheduling.
+//! The actual loop lives in [`crate::engine`] — the per-method runners
+//! below are thin wrappers kept for one PR as deprecated re-exports;
+//! build an [`Executor`] over the matching [`TrialEngine`] instead.
 
-use crate::distribution::{Distribution, Tally};
-use crate::mcvp::{smb_of_world, McVpConfig};
-use crate::os::{OsConfig, OsEngine, SamplingOracle};
-use bigraph::{
-    trial_rng, LazyEdgeSampler, PossibleWorld, UncertainBipartiteGraph, VertexPriority,
-    WorldSampler,
-};
+use crate::distribution::Distribution;
+use crate::engine::{Cancel, Executor};
+use crate::estimators::karp_luby::KarpLubyTrials;
+use crate::estimators::optimized::OptimizedTrials;
+use crate::mcvp::{McVpConfig, McVpTrials};
+use crate::os::{OsConfig, OsTrials};
+use bigraph::UncertainBipartiteGraph;
 
 /// Splits `total` trials into at most `threads` contiguous, non-empty
 /// ranges covering `0..total` in order.
@@ -23,9 +21,9 @@ use bigraph::{
 /// runner in the workspace: merging per-range results *in range order*
 /// reproduces the sequential trial order exactly, so any two callers that
 /// split with this function and merge in order produce bit-identical
-/// output. External drivers (e.g. the serving daemon's cancellable
-/// runners) must use this exact function rather than reimplementing the
-/// split.
+/// output. The [`Executor`](crate::engine::Executor) is built on it;
+/// external drivers should go through the executor rather than
+/// reimplementing the split.
 pub fn chunk_ranges(total: u64, threads: usize) -> Vec<std::ops::Range<u64>> {
     let threads = threads.max(1) as u64;
     let per = total.div_ceil(threads);
@@ -38,90 +36,38 @@ pub fn chunk_ranges(total: u64, threads: usize) -> Vec<std::ops::Range<u64>> {
 /// Parallel Ordering Sampling: identical output to
 /// [`OrderingSampling::run`](crate::OrderingSampling::run) with the same
 /// config, split across `threads` workers.
+#[deprecated(note = "use engine::Executor with os::OsTrials")]
 pub fn run_os_parallel(
     g: &UncertainBipartiteGraph,
     cfg: &OsConfig,
     threads: usize,
 ) -> Distribution {
     assert!(cfg.trials > 0, "trials must be positive");
-    let ranges = chunk_ranges(cfg.trials, threads);
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| {
-                scope.spawn(move || {
-                    let mut engine = OsEngine::new(g, cfg);
-                    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-                    let mut tally = Tally::new();
-                    let mut smb = Vec::new();
-                    for t in range {
-                        let mut rng = trial_rng(cfg.seed, t);
-                        sampler.begin_trial();
-                        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-                        engine.trial(&mut oracle, &mut smb);
-                        tally.record_trial(smb.iter());
-                    }
-                    tally
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut total = Tally::new();
-    for t in tallies {
-        total.merge(t);
-    }
-    total.into_distribution()
+    Executor::new(threads)
+        .run(&OsTrials::new(g, cfg), cfg.trials, &Cancel::never())
+        .acc
+        .into_distribution()
 }
 
 /// Parallel MC-VP: identical output to [`McVp::run`](crate::McVp::run)
 /// with the same config.
+#[deprecated(note = "use engine::Executor with mcvp::McVpTrials")]
 pub fn run_mcvp_parallel(
     g: &UncertainBipartiteGraph,
     cfg: &McVpConfig,
     threads: usize,
 ) -> Distribution {
     assert!(cfg.trials > 0, "trials must be positive");
-    let priority = VertexPriority::from_degrees(g);
-    let ranges = chunk_ranges(cfg.trials, threads);
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| {
-                let priority = &priority;
-                scope.spawn(move || {
-                    let mut tally = Tally::new();
-                    let mut world = PossibleWorld::empty(g.num_edges());
-                    let mut smb = Vec::new();
-                    for t in range {
-                        let mut rng = trial_rng(cfg.seed, t);
-                        WorldSampler::sample_into(g, &mut world, &mut rng);
-                        smb_of_world(g, priority, &world, &mut smb);
-                        tally.record_trial(smb.iter());
-                    }
-                    tally
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut total = Tally::new();
-    for t in tallies {
-        total.merge(t);
-    }
-    total.into_distribution()
+    Executor::new(threads)
+        .run(&McVpTrials::new(g, cfg), cfg.trials, &Cancel::never())
+        .acc
+        .into_distribution()
 }
 
 /// Parallel Algorithm 5: identical output to
 /// [`estimate_optimized`](crate::estimate_optimized) with the same
-/// arguments. Trials share nothing across workers except the read-only
-/// graph and candidate set, so the split is embarrassing.
+/// arguments.
+#[deprecated(note = "use engine::Executor with estimators::optimized::OptimizedTrials")]
 pub fn run_optimized_parallel(
     g: &UncertainBipartiteGraph,
     candidates: &crate::candidates::CandidateSet,
@@ -130,55 +76,21 @@ pub fn run_optimized_parallel(
     threads: usize,
 ) -> Distribution {
     assert!(trials > 0, "trials must be positive");
-    let ranges = chunk_ranges(trials, threads);
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| {
-                scope.spawn(move || {
-                    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-                    let mut tally = Tally::new();
-                    let mut smb: Vec<crate::Butterfly> = Vec::new();
-                    for t in range {
-                        let mut rng = trial_rng(seed, t);
-                        sampler.begin_trial();
-                        smb.clear();
-                        let mut w_max = f64::NEG_INFINITY;
-                        for cand in candidates.iter() {
-                            if cand.weight < w_max {
-                                break;
-                            }
-                            let exists = cand
-                                .edges
-                                .iter()
-                                .all(|&e| sampler.is_present(g, e, &mut rng));
-                            if exists {
-                                smb.push(cand.butterfly);
-                                w_max = cand.weight;
-                            }
-                        }
-                        tally.record_trial(smb.iter());
-                    }
-                    tally
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut total = Tally::new();
-    for t in tallies {
-        total.merge(t);
-    }
-    total.into_distribution()
+    Executor::new(threads)
+        .run(
+            &OptimizedTrials::new(g, candidates, seed),
+            trials,
+            &Cancel::never(),
+        )
+        .acc
+        .into_distribution()
 }
 
 /// Parallel Algorithm 4: Karp-Luby estimation with candidates split
 /// across workers. Identical output to
 /// [`estimate_karp_luby`](crate::estimate_karp_luby) because each
 /// candidate's trial stream is already seeded independently.
+#[deprecated(note = "use engine::Executor with estimators::karp_luby::KarpLubyTrials")]
 pub fn run_karp_luby_parallel(
     g: &UncertainBipartiteGraph,
     candidates: &crate::candidates::CandidateSet,
@@ -186,121 +98,15 @@ pub fn run_karp_luby_parallel(
     seed: u64,
     threads: usize,
 ) -> crate::KlReport {
-    // Partition candidate *indices* round-robin so heavy low-index
-    // candidates spread across workers, then reassemble in order.
-    let threads = threads.max(1);
-    let n = candidates.len();
-    let mut partial: Vec<Option<crate::KlReport>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                scope.spawn(move || {
-                    // Each worker runs the sequential estimator over its
-                    // own single-candidate slices to reuse the logic with
-                    // bit-identical per-candidate streams.
-                    let mut reports = Vec::new();
-                    let mut i = w;
-                    while i < n {
-                        reports.push((i, run_kl_single(g, candidates, i, policy, seed)));
-                        i += threads;
-                    }
-                    reports
-                })
-            })
-            .collect();
-        let mut collected: Vec<(usize, SingleKl)> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect();
-        collected.sort_by_key(|(i, _)| *i);
-        let mut probs = bigraph::fx::FxHashMap::default();
-        let mut trials_per_candidate = Vec::with_capacity(n);
-        let mut s_values = Vec::with_capacity(n);
-        let mut max_trials = 1u64;
-        for (i, single) in collected {
-            probs.insert(candidates.get(i).butterfly, single.prob);
-            trials_per_candidate.push(single.trials);
-            s_values.push(single.s_value);
-            max_trials = max_trials.max(single.trials);
-        }
-        partial.push(Some(crate::KlReport {
-            distribution: Distribution::from_estimates(probs, max_trials),
-            trials_per_candidate,
-            s_values,
-        }));
-    });
-    partial.pop().flatten().expect("report assembled")
-}
-
-/// Per-candidate Karp-Luby outcome.
-struct SingleKl {
-    prob: f64,
-    trials: u64,
-    s_value: f64,
-}
-
-/// Runs Algorithm 4 for exactly one candidate index, with the same
-/// per-candidate RNG stream as the sequential implementation.
-fn run_kl_single(
-    g: &UncertainBipartiteGraph,
-    candidates: &crate::candidates::CandidateSet,
-    i: usize,
-    policy: crate::KlTrialPolicy,
-    seed: u64,
-) -> SingleKl {
-    use rand::Rng;
-    let cand = candidates.get(i);
-    let l_i = candidates.larger_count(i);
-    let mut residuals: Vec<Vec<bigraph::EdgeId>> = Vec::with_capacity(l_i);
-    let mut prefix: Vec<f64> = Vec::with_capacity(l_i);
-    let mut s_i = 0.0;
-    for j in 0..l_i {
-        let d_j = candidates.residual(j, i);
-        let p_j: f64 = g.edges_existence_prob(&d_j);
-        if p_j > 0.0 {
-            s_i += p_j;
-            residuals.push(d_j);
-            prefix.push(s_i);
-        }
-    }
-    if s_i == 0.0 {
-        return SingleKl {
-            prob: cand.existence_prob,
-            trials: 0,
-            s_value: 0.0,
-        };
-    }
-    let n = policy.trials_for(cand.existence_prob, s_i).max(1);
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut cnt = 0u64;
-    for t in 0..n {
-        let mut rng = trial_rng(seed ^ (0xA5A5_0000_0000_0000 | i as u64), t);
-        sampler.begin_trial();
-        let x: f64 = rng.random::<f64>() * s_i;
-        let j = prefix.partition_point(|&c| c <= x).min(residuals.len() - 1);
-        for &e in &residuals[j] {
-            sampler.force_present(e);
-        }
-        let mut canonical = true;
-        for d_k in residuals.iter().take(j) {
-            if d_k.iter().all(|&e| sampler.is_present(g, e, &mut rng)) {
-                canonical = false;
-                break;
-            }
-        }
-        if canonical {
-            cnt += 1;
-        }
-    }
-    let union_est = s_i * cnt as f64 / n as f64;
-    SingleKl {
-        prob: ((1.0 - union_est) * cand.existence_prob).clamp(0.0, 1.0),
-        trials: n,
-        s_value: s_i,
-    }
+    let kl = KarpLubyTrials::new(g, candidates, policy, seed);
+    let partial = Executor::new(threads)
+        .check_every(1)
+        .run(&kl, kl.trials(), &Cancel::never());
+    kl.finalize(partial.acc)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::mcvp::McVp;

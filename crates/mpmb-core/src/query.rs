@@ -14,8 +14,10 @@
 //! * The exact engine ([`crate::exact`]) for small instances.
 
 use crate::butterfly::Butterfly;
-use crate::os::{EdgeOracle, OsConfig, OsEngine, SamplingOracle};
-use bigraph::{trial_rng, LazyEdgeSampler, UncertainBipartiteGraph, Weight};
+use crate::engine::{Cancel, Executor, TrialEngine};
+use crate::observer::TrialObserver;
+use crate::os::{OsConfig, OsEngine, SamplingOracle};
+use bigraph::{trial_rng, EdgeId, LazyEdgeSampler, UncertainBipartiteGraph, Weight};
 
 /// Result of a conditioned probability query.
 #[derive(Clone, Copy, Debug)]
@@ -39,45 +41,91 @@ pub fn estimate_prob_of(
     seed: u64,
 ) -> Option<QueryResult> {
     assert!(trials > 0, "trials must be positive");
-    let edges = b.edges(g)?;
-    let existence_prob = b.existence_prob(g)?;
-    let w_b = b.weight(g)?;
+    let query = QueryTrials::new(g, b, seed)?;
+    let hits = Executor::new(1).run(&query, trials, &Cancel::never()).acc;
+    Some(query.finalize(hits, trials))
+}
 
-    let cfg = OsConfig::default();
-    let mut engine = OsEngine::new(g, &cfg);
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut smb = Vec::new();
-    let mut hits = 0u64;
-    for t in 0..trials {
-        let mut rng = trial_rng(seed, t);
+/// Conditioned sampling for one target butterfly as a [`TrialEngine`]:
+/// each trial forces `B`'s edges present, runs an OS trial over the
+/// rest, and counts a hit when nothing strictly heavier materializes.
+/// The accumulator is the hit count — merging is addition.
+pub struct QueryTrials<'g> {
+    g: &'g UncertainBipartiteGraph,
+    cfg: OsConfig,
+    edges: [EdgeId; 4],
+    existence_prob: f64,
+    w_b: Weight,
+    seed: u64,
+}
+
+impl<'g> QueryTrials<'g> {
+    /// Builds the engine; `None` if `b` is not a backbone butterfly.
+    pub fn new(g: &'g UncertainBipartiteGraph, b: &Butterfly, seed: u64) -> Option<Self> {
+        Some(QueryTrials {
+            g,
+            cfg: OsConfig::default(),
+            edges: b.edges(g)?,
+            existence_prob: b.existence_prob(g)?,
+            w_b: b.weight(g)?,
+            seed,
+        })
+    }
+
+    /// Assembles the query result from a hit count over `trials` trials.
+    pub fn finalize(&self, hits: u64, trials: u64) -> QueryResult {
+        let conditional = hits as f64 / trials as f64;
+        QueryResult {
+            existence_prob: self.existence_prob,
+            conditional_max_prob: conditional,
+            prob: self.existence_prob * conditional,
+            trials,
+        }
+    }
+}
+
+impl<'g> TrialEngine for QueryTrials<'g> {
+    type Acc = u64;
+    type Scratch = (OsEngine<'g>, LazyEdgeSampler, Vec<Butterfly>);
+
+    fn new_acc(&self) -> u64 {
+        0
+    }
+
+    fn new_scratch(&self) -> Self::Scratch {
+        (
+            OsEngine::new(self.g, &self.cfg),
+            LazyEdgeSampler::new(self.g.num_edges()),
+            Vec::new(),
+        )
+    }
+
+    fn trial(
+        &self,
+        t: u64,
+        (engine, sampler, smb): &mut Self::Scratch,
+        hits: &mut u64,
+        observer: &mut dyn TrialObserver,
+    ) {
+        let mut rng = trial_rng(self.seed, t);
         sampler.begin_trial();
-        for &e in &edges {
+        for &e in &self.edges {
             sampler.force_present(e);
         }
-        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-        let w_max = run_trial(&mut engine, &mut oracle, &mut smb);
+        let mut oracle = SamplingOracle::new(self.g, sampler, &mut rng);
+        let w_max = engine.trial(&mut oracle, smb);
+        observer.observe(t, smb);
         // B is maximum iff nothing strictly heavier exists. B itself is
         // present (forced), so w_max ≥ w(B) always; equality means B ties
         // for the maximum, which Equation 3 counts as "maximum".
-        if w_max <= w_b {
-            hits += 1;
+        if w_max <= self.w_b {
+            *hits += 1;
         }
     }
-    let conditional = hits as f64 / trials as f64;
-    Some(QueryResult {
-        existence_prob,
-        conditional_max_prob: conditional,
-        prob: existence_prob * conditional,
-        trials,
-    })
-}
 
-fn run_trial(
-    engine: &mut OsEngine<'_>,
-    oracle: &mut dyn EdgeOracle,
-    smb: &mut Vec<Butterfly>,
-) -> Weight {
-    engine.trial(oracle, smb)
+    fn merge(&self, into: &mut u64, from: u64) {
+        *into += from;
+    }
 }
 
 #[cfg(test)]

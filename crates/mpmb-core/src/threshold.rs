@@ -8,6 +8,8 @@
 //! reliability-style question of the uncertain-graph literature, here for
 //! free on top of Algorithm 2's machinery.
 
+use crate::engine::{Cancel, Executor, TrialEngine};
+use crate::observer::TrialObserver;
 use crate::os::{OsConfig, OsEngine, SamplingOracle};
 use bigraph::{trial_rng, LazyEdgeSampler, UncertainBipartiteGraph, Weight};
 
@@ -85,23 +87,9 @@ pub fn max_weight_distribution(
     seed: u64,
 ) -> MaxWeightDistribution {
     assert!(trials > 0, "trials must be positive");
-    let cfg = OsConfig::default();
-    let mut engine = OsEngine::new(g, &cfg);
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut smb = Vec::new();
-    let mut counts: bigraph::fx::FxHashMap<u64, u64> = Default::default();
-    let mut none_count = 0u64;
-    for t in 0..trials {
-        let mut rng = trial_rng(seed ^ 0x7119_E501D, t);
-        sampler.begin_trial();
-        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-        let w = engine.trial(&mut oracle, &mut smb);
-        if smb.is_empty() {
-            none_count += 1;
-        } else {
-            *counts.entry(w.to_bits()).or_insert(0) += 1;
-        }
-    }
+    let (counts, none_count) = Executor::new(1)
+        .run(&MaxWeightTrials::new(g, seed), trials, &Cancel::never())
+        .acc;
     let mut values: Vec<(Weight, u64)> = counts
         .into_iter()
         .map(|(bits, n)| (f64::from_bits(bits), n))
@@ -111,6 +99,67 @@ pub fn max_weight_distribution(
         values,
         none_count,
         trials,
+    }
+}
+
+/// `w_max` sampling as a [`TrialEngine`]: the accumulator is a
+/// `(weight-bits → count)` histogram plus the no-butterfly count, so
+/// merges are pure integer additions.
+struct MaxWeightTrials<'g> {
+    g: &'g UncertainBipartiteGraph,
+    cfg: OsConfig,
+    seed: u64,
+}
+
+impl<'g> MaxWeightTrials<'g> {
+    fn new(g: &'g UncertainBipartiteGraph, seed: u64) -> Self {
+        MaxWeightTrials {
+            g,
+            cfg: OsConfig::default(),
+            seed: seed ^ 0x7119_E501D,
+        }
+    }
+}
+
+impl<'g> TrialEngine for MaxWeightTrials<'g> {
+    type Acc = (bigraph::fx::FxHashMap<u64, u64>, u64);
+    type Scratch = (OsEngine<'g>, LazyEdgeSampler, Vec<crate::Butterfly>);
+
+    fn new_acc(&self) -> Self::Acc {
+        (Default::default(), 0)
+    }
+
+    fn new_scratch(&self) -> Self::Scratch {
+        (
+            OsEngine::new(self.g, &self.cfg),
+            LazyEdgeSampler::new(self.g.num_edges()),
+            Vec::new(),
+        )
+    }
+
+    fn trial(
+        &self,
+        t: u64,
+        (engine, sampler, smb): &mut Self::Scratch,
+        (counts, none_count): &mut Self::Acc,
+        _observer: &mut dyn TrialObserver,
+    ) {
+        let mut rng = trial_rng(self.seed, t);
+        sampler.begin_trial();
+        let mut oracle = SamplingOracle::new(self.g, sampler, &mut rng);
+        let w = engine.trial(&mut oracle, smb);
+        if smb.is_empty() {
+            *none_count += 1;
+        } else {
+            *counts.entry(w.to_bits()).or_insert(0) += 1;
+        }
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc) {
+        for (bits, n) in from.0 {
+            *into.0.entry(bits).or_insert(0) += n;
+        }
+        into.1 += from.1;
     }
 }
 

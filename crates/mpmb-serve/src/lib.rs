@@ -13,7 +13,9 @@
 //!   `POST /v1/graphs`, `GET /healthz`;
 //! * a **deterministic result cache** — solvers are pure functions of
 //!   `(graph, method, trials, seed, …)`, so finished responses replay
-//!   verbatim;
+//!   verbatim, and timed-out requests cache their resumable
+//!   [`solve::PartialState`] so a repeat *refines* the answer instead
+//!   of restarting at trial zero;
 //! * **robustness** — per-request deadlines with cancellable solver
 //!   loops (503 + partial trial counts), a bounded accept queue with
 //!   429 load shedding, and graceful SIGTERM/SIGINT drain;
@@ -32,9 +34,12 @@ pub mod server;
 pub mod signal;
 pub mod solve;
 
-pub use cache::ResultCache;
+pub use cache::{CacheEntry, ResultCache};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use metrics::Metrics;
 pub use registry::{GraphEntry, Registry, RegistryError};
 pub use server::{AppState, Server, ServerConfig};
-pub use solve::{Cancel, PartialRun};
+pub use solve::{
+    advance_count, advance_query, advance_solve, Cancel, CountProgress, Outcome, Partial,
+    PartialState, Progress, QueryProgress, SolveProgress, CHECK_EVERY,
+};

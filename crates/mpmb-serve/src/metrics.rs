@@ -56,6 +56,8 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Result-cache misses.
     pub cache_misses: AtomicU64,
+    /// Requests that resumed a cached partial result (cache refinement).
+    pub cache_refined: AtomicU64,
     /// Monte-Carlo trials executed by solvers (partial runs included).
     pub trials_executed: AtomicU64,
     /// Requests rejected because the accept queue was full.
@@ -178,6 +180,12 @@ impl Metrics {
                 "Result-cache misses.",
                 "counter",
                 &self.cache_misses,
+            ),
+            (
+                "mpmb_cache_refined_total",
+                "Requests that resumed a cached partial result instead of restarting.",
+                "counter",
+                &self.cache_refined,
             ),
             (
                 "mpmb_trials_executed_total",

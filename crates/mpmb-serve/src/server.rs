@@ -8,14 +8,14 @@
 //! the accept loop, drains every queued and in-flight request, then
 //! joins the pool.
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheEntry, ResultCache};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::json::Json;
 use crate::metrics::{endpoint_index, Metrics};
 use crate::registry::{Registry, RegistryError};
 use crate::signal;
-use crate::solve::{self, Cancel};
-use mpmb_core::{Butterfly, Distribution, KlTrialPolicy, McVpConfig, OlsConfig, OsConfig};
+use crate::solve::{self, Cancel, Outcome, PartialState};
+use mpmb_core::{Butterfly, Distribution};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -393,28 +393,42 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
             "solve"
         },
     );
-    if let Some(hit) = state.cache.get(&key) {
-        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Response::json(200, hit);
-    }
-    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let prior = match lookup_cache(state, &key) {
+        CacheLookup::Complete(hit) => return Response::json(200, hit),
+        CacheLookup::Partial(p) => Some(p),
+        CacheLookup::Miss => None,
+    };
 
     let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
-    let run = match run_method(&entry.graph, &method, trials, prep, seed, threads, &cancel) {
-        Ok(run) => run,
-        Err(resp) => return resp,
+    let progress = match solve::advance_solve(
+        &entry.graph,
+        &method,
+        trials,
+        prep,
+        seed,
+        threads,
+        prior,
+        &cancel,
+    ) {
+        Ok(p) => p,
+        Err(msg) => return Response::error(400, &msg),
     };
     state
         .metrics
         .trials_executed
-        .fetch_add(run.trials_done, Ordering::Relaxed);
-    if !run.completed() {
-        state
-            .metrics
-            .deadline_exceeded
-            .fetch_add(1, Ordering::Relaxed);
-        return deadline_response(&run);
-    }
+        .fetch_add(progress.executed, Ordering::Relaxed);
+    let distribution = match progress.outcome {
+        Outcome::Done(d) => d,
+        Outcome::Incomplete(partial) => {
+            return deadline_response(
+                state,
+                &key,
+                partial,
+                progress.trials_done,
+                progress.trials_requested,
+            );
+        }
+    };
 
     let mut fields = vec![
         ("graph".to_string(), Json::Str(name)),
@@ -422,149 +436,81 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
         ("seed".to_string(), Json::Num(seed as f64)),
         (
             "trials_requested".to_string(),
-            Json::Num(run.trials_requested as f64),
+            Json::Num(progress.trials_requested as f64),
         ),
-        ("trials_done".to_string(), Json::Num(run.trials_done as f64)),
         (
-            "support".to_string(),
-            Json::Num(run.distribution.len() as f64),
+            "trials_done".to_string(),
+            Json::Num(progress.trials_done as f64),
         ),
+        ("support".to_string(), Json::Num(distribution.len() as f64)),
     ];
     match mode {
         SolveMode::Solve => {
-            fields.push(("mpmb".to_string(), mpmb_json(&run.distribution)));
+            fields.push(("mpmb".to_string(), mpmb_json(&distribution)));
             if k > 0 {
-                fields.push((
-                    "top".to_string(),
-                    top_json(&run.distribution, k, max_shared),
-                ));
+                fields.push(("top".to_string(), top_json(&distribution, k, max_shared)));
             }
         }
         SolveMode::TopK => {
             fields.push(("k".to_string(), Json::Num(k as f64)));
-            fields.push((
-                "top".to_string(),
-                top_json(&run.distribution, k, max_shared),
-            ));
+            fields.push(("top".to_string(), top_json(&distribution, k, max_shared)));
         }
     }
     let body = Json::Obj(fields).to_string();
-    state.cache.put(&key, &body);
+    state.cache.put_complete(&key, &body);
     Response::json(200, body)
 }
 
-/// Outcome of one solver dispatch.
-struct MethodRun {
-    distribution: Distribution,
-    trials_done: u64,
-    trials_requested: u64,
+/// What a cache lookup resolved to, with the metrics already recorded.
+enum CacheLookup {
+    /// Finished body to replay (a cache hit).
+    Complete(String),
+    /// A resumable partial: this request refines it.
+    Partial(PartialState),
+    /// Nothing cached.
+    Miss,
 }
 
-impl MethodRun {
-    fn completed(&self) -> bool {
-        self.trials_done == self.trials_requested
+fn lookup_cache(state: &AppState, key: &str) -> CacheLookup {
+    match state.cache.get(key) {
+        Some(CacheEntry::Complete(body)) => {
+            state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            CacheLookup::Complete(body)
+        }
+        Some(CacheEntry::Partial(p)) => {
+            state.metrics.cache_refined.fetch_add(1, Ordering::Relaxed);
+            CacheLookup::Partial(p)
+        }
+        None => {
+            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            CacheLookup::Miss
+        }
     }
 }
 
-fn deadline_response(run: &MethodRun) -> Response {
+/// Records the 503, caching the partial so the next identical request
+/// resumes from `trials_done` instead of trial zero.
+fn deadline_response(
+    state: &AppState,
+    key: &str,
+    partial: PartialState,
+    trials_done: u64,
+    trials_requested: u64,
+) -> Response {
+    state
+        .metrics
+        .deadline_exceeded
+        .fetch_add(1, Ordering::Relaxed);
+    state.cache.put(key, CacheEntry::Partial(partial));
     Response::json(
         503,
         Json::obj([
             ("error", Json::Str("deadline exceeded".to_string())),
-            ("trials_done", Json::Num(run.trials_done as f64)),
-            ("trials_requested", Json::Num(run.trials_requested as f64)),
+            ("trials_done", Json::Num(trials_done as f64)),
+            ("trials_requested", Json::Num(trials_requested as f64)),
         ])
         .to_string(),
     )
-}
-
-/// Dispatches to the cancellable runner for `method`. Completed results
-/// are bit-identical to the corresponding direct `mpmb_core` call.
-fn run_method(
-    g: &bigraph::UncertainBipartiteGraph,
-    method: &str,
-    trials: u64,
-    prep: u64,
-    seed: u64,
-    threads: usize,
-    cancel: &Cancel,
-) -> Result<MethodRun, Response> {
-    match method {
-        "os" => {
-            let cfg = OsConfig {
-                trials,
-                seed,
-                ..Default::default()
-            };
-            let run = solve::run_os(g, &cfg, threads, cancel);
-            Ok(MethodRun {
-                distribution: run.tally.into_distribution(),
-                trials_done: run.trials_done,
-                trials_requested: run.trials_requested,
-            })
-        }
-        "mcvp" => {
-            let cfg = McVpConfig { trials, seed };
-            let run = solve::run_mcvp(g, &cfg, threads, cancel);
-            Ok(MethodRun {
-                distribution: run.tally.into_distribution(),
-                trials_done: run.trials_done,
-                trials_requested: run.trials_requested,
-            })
-        }
-        "ols" | "ols-kl" => {
-            let cfg = OlsConfig {
-                prep_trials: prep,
-                seed,
-                ..Default::default()
-            };
-            let (cands, prep_done) = solve::run_ols_prepare(g, &cfg, threads, cancel);
-            if prep_done < prep {
-                return Ok(MethodRun {
-                    distribution: Distribution::new(),
-                    trials_done: prep_done,
-                    trials_requested: prep + trials,
-                });
-            }
-            if method == "ols" {
-                let run =
-                    solve::run_optimized(g, &cands, trials, cfg.sample_seed(), threads, cancel);
-                Ok(MethodRun {
-                    distribution: run.tally.into_distribution(),
-                    trials_done: prep_done + run.trials_done,
-                    trials_requested: prep + trials,
-                })
-            } else if cancel.expired() || cands.is_empty() {
-                // Karp-Luby cancels at phase boundaries only: its
-                // per-candidate trial counts are part of the result.
-                Ok(MethodRun {
-                    distribution: Distribution::new(),
-                    trials_done: prep_done,
-                    trials_requested: prep + trials,
-                })
-            } else {
-                let report = mpmb_core::run_karp_luby_parallel(
-                    g,
-                    &cands,
-                    KlTrialPolicy::Fixed(trials),
-                    cfg.sample_seed(),
-                    threads,
-                );
-                let kl_trials: u64 = report.trials_per_candidate.iter().sum();
-                Ok(MethodRun {
-                    distribution: report.distribution,
-                    trials_done: prep_done + kl_trials,
-                    // KL chooses its own per-candidate counts; once it
-                    // ran, the request is complete by construction.
-                    trials_requested: prep_done + kl_trials,
-                })
-            }
-        }
-        other => Err(Response::error(
-            400,
-            &format!("unknown method `{other}` (expected os|mcvp|ols|ols-kl)"),
-        )),
-    }
 }
 
 fn handle_query(state: &AppState, req: &Request) -> Response {
@@ -587,46 +533,44 @@ fn handle_query(state: &AppState, req: &Request) -> Response {
     }
 
     let key = format!("query|{name}|{b}|{trials}|{seed}");
-    if let Some(hit) = state.cache.get(&key) {
-        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Response::json(200, hit);
-    }
-    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let prior = match lookup_cache(state, &key) {
+        CacheLookup::Complete(hit) => return Response::json(200, hit),
+        CacheLookup::Partial(p) => Some(p),
+        CacheLookup::Miss => None,
+    };
 
     let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
-    let q = match solve::run_query(&entry.graph, &b, trials, seed, &cancel) {
-        Some(q) => q,
+    let progress = match solve::advance_query(&entry.graph, &b, trials, seed, prior, &cancel) {
+        Some(Ok(p)) => p,
+        Some(Err(msg)) => return Response::error(400, &msg),
         None => return Response::error(404, "butterfly is not in the graph's backbone"),
     };
     state
         .metrics
         .trials_executed
-        .fetch_add(q.trials_done, Ordering::Relaxed);
-    if q.trials_done < q.trials_requested {
-        state
-            .metrics
-            .deadline_exceeded
-            .fetch_add(1, Ordering::Relaxed);
-        return Response::json(
-            503,
-            Json::obj([
-                ("error", Json::Str("deadline exceeded".to_string())),
-                ("trials_done", Json::Num(q.trials_done as f64)),
-                ("trials_requested", Json::Num(q.trials_requested as f64)),
-            ])
-            .to_string(),
-        );
-    }
+        .fetch_add(progress.executed, Ordering::Relaxed);
+    let q = match progress.outcome {
+        Outcome::Done(q) => q,
+        Outcome::Incomplete(partial) => {
+            return deadline_response(
+                state,
+                &key,
+                partial,
+                progress.trials_done,
+                progress.trials_requested,
+            );
+        }
+    };
     let body = Json::obj([
         ("graph", Json::Str(name)),
         ("butterfly", butterfly_json(&b)),
         ("existence_prob", Json::Num(q.existence_prob)),
         ("conditional_max_prob", Json::Num(q.conditional_max_prob)),
         ("prob", Json::Num(q.prob)),
-        ("trials", Json::Num(q.trials_done as f64)),
+        ("trials", Json::Num(q.trials as f64)),
     ])
     .to_string();
-    state.cache.put(&key, &body);
+    state.cache.put_complete(&key, &body);
     Response::json(200, body)
 }
 
@@ -651,29 +595,33 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
 
     // Thread count is excluded: parallel runs are bit-identical.
     let key = format!("count|{name}|{trials}|{seed}");
-    if let Some(hit) = state.cache.get(&key) {
-        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Response::json(200, hit);
-    }
-    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let prior = match lookup_cache(state, &key) {
+        CacheLookup::Complete(hit) => return Response::json(200, hit),
+        CacheLookup::Partial(p) => Some(p),
+        CacheLookup::Miss => None,
+    };
 
-    // Count sampling is a single mpmb-core call: the deadline is checked
-    // before it starts, not per trial block.
-    if let Some(t) = state.timeout {
-        let cancel = Cancel::at(Some(Instant::now() + t));
-        if cancel.expired() {
-            state
-                .metrics
-                .deadline_exceeded
-                .fetch_add(1, Ordering::Relaxed);
-            return Response::error(503, "deadline exceeded");
-        }
-    }
-    let dist = mpmb_core::sample_count_distribution_parallel(&entry.graph, trials, seed, threads);
+    let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
+    let progress = match solve::advance_count(&entry.graph, trials, seed, threads, prior, &cancel) {
+        Ok(p) => p,
+        Err(msg) => return Response::error(400, &msg),
+    };
     state
         .metrics
         .trials_executed
-        .fetch_add(trials, Ordering::Relaxed);
+        .fetch_add(progress.executed, Ordering::Relaxed);
+    let dist = match progress.outcome {
+        Outcome::Done(d) => d,
+        Outcome::Incomplete(partial) => {
+            return deadline_response(
+                state,
+                &key,
+                partial,
+                progress.trials_done,
+                progress.trials_requested,
+            );
+        }
+    };
     let body = Json::obj([
         ("graph", Json::Str(name)),
         ("mean", Json::Num(dist.mean)),
@@ -682,7 +630,7 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
         ("distinct_counts", Json::Num(dist.histogram.len() as f64)),
     ])
     .to_string();
-    state.cache.put(&key, &body);
+    state.cache.put_complete(&key, &body);
     Response::json(200, body)
 }
 

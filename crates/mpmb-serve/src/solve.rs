@@ -1,343 +1,435 @@
-//! Cancellable solver runners.
+//! Cancellable, resumable solver drivers for the server.
 //!
-//! These mirror the trial loops of [`mpmb_core::parallel`] exactly —
-//! same per-trial RNG streams (`trial_rng(seed, t)`), same contiguous
-//! trial ranges per worker — so a run that finishes is **bit-identical**
-//! to the corresponding `mpmb_core` call. The only addition is a shared
-//! cancellation flag checked every [`CHECK_EVERY`] trials: the first
-//! worker to observe an expired deadline raises it, every worker stops
-//! at its next check, and the partial tallies are still merged so a 503
-//! can report how far the estimate got.
+//! Every endpoint's computation is one [`mpmb_core::Executor`] run over
+//! the corresponding [`mpmb_core::TrialEngine`] — the same single trial
+//! loop the library itself uses — so a run that finishes is
+//! **bit-identical** to the corresponding direct `mpmb_core` call, at
+//! any thread count. The server adds two things on top:
 //!
-//! Cancellation granularity varies by method:
+//! * a wall-clock [`Cancel`] deadline, checked every [`CHECK_EVERY`]
+//!   trials (every trial for Karp-Luby, whose "trial" is a whole
+//!   candidate);
+//! * **resumable partials**: a timed-out run returns a [`PartialState`]
+//!   capturing the merged accumulator plus the exact trial ranges that
+//!   ran. Feeding that state back into the same `advance_*` call
+//!   continues from where it stopped, and the completed result is still
+//!   bit-identical to an uninterrupted run — this is what lets the
+//!   result cache *refine* answers across repeated requests instead of
+//!   recomputing from trial zero.
 //!
-//! * `os`, `mcvp`, optimized OLS phase 2, and `/v1/query` — per trial
-//!   block ([`CHECK_EVERY`]).
-//! * OLS phase 1 (preparing) — per worker range start, then per trial
-//!   block within the range.
-//! * Karp-Luby (`ols-kl`) — phase boundary only: once phase 2 starts it
-//!   runs to completion, because its per-candidate trial counts are part
-//!   of the deterministic result.
+//! Multi-phase methods (`ols`, `ols-kl`) resume at sub-phase
+//! granularity: a partial may be mid-preparing, mid-sampling, or
+//! mid-Karp-Luby, and the candidate set survives inside the state so
+//! phase 1 never reruns.
 
-use bigraph::{
-    trial_rng, LazyEdgeSampler, PossibleWorld, UncertainBipartiteGraph, VertexPriority,
-    WorldSampler,
-};
-use mpmb_core::mcvp::smb_of_world;
+use bigraph::fx::FxHashMap;
+use bigraph::UncertainBipartiteGraph;
+pub use mpmb_core::engine::{Cancel, Partial, CHECK_EVERY};
 use mpmb_core::{
-    chunk_ranges, CandidateSet, McVpConfig, OsConfig, OsEngine, SamplingOracle, Tally,
+    count_distribution_from_histogram, Butterfly, CandidateSet, CountDistribution, CountTrials,
+    Distribution, Executor, KarpLubyTrials, KlCandidate, KlTrialPolicy, McVpConfig, McVpTrials,
+    OlsConfig, OptimizedTrials, OsConfig, OsTrials, PrepareTrials, QueryResult, QueryTrials, Tally,
+    TrialEngine,
 };
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
 
-/// Trials between deadline checks. Small enough that a single block
-/// completes quickly even on large graphs; large enough that the
-/// `Instant::now` call is amortized away.
-pub const CHECK_EVERY: u64 = 64;
-
-/// A cooperative cancellation handle: an optional wall-clock deadline
-/// plus a flag that latches once any worker observes it expired.
-pub struct Cancel {
-    deadline: Option<Instant>,
-    raised: AtomicBool,
+/// Where a cancelled request stopped: the method-specific accumulator
+/// plus completed trial ranges, ready to resume. This is what the
+/// result cache stores for timed-out requests.
+#[derive(Clone, Debug)]
+pub enum PartialState {
+    /// Ordering Sampling mid-run.
+    Os(Partial<Tally>),
+    /// MC-VP mid-run.
+    McVp(Partial<Tally>),
+    /// OLS (either estimator) still in the preparing phase.
+    OlsPrepare(Partial<Vec<Butterfly>>),
+    /// OLS with the optimized estimator, mid-sampling-phase.
+    OlsSample {
+        /// Phase-1 output, kept so preparing never reruns.
+        candidates: CandidateSet,
+        /// Sampling-phase progress.
+        partial: Partial<Tally>,
+    },
+    /// OLS with the Karp-Luby estimator, mid-estimation (one executor
+    /// trial = one candidate, fully estimated).
+    Kl {
+        /// Phase-1 output, kept so preparing never reruns.
+        candidates: CandidateSet,
+        /// Per-candidate rows completed so far.
+        partial: Partial<Vec<(u32, KlCandidate)>>,
+    },
+    /// Conditioned `/v1/query` mid-run (accumulator = hit count).
+    Query(Partial<u64>),
+    /// `/v1/count` mid-run (accumulator = count histogram).
+    Count(Partial<FxHashMap<u64, u64>>),
 }
 
-impl Cancel {
-    /// A handle that cancels at `deadline` (never, if `None`).
-    pub fn at(deadline: Option<Instant>) -> Self {
-        Cancel {
-            deadline,
-            raised: AtomicBool::new(false),
-        }
-    }
-
-    /// Whether work should stop. Latches: once true, stays true.
-    pub fn expired(&self) -> bool {
-        if self.raised.load(Ordering::Relaxed) {
-            return true;
-        }
-        match self.deadline {
-            Some(d) if Instant::now() >= d => {
-                self.raised.store(true, Ordering::Relaxed);
-                true
-            }
-            _ => false,
+impl PartialState {
+    /// Short tag for logs and errors.
+    fn kind(&self) -> &'static str {
+        match self {
+            PartialState::Os(_) => "os",
+            PartialState::McVp(_) => "mcvp",
+            PartialState::OlsPrepare(_) => "ols-prepare",
+            PartialState::OlsSample { .. } => "ols-sample",
+            PartialState::Kl { .. } => "ols-kl",
+            PartialState::Query(_) => "query",
+            PartialState::Count(_) => "count",
         }
     }
 }
 
-/// Outcome of a (possibly cancelled) tally-producing run.
-pub struct PartialRun {
-    /// Merged trial tally — complete, or partial on cancellation.
-    pub tally: Tally,
-    /// Trials actually executed.
+/// Outcome of one `advance_*` call: either the finished value or the
+/// state to resume from next time.
+#[derive(Clone, Debug)]
+pub enum Outcome<T> {
+    /// Every requested trial ran; the finalized result.
+    Done(T),
+    /// The deadline fired first; resume from this state.
+    Incomplete(PartialState),
+}
+
+/// Progress report of one `advance_*` call.
+#[derive(Clone, Debug)]
+pub struct Progress<T> {
+    /// Finished result or resumable state.
+    pub outcome: Outcome<T>,
+    /// Total trials completed so far (across all calls).
     pub trials_done: u64,
     /// Trials the request asked for.
     pub trials_requested: u64,
+    /// Trials newly executed by *this* call (for metrics).
+    pub executed: u64,
 }
 
-impl PartialRun {
-    /// Whether every requested trial ran.
+impl<T> Progress<T> {
+    /// Whether the run finished.
     pub fn completed(&self) -> bool {
-        self.trials_done == self.trials_requested
+        matches!(self.outcome, Outcome::Done(_))
     }
 }
 
-/// Runs per-range worker closures and merges their tallies. Ranges come
-/// from [`mpmb_core::chunk_ranges`] — the same split the core parallel
-/// runners use, which is what makes completed runs bit-identical.
-fn run_chunked<F>(trials: u64, threads: usize, cancel: &Cancel, worker: F) -> PartialRun
-where
-    F: Fn(std::ops::Range<u64>, &Cancel) -> Tally + Sync,
-{
-    assert!(trials > 0, "trials must be positive");
-    let ranges = chunk_ranges(trials, threads);
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
-        let worker = &worker;
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| scope.spawn(move || worker(range, cancel)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("solver worker panicked"))
-            .collect()
-    });
-    let mut total = Tally::new();
-    for t in tallies {
-        total.merge(t);
-    }
-    let trials_done = total.trials();
-    PartialRun {
-        tally: total,
-        trials_done,
-        trials_requested: trials,
-    }
-}
+/// A solve/topk request's progress.
+pub type SolveProgress = Progress<Distribution>;
+/// A `/v1/query` request's progress.
+pub type QueryProgress = Progress<QueryResult>;
+/// A `/v1/count` request's progress.
+pub type CountProgress = Progress<CountDistribution>;
 
-/// Cancellable Ordering Sampling; bit-identical to
-/// [`mpmb_core::run_os_parallel`] when it completes.
-pub fn run_os(
-    g: &UncertainBipartiteGraph,
-    cfg: &OsConfig,
-    threads: usize,
+/// Resumes `partial` on `exec` and returns how many trials this call
+/// executed.
+fn drive<E: TrialEngine>(
+    exec: Executor,
+    engine: &E,
+    partial: &mut Partial<E::Acc>,
     cancel: &Cancel,
-) -> PartialRun {
-    run_chunked(cfg.trials, threads, cancel, |range, cancel| {
-        let mut engine = OsEngine::new(g, cfg);
-        let mut sampler = LazyEdgeSampler::new(g.num_edges());
-        let mut tally = Tally::new();
-        let mut smb = Vec::new();
-        for t in range {
-            if t % CHECK_EVERY == 0 && cancel.expired() {
-                break;
-            }
-            let mut rng = trial_rng(cfg.seed, t);
-            sampler.begin_trial();
-            let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-            engine.trial(&mut oracle, &mut smb);
-            tally.record_trial(smb.iter());
-        }
-        tally
-    })
+) -> u64 {
+    let before = partial.trials_done();
+    exec.resume(engine, partial, cancel);
+    partial.trials_done() - before
 }
 
-/// Cancellable MC-VP; bit-identical to
-/// [`mpmb_core::run_mcvp_parallel`] when it completes.
-pub fn run_mcvp(
-    g: &UncertainBipartiteGraph,
-    cfg: &McVpConfig,
-    threads: usize,
-    cancel: &Cancel,
-) -> PartialRun {
-    let priority = VertexPriority::from_degrees(g);
-    run_chunked(cfg.trials, threads, cancel, |range, cancel| {
-        let mut tally = Tally::new();
-        let mut world = PossibleWorld::empty(g.num_edges());
-        let mut smb = Vec::new();
-        for t in range {
-            if t % CHECK_EVERY == 0 && cancel.expired() {
-                break;
-            }
-            let mut rng = trial_rng(cfg.seed, t);
-            WorldSampler::sample_into(g, &mut world, &mut rng);
-            smb_of_world(g, &priority, &world, &mut smb);
-            tally.record_trial(smb.iter());
-        }
-        tally
-    })
+fn state_mismatch<T>(method: &str, state: &PartialState) -> Result<T, String> {
+    Err(format!(
+        "cached partial state `{}` does not match method `{method}`",
+        state.kind()
+    ))
 }
 
-/// Cancellable Algorithm 5 (shared-trial candidate estimation);
-/// bit-identical to [`mpmb_core::run_optimized_parallel`] when it
-/// completes.
-pub fn run_optimized(
+/// Starts or resumes a solve for `method`, running until completion or
+/// until `cancel` fires. `state` is a prior call's
+/// [`Outcome::Incomplete`] payload (or `None` to start fresh); the
+/// caller must pass it back under the same `(graph, method, trials,
+/// prep, seed)` — the cache key enforces this server-side.
+///
+/// Completed results are bit-identical to the corresponding direct
+/// `mpmb_core` call, regardless of `threads` and of how many calls the
+/// work was spread across.
+#[allow(clippy::too_many_arguments)]
+pub fn advance_solve(
     g: &UncertainBipartiteGraph,
-    candidates: &CandidateSet,
+    method: &str,
     trials: u64,
+    prep: u64,
     seed: u64,
     threads: usize,
+    state: Option<PartialState>,
     cancel: &Cancel,
-) -> PartialRun {
-    run_chunked(trials, threads, cancel, |range, cancel| {
-        let mut sampler = LazyEdgeSampler::new(g.num_edges());
-        let mut tally = Tally::new();
-        let mut smb: Vec<mpmb_core::Butterfly> = Vec::new();
-        for t in range {
-            if t % CHECK_EVERY == 0 && cancel.expired() {
-                break;
-            }
-            let mut rng = trial_rng(seed, t);
-            sampler.begin_trial();
-            smb.clear();
-            let mut w_max = f64::NEG_INFINITY;
-            for cand in candidates.iter() {
-                if cand.weight < w_max {
-                    break;
-                }
-                let exists = cand
-                    .edges
-                    .iter()
-                    .all(|&e| sampler.is_present(g, e, &mut rng));
-                if exists {
-                    smb.push(cand.butterfly);
-                    w_max = cand.weight;
-                }
-            }
-            tally.record_trial(smb.iter());
+) -> Result<SolveProgress, String> {
+    assert!(trials > 0, "trials must be positive");
+    let exec = Executor::new(threads);
+    match method {
+        "os" => {
+            let engine = OsTrials::new(
+                g,
+                &OsConfig {
+                    trials,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let mut partial = match state {
+                None => Partial::empty(engine.new_acc(), trials),
+                Some(PartialState::Os(p)) => p,
+                Some(other) => return state_mismatch(method, &other),
+            };
+            let executed = drive(exec, &engine, &mut partial, cancel);
+            Ok(tally_progress(partial, executed, PartialState::Os))
         }
-        tally
-    })
+        "mcvp" => {
+            let engine = McVpTrials::new(g, &McVpConfig { trials, seed });
+            let mut partial = match state {
+                None => Partial::empty(engine.new_acc(), trials),
+                Some(PartialState::McVp(p)) => p,
+                Some(other) => return state_mismatch(method, &other),
+            };
+            let executed = drive(exec, &engine, &mut partial, cancel);
+            Ok(tally_progress(partial, executed, PartialState::McVp))
+        }
+        "ols" | "ols-kl" => advance_ols(g, method, trials, prep, seed, exec, state, cancel),
+        other => Err(format!(
+            "unknown method `{other}` (expected os|mcvp|ols|ols-kl)"
+        )),
+    }
 }
 
-/// Cancellable OLS preparing phase; bit-identical to
-/// [`mpmb_core::OrderingListingSampling::prepare`] when it completes,
-/// at every thread count. Returns the candidate set plus how many
-/// preparing trials ran.
-///
-/// Each worker owns a contiguous trial range ([`mpmb_core::chunk_ranges`])
-/// and checks the deadline at its range start and then every
-/// [`CHECK_EVERY`] trials; partial per-range unions still merge in range
-/// order, so a cancelled run reports a usable (if under-sampled)
-/// candidate set along with the exact number of trials that ran.
-pub fn run_ols_prepare(
+/// Folds a tally-accumulating partial into a [`SolveProgress`].
+fn tally_progress(
+    partial: Partial<Tally>,
+    executed: u64,
+    wrap: fn(Partial<Tally>) -> PartialState,
+) -> SolveProgress {
+    let trials_done = partial.trials_done();
+    let trials_requested = partial.trials_requested();
+    let outcome = if partial.completed() {
+        Outcome::Done(partial.acc.into_distribution())
+    } else {
+        Outcome::Incomplete(wrap(partial))
+    };
+    Progress {
+        outcome,
+        trials_done,
+        trials_requested,
+        executed,
+    }
+}
+
+/// The two-phase OLS pipeline (both estimators), resumable at sub-phase
+/// granularity. Reported `trials_done` counts preparing + estimation
+/// trials; `trials_requested` is `prep + trials` (for Karp-Luby, which
+/// picks its own per-candidate counts, a completed run reports the
+/// trials it actually consumed).
+#[allow(clippy::too_many_arguments)]
+fn advance_ols(
     g: &UncertainBipartiteGraph,
-    cfg: &mpmb_core::OlsConfig,
-    threads: usize,
+    method: &str,
+    trials: u64,
+    prep: u64,
+    seed: u64,
+    exec: Executor,
+    state: Option<PartialState>,
     cancel: &Cancel,
-) -> (CandidateSet, u64) {
-    let os_cfg = OsConfig {
-        trials: cfg.prep_trials,
-        seed: cfg.prep_seed(),
-        edge_ordering: cfg.edge_ordering,
-        middle_side: cfg.middle_side,
+) -> Result<SolveProgress, String> {
+    let cfg = OlsConfig {
+        prep_trials: prep,
+        seed,
         ..Default::default()
     };
-    let worker = |range: std::ops::Range<u64>| -> (Vec<mpmb_core::Butterfly>, u64) {
-        let mut engine = OsEngine::new(g, &os_cfg);
-        let mut sampler = LazyEdgeSampler::new(g.num_edges());
-        let mut smb = Vec::new();
-        let mut union: Vec<mpmb_core::Butterfly> = Vec::new();
-        let mut done = 0u64;
-        for t in range.clone() {
-            if (t - range.start).is_multiple_of(CHECK_EVERY) && cancel.expired() {
-                break;
+    let mut executed = 0u64;
+
+    // Phase 1: preparing, unless a later-phase state already has the
+    // candidate set.
+    let candidates = match state {
+        None | Some(PartialState::OlsPrepare(_)) => {
+            let prep_engine = PrepareTrials::new(g, &cfg);
+            let mut p = match state {
+                Some(PartialState::OlsPrepare(p)) => p,
+                _ => Partial::empty(prep_engine.new_acc(), prep),
+            };
+            executed += drive(exec, &prep_engine, &mut p, cancel);
+            if !p.completed() {
+                let trials_done = p.trials_done();
+                return Ok(Progress {
+                    outcome: Outcome::Incomplete(PartialState::OlsPrepare(p)),
+                    trials_done,
+                    trials_requested: prep + trials,
+                    executed,
+                });
             }
-            let mut rng = trial_rng(os_cfg.seed, t);
-            sampler.begin_trial();
-            let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-            engine.trial(&mut oracle, &mut smb);
-            union.extend_from_slice(&smb);
-            done += 1;
+            prep_engine.finalize(p.acc)
         }
-        (union, done)
+        Some(PartialState::OlsSample {
+            candidates,
+            partial,
+        }) if method == "ols" => {
+            return advance_ols_sample(g, &cfg, prep, exec, candidates, partial, executed, cancel);
+        }
+        Some(PartialState::Kl {
+            candidates,
+            partial,
+        }) if method == "ols-kl" => {
+            return advance_kl(
+                g, &cfg, trials, prep, exec, candidates, partial, executed, cancel,
+            );
+        }
+        Some(other) => return state_mismatch(method, &other),
     };
-    let ranges = chunk_ranges(cfg.prep_trials, threads);
-    let parts: Vec<(Vec<mpmb_core::Butterfly>, u64)> = if threads.max(1) == 1 {
-        ranges.into_iter().map(worker).collect()
+
+    // Phase 2 from scratch.
+    if method == "ols" {
+        let partial = Partial::empty(Tally::new(), trials);
+        advance_ols_sample(g, &cfg, prep, exec, candidates, partial, executed, cancel)
     } else {
-        std::thread::scope(|scope| {
-            let worker = &worker;
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| scope.spawn(move || worker(range)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("prepare worker panicked"))
-                .collect()
+        let partial = Partial::empty(Vec::new(), candidates.len() as u64);
+        advance_kl(
+            g, &cfg, trials, prep, exec, candidates, partial, executed, cancel,
+        )
+    }
+}
+
+/// OLS phase 2 with the optimized (shared-trial) estimator.
+#[allow(clippy::too_many_arguments)]
+fn advance_ols_sample(
+    g: &UncertainBipartiteGraph,
+    cfg: &OlsConfig,
+    prep: u64,
+    exec: Executor,
+    candidates: CandidateSet,
+    mut partial: Partial<Tally>,
+    mut executed: u64,
+    cancel: &Cancel,
+) -> Result<SolveProgress, String> {
+    let engine = OptimizedTrials::new(g, &candidates, cfg.sample_seed());
+    executed += drive(exec, &engine, &mut partial, cancel);
+    let trials_done = prep + partial.trials_done();
+    let trials_requested = prep + partial.trials_requested();
+    let outcome = if partial.completed() {
+        Outcome::Done(partial.acc.into_distribution())
+    } else {
+        Outcome::Incomplete(PartialState::OlsSample {
+            candidates,
+            partial,
         })
     };
-    let mut union: Vec<mpmb_core::Butterfly> = Vec::new();
-    let mut done = 0u64;
-    for (part, part_done) in parts {
-        union.extend(part);
-        done += part_done;
-    }
-    (CandidateSet::from_butterflies(g, union), done)
+    Ok(Progress {
+        outcome,
+        trials_done,
+        trials_requested,
+        executed,
+    })
 }
 
-/// Outcome of a (possibly cancelled) conditioned probability query.
-pub struct PartialQuery {
-    /// `Pr[E(B)]`, exact.
-    pub existence_prob: f64,
-    /// Estimated `Pr[B ∈ S_MB | E(B)]` over the trials that ran.
-    pub conditional_max_prob: f64,
-    /// The product — the estimated `P(B)`.
-    pub prob: f64,
-    /// Trials actually executed.
-    pub trials_done: u64,
-    /// Trials requested.
-    pub trials_requested: u64,
-}
-
-/// Cancellable conditioned query; bit-identical to
-/// [`mpmb_core::estimate_prob_of`] when it completes. `None` if `b` is
-/// not a backbone butterfly of `g`.
-pub fn run_query(
+/// OLS phase 2 with the Karp-Luby estimator. One executor trial is one
+/// whole candidate, so cancellation is checked per candidate
+/// (`check_every(1)`) and resume restarts at candidate granularity —
+/// per-candidate trial counts stay part of the deterministic result.
+#[allow(clippy::too_many_arguments)]
+fn advance_kl(
     g: &UncertainBipartiteGraph,
-    b: &mpmb_core::Butterfly,
+    cfg: &OlsConfig,
+    trials: u64,
+    prep: u64,
+    exec: Executor,
+    candidates: CandidateSet,
+    mut partial: Partial<Vec<(u32, KlCandidate)>>,
+    mut executed: u64,
+    cancel: &Cancel,
+) -> Result<SolveProgress, String> {
+    let engine = KarpLubyTrials::new(
+        g,
+        &candidates,
+        KlTrialPolicy::Fixed(trials),
+        cfg.sample_seed(),
+    );
+    let before = KarpLubyTrials::consumed(&partial.acc);
+    exec.check_every(1).resume(&engine, &mut partial, cancel);
+    let consumed = KarpLubyTrials::consumed(&partial.acc);
+    executed += consumed - before;
+    if partial.completed() {
+        let report = engine.finalize(std::mem::take(&mut partial.acc));
+        // KL chooses its own per-candidate counts; once it ran, the
+        // request is complete by construction.
+        Ok(Progress {
+            outcome: Outcome::Done(report.distribution),
+            trials_done: prep + consumed,
+            trials_requested: prep + consumed,
+            executed,
+        })
+    } else {
+        Ok(Progress {
+            outcome: Outcome::Incomplete(PartialState::Kl {
+                candidates,
+                partial,
+            }),
+            trials_done: prep + consumed,
+            trials_requested: prep + trials,
+            executed,
+        })
+    }
+}
+
+/// Starts or resumes a conditioned `/v1/query` probability estimate.
+/// `None` if `b` is not a backbone butterfly of `g`.
+pub fn advance_query(
+    g: &UncertainBipartiteGraph,
+    b: &Butterfly,
     trials: u64,
     seed: u64,
+    state: Option<PartialState>,
     cancel: &Cancel,
-) -> Option<PartialQuery> {
+) -> Option<Result<QueryProgress, String>> {
     assert!(trials > 0, "trials must be positive");
-    let edges = b.edges(g)?;
-    let existence_prob = b.existence_prob(g)?;
-    let w_b = b.weight(g)?;
-    let cfg = OsConfig::default();
-    let mut engine = OsEngine::new(g, &cfg);
-    let mut sampler = LazyEdgeSampler::new(g.num_edges());
-    let mut smb = Vec::new();
-    let mut hits = 0u64;
-    let mut done = 0u64;
-    for t in 0..trials {
-        if t % CHECK_EVERY == 0 && cancel.expired() {
-            break;
-        }
-        let mut rng = trial_rng(seed, t);
-        sampler.begin_trial();
-        for &e in &edges {
-            sampler.force_present(e);
-        }
-        let mut oracle = SamplingOracle::new(g, &mut sampler, &mut rng);
-        let w_max = engine.trial(&mut oracle, &mut smb);
-        if w_max <= w_b {
-            hits += 1;
-        }
-        done = t + 1;
-    }
-    let conditional = if done == 0 {
-        0.0
-    } else {
-        hits as f64 / done as f64
+    let engine = QueryTrials::new(g, b, seed)?;
+    let mut partial = match state {
+        None => Partial::empty(0, trials),
+        Some(PartialState::Query(p)) => p,
+        Some(other) => return Some(state_mismatch("query", &other)),
     };
-    Some(PartialQuery {
-        existence_prob,
-        conditional_max_prob: conditional,
-        prob: existence_prob * conditional,
-        trials_done: done,
-        trials_requested: trials,
+    let executed = drive(Executor::new(1), &engine, &mut partial, cancel);
+    let trials_done = partial.trials_done();
+    let trials_requested = partial.trials_requested();
+    let outcome = if partial.completed() {
+        Outcome::Done(engine.finalize(partial.acc, trials))
+    } else {
+        Outcome::Incomplete(PartialState::Query(partial))
+    };
+    Some(Ok(Progress {
+        outcome,
+        trials_done,
+        trials_requested,
+        executed,
+    }))
+}
+
+/// Starts or resumes a `/v1/count` butterfly-count sampling run.
+pub fn advance_count(
+    g: &UncertainBipartiteGraph,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    state: Option<PartialState>,
+    cancel: &Cancel,
+) -> Result<CountProgress, String> {
+    assert!(trials > 0, "trials must be positive");
+    let engine = CountTrials::new(g, seed);
+    let mut partial = match state {
+        None => Partial::empty(engine.new_acc(), trials),
+        Some(PartialState::Count(p)) => p,
+        Some(other) => return state_mismatch("count", &other),
+    };
+    let executed = drive(Executor::new(threads), &engine, &mut partial, cancel);
+    let trials_done = partial.trials_done();
+    let trials_requested = partial.trials_requested();
+    let outcome = if partial.completed() {
+        Outcome::Done(count_distribution_from_histogram(partial.acc, trials))
+    } else {
+        Outcome::Incomplete(PartialState::Count(partial))
+    };
+    Ok(Progress {
+        outcome,
+        trials_done,
+        trials_requested,
+        executed,
     })
 }
 
@@ -345,7 +437,8 @@ pub fn run_query(
 mod tests {
     use super::*;
     use bigraph::{GraphBuilder, Left, Right};
-    use mpmb_core::{OlsConfig, OrderingListingSampling};
+    use mpmb_core::{OrderingListingSampling, OrderingSampling};
+    use std::time::Instant;
 
     fn fig1() -> UncertainBipartiteGraph {
         let mut b = GraphBuilder::new();
@@ -358,8 +451,46 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn no_deadline() -> Cancel {
-        Cancel::at(None)
+    fn unwrap_done<T>(p: Progress<T>) -> T {
+        match p.outcome {
+            Outcome::Done(v) => v,
+            Outcome::Incomplete(s) => panic!("expected completion, got partial `{}`", s.kind()),
+        }
+    }
+
+    /// Drives `advance_solve` to completion in budget-limited slices,
+    /// returning the result, total trials, and how many calls it took.
+    fn refine_to_completion(
+        g: &UncertainBipartiteGraph,
+        method: &str,
+        trials: u64,
+        prep: u64,
+        seed: u64,
+        threads: usize,
+        budget: u64,
+    ) -> (Distribution, u64, usize) {
+        let mut state = None;
+        for calls in 1..10_000 {
+            let progress = advance_solve(
+                g,
+                method,
+                trials,
+                prep,
+                seed,
+                threads,
+                state.take(),
+                &Cancel::after_trials(budget),
+            )
+            .unwrap();
+            match progress.outcome {
+                Outcome::Done(d) => return (d, progress.trials_done, calls),
+                Outcome::Incomplete(s) => {
+                    assert!(progress.trials_done < progress.trials_requested);
+                    state = Some(s);
+                }
+            }
+        }
+        panic!("refinement did not converge");
     }
 
     #[test]
@@ -370,125 +501,195 @@ mod tests {
             seed: 11,
             ..Default::default()
         };
-        let core = mpmb_core::run_os_parallel(&g, &cfg, 3);
-        let run = run_os(&g, &cfg, 3, &no_deadline());
-        assert!(run.completed());
-        assert_eq!(core.max_abs_diff(&run.tally.into_distribution()), 0.0);
+        let core = OrderingSampling::new(cfg).run(&g);
+        let run = advance_solve(&g, "os", 1_500, 100, 11, 3, None, &Cancel::never()).unwrap();
+        assert_eq!(run.trials_done, 1_500);
+        assert_eq!(run.executed, 1_500);
+        assert_eq!(core.max_abs_diff(&unwrap_done(run)), 0.0);
     }
 
     #[test]
     fn uncancelled_mcvp_matches_core_bitwise() {
         let g = fig1();
-        let cfg = McVpConfig {
+        let core = mpmb_core::McVp::new(McVpConfig {
             trials: 800,
             seed: 5,
-        };
-        let core = mpmb_core::run_mcvp_parallel(&g, &cfg, 2);
-        let run = run_mcvp(&g, &cfg, 2, &no_deadline());
+        })
+        .run(&g);
+        let run = advance_solve(&g, "mcvp", 800, 100, 5, 2, None, &Cancel::never()).unwrap();
         assert!(run.completed());
-        assert_eq!(core.max_abs_diff(&run.tally.into_distribution()), 0.0);
+        assert_eq!(core.max_abs_diff(&unwrap_done(run)), 0.0);
     }
 
     #[test]
-    fn uncancelled_ols_pipeline_matches_core_bitwise() {
+    fn uncancelled_ols_matches_core_bitwise() {
         let g = fig1();
         let cfg = OlsConfig {
             prep_trials: 150,
             seed: 21,
+            estimator: mpmb_core::EstimatorKind::Optimized { trials: 20_000 },
             ..Default::default()
         };
         let core = OrderingListingSampling::new(cfg).run(&g);
-        let (cands, prep_done) = run_ols_prepare(&g, &cfg, 1, &no_deadline());
-        assert_eq!(prep_done, 150);
-        let run = run_optimized(&g, &cands, 20_000, cfg.sample_seed(), 2, &no_deadline());
-        assert!(run.completed());
-        assert_eq!(
-            core.distribution
-                .max_abs_diff(&run.tally.into_distribution()),
-            0.0
-        );
+        let run = advance_solve(&g, "ols", 20_000, 150, 21, 2, None, &Cancel::never()).unwrap();
+        assert_eq!(run.trials_done, 150 + 20_000);
+        assert_eq!(core.distribution.max_abs_diff(&unwrap_done(run)), 0.0);
     }
 
     #[test]
-    fn uncancelled_query_matches_core_bitwise() {
+    fn uncancelled_kl_matches_core_bitwise() {
         let g = fig1();
-        let b = mpmb_core::Butterfly::new(Left(0), Left(1), Right(1), Right(2));
+        let cfg = OlsConfig {
+            prep_trials: 150,
+            seed: 23,
+            estimator: mpmb_core::EstimatorKind::KarpLuby {
+                policy: KlTrialPolicy::Fixed(400),
+            },
+            ..Default::default()
+        };
+        let core = OrderingListingSampling::new(cfg).run(&g);
+        let run = advance_solve(&g, "ols-kl", 400, 150, 23, 2, None, &Cancel::never()).unwrap();
+        assert!(run.completed());
+        assert_eq!(core.distribution.max_abs_diff(&unwrap_done(run)), 0.0);
+    }
+
+    #[test]
+    fn refinement_is_bitwise_identical_for_every_method() {
+        let g = fig1();
+        for (method, trials, prep, budget) in [
+            ("os", 2_000u64, 1u64, 300u64),
+            ("mcvp", 1_000, 1, 170),
+            ("ols", 5_000, 200, 450),
+            ("ols-kl", 300, 200, 100),
+        ] {
+            let full =
+                advance_solve(&g, method, trials, prep, 31, 1, None, &Cancel::never()).unwrap();
+            let (refined, done, calls) =
+                refine_to_completion(&g, method, trials, prep, 31, 2, budget);
+            assert!(calls > 1, "{method}: budget {budget} should force slicing");
+            assert_eq!(done, full.trials_done, "{method}");
+            assert_eq!(
+                unwrap_done(full).max_abs_diff(&refined),
+                0.0,
+                "{method}: refined result must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn ols_resume_does_not_rerun_preparing() {
+        let g = fig1();
+        // Budget smaller than prep: first call ends mid-preparing.
+        let p1 =
+            advance_solve(&g, "ols", 5_000, 200, 7, 1, None, &Cancel::after_trials(64)).unwrap();
+        let state = match p1.outcome {
+            Outcome::Incomplete(s @ PartialState::OlsPrepare(_)) => s,
+            ref other => panic!("expected mid-preparing state, got {other:?}"),
+        };
+        assert!(p1.trials_done < 200);
+        // Resume with no budget: finishes prep + sampling in one call,
+        // executing only what the first call did not.
+        let p2 = advance_solve(&g, "ols", 5_000, 200, 7, 1, Some(state), &Cancel::never()).unwrap();
+        assert!(p2.completed());
+        assert_eq!(p1.executed + p2.executed, 200 + 5_000);
+    }
+
+    #[test]
+    fn query_refines_to_core_result() {
+        let g = fig1();
+        let b = Butterfly::new(Left(0), Left(1), Right(1), Right(2));
         let core = mpmb_core::estimate_prob_of(&g, &b, 2_000, 9).unwrap();
-        let q = run_query(&g, &b, 2_000, 9, &no_deadline()).unwrap();
-        assert_eq!(q.trials_done, 2_000);
+        let mut state = None;
+        let q = loop {
+            let progress =
+                advance_query(&g, &b, 2_000, 9, state.take(), &Cancel::after_trials(256))
+                    .unwrap()
+                    .unwrap();
+            match progress.outcome {
+                Outcome::Done(q) => break q,
+                Outcome::Incomplete(s) => state = Some(s),
+            }
+        };
         assert_eq!(q.prob, core.prob);
         assert_eq!(q.conditional_max_prob, core.conditional_max_prob);
     }
 
     #[test]
-    fn parallel_prepare_matches_sequential_candidate_indices() {
+    fn query_rejects_non_backbone_butterfly() {
         let g = fig1();
-        let cfg = OlsConfig {
-            prep_trials: 150,
-            seed: 21,
-            ..Default::default()
-        };
-        let seq = OrderingListingSampling::new(cfg).prepare(&g);
-        for threads in [1, 2, 3, 8] {
-            let (par, done) = run_ols_prepare(&g, &cfg, threads, &no_deadline());
-            assert_eq!(done, 150, "threads={threads}");
-            assert_eq!(par.len(), seq.len());
-            for i in 0..seq.len() {
-                assert_eq!(par.get(i).butterfly, seq.get(i).butterfly, "index {i}");
-                assert_eq!(par.get(i).weight.to_bits(), seq.get(i).weight.to_bits());
+        let bogus = Butterfly::new(Left(0), Left(5), Right(0), Right(1));
+        assert!(advance_query(&g, &bogus, 10, 0, None, &Cancel::never()).is_none());
+    }
+
+    #[test]
+    fn count_refines_to_core_result() {
+        let g = fig1();
+        let core = mpmb_core::sample_count_distribution_parallel(&g, 2_000, 13, 2);
+        let mut state = None;
+        let dist = loop {
+            let progress =
+                advance_count(&g, 2_000, 13, 2, state.take(), &Cancel::after_trials(300)).unwrap();
+            match progress.outcome {
+                Outcome::Done(d) => break d,
+                Outcome::Incomplete(s) => state = Some(s),
             }
-        }
-    }
-
-    #[test]
-    fn cancelled_parallel_prepare_reports_partial_progress() {
-        let g = fig1();
-        let cfg = OlsConfig {
-            prep_trials: 1_000_000,
-            seed: 3,
-            ..Default::default()
         };
-        let cancel = Cancel::at(Some(Instant::now()));
-        let (_, done) = run_ols_prepare(&g, &cfg, 4, &cancel);
-        // Each worker stops at a deadline check, so at most
-        // CHECK_EVERY trials run per worker range.
-        assert!(done < cfg.prep_trials);
+        assert_eq!(dist.mean, core.mean);
+        assert_eq!(dist.variance, core.variance);
     }
 
     #[test]
-    fn expired_deadline_yields_partial_run() {
+    fn expired_deadline_yields_resumable_partial() {
         let g = fig1();
-        // A deadline that is already due: workers stop at their first
-        // check, so at most CHECK_EVERY trials run per worker.
         let cancel = Cancel::at(Some(Instant::now()));
+        let run = advance_solve(&g, "os", 1_000_000, 100, 1, 2, None, &cancel).unwrap();
+        assert!(!run.completed());
+        assert!(run.trials_done < 1_000_000);
+        assert_eq!(run.trials_requested, 1_000_000);
+        // And the partial resumes to the full deterministic answer.
+        let state = match run.outcome {
+            Outcome::Incomplete(s) => s,
+            Outcome::Done(_) => unreachable!(),
+        };
         let cfg = OsConfig {
             trials: 1_000_000,
             seed: 1,
             ..Default::default()
         };
-        let run = run_os(&g, &cfg, 2, &cancel);
-        assert!(!run.completed());
-        assert!(run.trials_done < cfg.trials);
-        assert_eq!(run.trials_requested, 1_000_000);
+        let resumed = advance_solve(
+            &g,
+            "os",
+            1_000_000,
+            100,
+            1,
+            4,
+            Some(state),
+            &Cancel::never(),
+        )
+        .unwrap();
+        assert!(resumed.completed());
+        let core = OrderingSampling::new(cfg).run(&g);
+        assert_eq!(core.max_abs_diff(&unwrap_done(resumed)), 0.0);
     }
 
     #[test]
-    fn chunk_split_is_the_core_one() {
-        // The split used here IS mpmb_core::chunk_ranges (single
-        // definition since the duplicate was removed); check the
-        // properties the bit-identical merge relies on from this side
-        // too: in-order, gapless, complete coverage.
-        for (total, threads) in [(10u64, 3usize), (1, 8), (100, 1), (0, 4), (1_000_000, 7)] {
-            let ranges = chunk_ranges(total, threads);
-            assert!(ranges.len() <= threads.max(1));
-            let mut expect_start = 0u64;
-            for r in &ranges {
-                assert_eq!(r.start, expect_start, "total={total} threads={threads}");
-                assert!(!r.is_empty());
-                expect_start = r.end;
-            }
-            assert_eq!(expect_start, total);
-        }
+    fn mismatched_state_is_rejected() {
+        let g = fig1();
+        let run =
+            advance_solve(&g, "os", 1_000, 100, 1, 1, None, &Cancel::after_trials(64)).unwrap();
+        let state = match run.outcome {
+            Outcome::Incomplete(s) => s,
+            Outcome::Done(_) => panic!("budget should have cancelled"),
+        };
+        assert!(
+            advance_solve(&g, "mcvp", 1_000, 100, 1, 1, Some(state), &Cancel::never()).is_err()
+        );
+    }
+
+    #[test]
+    fn unknown_method_is_an_error() {
+        let g = fig1();
+        assert!(advance_solve(&g, "nope", 10, 10, 0, 1, None, &Cancel::never()).is_err());
     }
 
     #[test]
@@ -496,6 +697,6 @@ mod tests {
         let c = Cancel::at(Some(Instant::now()));
         assert!(c.expired());
         assert!(c.expired());
-        assert!(!Cancel::at(None).expired());
+        assert!(!Cancel::never().expired());
     }
 }

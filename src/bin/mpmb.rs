@@ -3,7 +3,7 @@
 //! ```text
 //! mpmb solve    --input G.tsv [--method os|mcvp|ols|ols-kl] [--trials N]
 //!               [--prep N] [--seed N] [--top-k K] [--diverse MAX_SHARED]
-//!               [--threads N]
+//!               [--threads N] [--progress EVERY]
 //! mpmb exact    --input G.tsv [--max-uncertain N] [--top-k K]
 //! mpmb query    --input G.tsv --u1 A --u2 B --v1 C --v2 D [--trials N] [--seed N]
 //! mpmb count    --input G.tsv [--trials N] [--seed N] [--threads N]
@@ -24,7 +24,10 @@
 
 use datasets::Dataset;
 use mpmb::prelude::*;
-use mpmb_core::{run_mcvp_parallel, run_os_parallel, top_k_diverse, Distribution};
+use mpmb_core::{
+    top_k_diverse, Cancel, Distribution, Executor, McVpTrials, NoopObserver, OsTrials, Tally,
+    TrialObserver,
+};
 use std::process::exit;
 
 const USAGE: &str = "usage: mpmb <subcommand> [--flag value]...
@@ -33,8 +36,11 @@ subcommands:
   solve     estimate the MPMB of an edge-list graph
             --input FILE  [--method os|mcvp|ols|ols-kl] [--trials N] [--prep N]
             [--seed N] [--top-k K] [--diverse MAX_SHARED] [--threads N]
+            [--progress EVERY]
             (--threads applies to every method; results are identical at
-            any thread count)
+            any thread count. --progress prints trials/sec and the running
+            MPMB estimate to stderr every EVERY trials; it implies
+            sequential execution and is unavailable for ols-kl)
   exact     exact distribution by possible-world enumeration
             --input FILE  [--max-uncertain N] [--top-k K]
   query     conditioned P(B) estimate for one butterfly
@@ -178,9 +184,49 @@ fn print_ranking(
     }
 }
 
+/// `--progress` sink: tallies every observed trial and, every `every`
+/// trials, prints throughput plus the running MPMB estimate to stderr.
+struct ProgressObserver {
+    every: u64,
+    started: std::time::Instant,
+    tally: Tally,
+}
+
+impl ProgressObserver {
+    fn new(every: u64) -> Self {
+        Self {
+            every,
+            started: std::time::Instant::now(),
+            tally: Tally::new(),
+        }
+    }
+}
+
+impl TrialObserver for ProgressObserver {
+    fn observe(&mut self, _trial: u64, smb: &[mpmb_core::Butterfly]) {
+        self.tally.record_trial(smb);
+        let n = self.tally.trials();
+        if !n.is_multiple_of(self.every) {
+            return;
+        }
+        let rate = n as f64 / self.started.elapsed().as_secs_f64().max(1e-9);
+        let leader = self
+            .tally
+            .counts()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)));
+        match leader {
+            Some((b, &c)) => eprintln!(
+                "progress: {n} trials, {rate:.0} trials/sec, leader {b} p~{:.6}",
+                c as f64 / n as f64
+            ),
+            None => eprintln!("progress: {n} trials, {rate:.0} trials/sec, no butterflies yet"),
+        }
+    }
+}
+
 fn cmd_solve(flags: &Flags) {
     flags.expect(&[
-        "input", "method", "trials", "prep", "seed", "top-k", "diverse", "threads",
+        "input", "method", "trials", "prep", "seed", "top-k", "diverse", "threads", "progress",
     ]);
     let g = load(flags);
     let method = flags.get("method").unwrap_or("ols");
@@ -193,9 +239,29 @@ fn cmd_solve(flags: &Flags) {
             .unwrap_or_else(|_| fail(&format!("cannot parse --diverse value `{v}`")))
     });
     let threads: usize = flags.get_parsed("threads", 1);
+    let progress: Option<u64> = flags.get("progress").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("cannot parse --progress value `{v}`")))
+    });
+    if progress == Some(0) {
+        fail("--progress must be at least 1");
+    }
+    if progress.is_some() && threads > 1 {
+        fail("--progress streams per-trial state and implies sequential execution; drop --threads");
+    }
+    if progress.is_some() && method == "ols-kl" {
+        eprintln!(
+            "warning: --progress is unsupported for ols-kl \
+             (Karp-Luby trials carry no per-trial S_MB); running without it"
+        );
+    }
+    let mut observer: Box<dyn TrialObserver> = match progress {
+        Some(every) => Box::new(ProgressObserver::new(every)),
+        None => Box::new(NoopObserver),
+    };
 
-    // Every method honors --threads; results are bit-identical to the
-    // sequential run at any thread count.
+    // Every method runs its trials through the one core `Executor` and
+    // honors --threads; results are bit-identical at any thread count.
     let dist = match method {
         "os" => {
             let cfg = OsConfig {
@@ -203,19 +269,27 @@ fn cmd_solve(flags: &Flags) {
                 seed,
                 ..Default::default()
             };
-            if threads > 1 {
-                run_os_parallel(&g, &cfg, threads)
-            } else {
-                OrderingSampling::new(cfg).run(&g)
-            }
+            Executor::new(threads)
+                .run_with_observer(
+                    &OsTrials::new(&g, &cfg),
+                    trials,
+                    &Cancel::never(),
+                    observer.as_mut(),
+                )
+                .acc
+                .into_distribution()
         }
         "mcvp" => {
             let cfg = McVpConfig { trials, seed };
-            if threads > 1 {
-                run_mcvp_parallel(&g, &cfg, threads)
-            } else {
-                McVp::new(cfg).run(&g)
-            }
+            Executor::new(threads)
+                .run_with_observer(
+                    &McVpTrials::new(&g, &cfg),
+                    trials,
+                    &Cancel::never(),
+                    observer.as_mut(),
+                )
+                .acc
+                .into_distribution()
         }
         "ols" => {
             OrderingListingSampling::new(OlsConfig {
@@ -225,7 +299,7 @@ fn cmd_solve(flags: &Flags) {
                 threads,
                 ..Default::default()
             })
-            .run(&g)
+            .run_with_observer(&g, observer.as_mut())
             .distribution
         }
         "ols-kl" => {

@@ -2,7 +2,7 @@
 
 use datasets::Dataset;
 use mpmb::prelude::*;
-use mpmb_core::{run_os_parallel, Distribution};
+use mpmb_core::{Cancel, Distribution, Executor, OsTrials};
 
 /// Small-scale instantiations that still contain butterflies.
 fn small(dataset: Dataset) -> UncertainBipartiteGraph {
@@ -69,7 +69,7 @@ fn ols_and_os_agree_on_the_mpmb() {
 }
 
 #[test]
-fn parallel_runner_is_bit_identical_across_thread_counts() {
+fn parallel_executor_is_bit_identical_across_thread_counts() {
     let g = small(Dataset::MovieLens);
     let cfg = OsConfig {
         trials: 600,
@@ -78,7 +78,10 @@ fn parallel_runner_is_bit_identical_across_thread_counts() {
     };
     let reference = OrderingSampling::new(cfg).run(&g);
     for threads in [1, 2, 5, 11] {
-        let par = run_os_parallel(&g, &cfg, threads);
+        let par = Executor::new(threads)
+            .run(&OsTrials::new(&g, &cfg), cfg.trials, &Cancel::never())
+            .acc
+            .into_distribution();
         assert_eq!(reference.max_abs_diff(&par), 0.0, "threads={threads}");
     }
 }

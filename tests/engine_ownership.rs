@@ -1,0 +1,102 @@
+//! Regression guard: the core `Executor` is the workspace's only
+//! trial-loop owner.
+//!
+//! After the trial-engine unification, every sampler's Monte-Carlo loop
+//! runs through `mpmb_core::engine::Executor`. Hand-rolled loops have a
+//! way of creeping back in (a quick `for t in 0..trials` in a new
+//! endpoint, a private `thread::scope` fan-out in a bench), and each one
+//! silently forfeits the determinism contract — cancellation, resume,
+//! and thread-count independence. This test scans the workspace sources
+//! and pins down where the low-level primitives may appear.
+
+use std::path::{Path, PathBuf};
+
+/// Rust sources under `dir`, recursively.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Library sources of the named workspace crates (tests/benches/bins
+/// excluded — they may orchestrate threads for harness purposes).
+fn crate_lib_sources(crates: &[&str]) -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for c in crates {
+        rust_sources(&root.join("crates").join(c).join("src"), &mut files);
+    }
+    files
+}
+
+fn rel(path: &Path) -> String {
+    path.strip_prefix(env!("CARGO_MANIFEST_DIR"))
+        .unwrap_or(path)
+        .display()
+        .to_string()
+        .replace('\\', "/")
+}
+
+/// `thread::scope` — the data-parallel fan-out — is allowed in exactly
+/// three places: the executor itself, the (separately verified) listing
+/// kernel, and the load generator's request workers. A new use anywhere
+/// else means a trial loop grew outside the engine.
+#[test]
+fn thread_scope_is_owned_by_the_executor() {
+    let allowed = [
+        "crates/mpmb-core/src/engine.rs",
+        "crates/mpmb-core/src/listing.rs",
+        "crates/mpmb-serve/src/loadgen.rs",
+    ];
+    let mut offenders = Vec::new();
+    for path in crate_lib_sources(&["mpmb-core", "mpmb-serve", "bench", "bigraph", "datasets"]) {
+        let src = std::fs::read_to_string(&path).expect("read source");
+        if src.contains("thread::scope") && !allowed.contains(&rel(&path).as_str()) {
+            offenders.push(rel(&path));
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "`thread::scope` outside the engine/listing/loadgen: {offenders:?}\n\
+         route trial fan-out through `mpmb_core::Executor` instead"
+    );
+}
+
+/// The serving layer must never reach for per-trial RNG streams — it
+/// drives solvers exclusively through `advance_*` + `Executor::resume`.
+#[test]
+fn serve_layer_has_no_trial_rng() {
+    for path in crate_lib_sources(&["mpmb-serve"]) {
+        let src = std::fs::read_to_string(&path).expect("read source");
+        assert!(
+            !src.contains("trial_rng"),
+            "{} touches trial_rng; solver execution belongs to mpmb-core's Executor",
+            rel(&path)
+        );
+    }
+}
+
+/// The deprecated free-function runners stay confined to
+/// `parallel.rs` (as thin `Executor` wrappers) — no other library
+/// source may call them.
+#[test]
+fn deprecated_parallel_runners_have_no_library_callers() {
+    for path in crate_lib_sources(&["mpmb-core", "mpmb-serve", "bench"]) {
+        if rel(&path) == "crates/mpmb-core/src/parallel.rs" {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read source");
+        for f in ["run_os_parallel", "run_mcvp_parallel"] {
+            assert!(
+                !src.contains(&format!("{f}(")),
+                "{} calls deprecated `{f}`; use `Executor::new(threads).run(...)`",
+                rel(&path)
+            );
+        }
+    }
+}

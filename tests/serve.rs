@@ -244,6 +244,91 @@ fn over_deadline_solve_returns_503_and_server_survives() {
 }
 
 #[test]
+fn timed_out_solve_is_refined_across_requests_to_the_exact_answer() {
+    let _guard = lock();
+    let cfg = ServerConfig {
+        timeout_ms: 40,
+        ..default_cfg()
+    };
+    let (server, addr) = start(cfg);
+    register_graph(&addr);
+
+    // Too many trials for one 40 ms deadline: the first request 503s and
+    // caches its partial; every repeat resumes it with a fresh deadline
+    // until the run completes. Progress must be monotone and no trial
+    // may ever run twice.
+    const TRIALS: u64 = 30_000;
+    let body = format!(
+        "{{\"graph\":\"g\",\"method\":\"os\",\"trials\":{TRIALS},\"seed\":11,\"threads\":2}}"
+    );
+    let mut last_done = 0u64;
+    let mut attempts = 0u32;
+    let final_resp = loop {
+        attempts += 1;
+        assert!(
+            attempts <= 2_000,
+            "solve never completed; stuck at {last_done}/{TRIALS}"
+        );
+        let (status, resp) = call(addr.as_str(), "POST", "/v1/solve", &body).unwrap();
+        let json = Json::parse(&resp).unwrap();
+        let done = json.get("trials_done").and_then(Json::as_u64).unwrap();
+        assert!(
+            done >= last_done,
+            "progress went backwards: {done} < {last_done}"
+        );
+        last_done = done;
+        match status {
+            503 => continue,
+            200 => break resp,
+            other => panic!("unexpected status {other}: {resp}"),
+        }
+    };
+    assert!(
+        attempts > 1,
+        "deadline never fired; timeout_ms too generous"
+    );
+
+    // The refined answer equals one uninterrupted library run, bitwise.
+    let json = Json::parse(&final_resp).unwrap();
+    assert_eq!(json.get("trials_done").and_then(Json::as_u64), Some(TRIALS));
+    let g = reference_graph();
+    let direct = mpmb_core::OrderingSampling::new(mpmb_core::OsConfig {
+        trials: TRIALS,
+        seed: 11,
+        ..Default::default()
+    })
+    .run(&g);
+    let (_, dp) = direct.mpmb().expect("non-empty distribution");
+    let served_p = json
+        .get("mpmb")
+        .and_then(|m| m.get("prob"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(
+        served_p.to_bits(),
+        dp.to_bits(),
+        "refined answer must match the uninterrupted run bit-for-bit"
+    );
+
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert!(metric_value(&metrics, "mpmb_cache_refined_total") >= 1);
+    assert!(metric_value(&metrics, "mpmb_deadline_exceeded_total") >= 1);
+    assert_eq!(
+        metric_value(&metrics, "mpmb_trials_executed_total"),
+        TRIALS,
+        "resumes must never re-execute a trial"
+    );
+
+    // A repeat is now a pure cache hit, byte-identical.
+    let (status, resp) = call(addr.as_str(), "POST", "/v1/solve", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(resp, final_resp);
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
 fn sigterm_drains_in_flight_request_then_exits() {
     let _guard = lock();
     signal::install();
@@ -376,14 +461,18 @@ fn default_cap_is_worker_pool_size_and_parallel_results_match() {
     // Evict nothing — but bypass the cache by restarting it: simplest is
     // to compare against the direct library call instead.
     let g = reference_graph();
-    let direct = mpmb_core::run_mcvp_parallel(
-        &g,
-        &mpmb_core::McVpConfig {
-            trials: 301,
-            seed: 6,
-        },
-        8,
-    );
+    let mcvp_cfg = mpmb_core::McVpConfig {
+        trials: 301,
+        seed: 6,
+    };
+    let direct = mpmb_core::Executor::new(8)
+        .run(
+            &mpmb_core::McVpTrials::new(&g, &mcvp_cfg),
+            301,
+            &mpmb_core::Cancel::never(),
+        )
+        .acc
+        .into_distribution();
     let json = Json::parse(&r1.1).unwrap();
     let (_, dp) = direct.mpmb().expect("non-empty");
     let served_p = json
