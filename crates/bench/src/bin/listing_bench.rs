@@ -20,6 +20,7 @@
 use bench::default_scale;
 use datasets::Dataset;
 use mpmb_core::{backbone_candidate_set, CandidateSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -123,6 +124,31 @@ fn identical(a: &CandidateSet, b: &CandidateSet) -> bool {
         })
 }
 
+/// One untimed sequential listing pass under an [`obs::Profile`],
+/// returning the phase breakdown as a JSON object string. Kept out of
+/// the timed loops so observability never skews reported throughput.
+fn profile_phases(g: &bigraph::UncertainBipartiteGraph) -> String {
+    let profile = Arc::new(obs::Profile::new());
+    {
+        let _guard = obs::install(obs::ObsCtx {
+            profile: Some(Arc::clone(&profile)),
+            ..Default::default()
+        });
+        let _ = backbone_candidate_set(g, 1);
+    }
+    let entries: Vec<String> = profile
+        .snapshot()
+        .iter()
+        .map(|p| {
+            format!(
+                "\"{}\": {{\"secs\": {:.6}, \"items\": {}, \"calls\": {}}}",
+                p.name, p.secs, p.items, p.calls
+            )
+        })
+        .collect();
+    format!("{{{}}}", entries.join(", "))
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -161,6 +187,7 @@ fn main() {
         g.num_edges()
     );
     println!("  \"butterflies\": {},", seq.len());
+    println!("  \"phases\": {},", profile_phases(&g));
     println!("  \"sequential\": {{\"secs\": {seq_secs:.6}}},");
     println!("  \"parallel\": [");
     println!("{}", runs.join(",\n"));

@@ -27,6 +27,7 @@ use mpmb_core::{
     Cancel, Distribution, EstimatorKind, Executor, KlTrialPolicy, McVpConfig, McVpTrials,
     OlsConfig, OrderingListingSampling, OsConfig, OsTrials,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -203,6 +204,32 @@ fn identical(a: &Distribution, b: &Distribution) -> bool {
     a.len() == b.len() && a.max_abs_diff(b) == 0.0
 }
 
+/// One untimed sequential run under an [`obs::Profile`], returning the
+/// phase breakdown as a JSON object string. Kept out of the timed loops
+/// so observability never skews the reported throughput (it would not
+/// change the results — instrumented runs are bit-identical).
+fn profile_phases(g: &bigraph::UncertainBipartiteGraph, method: &str, args: &Args) -> String {
+    let profile = Arc::new(obs::Profile::new());
+    {
+        let _guard = obs::install(obs::ObsCtx {
+            profile: Some(Arc::clone(&profile)),
+            ..Default::default()
+        });
+        let _ = run_method(g, method, args, 1);
+    }
+    let entries: Vec<String> = profile
+        .snapshot()
+        .iter()
+        .map(|p| {
+            format!(
+                "\"{}\": {{\"secs\": {:.6}, \"items\": {}, \"calls\": {}}}",
+                p.name, p.secs, p.items, p.calls
+            )
+        })
+        .collect();
+    format!("{{{}}}", entries.join(", "))
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -233,14 +260,17 @@ fn main() {
                 identical(&seq_dist, &dist)
             ));
         }
+        let phases = profile_phases(&g, method, &args);
         methods_json.push(format!(
             "    {{\n      \"method\": \"{}\",\n      \"trials\": {},\n      \
              \"sequential\": {{\"secs\": {:.6}, \"trials_per_sec\": {:.1}}},\n      \
+             \"phases\": {},\n      \
              \"runs\": [\n{}\n      ]\n    }}",
             method,
             seq_trials,
             seq_secs,
             seq_trials as f64 / seq_secs,
+            phases,
             runs.join(",\n")
         ));
     }

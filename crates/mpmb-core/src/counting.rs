@@ -148,6 +148,10 @@ impl TrialEngine for CountTrials<'_> {
             *into.entry(count).or_insert(0) += n;
         }
     }
+
+    fn phase(&self) -> &'static str {
+        "count.sample"
+    }
 }
 
 /// Exact variance of the butterfly count over the possible-world

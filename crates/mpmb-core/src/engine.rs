@@ -10,8 +10,9 @@
 //!   into an accumulator, and how to merge two accumulators.
 //! * [`Executor`] owns the loop: sequential or chunked-parallel
 //!   (via [`chunk_ranges`](crate::parallel::chunk_ranges)), observer
-//!   hooks on the sequential path, and a cooperative [`Cancel`] check
-//!   every [`CHECK_EVERY`] trials.
+//!   hooks (forkable observers are aggregated deterministically across
+//!   chunks; others see only sequential runs), and a cooperative
+//!   [`Cancel`] check every [`CHECK_EVERY`] trials.
 //! * [`Partial`] is the resumable outcome: the accumulator plus the
 //!   exact trial ranges that ran. A cancelled run can be
 //!   [resumed](Executor::resume) — even across processes holding the
@@ -51,6 +52,7 @@ pub struct Cancel {
     budget: Option<u64>,
     progressed: AtomicU64,
     raised: AtomicBool,
+    checks: AtomicU64,
 }
 
 impl Cancel {
@@ -85,6 +87,7 @@ impl Cancel {
 
     /// Whether work should stop. Latches: once true, stays true.
     pub fn expired(&self) -> bool {
+        self.checks.fetch_add(1, Ordering::Relaxed);
         if self.raised.load(Ordering::Relaxed) {
             return true;
         }
@@ -95,6 +98,19 @@ impl Cancel {
             }
             _ => false,
         }
+    }
+
+    /// Whether the flag has latched, without performing (or counting) a
+    /// cancellation probe. Instrumentation uses this to report a run's
+    /// outcome without disturbing the deadline clock.
+    pub fn is_raised(&self) -> bool {
+        self.raised.load(Ordering::Relaxed)
+    }
+
+    /// Number of cancellation probes ([`Cancel::expired`] calls)
+    /// performed against this handle so far.
+    pub fn checks(&self) -> u64 {
+        self.checks.load(Ordering::Relaxed)
     }
 
     /// Reports `trials` newly completed trials; raises the flag once
@@ -142,6 +158,12 @@ pub trait TrialEngine: Sync {
 
     /// Folds `from` (a disjoint trial range's accumulator) into `into`.
     fn merge(&self, into: &mut Self::Acc, from: Self::Acc);
+
+    /// Dotted lowercase phase label for observability (span names and
+    /// the `phase` label on solver metrics), e.g. `"ols.prepare"`.
+    fn phase(&self) -> &'static str {
+        "engine.run"
+    }
 }
 
 /// Outcome of a (possibly cancelled) run: the merged accumulator plus
@@ -265,9 +287,12 @@ impl Executor {
         self.run_with_observer(engine, trials, cancel, &mut NoopObserver)
     }
 
-    /// [`Executor::run`] with a per-trial observer. Observers are fed
-    /// only on the sequential path (`threads <= 1`); parallel runs
-    /// ignore them, matching the historical solver semantics.
+    /// [`Executor::run`] with a per-trial observer. On the parallel
+    /// path, observers whose [`TrialObserver::fork`] returns a child
+    /// get per-chunk local aggregates merged deterministically (in
+    /// chunk order); observers that keep the default `fork` are fed
+    /// only on the sequential path (`threads <= 1`), matching the
+    /// historical solver semantics.
     pub fn run_with_observer<E: TrialEngine>(
         &self,
         engine: &E,
@@ -300,6 +325,15 @@ impl Executor {
         cancel: &Cancel,
         observer: &mut dyn TrialObserver,
     ) {
+        // Observability preamble: when nothing observes, `span` is
+        // inert and `started` stays `None`, so the cost is one
+        // thread-local flag check plus one atomic load.
+        let resumed = partial.trials_done() > 0;
+        let before_done = partial.trials_done();
+        let before_checks = cancel.checks();
+        let mut span = obs::span(engine.phase());
+        let started = span.is_active().then(Instant::now);
+
         for gap in partial.missing() {
             if cancel.expired() {
                 break;
@@ -308,6 +342,21 @@ impl Executor {
                 engine.merge(&mut partial.acc, acc);
                 partial.mark_done(done);
             }
+        }
+
+        if let Some(t0) = started {
+            let executed = partial.trials_done() - before_done;
+            span.items(executed);
+            span.field("threads", self.threads);
+            span.field("resumed", resumed);
+            span.field("cancelled", cancel.is_raised());
+            span.field("completed", partial.completed());
+            let secs = t0.elapsed().as_secs_f64();
+            let checks = cancel.checks() - before_checks;
+            obs::with_solver(|sm| {
+                sm.record_phase(engine.phase(), secs, executed);
+                sm.record_run(resumed, cancel.is_raised(), checks);
+            });
         }
     }
 
@@ -343,11 +392,23 @@ impl Executor {
             .into_iter()
             .map(|r| (range.start + r.start)..(range.start + r.end))
             .collect();
+        // Workers inherit the spawning thread's observability context so
+        // their spans join the same trace and profile, and forkable
+        // observers get a chunk-local child each.
+        let ctx = obs::current();
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
+                    let mut fork = observer.fork();
+                    let ctx = ctx.clone();
                     scope.spawn(move || {
+                        let _obs_guard = obs::install(ctx);
+                        let mut noop = NoopObserver;
+                        let chunk_observer: &mut dyn TrialObserver = match fork.as_mut() {
+                            Some(f) => &mut **f,
+                            None => &mut noop,
+                        };
                         let mut acc = engine.new_acc();
                         let mut scratch = engine.new_scratch();
                         let end = self.run_chunk(
@@ -356,16 +417,23 @@ impl Executor {
                             cancel,
                             &mut scratch,
                             &mut acc,
-                            &mut NoopObserver,
+                            chunk_observer,
                         );
-                        (acc, chunk.start..end)
+                        (acc, chunk.start..end, fork)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("trial worker panicked"))
-                .collect()
+            // Join (and absorb forks) in chunk order: merged observer
+            // statistics are deterministic for any thread schedule.
+            let mut out = Vec::with_capacity(handles.len());
+            for h in handles {
+                let (acc, done, fork) = h.join().expect("trial worker panicked");
+                if let Some(f) = fork {
+                    observer.absorb(f);
+                }
+                out.push((acc, done));
+            }
+            out
         })
     }
 
@@ -534,6 +602,9 @@ mod tests {
         assert_eq!(c.0, 50);
         let mut c = Count(0);
         Executor::new(4).run_with_observer(&Observing, 50, &Cancel::never(), &mut c);
-        assert_eq!(c.0, 0, "parallel runs must not feed observers");
+        assert_eq!(
+            c.0, 0,
+            "parallel runs must not feed observers without a fork impl"
+        );
     }
 }

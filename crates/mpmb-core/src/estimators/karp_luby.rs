@@ -280,6 +280,10 @@ impl TrialEngine for KarpLubyTrials<'_> {
     fn merge(&self, into: &mut Self::Acc, from: Self::Acc) {
         into.extend(from);
     }
+
+    fn phase(&self) -> &'static str {
+        "ols.kl"
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,10 @@ impl TrialEngine for OptimizedTrials<'_> {
     fn merge(&self, into: &mut Tally, from: Tally) {
         into.merge(from);
     }
+
+    fn phase(&self) -> &'static str {
+        "ols.sample"
+    }
 }
 
 #[cfg(test)]

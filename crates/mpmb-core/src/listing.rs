@@ -227,23 +227,28 @@ pub fn enumerate_backbone_butterflies_parallel(
     g: &UncertainBipartiteGraph,
     threads: usize,
 ) -> Vec<Butterfly> {
-    if threads.max(1) == 1 {
+    let mut span = obs::span("listing.enumerate");
+    span.field("threads", threads.max(1));
+    let out = if threads.max(1) == 1 {
         let mut out = Vec::new();
         for_each_sequential(g, |b| out.push(b));
-        return out;
-    }
-    let shards = listing_shards(g, threads * SHARDS_PER_THREAD);
-    let buffers = run_sharded(g, threads, &shards, |shard, scratch| {
-        let mut buf = Vec::new();
-        for a in shard {
-            for_each_from_start(g, a, scratch, &mut |b| buf.push(b));
+        out
+    } else {
+        let shards = listing_shards(g, threads * SHARDS_PER_THREAD);
+        let buffers = run_sharded(g, threads, &shards, |shard, scratch| {
+            let mut buf = Vec::new();
+            for a in shard {
+                for_each_from_start(g, a, scratch, &mut |b| buf.push(b));
+            }
+            buf
+        });
+        let mut out = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
+        for buf in buffers {
+            out.extend(buf);
         }
-        buf
-    });
-    let mut out = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
-    for buf in buffers {
-        out.extend(buf);
-    }
+        out
+    };
+    span.items(out.len() as u64);
     out
 }
 
@@ -271,6 +276,7 @@ pub fn count_backbone_butterflies_parallel(g: &UncertainBipartiteGraph, threads:
 /// [`CandidateSet::from_butterflies`], so candidate *indices* are
 /// byte-identical to the sequential build at every thread count.
 pub fn backbone_candidate_set(g: &UncertainBipartiteGraph, threads: usize) -> CandidateSet {
+    let mut span = obs::span("listing.candidates");
     let shards = listing_shards(g, threads.max(1) * SHARDS_PER_THREAD);
     let buffers = run_sharded(g, threads.max(1), &shards, |shard, scratch| {
         let mut buf: Vec<Candidate> = Vec::new();
@@ -292,6 +298,8 @@ pub fn backbone_candidate_set(g: &UncertainBipartiteGraph, threads: usize) -> Ca
         candidates.extend(buf);
     }
     // Listing emits each butterfly exactly once: no dedup pass needed.
+    span.items(candidates.len() as u64);
+    span.field("threads", threads.max(1));
     CandidateSet::from_unique_candidates(candidates)
 }
 

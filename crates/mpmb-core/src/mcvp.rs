@@ -123,6 +123,10 @@ impl TrialEngine for McVpTrials<'_> {
     fn merge(&self, into: &mut Tally, from: Tally) {
         into.merge(from);
     }
+
+    fn phase(&self) -> &'static str {
+        "mcvp.sample"
+    }
 }
 
 /// Computes `S_MB(W)` of a fixed possible world with vertex-priority wedge

@@ -3,14 +3,42 @@
 //! The sampling solvers report each trial's `S_MB` to an observer, which
 //! can maintain running estimates without the solver re-running at every
 //! checkpoint. The cost when unused is one virtual call per trial.
+//!
+//! Observers that also implement [`TrialObserver::fork`] participate in
+//! *parallel* runs: the executor forks one child per chunk, workers feed
+//! their chunk-local child, and the children are folded back with
+//! [`TrialObserver::absorb`] on the coordinating thread in ascending
+//! chunk order — so the merged statistics are deterministic for any
+//! thread schedule. Observers that keep the default `fork` (`None`)
+//! retain the historical behavior of only seeing sequential runs.
 
 use crate::butterfly::Butterfly;
+use std::any::Any;
 
 /// Receives each finished trial's maximum-butterfly set.
 pub trait TrialObserver {
     /// Called after trial `trial` (0-based) with its `S_MB` (possibly
     /// empty when the sampled world contained no butterfly).
     fn observe(&mut self, trial: u64, smb: &[Butterfly]);
+
+    /// Creates an independent child observer for one parallel chunk.
+    /// `None` (the default) opts out of parallel observation: parallel
+    /// runs then feed this observer nothing.
+    fn fork(&self) -> Option<Box<dyn TrialObserver + Send>> {
+        None
+    }
+
+    /// Folds a child produced by [`TrialObserver::fork`] back into
+    /// `self`. The executor calls this on the coordinating thread in
+    /// ascending chunk order once the chunk's worker has joined.
+    fn absorb(&mut self, _chunk: Box<dyn TrialObserver + Send>) {}
+
+    /// Downcast support so `absorb` implementations can recover their
+    /// concrete fork type. Forkable observers should return
+    /// `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        None
+    }
 }
 
 /// An observer that ignores everything.
@@ -79,6 +107,33 @@ impl TrialObserver for ConvergenceTracker {
             self.points.push((self.trials, self.estimate()));
         }
     }
+
+    /// Parallel support: each chunk tracks hits/trials locally; the
+    /// chunks' points are discarded (a chunk-local running estimate is
+    /// meaningless) and snapshots are taken at absorb time instead, so
+    /// parallel traces are block-granular but deterministic.
+    fn fork(&self) -> Option<Box<dyn TrialObserver + Send>> {
+        Some(Box::new(ConvergenceTracker::new(self.target, self.every)))
+    }
+
+    fn absorb(&mut self, mut chunk: Box<dyn TrialObserver + Send>) {
+        let Some(c) = chunk
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<ConvergenceTracker>())
+        else {
+            return;
+        };
+        let before = self.trials;
+        self.hits += c.hits;
+        self.trials += c.trials;
+        if before / self.every != self.trials / self.every {
+            self.points.push((self.trials, self.estimate()));
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
+    }
 }
 
 /// Fans one trial stream out to several observers.
@@ -105,6 +160,52 @@ impl TrialObserver for MultiObserver<'_> {
         for o in self.observers.iter_mut() {
             o.observe(trial, smb);
         }
+    }
+
+    /// Forks whichever children support forking (the rest simply see
+    /// nothing on the parallel path, as before).
+    fn fork(&self) -> Option<Box<dyn TrialObserver + Send>> {
+        let children: Vec<(usize, Box<dyn TrialObserver + Send>)> = self
+            .observers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.fork().map(|f| (i, f)))
+            .collect();
+        if children.is_empty() {
+            None
+        } else {
+            Some(Box::new(MultiFork { children }))
+        }
+    }
+
+    fn absorb(&mut self, mut chunk: Box<dyn TrialObserver + Send>) {
+        let Some(mf) = chunk
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<MultiFork>())
+        else {
+            return;
+        };
+        for (i, f) in mf.children.drain(..) {
+            self.observers[i].absorb(f);
+        }
+    }
+}
+
+/// The fork of a [`MultiObserver`]: chunk-local children of the fan-out
+/// members that themselves forked, tagged with their parent index.
+struct MultiFork {
+    children: Vec<(usize, Box<dyn TrialObserver + Send>)>,
+}
+
+impl TrialObserver for MultiFork {
+    fn observe(&mut self, trial: u64, smb: &[Butterfly]) {
+        for (_, c) in self.children.iter_mut() {
+            c.observe(trial, smb);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
     }
 }
 
@@ -162,5 +263,51 @@ mod tests {
     fn noop_observer_is_inert() {
         let mut n = NoopObserver;
         n.observe(0, &[bf(0, 1)]);
+        assert!(n.fork().is_none());
+    }
+
+    #[test]
+    fn tracker_fork_absorb_merges_counts_deterministically() {
+        let target = bf(0, 1);
+        let mut root = ConvergenceTracker::new(target, 4);
+        // Two chunk forks fed out of order by "workers"; absorb happens
+        // in chunk order regardless.
+        let mut f0 = root.fork().unwrap();
+        let mut f1 = root.fork().unwrap();
+        for t in 0..4 {
+            f0.observe(t, &[target]);
+        }
+        let hit = [target];
+        for t in 4..8 {
+            f1.observe(t, if t % 2 == 0 { &hit } else { &[] });
+        }
+        root.absorb(f0);
+        root.absorb(f1);
+        assert_eq!(root.trials(), 8);
+        assert_eq!(root.estimate(), 6.0 / 8.0);
+        // One block-granular snapshot per absorbed chunk that crossed a
+        // multiple of `every`.
+        assert_eq!(root.points(), &[(4, 1.0), (8, 0.75)]);
+    }
+
+    #[test]
+    fn multi_observer_forks_only_forkable_children() {
+        let target = bf(0, 1);
+        struct SeqOnly(u64);
+        impl TrialObserver for SeqOnly {
+            fn observe(&mut self, _t: u64, _s: &[Butterfly]) {
+                self.0 += 1;
+            }
+        }
+        let mut tracker = ConvergenceTracker::new(target, 1);
+        let mut seq = SeqOnly(0);
+        let mut multi = MultiObserver::new();
+        multi.push(&mut seq).push(&mut tracker);
+        let mut fork = multi.fork().expect("tracker child is forkable");
+        fork.observe(0, &[target]);
+        multi.absorb(fork);
+        drop(multi);
+        assert_eq!(tracker.trials(), 1);
+        assert_eq!(seq.0, 0, "non-forkable child sees nothing in parallel");
     }
 }

@@ -174,7 +174,7 @@ impl OrderingListingSampling {
         let union = Executor::new(self.cfg.threads)
             .run(&prep, self.cfg.prep_trials, &Cancel::never())
             .acc;
-        CandidateSet::from_butterflies(g, union)
+        prep.finalize(union)
     }
 
     /// Phase 2 alone: probability estimation over a prepared candidate
@@ -282,6 +282,8 @@ impl<'g> PrepareTrials<'g> {
 
     /// Finalizes a completed union into the candidate set.
     pub fn finalize(&self, union: Vec<Butterfly>) -> CandidateSet {
+        let mut span = obs::span("ols.listing");
+        span.items(union.len() as u64);
         CandidateSet::from_butterflies(self.g, union)
     }
 }
@@ -319,6 +321,10 @@ impl<'g> TrialEngine for PrepareTrials<'g> {
 
     fn merge(&self, into: &mut Vec<Butterfly>, from: Vec<Butterfly>) {
         into.extend(from);
+    }
+
+    fn phase(&self) -> &'static str {
+        "ols.prepare"
     }
 }
 

@@ -189,6 +189,10 @@ impl<'g> TrialEngine for OsTrials<'g> {
     fn merge(&self, into: &mut Tally, from: Tally) {
         into.merge(from);
     }
+
+    fn phase(&self) -> &'static str {
+        "os.sample"
+    }
 }
 
 /// Reusable per-trial machinery of Algorithm 2.

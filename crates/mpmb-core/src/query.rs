@@ -126,6 +126,10 @@ impl<'g> TrialEngine for QueryTrials<'g> {
     fn merge(&self, into: &mut u64, from: u64) {
         *into += from;
     }
+
+    fn phase(&self) -> &'static str {
+        "query.sample"
+    }
 }
 
 #[cfg(test)]

@@ -161,6 +161,10 @@ impl<'g> TrialEngine for MaxWeightTrials<'g> {
         }
         into.1 += from.1;
     }
+
+    fn phase(&self) -> &'static str {
+        "threshold.sample"
+    }
 }
 
 #[cfg(test)]

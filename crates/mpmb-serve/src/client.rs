@@ -6,6 +6,9 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// A full response: status, headers (names lowercased), body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
 /// Issues one request and returns `(status, body)`.
 pub fn call(
     addr: impl ToSocketAddrs,
@@ -13,20 +16,45 @@ pub fn call(
     path: &str,
     body: &str,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _headers, body) = call_ext(addr, method, path, body, &[])?;
+    Ok((status, body))
+}
+
+/// Issues one request with extra request headers and returns
+/// `(status, response headers, body)`. Response header names come back
+/// lowercased.
+pub fn call_ext(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<FullResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: mpmb\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: mpmb\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
-    read_response(stream)
+    read_response_ext(stream)
 }
 
 /// Reads one `(status, body)` response from a stream.
 pub fn read_response(stream: TcpStream) -> std::io::Result<(u16, String)> {
+    let (status, _headers, body) = read_response_ext(stream)?;
+    Ok((status, body))
+}
+
+/// Reads one `(status, headers, body)` response from a stream. Header
+/// names are lowercased.
+pub fn read_response_ext(stream: TcpStream) -> std::io::Result<FullResponse> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -40,6 +68,7 @@ pub fn read_response(stream: TcpStream) -> std::io::Result<(u16, String)> {
                 format!("bad status line `{}`", line.trim_end()),
             )
         })?;
+    let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
         line.clear();
@@ -49,16 +78,19 @@ pub fn read_response(stream: TcpStream) -> std::io::Result<(u16, String)> {
             break;
         }
         if let Some((name, value)) = trimmed.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Content-Length")
                 })?;
             }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     String::from_utf8(body)
-        .map(|b| (status, b))
+        .map(|b| (status, headers, b))
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))
 }

@@ -163,6 +163,8 @@ pub struct Response {
     pub status: u16,
     /// Content type (`application/json` for everything but `/metrics`).
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written verbatim.
+    pub headers: Vec<(&'static str, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -173,8 +175,15 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// Adds one response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// A JSON error envelope `{"error": msg}`.
@@ -191,6 +200,7 @@ impl Response {
         Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -218,14 +228,21 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Writes `resp` to the stream. `close` controls the `Connection` header.
 pub fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
         resp.body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()

@@ -19,7 +19,11 @@
 //! * **robustness** — per-request deadlines with cancellable solver
 //!   loops (503 + partial trial counts), a bounded accept queue with
 //!   429 load shedding, and graceful SIGTERM/SIGINT drain;
-//! * **observability** — `GET /metrics` in Prometheus text format.
+//! * **observability** — `GET /metrics` in Prometheus text format
+//!   (request, cache, and solver-phase series on one [`obs`] registry),
+//!   per-request trace ids honoring and echoing `X-Request-Id`,
+//!   JSON-lines access/span traces behind a runtime-selectable sink,
+//!   and `GET /debug/trace` with recent solve phase breakdowns.
 //!
 //! See `docs/SERVING.md` for the full API reference.
 
@@ -38,7 +42,7 @@ pub use cache::{CacheEntry, ResultCache};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use metrics::Metrics;
 pub use registry::{GraphEntry, Registry, RegistryError};
-pub use server::{AppState, Server, ServerConfig};
+pub use server::{AppState, Server, ServerConfig, SolveTrace};
 pub use solve::{
     advance_count, advance_query, advance_solve, Cancel, CountProgress, Outcome, Partial,
     PartialState, Progress, QueryProgress, SolveProgress, CHECK_EVERY,

@@ -5,7 +5,15 @@
 
 use crate::client;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Latency histogram bucket upper bounds in milliseconds, reused for
+/// every run's [`obs::Histogram`].
+const LATENCY_BUCKETS_MS: &[f64] = &[
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0,
+    5_000.0, 10_000.0,
+];
 
 /// Load-generator parameters, mapped 1:1 onto `mpmb loadgen` flags.
 #[derive(Clone, Debug)]
@@ -61,6 +69,10 @@ pub struct LoadReport {
     /// Sorted per-request latencies in milliseconds (successful
     /// transport only).
     pub latencies_ms: Vec<f64>,
+    /// The same latencies in an [`obs::Histogram`] (ms buckets), filled
+    /// concurrently by the client threads; the summary's p50/p95/p99
+    /// come from here.
+    pub latency_hist: Arc<obs::Histogram>,
     /// Wall-clock duration of the whole run in seconds.
     pub elapsed_s: f64,
 }
@@ -84,19 +96,22 @@ impl LoadReport {
         }
     }
 
-    /// Renders the human-readable summary the CLI prints.
+    /// Renders the human-readable summary the CLI prints. The p50/p95/
+    /// p99 come from the histogram (bucket-interpolated, like a
+    /// Prometheus `histogram_quantile`); max is exact.
     pub fn render(&self) -> String {
         format!(
             "requests {}  ok {}  shed(429) {}  deadline(503) {}  failed {}\n\
-             latency ms: p50 {:.2}  p95 {:.2}  max {:.2}\n\
+             latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}\n\
              elapsed {:.2}s  throughput {:.1} req/s",
             self.sent,
             self.ok,
             self.shed,
             self.deadline,
             self.failed,
-            self.quantile_ms(0.50),
-            self.quantile_ms(0.95),
+            self.latency_hist.quantile(0.50),
+            self.latency_hist.quantile(0.95),
+            self.latency_hist.quantile(0.99),
             self.quantile_ms(1.0),
             self.elapsed_s,
             self.rps(),
@@ -107,11 +122,13 @@ impl LoadReport {
 /// Runs the load generation and merges per-thread results.
 pub fn run(cfg: &LoadgenConfig) -> LoadReport {
     let next = AtomicU64::new(0);
+    let latency_hist = Arc::new(obs::Histogram::new(LATENCY_BUCKETS_MS));
     let started = Instant::now();
     let results: Vec<(Vec<f64>, u64, u64, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.concurrency.max(1))
             .map(|_| {
                 let next = &next;
+                let latency_hist = &latency_hist;
                 scope.spawn(move || {
                     let (mut lat, mut ok, mut shed, mut deadline, mut failed) =
                         (Vec::new(), 0u64, 0u64, 0u64, 0u64);
@@ -132,7 +149,9 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                         let t0 = Instant::now();
                         match client::call(cfg.target.as_str(), "POST", "/v1/solve", &body) {
                             Ok((status, _)) => {
-                                lat.push(t0.elapsed().as_secs_f64() * 1_000.0);
+                                let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+                                latency_hist.observe(ms);
+                                lat.push(ms);
                                 match status {
                                     200 => ok += 1,
                                     429 => shed += 1,
@@ -160,6 +179,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         deadline: 0,
         failed: 0,
         latencies_ms: Vec::new(),
+        latency_hist,
         elapsed_s,
     };
     for (lat, ok, shed, deadline, failed) in results {
@@ -177,35 +197,50 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn quantiles_and_rps() {
-        let r = LoadReport {
-            sent: 4,
-            ok: 4,
+    fn report_with(latencies_ms: Vec<f64>, elapsed_s: f64) -> LoadReport {
+        let hist = Arc::new(obs::Histogram::new(LATENCY_BUCKETS_MS));
+        for &ms in &latencies_ms {
+            hist.observe(ms);
+        }
+        LoadReport {
+            sent: latencies_ms.len() as u64,
+            ok: latencies_ms.len() as u64,
             shed: 0,
             deadline: 0,
             failed: 0,
-            latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
-            elapsed_s: 2.0,
-        };
+            latencies_ms,
+            latency_hist: hist,
+            elapsed_s,
+        }
+    }
+
+    #[test]
+    fn quantiles_and_rps() {
+        let r = report_with(vec![1.0, 2.0, 3.0, 4.0], 2.0);
         assert_eq!(r.quantile_ms(0.0), 1.0);
         assert_eq!(r.quantile_ms(1.0), 4.0);
         assert_eq!(r.rps(), 2.0);
-        assert!(r.render().contains("throughput 2.0 req/s"));
+        let rendered = r.render();
+        assert!(rendered.contains("throughput 2.0 req/s"));
+        assert!(rendered.contains("p99"));
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_sample() {
+        let r = report_with((1..=100).map(|i| i as f64).collect(), 1.0);
+        // Bucket-interpolated quantiles land inside the right bucket:
+        // p50 of 1..=100 ms is within the (25, 50] bucket.
+        let p50 = r.latency_hist.quantile(0.50);
+        assert!((25.0..=50.0).contains(&p50), "p50 {p50}");
+        let p99 = r.latency_hist.quantile(0.99);
+        assert!((50.0..=100.0).contains(&p99), "p99 {p99}");
     }
 
     #[test]
     fn empty_report_is_safe() {
-        let r = LoadReport {
-            sent: 0,
-            ok: 0,
-            shed: 0,
-            deadline: 0,
-            failed: 0,
-            latencies_ms: vec![],
-            elapsed_s: 0.0,
-        };
+        let r = report_with(vec![], 0.0);
         assert_eq!(r.quantile_ms(0.5), 0.0);
+        assert_eq!(r.latency_hist.quantile(0.5), 0.0);
         assert_eq!(r.rps(), 0.0);
     }
 }

@@ -1,15 +1,20 @@
 //! Serving metrics, exported in Prometheus text-exposition format.
 //!
-//! Hand-written like the repo's hand-written CSV emitters: fixed atomic
-//! counters and histograms, no registry machinery. Everything is
-//! lock-free on the hot path (one `fetch_add` per event).
+//! Built on the [`obs`] registry: every instrument is registered once
+//! at construction and held as an `Arc` handle, so the hot path is a
+//! couple of relaxed atomic ops per event — the registry mutex is only
+//! taken at startup and at `/metrics` render time. The solver-phase
+//! families (`mpmb_solver_phase_seconds`, …) land on the same registry
+//! via [`obs::SolverMetrics`], so one `/metrics` scrape carries the
+//! whole stack from HTTP edge to trial kernel.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The endpoints with per-endpoint series. Order defines export order.
 pub const ENDPOINTS: &[&str] = &[
-    "solve", "query", "count", "topk", "graphs", "healthz", "metrics", "admin", "other",
+    "solve", "query", "count", "topk", "graphs", "healthz", "metrics", "admin", "debug", "other",
 ];
 
 /// Latency histogram bucket upper bounds, in seconds.
@@ -20,54 +25,33 @@ const BUCKETS: &[f64] = &[
 /// Statuses tracked per endpoint (everything else folds into `other`).
 const STATUSES: &[u16] = &[200, 400, 404, 429, 503];
 
-#[derive(Default)]
-struct Histogram {
-    /// Cumulative-style storage: `counts[i]` is events in bucket i
-    /// (non-cumulative; cumulated at render time), plus the +Inf tail.
-    counts: [AtomicU64; BUCKETS.len() + 1],
-    sum_nanos: AtomicU64,
-    total: AtomicU64,
-}
-
-impl Histogram {
-    fn observe(&self, d: Duration) {
-        let secs = d.as_secs_f64();
-        let idx = BUCKETS.partition_point(|&ub| ub < secs);
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-/// Per-endpoint counters.
-#[derive(Default)]
-struct EndpointMetrics {
+/// Pre-created handles for one endpoint.
+struct EndpointHandles {
     /// Requests by status: indices follow `STATUSES`, last slot = other.
-    by_status: [AtomicU64; STATUSES.len() + 1],
-    latency: Histogram,
+    by_status: Vec<Arc<Counter>>,
+    latency: Arc<Histogram>,
 }
 
 /// All serving metrics. One instance per server, shared via `Arc`.
-#[derive(Default)]
 pub struct Metrics {
-    endpoints: [EndpointMetrics; ENDPOINTS.len()],
-    /// Result-cache hits / misses.
-    pub cache_hits: AtomicU64,
+    registry: Arc<Registry>,
+    endpoints: Vec<EndpointHandles>,
+    /// Result-cache hits.
+    pub cache_hits: Arc<Counter>,
     /// Result-cache misses.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// Requests that resumed a cached partial result (cache refinement).
-    pub cache_refined: AtomicU64,
+    pub cache_refined: Arc<Counter>,
     /// Monte-Carlo trials executed by solvers (partial runs included).
-    pub trials_executed: AtomicU64,
+    pub trials_executed: Arc<Counter>,
     /// Requests rejected because the accept queue was full.
-    pub load_shed: AtomicU64,
+    pub load_shed: Arc<Counter>,
     /// Requests that hit their deadline and returned 503.
-    pub deadline_exceeded: AtomicU64,
+    pub deadline_exceeded: Arc<Counter>,
     /// Requests currently being processed by workers.
-    pub inflight: AtomicU64,
+    pub inflight: Arc<Gauge>,
     /// Connections accepted.
-    pub connections: AtomicU64,
+    pub connections: Arc<Counter>,
 }
 
 /// Index of an endpoint name in [`ENDPOINTS`].
@@ -81,12 +65,87 @@ pub fn endpoint_index(path: &str) -> usize {
         "/healthz" => "healthz",
         "/metrics" => "metrics",
         p if p.starts_with("/admin/") => "admin",
+        p if p.starts_with("/debug/") => "debug",
         _ => "other",
     };
     ENDPOINTS.iter().position(|&e| e == name).unwrap()
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        let registry = Arc::new(Registry::new());
+        // Registration order is render order; keep the families in the
+        // order the previous hand-rolled exporter used.
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|name| {
+                let by_status = STATUSES
+                    .iter()
+                    .map(|s| s.to_string())
+                    .chain(std::iter::once("other".to_string()))
+                    .map(|status| {
+                        registry.counter_with(
+                            "mpmb_requests_total",
+                            "Requests handled, by endpoint and status.",
+                            &[("endpoint", name), ("status", &status)],
+                        )
+                    })
+                    .collect();
+                EndpointHandles {
+                    by_status,
+                    latency: registry.histogram_with(
+                        "mpmb_request_duration_seconds",
+                        "Request latency, by endpoint.",
+                        BUCKETS,
+                        &[("endpoint", name)],
+                    ),
+                }
+            })
+            .collect();
+        let metrics = Metrics {
+            cache_hits: registry.counter("mpmb_cache_hits_total", "Result-cache hits."),
+            cache_misses: registry.counter("mpmb_cache_misses_total", "Result-cache misses."),
+            cache_refined: registry.counter(
+                "mpmb_cache_refined_total",
+                "Requests that resumed a cached partial result instead of restarting.",
+            ),
+            trials_executed: registry.counter(
+                "mpmb_trials_executed_total",
+                "Monte-Carlo trials executed by solvers (including partial runs).",
+            ),
+            load_shed: registry.counter(
+                "mpmb_load_shed_total",
+                "Requests rejected with 429 because the accept queue was full.",
+            ),
+            deadline_exceeded: registry.counter(
+                "mpmb_deadline_exceeded_total",
+                "Requests that exceeded their deadline and returned 503.",
+            ),
+            inflight: registry.gauge(
+                "mpmb_inflight_requests",
+                "Requests currently being processed.",
+            ),
+            connections: registry.counter("mpmb_connections_total", "Connections accepted."),
+            endpoints,
+            registry,
+        };
+        metrics.registry.gauge_fn(
+            "mpmb_peak_rss_bytes",
+            "Peak bytes allocated through the counting allocator (0 when the allocator is not installed).",
+            || memtrack::peak_bytes() as i64,
+        );
+        metrics
+    }
+}
+
 impl Metrics {
+    /// The registry behind these metrics — shared with
+    /// [`obs::SolverMetrics`] so solver-phase histograms render on the
+    /// same `/metrics` page.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// Records one finished request.
     pub fn record(&self, endpoint: usize, status: u16, elapsed: Duration) {
         let em = &self.endpoints[endpoint];
@@ -94,146 +153,19 @@ impl Metrics {
             .iter()
             .position(|&s| s == status)
             .unwrap_or(STATUSES.len());
-        em.by_status[sidx].fetch_add(1, Ordering::Relaxed);
-        em.latency.observe(elapsed);
+        em.by_status[sidx].inc();
+        em.latency.observe(elapsed.as_secs_f64());
     }
 
     /// Sum of request counters for one endpoint name (test convenience).
     pub fn requests_for(&self, endpoint: &str) -> u64 {
         let idx = ENDPOINTS.iter().position(|&e| e == endpoint).unwrap();
-        self.endpoints[idx]
-            .by_status
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum()
+        self.endpoints[idx].by_status.iter().map(|c| c.get()).sum()
     }
 
     /// Renders the Prometheus text exposition.
     pub fn render(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::with_capacity(4096);
-
-        out.push_str("# HELP mpmb_requests_total Requests handled, by endpoint and status.\n");
-        out.push_str("# TYPE mpmb_requests_total counter\n");
-        for (ei, name) in ENDPOINTS.iter().enumerate() {
-            let em = &self.endpoints[ei];
-            for (si, &status) in STATUSES.iter().enumerate() {
-                let n = em.by_status[si].load(Ordering::Relaxed);
-                if n > 0 {
-                    let _ = writeln!(
-                        out,
-                        "mpmb_requests_total{{endpoint=\"{name}\",status=\"{status}\"}} {n}"
-                    );
-                }
-            }
-            let other = em.by_status[STATUSES.len()].load(Ordering::Relaxed);
-            if other > 0 {
-                let _ = writeln!(
-                    out,
-                    "mpmb_requests_total{{endpoint=\"{name}\",status=\"other\"}} {other}"
-                );
-            }
-        }
-
-        out.push_str(
-            "# HELP mpmb_request_duration_seconds Request latency, by endpoint.\n\
-             # TYPE mpmb_request_duration_seconds histogram\n",
-        );
-        for (ei, name) in ENDPOINTS.iter().enumerate() {
-            let h = &self.endpoints[ei].latency;
-            let total = h.total.load(Ordering::Relaxed);
-            if total == 0 {
-                continue;
-            }
-            let mut cumulative = 0u64;
-            for (bi, &ub) in BUCKETS.iter().enumerate() {
-                cumulative += h.counts[bi].load(Ordering::Relaxed);
-                let _ = writeln!(
-                    out,
-                    "mpmb_request_duration_seconds_bucket{{endpoint=\"{name}\",le=\"{ub}\"}} {cumulative}"
-                );
-            }
-            let _ = writeln!(
-                out,
-                "mpmb_request_duration_seconds_bucket{{endpoint=\"{name}\",le=\"+Inf\"}} {total}"
-            );
-            let sum = h.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9;
-            let _ = writeln!(
-                out,
-                "mpmb_request_duration_seconds_sum{{endpoint=\"{name}\"}} {sum}"
-            );
-            let _ = writeln!(
-                out,
-                "mpmb_request_duration_seconds_count{{endpoint=\"{name}\"}} {total}"
-            );
-        }
-
-        let simple = [
-            (
-                "mpmb_cache_hits_total",
-                "Result-cache hits.",
-                "counter",
-                &self.cache_hits,
-            ),
-            (
-                "mpmb_cache_misses_total",
-                "Result-cache misses.",
-                "counter",
-                &self.cache_misses,
-            ),
-            (
-                "mpmb_cache_refined_total",
-                "Requests that resumed a cached partial result instead of restarting.",
-                "counter",
-                &self.cache_refined,
-            ),
-            (
-                "mpmb_trials_executed_total",
-                "Monte-Carlo trials executed by solvers (including partial runs).",
-                "counter",
-                &self.trials_executed,
-            ),
-            (
-                "mpmb_load_shed_total",
-                "Requests rejected with 429 because the accept queue was full.",
-                "counter",
-                &self.load_shed,
-            ),
-            (
-                "mpmb_deadline_exceeded_total",
-                "Requests that exceeded their deadline and returned 503.",
-                "counter",
-                &self.deadline_exceeded,
-            ),
-            (
-                "mpmb_inflight_requests",
-                "Requests currently being processed.",
-                "gauge",
-                &self.inflight,
-            ),
-            (
-                "mpmb_connections_total",
-                "Connections accepted.",
-                "counter",
-                &self.connections,
-            ),
-        ];
-        for (name, help, kind, cell) in simple {
-            let _ = writeln!(
-                out,
-                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {}",
-                cell.load(Ordering::Relaxed)
-            );
-        }
-
-        let _ = writeln!(
-            out,
-            "# HELP mpmb_peak_rss_bytes Peak bytes allocated through the counting allocator (0 when the allocator is not installed).\n\
-             # TYPE mpmb_peak_rss_bytes gauge\n\
-             mpmb_peak_rss_bytes {}",
-            memtrack::peak_bytes()
-        );
-        out
+        self.registry.render()
     }
 }
 
@@ -264,6 +196,7 @@ mod tests {
     fn endpoint_index_covers_all_paths() {
         assert_eq!(ENDPOINTS[endpoint_index("/v1/solve")], "solve");
         assert_eq!(ENDPOINTS[endpoint_index("/admin/shutdown")], "admin");
+        assert_eq!(ENDPOINTS[endpoint_index("/debug/trace")], "debug");
         assert_eq!(ENDPOINTS[endpoint_index("/nope")], "other");
     }
 
@@ -277,5 +210,29 @@ mod tests {
         assert!(m
             .render()
             .contains("endpoint=\"count\",status=\"other\"} 1"));
+    }
+
+    #[test]
+    fn unlabeled_counters_render_name_space_value() {
+        let m = Metrics::default();
+        m.cache_hits.inc();
+        m.trials_executed.add(300);
+        m.inflight.add(2);
+        let text = m.render();
+        assert!(text.contains("\nmpmb_cache_hits_total 1\n"));
+        assert!(text.contains("\nmpmb_trials_executed_total 300\n"));
+        assert!(text.contains("\nmpmb_inflight_requests 2\n"));
+        assert!(text.contains("\nmpmb_peak_rss_bytes "));
+    }
+
+    #[test]
+    fn solver_phase_families_share_the_page() {
+        let m = Metrics::default();
+        let solver = obs::SolverMetrics::new(m.registry().clone());
+        solver.record_phase("os.sample", 0.002, 128);
+        let text = m.render();
+        assert!(text.contains("mpmb_solver_phase_seconds_count{phase=\"os.sample\"} 1"));
+        assert!(text.contains("mpmb_solver_phase_trials_total{phase=\"os.sample\"} 128"));
+        assert!(text.contains("mpmb_engine_resumes_total 0"));
     }
 }

@@ -7,6 +7,14 @@
 //! them. Shutdown (SIGTERM, SIGINT, or `POST /admin/shutdown`) stops
 //! the accept loop, drains every queued and in-flight request, then
 //! joins the pool.
+//!
+//! Every request runs under an [`obs::ObsCtx`]: a trace id (the
+//! client's `X-Request-Id` if present, freshly minted otherwise, echoed
+//! back in the response), a per-request [`obs::Profile`] that solver
+//! phase spans aggregate into, and the server's shared
+//! [`obs::SolverMetrics`] so engine phases land in `/metrics`
+//! histograms. Solve-like requests additionally push a summary into a
+//! ring buffer served by `GET /debug/trace`.
 
 use crate::cache::{CacheEntry, ResultCache};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
@@ -57,6 +65,53 @@ impl Default for ServerConfig {
     }
 }
 
+/// How many solve summaries `GET /debug/trace` retains.
+const DEBUG_TRACE_CAPACITY: usize = 64;
+
+/// One completed solve-like request, as retained for `/debug/trace`.
+#[derive(Clone, Debug)]
+pub struct SolveTrace {
+    /// The request's trace id (client-supplied or minted).
+    pub trace_id: String,
+    /// Request path, e.g. `/v1/solve`.
+    pub endpoint: String,
+    /// The `graph` field of the request body (empty if unparseable).
+    pub graph: String,
+    /// Response status.
+    pub status: u16,
+    /// End-to-end request duration in microseconds.
+    pub dur_us: u64,
+    /// Solver phase breakdown recorded while handling the request.
+    pub phases: Vec<obs::PhaseStat>,
+}
+
+impl SolveTrace {
+    fn to_json(&self) -> Json {
+        let phases: Vec<(String, Json)> = self
+            .phases
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    Json::obj([
+                        ("seconds", Json::Num(p.secs)),
+                        ("items", Json::Num(p.items as f64)),
+                        ("calls", Json::Num(p.calls as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("trace_id".to_string(), Json::Str(self.trace_id.clone())),
+            ("endpoint".to_string(), Json::Str(self.endpoint.clone())),
+            ("graph".to_string(), Json::Str(self.graph.clone())),
+            ("status".to_string(), Json::Num(self.status as f64)),
+            ("dur_us".to_string(), Json::Num(self.dur_us as f64)),
+            ("phases".to_string(), Json::Obj(phases)),
+        ])
+    }
+}
+
 /// Shared state every worker sees.
 pub struct AppState {
     /// Named graphs.
@@ -65,6 +120,12 @@ pub struct AppState {
     pub cache: ResultCache,
     /// Serving metrics.
     pub metrics: Metrics,
+    /// Solver-phase metric handles, registered on the same registry as
+    /// [`AppState::metrics`] and installed into every request's
+    /// [`obs::ObsCtx`].
+    pub solver: Arc<obs::SolverMetrics>,
+    /// Ring of recent solve summaries behind `GET /debug/trace`.
+    pub traces: obs::Ring<SolveTrace>,
     /// Per-request deadline.
     pub timeout: Option<Duration>,
     /// Resolved per-request solver thread cap (`max_solver_threads`, or
@@ -98,10 +159,14 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        let metrics = Metrics::default();
+        let solver = Arc::new(obs::SolverMetrics::new(Arc::clone(metrics.registry())));
         let state = Arc::new(AppState {
             registry: Registry::new(),
             cache: ResultCache::new(cfg.cache_capacity),
-            metrics: Metrics::default(),
+            metrics,
+            solver,
+            traces: obs::Ring::new(DEBUG_TRACE_CAPACITY),
             timeout: (cfg.timeout_ms > 0).then(|| Duration::from_millis(cfg.timeout_ms)),
             solver_thread_cap: if cfg.max_solver_threads == 0 {
                 cfg.threads.max(1)
@@ -176,11 +241,11 @@ fn accept_loop(
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                state.metrics.connections.inc();
                 match tx.try_send(stream) {
                     Ok(()) => {}
                     Err(TrySendError::Full(mut stream)) => {
-                        state.metrics.load_shed.fetch_add(1, Ordering::Relaxed);
+                        state.metrics.load_shed.inc();
                         let resp = Response::error(429, "server overloaded, try again later");
                         let _ = write_response(&mut stream, &resp, true);
                     }
@@ -239,12 +304,37 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
             }
             Ok(req) => {
                 let started = Instant::now();
-                state.metrics.inflight.fetch_add(1, Ordering::Relaxed);
-                let resp = route(state, &req);
-                state.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+                state.metrics.inflight.add(1);
+                let trace_id: Arc<str> = match req.header("x-request-id") {
+                    Some(v) if !v.is_empty() => Arc::from(v),
+                    _ => obs::next_trace_id(),
+                };
+                let profile = Arc::new(obs::Profile::new());
+                let (resp, elapsed) = {
+                    let _obs = obs::install(obs::ObsCtx {
+                        trace_id: Some(Arc::clone(&trace_id)),
+                        profile: Some(Arc::clone(&profile)),
+                        solver: Some(Arc::clone(&state.solver)),
+                    });
+                    let resp = route(state, &req);
+                    let elapsed = started.elapsed();
+                    obs::event(
+                        "http.access",
+                        &[
+                            ("method", req.method.as_str().into()),
+                            ("path", req.path.as_str().into()),
+                            ("status", (resp.status as u64).into()),
+                            ("dur_us", (elapsed.as_micros() as u64).into()),
+                        ],
+                    );
+                    (resp, elapsed)
+                };
+                state.metrics.inflight.sub(1);
                 state
                     .metrics
-                    .record(endpoint_index(&req.path), resp.status, started.elapsed());
+                    .record(endpoint_index(&req.path), resp.status, elapsed);
+                record_solve_trace(state, &req, resp.status, &trace_id, elapsed, &profile);
+                let resp = resp.with_header("X-Request-Id", trace_id.as_ref());
                 let close = !req.keep_alive() || state.shutting_down();
                 if write_response(&mut writer, &resp, close).is_err() || close {
                     return;
@@ -265,6 +355,7 @@ fn route(state: &AppState, req: &Request) -> Response {
         ("POST", "/v1/query") => handle_query(state, req),
         ("POST", "/v1/count") => handle_count(state, req),
         ("GET", "/metrics") => Response::metrics_text(state.metrics.render()),
+        ("GET", "/debug/trace") => handle_debug_trace(state, req),
         ("POST", "/admin/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             Response::json(202, Json::obj([("draining", Json::Bool(true))]).to_string())
@@ -272,10 +363,71 @@ fn route(state: &AppState, req: &Request) -> Response {
         (
             _,
             "/healthz" | "/v1/graphs" | "/v1/solve" | "/v1/topk" | "/v1/query" | "/v1/count"
-            | "/metrics" | "/admin/shutdown",
+            | "/metrics" | "/debug/trace" | "/admin/shutdown",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+/// Retains a solve-like request's trace summary for `/debug/trace`.
+fn record_solve_trace(
+    state: &AppState,
+    req: &Request,
+    status: u16,
+    trace_id: &Arc<str>,
+    elapsed: Duration,
+    profile: &Arc<obs::Profile>,
+) {
+    if !matches!(
+        req.path.as_str(),
+        "/v1/solve" | "/v1/topk" | "/v1/query" | "/v1/count"
+    ) {
+        return;
+    }
+    let graph = std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|t| Json::parse(t).ok())
+        .and_then(|b| b.get("graph").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default();
+    state.traces.push(SolveTrace {
+        trace_id: trace_id.to_string(),
+        endpoint: req.path.clone(),
+        graph,
+        status,
+        dur_us: elapsed.as_micros() as u64,
+        phases: profile.snapshot(),
+    });
+}
+
+/// The first value of `key` in a raw query string (no percent-decoding;
+/// graph names registered through the API are plain identifiers).
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// `GET /debug/trace[?graph=name]`: the most recent solve summaries,
+/// newest first.
+fn handle_debug_trace(state: &AppState, req: &Request) -> Response {
+    let filter = query_param(&req.query, "graph");
+    let traces: Vec<Json> = state
+        .traces
+        .snapshot()
+        .iter()
+        .filter(|t| filter.is_none_or(|g| t.graph == g))
+        .map(SolveTrace::to_json)
+        .collect();
+    Response::json(
+        200,
+        Json::obj([
+            ("count", Json::Num(traces.len() as f64)),
+            ("traces", Json::Arr(traces)),
+        ])
+        .to_string(),
+    )
 }
 
 fn handle_healthz(state: &AppState) -> Response {
@@ -413,10 +565,7 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
         Ok(p) => p,
         Err(msg) => return Response::error(400, &msg),
     };
-    state
-        .metrics
-        .trials_executed
-        .fetch_add(progress.executed, Ordering::Relaxed);
+    state.metrics.trials_executed.add(progress.executed);
     let distribution = match progress.outcome {
         Outcome::Done(d) => d,
         Outcome::Incomplete(partial) => {
@@ -474,15 +623,15 @@ enum CacheLookup {
 fn lookup_cache(state: &AppState, key: &str) -> CacheLookup {
     match state.cache.get(key) {
         Some(CacheEntry::Complete(body)) => {
-            state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            state.metrics.cache_hits.inc();
             CacheLookup::Complete(body)
         }
         Some(CacheEntry::Partial(p)) => {
-            state.metrics.cache_refined.fetch_add(1, Ordering::Relaxed);
+            state.metrics.cache_refined.inc();
             CacheLookup::Partial(p)
         }
         None => {
-            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            state.metrics.cache_misses.inc();
             CacheLookup::Miss
         }
     }
@@ -497,10 +646,7 @@ fn deadline_response(
     trials_done: u64,
     trials_requested: u64,
 ) -> Response {
-    state
-        .metrics
-        .deadline_exceeded
-        .fetch_add(1, Ordering::Relaxed);
+    state.metrics.deadline_exceeded.inc();
     state.cache.put(key, CacheEntry::Partial(partial));
     Response::json(
         503,
@@ -545,10 +691,7 @@ fn handle_query(state: &AppState, req: &Request) -> Response {
         Some(Err(msg)) => return Response::error(400, &msg),
         None => return Response::error(404, "butterfly is not in the graph's backbone"),
     };
-    state
-        .metrics
-        .trials_executed
-        .fetch_add(progress.executed, Ordering::Relaxed);
+    state.metrics.trials_executed.add(progress.executed);
     let q = match progress.outcome {
         Outcome::Done(q) => q,
         Outcome::Incomplete(partial) => {
@@ -606,10 +749,7 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
         Ok(p) => p,
         Err(msg) => return Response::error(400, &msg),
     };
-    state
-        .metrics
-        .trials_executed
-        .fetch_add(progress.executed, Ordering::Relaxed);
+    state.metrics.trials_executed.add(progress.executed);
     let dist = match progress.outcome {
         Outcome::Done(d) => d,
         Outcome::Incomplete(partial) => {

@@ -65,8 +65,9 @@ pub enum PartialState {
 }
 
 impl PartialState {
-    /// Short tag for logs and errors.
-    fn kind(&self) -> &'static str {
+    /// Short tag for logs and errors (also the phase name `mpmb solve
+    /// --progress` prints).
+    pub fn kind(&self) -> &'static str {
         match self {
             PartialState::Os(_) => "os",
             PartialState::McVp(_) => "mcvp",
@@ -75,6 +76,42 @@ impl PartialState {
             PartialState::Kl { .. } => "ols-kl",
             PartialState::Query(_) => "query",
             PartialState::Count(_) => "count",
+        }
+    }
+
+    /// The running MPMB leader and its estimate at this point of the
+    /// run, if the phase tracks one:
+    ///
+    /// * tally phases (`os`, `mcvp`, `ols` sampling) report the
+    ///   most-hit butterfly (ties broken toward the lexicographically
+    ///   larger butterfly, matching [`crate::solve`]'s finalization)
+    ///   with its hit fraction;
+    /// * the Karp-Luby phase reports the completed candidate with the
+    ///   highest estimated `P(B)`;
+    /// * preparing, query, and count phases have no leader yet.
+    pub fn leader(&self) -> Option<(Butterfly, f64)> {
+        fn tally_leader(p: &Partial<Tally>) -> Option<(Butterfly, f64)> {
+            let trials = p.trials_done();
+            if trials == 0 {
+                return None;
+            }
+            p.acc
+                .counts()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .map(|(b, &c)| (*b, c as f64 / trials as f64))
+        }
+        match self {
+            PartialState::Os(p) | PartialState::McVp(p) => tally_leader(p),
+            PartialState::OlsSample { partial, .. } => tally_leader(partial),
+            PartialState::Kl {
+                candidates,
+                partial,
+            } => partial
+                .acc
+                .iter()
+                .max_by(|a, b| a.1.prob.total_cmp(&b.1.prob))
+                .map(|(idx, c)| (candidates.get(*idx as usize).butterfly, c.prob)),
+            PartialState::OlsPrepare(_) | PartialState::Query(_) | PartialState::Count(_) => None,
         }
     }
 }

@@ -1,0 +1,144 @@
+//! Per-solve phase profiles: a tiny mutex-guarded aggregation of span
+//! durations, keyed by phase name, carried in the thread-local
+//! [`crate::ObsCtx`] for the duration of one solve or one request.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// Aggregate statistics for one named phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase (span) name, e.g. `"ols.prepare"`.
+    pub name: String,
+    /// Total wall time across all runs of this phase, seconds.
+    pub secs: f64,
+    /// Total items (trials, butterflies, …) processed by this phase.
+    pub items: u64,
+    /// Number of span closures recorded for this phase.
+    pub calls: u64,
+}
+
+/// A phase table accumulating closed spans, in first-seen order.
+///
+/// Spans record into the profile carried by the active [`crate::ObsCtx`]
+/// when they drop; one profile typically spans one CLI solve or one
+/// HTTP request, including any parallel workers (the context is
+/// re-installed on worker threads, and recording takes a short mutex).
+#[derive(Debug, Default)]
+pub struct Profile {
+    phases: Mutex<Vec<PhaseStat>>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Folds one closed span into the table.
+    pub fn record(&self, name: &str, secs: f64, items: u64) {
+        let mut phases = self.phases.lock().unwrap();
+        match phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.secs += secs;
+                p.items += items;
+                p.calls += 1;
+            }
+            None => phases.push(PhaseStat {
+                name: name.to_string(),
+                secs,
+                items,
+                calls: 1,
+            }),
+        }
+    }
+
+    /// A copy of the current table, in first-seen order.
+    pub fn snapshot(&self) -> Vec<PhaseStat> {
+        self.phases.lock().unwrap().clone()
+    }
+
+    /// Sum of all phase durations, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.phases.lock().unwrap().iter().map(|p| p.secs).sum()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.lock().unwrap().is_empty()
+    }
+}
+
+/// Renders the profile as an aligned table (for `--profile` stderr
+/// output): one row per phase plus a totals row.
+pub fn render_table(phases: &[PhaseStat], wall_secs: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>12} {:>12} {:>8} {:>7}\n",
+        "phase", "seconds", "items", "calls", "%wall"
+    ));
+    let mut total = 0.0;
+    for p in phases {
+        total += p.secs;
+        let pct = if wall_secs > 0.0 {
+            100.0 * p.secs / wall_secs
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<16} {:>12.6} {:>12} {:>8} {:>6.1}%\n",
+            p.name, p.secs, p.items, p.calls, pct
+        ));
+    }
+    let pct = if wall_secs > 0.0 {
+        100.0 * total / wall_secs
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "{:<16} {:>12.6} {:>12} {:>8} {:>6.1}%\n",
+        "total", total, "", "", pct
+    ));
+    out
+}
+
+impl fmt::Display for PhaseStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.6}s over {} calls ({} items)",
+            self.name, self.secs, self.calls, self.items
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aggregate_by_name_in_first_seen_order() {
+        let p = Profile::new();
+        p.record("ols.prepare", 0.5, 100);
+        p.record("ols.sample", 1.0, 2000);
+        p.record("ols.prepare", 0.25, 50);
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "ols.prepare");
+        assert_eq!(snap[0].calls, 2);
+        assert_eq!(snap[0].items, 150);
+        assert!((snap[0].secs - 0.75).abs() < 1e-12);
+        assert_eq!(snap[1].name, "ols.sample");
+        assert!((p.total_secs() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_includes_every_phase_and_total() {
+        let p = Profile::new();
+        p.record("count", 0.1, 10);
+        let table = render_table(&p.snapshot(), 0.2);
+        assert!(table.contains("count"));
+        assert!(table.contains("total"));
+        assert!(table.contains("50.0%"));
+    }
+}

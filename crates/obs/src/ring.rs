@@ -1,0 +1,65 @@
+//! A fixed-capacity ring buffer behind a mutex, used by the serve
+//! layer to keep the last N solve span summaries for `/debug/trace`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Keeps the most recent `capacity` pushed values; older entries are
+/// dropped. `Clone` snapshots are taken newest-first so debug
+/// endpoints show fresh work at the top.
+#[derive(Debug)]
+pub struct Ring<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T: Clone> Ring<T> {
+    /// Creates a ring holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Ring {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends, evicting the oldest entry when full.
+    pub fn push(&self, value: T) {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(value);
+    }
+
+    /// The retained entries, newest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        let q = self.inner.lock().unwrap();
+        q.iter().rev().cloned().collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_oldest_and_snapshots_newest_first() {
+        let r = Ring::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.snapshot(), vec![4, 3, 2]);
+    }
+}

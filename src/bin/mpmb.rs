@@ -3,16 +3,17 @@
 //! ```text
 //! mpmb solve    --input G.tsv [--method os|mcvp|ols|ols-kl] [--trials N]
 //!               [--prep N] [--seed N] [--top-k K] [--diverse MAX_SHARED]
-//!               [--threads N] [--progress EVERY]
+//!               [--threads N] [--progress EVERY] [--trace-json FILE]
+//!               [--profile] [--mem-stats]
 //! mpmb exact    --input G.tsv [--max-uncertain N] [--top-k K]
 //! mpmb query    --input G.tsv --u1 A --u2 B --v1 C --v2 D [--trials N] [--seed N]
-//! mpmb count    --input G.tsv [--trials N] [--seed N] [--threads N]
+//! mpmb count    --input G.tsv [--trials N] [--seed N] [--threads N] [--mem-stats]
 //! mpmb stats    --input G.tsv
 //! mpmb generate --dataset abide|movielens|jester|protein --scale F
 //!               [--seed N] [--output FILE]
 //! mpmb serve    [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
 //!               [--cache-capacity N] [--max-solver-threads N]
-//!               [--graph NAME=SPEC]...
+//!               [--trace off|stderr|FILE] [--graph NAME=SPEC]...
 //! mpmb loadgen  [--target ADDR] [--requests N] [--concurrency N]
 //!               [--graph NAME] [--method M] [--trials N] [--seed N]
 //!               [--vary-seed [true|false]]
@@ -20,15 +21,21 @@
 //!
 //! Edge-list format: `LEFT RIGHT WEIGHT PROB` per line (tabs or spaces),
 //! `#` comments allowed. Graph SPECs for `serve` are file paths or
-//! `dataset:NAME[:scale[:seed]]` (see docs/SERVING.md).
+//! `dataset:NAME[:scale[:seed]]` (see docs/SERVING.md). Observability
+//! flags are documented in docs/OBSERVABILITY.md.
 
 use datasets::Dataset;
 use mpmb::prelude::*;
-use mpmb_core::{
-    top_k_diverse, Cancel, Distribution, Executor, McVpTrials, NoopObserver, OsTrials, Tally,
-    TrialObserver,
-};
+use mpmb_core::{top_k_diverse, Distribution};
+use mpmb_serve::solve::{advance_solve, Outcome};
+use mpmb_serve::Cancel;
 use std::process::exit;
+use std::sync::Arc;
+
+/// Counting allocator so `--mem-stats` (and the `mpmb_peak_rss_bytes`
+/// gauge of `mpmb serve`) report real peak allocations.
+#[global_allocator]
+static ALLOC: memtrack::CountingAllocator = memtrack::CountingAllocator;
 
 const USAGE: &str = "usage: mpmb <subcommand> [--flag value]...
 
@@ -36,17 +43,20 @@ subcommands:
   solve     estimate the MPMB of an edge-list graph
             --input FILE  [--method os|mcvp|ols|ols-kl] [--trials N] [--prep N]
             [--seed N] [--top-k K] [--diverse MAX_SHARED] [--threads N]
-            [--progress EVERY]
+            [--progress EVERY] [--trace-json FILE] [--profile] [--mem-stats]
             (--threads applies to every method; results are identical at
-            any thread count. --progress prints trials/sec and the running
-            MPMB estimate to stderr every EVERY trials; it implies
-            sequential execution and is unavailable for ols-kl)
+            any thread count, with or without any of the flags below.
+            --progress prints trials/sec and the running MPMB estimate to
+            stderr every EVERY trials and works with every method at any
+            thread count. --trace-json appends JSON-lines span traces to
+            FILE; --profile prints a phase breakdown table to stderr;
+            --mem-stats prints the solve's peak allocation to stderr)
   exact     exact distribution by possible-world enumeration
             --input FILE  [--max-uncertain N] [--top-k K]
   query     conditioned P(B) estimate for one butterfly
             --input FILE  --u1 A --u2 B --v1 C --v2 D  [--trials N] [--seed N]
   count     butterfly-count distribution over possible worlds
-            --input FILE  [--trials N] [--seed N] [--threads N]
+            --input FILE  [--trials N] [--seed N] [--threads N] [--mem-stats]
   stats     structural statistics of a graph
             --input FILE
   generate  synthetic Table III stand-in datasets
@@ -55,7 +65,7 @@ subcommands:
   serve     long-running HTTP query daemon (see docs/SERVING.md)
             [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
             [--cache-capacity N] [--max-solver-threads N]
-            [--graph NAME=SPEC]...
+            [--trace off|stderr|FILE] [--graph NAME=SPEC]...
   loadgen   closed-loop load generator against a running daemon
             [--target ADDR] [--requests N] [--concurrency N] [--graph NAME]
             [--method M] [--trials N] [--seed N] [--vary-seed [true|false]]
@@ -71,7 +81,7 @@ fn fail(msg: &str) -> ! {
 
 /// Flags that are on/off switches: the value may be omitted
 /// (`--vary-seed` reads as `--vary-seed true`).
-const BOOL_FLAGS: &[&str] = &["vary-seed"];
+const BOOL_FLAGS: &[&str] = &["vary-seed", "profile", "mem-stats"];
 
 /// Minimal flag parser: `--name value` pairs after the subcommand.
 struct Flags(Vec<(String, String)>);
@@ -184,49 +194,20 @@ fn print_ranking(
     }
 }
 
-/// `--progress` sink: tallies every observed trial and, every `every`
-/// trials, prints throughput plus the running MPMB estimate to stderr.
-struct ProgressObserver {
-    every: u64,
-    started: std::time::Instant,
-    tally: Tally,
-}
-
-impl ProgressObserver {
-    fn new(every: u64) -> Self {
-        Self {
-            every,
-            started: std::time::Instant::now(),
-            tally: Tally::new(),
-        }
-    }
-}
-
-impl TrialObserver for ProgressObserver {
-    fn observe(&mut self, _trial: u64, smb: &[mpmb_core::Butterfly]) {
-        self.tally.record_trial(smb);
-        let n = self.tally.trials();
-        if !n.is_multiple_of(self.every) {
-            return;
-        }
-        let rate = n as f64 / self.started.elapsed().as_secs_f64().max(1e-9);
-        let leader = self
-            .tally
-            .counts()
-            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)));
-        match leader {
-            Some((b, &c)) => eprintln!(
-                "progress: {n} trials, {rate:.0} trials/sec, leader {b} p~{:.6}",
-                c as f64 / n as f64
-            ),
-            None => eprintln!("progress: {n} trials, {rate:.0} trials/sec, no butterflies yet"),
-        }
-    }
-}
-
 fn cmd_solve(flags: &Flags) {
     flags.expect(&[
-        "input", "method", "trials", "prep", "seed", "top-k", "diverse", "threads", "progress",
+        "input",
+        "method",
+        "trials",
+        "prep",
+        "seed",
+        "top-k",
+        "diverse",
+        "threads",
+        "progress",
+        "trace-json",
+        "profile",
+        "mem-stats",
     ]);
     let g = load(flags);
     let method = flags.get("method").unwrap_or("ols");
@@ -246,78 +227,83 @@ fn cmd_solve(flags: &Flags) {
     if progress == Some(0) {
         fail("--progress must be at least 1");
     }
-    if progress.is_some() && threads > 1 {
-        fail("--progress streams per-trial state and implies sequential execution; drop --threads");
+    let profile_on: bool = flags.get_parsed("profile", false);
+    let mem_stats: bool = flags.get_parsed("mem-stats", false);
+    if let Some(path) = flags.get("trace-json") {
+        obs::set_sink_file(path)
+            .unwrap_or_else(|e| fail(&format!("cannot open --trace-json {path}: {e}")));
     }
-    if progress.is_some() && method == "ols-kl" {
+
+    // Observability rides in a thread-local context: solver spans feed
+    // the profile (and, with --trace-json, the sink) without touching
+    // the trial loop's results — proptests pin bit-identity.
+    let profile = Arc::new(obs::Profile::new());
+    let _obs_guard = (profile_on || flags.get("trace-json").is_some()).then(|| {
+        obs::install(obs::ObsCtx {
+            trace_id: Some(obs::next_trace_id()),
+            profile: Some(Arc::clone(&profile)),
+            solver: None,
+        })
+    });
+
+    // Every method runs through the server's resumable driver: with
+    // --progress the run is sliced every EVERY trials and the running
+    // leader printed between slices; results are bit-identical to an
+    // unsliced run at any thread count.
+    memtrack::reset_peak();
+    let started = std::time::Instant::now();
+    let mut state = None;
+    let dist = loop {
+        let cancel = match progress {
+            Some(every) => Cancel::after_trials(every),
+            None => Cancel::never(),
+        };
+        let p = advance_solve(
+            &g,
+            method,
+            trials,
+            prep,
+            seed,
+            threads,
+            state.take(),
+            &cancel,
+        )
+        .unwrap_or_else(|e| fail(&e));
+        match p.outcome {
+            Outcome::Done(d) => break d,
+            Outcome::Incomplete(s) => {
+                let rate = p.trials_done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                match s.leader() {
+                    Some((b, est)) => eprintln!(
+                        "progress: {}/{} trials ({}), {rate:.0} trials/sec, leader {b} p~{est:.6}",
+                        p.trials_done,
+                        p.trials_requested,
+                        s.kind()
+                    ),
+                    None => eprintln!(
+                        "progress: {}/{} trials ({}), {rate:.0} trials/sec, no leader yet",
+                        p.trials_done,
+                        p.trials_requested,
+                        s.kind()
+                    ),
+                }
+                state = Some(s);
+            }
+        }
+    };
+    let wall = started.elapsed().as_secs_f64();
+    print_ranking(&g, &dist, k, diverse);
+    if profile_on {
+        eprintln!("phase profile ({wall:.3}s wall):");
+        eprint!("{}", obs::render_table(&profile.snapshot(), wall));
+    }
+    if mem_stats {
+        let peak = memtrack::peak_bytes();
         eprintln!(
-            "warning: --progress is unsupported for ols-kl \
-             (Karp-Luby trials carry no per-trial S_MB); running without it"
+            "peak allocation: {peak} bytes ({:.1} MiB)",
+            peak as f64 / (1024.0 * 1024.0)
         );
     }
-    let mut observer: Box<dyn TrialObserver> = match progress {
-        Some(every) => Box::new(ProgressObserver::new(every)),
-        None => Box::new(NoopObserver),
-    };
-
-    // Every method runs its trials through the one core `Executor` and
-    // honors --threads; results are bit-identical at any thread count.
-    let dist = match method {
-        "os" => {
-            let cfg = OsConfig {
-                trials,
-                seed,
-                ..Default::default()
-            };
-            Executor::new(threads)
-                .run_with_observer(
-                    &OsTrials::new(&g, &cfg),
-                    trials,
-                    &Cancel::never(),
-                    observer.as_mut(),
-                )
-                .acc
-                .into_distribution()
-        }
-        "mcvp" => {
-            let cfg = McVpConfig { trials, seed };
-            Executor::new(threads)
-                .run_with_observer(
-                    &McVpTrials::new(&g, &cfg),
-                    trials,
-                    &Cancel::never(),
-                    observer.as_mut(),
-                )
-                .acc
-                .into_distribution()
-        }
-        "ols" => {
-            OrderingListingSampling::new(OlsConfig {
-                prep_trials: prep,
-                seed,
-                estimator: EstimatorKind::Optimized { trials },
-                threads,
-                ..Default::default()
-            })
-            .run_with_observer(&g, observer.as_mut())
-            .distribution
-        }
-        "ols-kl" => {
-            OrderingListingSampling::new(OlsConfig {
-                prep_trials: prep,
-                seed,
-                estimator: EstimatorKind::KarpLuby {
-                    policy: KlTrialPolicy::Fixed(trials),
-                },
-                threads,
-                ..Default::default()
-            })
-            .run(&g)
-            .distribution
-        }
-        other => fail(&format!("unknown method `{other}`")),
-    };
-    print_ranking(&g, &dist, k, diverse);
 }
 
 fn cmd_exact(flags: &Flags) {
@@ -369,13 +355,22 @@ fn cmd_query(flags: &Flags) {
 }
 
 fn cmd_count(flags: &Flags) {
-    flags.expect(&["input", "trials", "seed", "threads"]);
+    flags.expect(&["input", "trials", "seed", "threads", "mem-stats"]);
     let g = load(flags);
     let trials: u64 = flags.get_parsed("trials", 5_000);
     let seed: u64 = flags.get_parsed("seed", 42);
     let threads: usize = flags.get_parsed("threads", 1);
+    let mem_stats: bool = flags.get_parsed("mem-stats", false);
     let expect = bigraph::expected::expected_butterfly_count(&g);
+    memtrack::reset_peak();
     let d = mpmb_core::sample_count_distribution_parallel(&g, trials, seed, threads);
+    if mem_stats {
+        let peak = memtrack::peak_bytes();
+        eprintln!(
+            "peak allocation: {peak} bytes ({:.1} MiB)",
+            peak as f64 / (1024.0 * 1024.0)
+        );
+    }
     println!("expected butterflies (closed form) = {expect:.4}");
     println!(
         "sampled mean = {:.4}  variance = {:.4}  ({} trials)",
@@ -446,8 +441,15 @@ fn cmd_serve(flags: &Flags) {
         "timeout-ms",
         "cache-capacity",
         "max-solver-threads",
+        "trace",
         "graph",
     ]);
+    match flags.get("trace") {
+        None | Some("off") => {}
+        Some("stderr") => obs::set_sink_stderr(),
+        Some(path) => obs::set_sink_file(path)
+            .unwrap_or_else(|e| fail(&format!("cannot open --trace {path}: {e}"))),
+    }
     let cfg = mpmb_serve::ServerConfig {
         listen: flags.get("listen").unwrap_or("127.0.0.1:7700").to_string(),
         threads: flags.get_parsed("threads", 4),

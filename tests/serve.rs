@@ -6,7 +6,7 @@
 //! latches a process-global flag that every server instance observes,
 //! so all tests serialize on one mutex and clear the latch up front.
 
-use mpmb_serve::client::call;
+use mpmb_serve::client::{call, call_ext};
 use mpmb_serve::json::Json;
 use mpmb_serve::{signal, Server, ServerConfig};
 use std::sync::{Barrier, Mutex, OnceLock};
@@ -532,6 +532,109 @@ fn unknown_graph_and_bad_requests_are_4xx() {
         let (status, resp) = call(addr.as_str(), method, path, body).unwrap();
         assert_eq!(status, expected, "{method} {path} {body}: {resp}");
     }
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn request_ids_are_echoed_and_minted() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+    register_graph(&addr);
+
+    // A client-supplied X-Request-Id is honored and echoed verbatim.
+    let body = "{\"graph\":\"g\",\"method\":\"os\",\"trials\":100,\"seed\":42}";
+    let (status, headers, _) = call_ext(
+        addr.as_str(),
+        "POST",
+        "/v1/solve",
+        body,
+        &[("X-Request-Id", "trace-test-42")],
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    let echoed = headers
+        .iter()
+        .find(|(k, _)| k == "x-request-id")
+        .map(|(_, v)| v.as_str());
+    assert_eq!(echoed, Some("trace-test-42"));
+
+    // Without one, the server mints a non-empty id.
+    let (status, headers, _) = call_ext(addr.as_str(), "GET", "/healthz", "", &[]).unwrap();
+    assert_eq!(status, 200);
+    let minted = headers
+        .iter()
+        .find(|(k, _)| k == "x-request-id")
+        .map(|(_, v)| v.as_str())
+        .expect("server mints an id when none is supplied");
+    assert!(!minted.is_empty());
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn debug_trace_records_solve_summaries_with_phases() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+    register_graph(&addr);
+
+    let body = "{\"graph\":\"g\",\"method\":\"os\",\"trials\":200,\"seed\":9}";
+    let (status, _, _) = call_ext(
+        addr.as_str(),
+        "POST",
+        "/v1/solve",
+        body,
+        &[("X-Request-Id", "debug-trace-probe")],
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+
+    let (status, resp) = call(addr.as_str(), "GET", "/debug/trace", "").unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let json = Json::parse(&resp).unwrap();
+    assert!(json.get("count").and_then(Json::as_u64).unwrap() >= 1);
+    let traces = json.get("traces").and_then(Json::as_arr).unwrap();
+    let entry = traces
+        .iter()
+        .find(|t| t.get("trace_id").and_then(Json::as_str) == Some("debug-trace-probe"))
+        .expect("solve summary retained in the ring");
+    assert_eq!(entry.get("graph").and_then(Json::as_str), Some("g"));
+    assert_eq!(
+        entry.get("endpoint").and_then(Json::as_str),
+        Some("/v1/solve")
+    );
+    assert_eq!(entry.get("status").and_then(Json::as_u64), Some(200));
+    // The solve ran under a request-scoped profile: phase timings exist.
+    match entry.get("phases").expect("phases object") {
+        Json::Obj(phases) => assert!(
+            !phases.is_empty(),
+            "solve summary should carry at least one phase"
+        ),
+        other => panic!("phases should be an object, got {other:?}"),
+    }
+
+    // The graph filter matches and excludes.
+    let (status, resp) = call(addr.as_str(), "GET", "/debug/trace?graph=g", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        Json::parse(&resp)
+            .unwrap()
+            .get("count")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    let (status, resp) = call(addr.as_str(), "GET", "/debug/trace?graph=absent", "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&resp)
+            .unwrap()
+            .get("count")
+            .and_then(Json::as_u64),
+        Some(0)
+    );
 
     server.begin_shutdown();
     server.join();
