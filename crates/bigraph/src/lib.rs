@@ -33,6 +33,7 @@
 
 pub mod bitset;
 pub mod builder;
+pub mod codec;
 pub mod expected;
 pub mod fx;
 pub mod generators;
@@ -47,6 +48,7 @@ pub mod world;
 
 pub use bitset::BitSet;
 pub use builder::{BuildError, GraphBuilder};
+pub use codec::{fnv1a64, open_frame, seal_frame, CodecError, Decoder, Encoder};
 pub use graph::UncertainBipartiteGraph;
 pub use priority::VertexPriority;
 pub use sample::{trial_rng, LazyEdgeSampler, WorldSampler};

@@ -157,8 +157,10 @@ impl Distribution {
 /// MC-VP, OS, and Algorithm 5 solvers. Mergeable for parallel execution.
 #[derive(Clone, Debug, Default)]
 pub struct Tally {
-    counts: FxHashMap<Butterfly, u64>,
-    trials: u64,
+    /// `pub(crate)` so [`checkpoint`](crate::checkpoint) can encode and
+    /// rebuild tallies byte-exactly.
+    pub(crate) counts: FxHashMap<Butterfly, u64>,
+    pub(crate) trials: u64,
 }
 
 impl Tally {

@@ -226,7 +226,9 @@ impl<A> Partial<A> {
     }
 
     /// Records `range` as completed, keeping `done` normalized.
-    fn mark_done(&mut self, range: Range<u64>) {
+    /// `pub(crate)` so [`checkpoint`](crate::checkpoint) decoding can
+    /// rebuild a partial from its persisted ranges.
+    pub(crate) fn mark_done(&mut self, range: Range<u64>) {
         if range.is_empty() {
             return;
         }

@@ -25,6 +25,7 @@ pub mod angle;
 pub mod bounds;
 pub mod butterfly;
 pub mod candidates;
+pub mod checkpoint;
 pub mod counting;
 pub mod distribution;
 pub mod engine;
@@ -50,6 +51,7 @@ pub use butterfly::{
     max_butterflies_in_world, Butterfly,
 };
 pub use candidates::{Candidate, CandidateSet};
+pub use checkpoint::{decode_exact, encode_to_vec, Checkpoint};
 pub use counting::CountTrials;
 pub use counting::{
     count_distribution_from_histogram, exact_count_variance, sample_count_distribution,

@@ -61,7 +61,7 @@ impl ResultCache {
 
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<CacheEntry> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         let entry = inner.map.get(key)?.clone();
         if let Some(pos) = inner.order.iter().position(|k| k == key) {
             inner.order.remove(pos);
@@ -77,7 +77,7 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.map.insert(key.to_string(), entry).is_some() {
             if let Some(pos) = inner.order.iter().position(|k| k == key) {
                 inner.order.remove(pos);
@@ -95,9 +95,32 @@ impl ResultCache {
         self.put(key, CacheEntry::Complete(body.to_string()));
     }
 
+    /// Snapshot of every resumable partial, LRU to MRU, for the
+    /// checkpoint writer. Complete entries are cheap to recompute from
+    /// their partials' trail, so only partials are persisted.
+    pub fn partials(&self) -> Vec<(String, PartialState)> {
+        let inner = self.lock();
+        inner
+            .order
+            .iter()
+            .filter_map(|key| match inner.map.get(key) {
+                Some(CacheEntry::Partial(state)) => Some((key.clone(), state.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.lock().map.len()
+    }
+
+    /// The inner map, recovering from a poisoned mutex: a worker that
+    /// panicked mid-`get`/`put` leaves the LRU bookkeeping at worst
+    /// slightly stale, never structurally broken, so serving must keep
+    /// going rather than propagate the poison.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Whether the cache is empty.

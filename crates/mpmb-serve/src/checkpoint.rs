@@ -1,0 +1,372 @@
+//! Durable server checkpoints: the registry manifest plus every
+//! resumable partial, in one checksummed snapshot file.
+//!
+//! A snapshot is a single frame (see [`bigraph::codec`]) so a reader
+//! always sees an atomic view: either the whole `(registry, partials)`
+//! pair verifies, or the file is rejected. Writes go through a temp
+//! file + `rename`, so a crash mid-write leaves the previous snapshot
+//! intact; a crash between snapshots loses at most one cadence worth
+//! of progress — and losing progress is *safe*, because resumed runs
+//! are bit-identical however little of them survived.
+//!
+//! Restoring is deliberately forgiving: a missing file means a fresh
+//! start, a corrupt or truncated file is reported (and counted by
+//! `mpmb_checkpoint_corrupt_total`) but never a crash, and a manifest
+//! entry whose graph can no longer be loaded just drops that graph and
+//! its partials.
+
+use crate::solve::PartialState;
+use bigraph::codec::{open_frame, seal_frame, CodecError, Decoder, Encoder};
+use bigraph::fx::FxHashMap;
+use mpmb_core::engine::Partial;
+use mpmb_core::{Butterfly, CandidateSet, Checkpoint, KlCandidate, Tally};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Snapshot file name inside `--checkpoint-dir`.
+pub const SNAPSHOT_FILE: &str = "state.ckpt";
+const MAGIC: &[u8; 8] = b"MPMBCKP1";
+const VERSION: u32 = 1;
+
+/// One durable view of the server's resumable state.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    /// Registry manifest: `(name, load spec)` pairs, reloadable via
+    /// [`crate::registry::Registry::load`].
+    pub graphs: Vec<(String, String)>,
+    /// Cached partials: `(cache key, state)` pairs.
+    pub partials: Vec<(String, PartialState)>,
+}
+
+/// Tags for [`PartialState`] variants in the snapshot payload.
+const TAG_OS: u8 = 0;
+const TAG_MCVP: u8 = 1;
+const TAG_OLS_PREPARE: u8 = 2;
+const TAG_OLS_SAMPLE: u8 = 3;
+const TAG_KL: u8 = 4;
+const TAG_QUERY: u8 = 5;
+const TAG_COUNT: u8 = 6;
+
+/// Encodes one partial state (tag + payload).
+fn encode_state(state: &PartialState, enc: &mut Encoder) {
+    match state {
+        PartialState::Os(p) => {
+            enc.u8(TAG_OS);
+            p.encode(enc);
+        }
+        PartialState::McVp(p) => {
+            enc.u8(TAG_MCVP);
+            p.encode(enc);
+        }
+        PartialState::OlsPrepare(p) => {
+            enc.u8(TAG_OLS_PREPARE);
+            p.encode(enc);
+        }
+        PartialState::OlsSample {
+            candidates,
+            partial,
+        } => {
+            enc.u8(TAG_OLS_SAMPLE);
+            candidates.encode(enc);
+            partial.encode(enc);
+        }
+        PartialState::Kl {
+            candidates,
+            partial,
+        } => {
+            enc.u8(TAG_KL);
+            candidates.encode(enc);
+            partial.encode(enc);
+        }
+        PartialState::Query(p) => {
+            enc.u8(TAG_QUERY);
+            p.encode(enc);
+        }
+        PartialState::Count(p) => {
+            enc.u8(TAG_COUNT);
+            p.encode(enc);
+        }
+    }
+}
+
+/// Decodes one partial state written by [`encode_state`].
+fn decode_state(dec: &mut Decoder<'_>) -> Result<PartialState, CodecError> {
+    Ok(match dec.u8()? {
+        TAG_OS => PartialState::Os(Partial::<Tally>::decode(dec)?),
+        TAG_MCVP => PartialState::McVp(Partial::<Tally>::decode(dec)?),
+        TAG_OLS_PREPARE => PartialState::OlsPrepare(Partial::<Vec<Butterfly>>::decode(dec)?),
+        TAG_OLS_SAMPLE => PartialState::OlsSample {
+            candidates: CandidateSet::decode(dec)?,
+            partial: Partial::<Tally>::decode(dec)?,
+        },
+        TAG_KL => PartialState::Kl {
+            candidates: CandidateSet::decode(dec)?,
+            partial: Partial::<Vec<(u32, KlCandidate)>>::decode(dec)?,
+        },
+        TAG_QUERY => PartialState::Query(Partial::<u64>::decode(dec)?),
+        TAG_COUNT => PartialState::Count(Partial::<FxHashMap<u64, u64>>::decode(dec)?),
+        other => {
+            return Err(CodecError::Invalid(format!(
+                "unknown partial-state tag {other}"
+            )))
+        }
+    })
+}
+
+impl Snapshot {
+    /// Serializes into a sealed frame ready to hit disk.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u64(self.graphs.len() as u64);
+        for (name, spec) in &self.graphs {
+            enc.str(name);
+            enc.str(spec);
+        }
+        enc.u64(self.partials.len() as u64);
+        for (key, state) in &self.partials {
+            enc.str(key);
+            encode_state(state, &mut enc);
+        }
+        seal_frame(MAGIC, VERSION, &enc.into_bytes())
+    }
+
+    /// Parses a sealed frame back into a snapshot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, CodecError> {
+        let (_version, payload) = open_frame(MAGIC, VERSION, bytes)?;
+        let mut dec = Decoder::new(payload);
+        let graph_count = dec.len_capped(8)?;
+        let mut graphs = Vec::with_capacity(graph_count);
+        for _ in 0..graph_count {
+            let name = dec.str()?;
+            let spec = dec.str()?;
+            graphs.push((name, spec));
+        }
+        let partial_count = dec.len_capped(8)?;
+        let mut partials = Vec::with_capacity(partial_count);
+        for _ in 0..partial_count {
+            let key = dec.str()?;
+            let state = decode_state(&mut dec)?;
+            partials.push((key, state));
+        }
+        if dec.remaining() != 0 {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after snapshot",
+                dec.remaining()
+            )));
+        }
+        Ok(Snapshot { graphs, partials })
+    }
+}
+
+/// What loading a snapshot file produced.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// No snapshot file exists — a fresh start.
+    Missing,
+    /// The file exists but failed verification; skip it (the reason is
+    /// for the warning log).
+    Corrupt(String),
+    /// A verified snapshot.
+    Loaded(Snapshot),
+}
+
+/// Reads and writes snapshots under one directory. Writes are
+/// serialized by an internal lock (the cadence thread and the final
+/// drain snapshot may race) and are atomic via temp file + rename.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    write_lock: Mutex<()>,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir`, creating it if needed.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            write_lock: Mutex::new(()),
+        })
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// Durably replaces the snapshot file with `snapshot`.
+    pub fn write(&self, snapshot: &Snapshot) -> std::io::Result<()> {
+        let _guard = self.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let bytes = snapshot.to_bytes();
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path())
+    }
+
+    /// Loads the current snapshot, classifying every failure mode.
+    pub fn load(&self) -> LoadOutcome {
+        load_file(&self.path())
+    }
+}
+
+/// [`CheckpointStore::load`] against an explicit path.
+pub fn load_file(path: &Path) -> LoadOutcome {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Missing,
+        Err(e) => return LoadOutcome::Corrupt(format!("cannot read {}: {e}", path.display())),
+    };
+    match Snapshot::from_bytes(&bytes) {
+        Ok(s) => LoadOutcome::Loaded(s),
+        Err(e) => LoadOutcome::Corrupt(format!("invalid snapshot {}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{advance_solve, Cancel, Outcome};
+    use bigraph::{GraphBuilder, Left, Right, UncertainBipartiteGraph};
+
+    fn fig1() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Runs `method` under a trial budget until it yields a partial.
+    fn make_partial(method: &str, trials: u64, prep: u64, budget: u64) -> PartialState {
+        let g = fig1();
+        let progress = advance_solve(
+            &g,
+            method,
+            trials,
+            prep,
+            31,
+            1,
+            None,
+            &Cancel::after_trials(budget),
+        )
+        .unwrap();
+        match progress.outcome {
+            Outcome::Incomplete(s) => s,
+            Outcome::Done(_) => panic!("budget {budget} should have interrupted {method}"),
+        }
+    }
+
+    /// Every [`PartialState`] variant round-trips through a snapshot and
+    /// then *completes* to the same result as the uninterrupted run.
+    #[test]
+    fn every_variant_round_trips_and_resumes_identically() {
+        let g = fig1();
+        let cases: [(&str, u64, u64, u64); 4] = [
+            ("os", 2_000, 1, 300),
+            ("mcvp", 1_000, 1, 170),
+            ("ols", 5_000, 200, 450),  // mid-sampling
+            ("ols-kl", 300, 200, 202), // past prep, mid-KL (fig1 has 3 candidates)
+        ];
+        for (method, trials, prep, budget) in cases {
+            let state = make_partial(method, trials, prep, budget);
+            let snap = Snapshot {
+                graphs: vec![("g".to_string(), "dataset:abide:0.01:3".to_string())],
+                partials: vec![(format!("solve|g|{method}"), state)],
+            };
+            let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            assert_eq!(back.graphs, snap.graphs);
+            assert_eq!(back.partials.len(), 1);
+            assert_eq!(back.partials[0].0, format!("solve|g|{method}"));
+
+            let restored = back.partials.into_iter().next().unwrap().1;
+            assert_eq!(restored.kind(), snap.partials[0].1.kind());
+            let full =
+                advance_solve(&g, method, trials, prep, 31, 1, None, &Cancel::never()).unwrap();
+            let resumed = advance_solve(
+                &g,
+                method,
+                trials,
+                prep,
+                31,
+                2,
+                Some(restored),
+                &Cancel::never(),
+            )
+            .unwrap();
+            let (full_d, resumed_d) = match (full.outcome, resumed.outcome) {
+                (Outcome::Done(a), Outcome::Done(b)) => (a, b),
+                _ => panic!("{method}: both runs must complete"),
+            };
+            assert_eq!(
+                full_d.max_abs_diff(&resumed_d),
+                0.0,
+                "{method}: restored partial must complete bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_phase_partial_round_trips() {
+        let state = make_partial("ols", 5_000, 200, 64);
+        assert_eq!(state.kind(), "ols-prepare");
+        let snap = Snapshot {
+            graphs: vec![],
+            partials: vec![("k".to_string(), state)],
+        };
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.partials[0].1.kind(), "ols-prepare");
+    }
+
+    #[test]
+    fn store_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("mpmb-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(matches!(store.load(), LoadOutcome::Missing));
+
+        let snap = Snapshot {
+            graphs: vec![("g".to_string(), "dataset:abide:0.01:3".to_string())],
+            partials: vec![(
+                "count|g|100|7".to_string(),
+                make_partial("os", 2_000, 1, 64),
+            )],
+        };
+        store.write(&snap).unwrap();
+        match store.load() {
+            LoadOutcome::Loaded(s) => {
+                assert_eq!(s.graphs, snap.graphs);
+                assert_eq!(s.partials.len(), 1);
+            }
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+
+        // Corrupt the file in place: load reports Corrupt, not a panic.
+        let path = store.path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load(), LoadOutcome::Corrupt(_)));
+
+        // Truncation too.
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(matches!(store.load(), LoadOutcome::Corrupt(_)));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let snap = Snapshot::default();
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert!(back.graphs.is_empty() && back.partials.is_empty());
+    }
+}

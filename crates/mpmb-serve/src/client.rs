@@ -1,6 +1,13 @@
 //! A minimal blocking HTTP/1.1 client — enough for the load generator
 //! and the integration tests to talk to the daemon without external
 //! dependencies. One request per connection (`Connection: close`).
+//!
+//! [`call_retry`] adds bounded resilience on top: transport errors
+//! (connection reset, truncated response) and retryable statuses
+//! (429 load shed, 503 deadline) are retried with exponential backoff
+//! and deterministic jitter, honoring the server's `Retry-After`
+//! header. Everything else — 200s, 4xx contract errors, 500s — returns
+//! on the first attempt.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -44,6 +51,124 @@ pub fn call_ext(
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
     read_response_ext(stream)
+}
+
+/// Bounded-retry policy: exponential backoff with deterministic
+/// jitter. Jitter waits are a pure function of `(seed, salt, attempt)`,
+/// so a test run replays the same schedule every time.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Base backoff in milliseconds; attempt `k` waits about
+    /// `base * 2^k`, jittered down to half.
+    pub base_ms: u64,
+    /// Upper bound on one backoff wait, and on an honored
+    /// `Retry-After`.
+    pub cap_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_ms: 25,
+            cap_ms: 1_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered wait before retry number `attempt` (0-based), in
+    /// milliseconds: uniform over `[target/2, target]` where `target`
+    /// is the capped exponential step. `salt` decorrelates concurrent
+    /// callers sharing one seed.
+    pub fn backoff_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let step = self
+            .base_ms
+            .max(1)
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.cap_ms.max(1));
+        let r =
+            crate::fault::splitmix64(self.seed ^ salt.rotate_left(17) ^ ((attempt as u64) << 32));
+        let low = step / 2;
+        low + r % (step - low + 1)
+    }
+}
+
+/// Outcome of a [`call_retry`]: the final response plus how many
+/// retries it took to get it.
+#[derive(Debug)]
+pub struct Retried {
+    /// Final HTTP status.
+    pub status: u16,
+    /// Final response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Final response body.
+    pub body: String,
+    /// Retries consumed (0 = first attempt answered).
+    pub retries: u32,
+}
+
+/// Whether a status is worth retrying: load shed and deadline
+/// responses are transient by design; everything else is a final
+/// answer.
+fn retryable(status: u16) -> bool {
+    matches!(status, 429 | 503)
+}
+
+/// Issues a request under `policy`, retrying transport errors and
+/// retryable statuses. A `Retry-After` header on a retryable response
+/// overrides the computed backoff (clamped to `cap_ms`) — in
+/// particular `Retry-After: 0` on a 503 means the server cached a
+/// resumable partial and an immediate retry refines it.
+pub fn call_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<Retried> {
+    let salt = bigraph::fnv1a64(path.as_bytes()) ^ bigraph::fnv1a64(body.as_bytes());
+    let attempts = policy.attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        let wait_ms = match call_ext(addr, method, path, body, &[]) {
+            Ok((status, headers, text)) => {
+                if !retryable(status) || attempt + 1 == attempts {
+                    return Ok(Retried {
+                        status,
+                        headers,
+                        body: text,
+                        retries: attempt,
+                    });
+                }
+                let retry_after = headers
+                    .iter()
+                    .find(|(name, _)| name == "retry-after")
+                    .and_then(|(_, v)| v.trim().parse::<u64>().ok());
+                match retry_after {
+                    Some(secs) => secs.saturating_mul(1_000).min(policy.cap_ms),
+                    None => policy.backoff_ms(attempt, salt),
+                }
+            }
+            Err(e) => {
+                if attempt + 1 == attempts {
+                    return Err(e);
+                }
+                last_err = Some(e);
+                policy.backoff_ms(attempt, salt)
+            }
+        };
+        if wait_ms > 0 {
+            std::thread::sleep(Duration::from_millis(wait_ms));
+        }
+    }
+    // Unreachable: the loop always returns on its last attempt.
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("no attempts made")))
 }
 
 /// Reads one `(status, body)` response from a stream.
@@ -93,4 +218,58 @@ pub fn read_response_ext(stream: TcpStream) -> std::io::Result<FullResponse> {
     String::from_utf8(body)
         .map(|b| (status, headers, b))
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            attempts: 5,
+            base_ms: 20,
+            cap_ms: 100,
+            seed: 9,
+        };
+        for attempt in 0..5 {
+            let a = p.backoff_ms(attempt, 1234);
+            assert_eq!(a, p.backoff_ms(attempt, 1234), "same inputs, same wait");
+            let step = (20u64 << attempt).min(100);
+            assert!(
+                (step / 2..=step).contains(&a),
+                "attempt {attempt}: wait {a} outside [{}, {step}]",
+                step / 2
+            );
+        }
+        // Different salts decorrelate concurrent callers.
+        assert_ne!(
+            (0..5).map(|k| p.backoff_ms(k, 1)).collect::<Vec<_>>(),
+            (0..5).map(|k| p.backoff_ms(k, 2)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn only_shed_and_deadline_are_retryable() {
+        assert!(retryable(429) && retryable(503));
+        for s in [200, 202, 400, 404, 431, 500, 505] {
+            assert!(!retryable(s), "{s} must be terminal");
+        }
+    }
+
+    #[test]
+    fn retry_gives_up_when_nothing_listens() {
+        // Reserve a port, then close it so connects fail fast.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let p = RetryPolicy {
+            attempts: 3,
+            base_ms: 1,
+            cap_ms: 2,
+            seed: 0,
+        };
+        assert!(call_retry(&addr, "GET", "/healthz", "", &p).is_err());
+    }
 }

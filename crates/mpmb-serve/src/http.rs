@@ -1,15 +1,25 @@
-//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//! Hand-rolled HTTP/1.x request parsing and response writing.
 //!
 //! Implements exactly what the daemon needs: request line + headers +
 //! `Content-Length` bodies, keep-alive, and fixed-size guards against
 //! oversized requests. No chunked transfer encoding (requests with it
 //! get 411), no TLS.
+//!
+//! The edge is hardened against misbehaving clients: head reads are
+//! budgeted byte-by-byte so a request line with no newline cannot
+//! buffer more than [`MAX_HEAD_BYTES`] before the 431 fires, duplicate
+//! `Content-Length` headers with conflicting values are rejected with
+//! 400 (the classic request-smuggling vector), and HTTP/1.0 requests
+//! default to `Connection: close` per RFC 9112 — an HTTP/1.0 client
+//! that never sends `Connection: keep-alive` gets its connection closed
+//! after the response instead of hanging until the idle timeout.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
-/// Upper bound on request head (request line + headers) bytes.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on request head (request line + headers) bytes. Also
+/// bounds how much a single headerless line can buffer before 431.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on declared body size.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
@@ -22,6 +32,10 @@ pub struct Request {
     pub path: String,
     /// Raw query string without `?` (empty if none).
     pub query: String,
+    /// Protocol version token, e.g. `HTTP/1.1`. Drives the keep-alive
+    /// default: HTTP/1.0 closes unless asked, HTTP/1.1 keeps open
+    /// unless told to close.
+    pub version: String,
     /// Lowercased header name/value pairs.
     pub headers: Vec<(String, String)>,
     /// Request body bytes.
@@ -39,9 +53,16 @@ impl Request {
     }
 
     /// Whether the client asked to keep the connection open.
+    ///
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
     pub fn keep_alive(&self) -> bool {
-        // HTTP/1.1 defaults to keep-alive unless `Connection: close`.
-        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+        let connection = self.header("connection");
+        if self.version == "HTTP/1.0" {
+            matches!(connection, Some(v) if v.eq_ignore_ascii_case("keep-alive"))
+        } else {
+            !matches!(connection, Some(v) if v.eq_ignore_ascii_case("close"))
+        }
     }
 }
 
@@ -76,16 +97,56 @@ fn bad(status: u16, msg: impl Into<String>) -> ReadError {
     }
 }
 
+/// Reads one `\n`-terminated line, consuming at most `*budget` bytes
+/// from the head allowance. Returns `None` on clean EOF before any
+/// byte of this line. A line that exhausts the budget without a
+/// newline is a 431 — crucially, *before* buffering anything beyond
+/// the allowance, so an attacker streaming an endless request line
+/// costs at most [`MAX_HEAD_BYTES`] of memory.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut usize,
+) -> Result<Option<String>, ReadError> {
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if raw.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad(400, "eof inside request head"));
+        }
+        let window = available.len().min(*budget);
+        match available[..window].iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                raw.extend_from_slice(&available[..pos + 1]);
+                reader.consume(pos + 1);
+                *budget -= pos + 1;
+                let text = String::from_utf8(raw)
+                    .map_err(|_| bad(400, "request head is not valid UTF-8"))?;
+                return Ok(Some(text));
+            }
+            None if available.len() >= *budget => {
+                return Err(bad(431, "request head too large"));
+            }
+            None => {
+                raw.extend_from_slice(available);
+                let n = available.len();
+                reader.consume(n);
+                *budget -= n;
+            }
+        }
+    }
+}
+
 /// Reads one request from a buffered stream.
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let mut line = String::new();
-    let mut head_bytes = 0usize;
+    let mut budget = MAX_HEAD_BYTES;
 
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Err(ReadError::Closed);
-    }
-    head_bytes += n;
+    let line = match read_line_limited(reader, &mut budget)? {
+        None => return Err(ReadError::Closed),
+        Some(l) => l,
+    };
     let request_line = line.trim_end_matches(['\r', '\n']).to_string();
     let mut parts = request_line.split(' ');
     let method = parts
@@ -109,15 +170,10 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
 
     let mut headers = Vec::new();
     loop {
-        line.clear();
-        let n = reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(bad(400, "eof inside headers"));
-        }
-        head_bytes += n;
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(bad(431, "request head too large"));
-        }
+        let line = match read_line_limited(reader, &mut budget)? {
+            None => return Err(bad(400, "eof inside headers")),
+            Some(l) => l,
+        };
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             break;
@@ -132,6 +188,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         method,
         path,
         query,
+        version: version.to_string(),
         headers,
         body: Vec::new(),
     };
@@ -142,11 +199,24 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
             "chunked bodies not supported; send Content-Length",
         ));
     }
-    let len: usize = match req.header("content-length") {
+    // Duplicate Content-Length headers are fine if they agree; with
+    // conflicting values there is no safe interpretation (a proxy in
+    // front may have picked the other one), so reject.
+    let mut lengths = req
+        .headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str());
+    let len: usize = match lengths.next() {
         None => 0,
-        Some(v) => v
-            .parse()
-            .map_err(|_| bad(400, format!("bad Content-Length `{v}`")))?,
+        Some(first) => {
+            if lengths.any(|v| v != first) {
+                return Err(bad(400, "conflicting Content-Length headers"));
+            }
+            first
+                .parse()
+                .map_err(|_| bad(400, format!("bad Content-Length `{first}`")))?
+        }
     };
     if len > MAX_BODY_BYTES {
         return Err(bad(413, "body too large"));
@@ -226,8 +296,10 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes `resp` to the stream. `close` controls the `Connection` header.
-pub fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> std::io::Result<()> {
+/// Renders the status line and headers (through the terminating blank
+/// line) for `resp`. Shared by the normal write path and the
+/// fault-injection degraded writers, which need the raw bytes.
+pub fn render_head(resp: &Response, close: bool) -> String {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
@@ -243,7 +315,56 @@ pub fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> s
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
+    head
+}
+
+/// Writes `resp` to the stream. `close` controls the `Connection` header.
+pub fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> std::io::Result<()> {
+    stream.write_all(render_head(resp, close).as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(version: &str, headers: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: "/".to_string(),
+            query: String::new(),
+            version: version.to_string(),
+            headers: headers
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn http11_defaults_to_keep_alive() {
+        assert!(request("HTTP/1.1", &[]).keep_alive());
+        assert!(!request("HTTP/1.1", &[("connection", "close")]).keep_alive());
+        assert!(!request("HTTP/1.1", &[("connection", "CLOSE")]).keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        assert!(!request("HTTP/1.0", &[]).keep_alive());
+        assert!(request("HTTP/1.0", &[("connection", "keep-alive")]).keep_alive());
+        assert!(request("HTTP/1.0", &[("connection", "Keep-Alive")]).keep_alive());
+        assert!(!request("HTTP/1.0", &[("connection", "close")]).keep_alive());
+    }
+
+    #[test]
+    fn render_head_carries_extra_headers() {
+        let resp = Response::json(429, "{}").with_header("Retry-After", "1");
+        let head = render_head(&resp, true);
+        assert!(head.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(head.contains("Retry-After: 1\r\n"));
+        assert!(head.contains("Connection: close\r\n"));
+        assert!(head.ends_with("\r\n\r\n"));
+    }
 }

@@ -28,7 +28,9 @@
 //! See `docs/SERVING.md` for the full API reference.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod loadgen;
@@ -39,6 +41,9 @@ pub mod signal;
 pub mod solve;
 
 pub use cache::{CacheEntry, ResultCache};
+pub use checkpoint::{CheckpointStore, LoadOutcome, Snapshot};
+pub use client::{call_retry, Retried, RetryPolicy};
+pub use fault::{FaultAction, FaultPlan};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use metrics::Metrics;
 pub use registry::{GraphEntry, Registry, RegistryError};

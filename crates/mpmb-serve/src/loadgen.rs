@@ -36,6 +36,10 @@ pub struct LoadgenConfig {
     /// result cache. When false all requests share one key, so all but
     /// the first hit the cache.
     pub vary_seed: bool,
+    /// Retries per request on transport errors / 429 / 503 (0 = one
+    /// attempt, no retry). Backoff is exponential with deterministic
+    /// jitter, honoring `Retry-After`.
+    pub retries: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -49,6 +53,7 @@ impl Default for LoadgenConfig {
             trials: 2_000,
             seed: 0x5EED,
             vary_seed: true,
+            retries: 0,
         }
     }
 }
@@ -64,8 +69,10 @@ pub struct LoadReport {
     pub shed: u64,
     /// 503 responses (deadline exceeded).
     pub deadline: u64,
-    /// Any other status or transport failure.
+    /// Any other status or transport failure (after retries, if any).
     pub failed: u64,
+    /// Retries consumed across all requests.
+    pub retried: u64,
     /// Sorted per-request latencies in milliseconds (successful
     /// transport only).
     pub latencies_ms: Vec<f64>,
@@ -101,7 +108,7 @@ impl LoadReport {
     /// Prometheus `histogram_quantile`); max is exact.
     pub fn render(&self) -> String {
         format!(
-            "requests {}  ok {}  shed(429) {}  deadline(503) {}  failed {}\n\
+            "requests {}  ok {}  shed(429) {}  deadline(503) {}  failed {}  retried {}\n\
              latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}\n\
              elapsed {:.2}s  throughput {:.1} req/s",
             self.sent,
@@ -109,6 +116,7 @@ impl LoadReport {
             self.shed,
             self.deadline,
             self.failed,
+            self.retried,
             self.latency_hist.quantile(0.50),
             self.latency_hist.quantile(0.95),
             self.latency_hist.quantile(0.99),
@@ -124,14 +132,20 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
     let next = AtomicU64::new(0);
     let latency_hist = Arc::new(obs::Histogram::new(LATENCY_BUCKETS_MS));
     let started = Instant::now();
-    let results: Vec<(Vec<f64>, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+    let policy = client::RetryPolicy {
+        attempts: cfg.retries.saturating_add(1),
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let results: Vec<(Vec<f64>, u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.concurrency.max(1))
             .map(|_| {
                 let next = &next;
                 let latency_hist = &latency_hist;
+                let policy = &policy;
                 scope.spawn(move || {
-                    let (mut lat, mut ok, mut shed, mut deadline, mut failed) =
-                        (Vec::new(), 0u64, 0u64, 0u64, 0u64);
+                    let (mut lat, mut ok, mut shed, mut deadline, mut failed, mut retried) =
+                        (Vec::new(), 0u64, 0u64, 0u64, 0u64, 0u64);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cfg.requests {
@@ -147,22 +161,31 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                             cfg.graph, cfg.method, cfg.trials, seed
                         );
                         let t0 = Instant::now();
-                        match client::call(cfg.target.as_str(), "POST", "/v1/solve", &body) {
-                            Ok((status, _)) => {
+                        // Latency covers the whole retried exchange:
+                        // that is what a caller of a resilient client
+                        // experiences.
+                        match client::call_retry(&cfg.target, "POST", "/v1/solve", &body, policy) {
+                            Ok(outcome) => {
                                 let ms = t0.elapsed().as_secs_f64() * 1_000.0;
                                 latency_hist.observe(ms);
                                 lat.push(ms);
-                                match status {
+                                retried += outcome.retries as u64;
+                                match outcome.status {
                                     200 => ok += 1,
                                     429 => shed += 1,
                                     503 => deadline += 1,
                                     _ => failed += 1,
                                 }
                             }
-                            Err(_) => failed += 1,
+                            Err(_) => {
+                                // The transport never recovered within
+                                // the attempt budget.
+                                retried += cfg.retries as u64;
+                                failed += 1;
+                            }
                         }
                     }
-                    (lat, ok, shed, deadline, failed)
+                    (lat, ok, shed, deadline, failed, retried)
                 })
             })
             .collect();
@@ -178,16 +201,18 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         shed: 0,
         deadline: 0,
         failed: 0,
+        retried: 0,
         latencies_ms: Vec::new(),
         latency_hist,
         elapsed_s,
     };
-    for (lat, ok, shed, deadline, failed) in results {
+    for (lat, ok, shed, deadline, failed, retried) in results {
         report.latencies_ms.extend(lat);
         report.ok += ok;
         report.shed += shed;
         report.deadline += deadline;
         report.failed += failed;
+        report.retried += retried;
     }
     report.latencies_ms.sort_unstable_by(|a, b| a.total_cmp(b));
     report
@@ -208,6 +233,7 @@ mod tests {
             shed: 0,
             deadline: 0,
             failed: 0,
+            retried: 0,
             latencies_ms,
             latency_hist: hist,
             elapsed_s,

@@ -52,6 +52,16 @@ pub struct Metrics {
     pub inflight: Arc<Gauge>,
     /// Connections accepted.
     pub connections: Arc<Counter>,
+    /// Snapshots durably written to the checkpoint directory.
+    pub checkpoint_written: Arc<Counter>,
+    /// Partial results restored from a snapshot at startup.
+    pub checkpoint_restored: Arc<Counter>,
+    /// Snapshots skipped at startup because they failed verification.
+    pub checkpoint_corrupt: Arc<Counter>,
+    /// Worker panics caught at the connection boundary.
+    pub worker_panics: Arc<Counter>,
+    /// Faults injected by the active fault plan.
+    pub faults_injected: Arc<Counter>,
 }
 
 /// Index of an endpoint name in [`ENDPOINTS`].
@@ -126,6 +136,26 @@ impl Default for Metrics {
                 "Requests currently being processed.",
             ),
             connections: registry.counter("mpmb_connections_total", "Connections accepted."),
+            checkpoint_written: registry.counter(
+                "mpmb_checkpoint_written_total",
+                "Snapshots durably written to the checkpoint directory.",
+            ),
+            checkpoint_restored: registry.counter(
+                "mpmb_checkpoint_restored_total",
+                "Partial results restored from a snapshot at startup.",
+            ),
+            checkpoint_corrupt: registry.counter(
+                "mpmb_checkpoint_corrupt_total",
+                "Snapshots skipped at startup because they failed verification.",
+            ),
+            worker_panics: registry.counter(
+                "mpmb_worker_panics_total",
+                "Worker panics caught at the connection boundary.",
+            ),
+            faults_injected: registry.counter(
+                "mpmb_faults_injected_total",
+                "Faults injected by the active fault plan.",
+            ),
             endpoints,
             registry,
         };

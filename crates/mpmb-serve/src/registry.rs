@@ -70,7 +70,10 @@ impl Registry {
             return Err(RegistryError::Exists(name.to_string()));
         }
         let entry = Arc::new(load_spec(spec)?);
-        let mut graphs = self.graphs.write().unwrap();
+        // Poison recovery throughout: the map is a BTree of Arcs, never
+        // left mid-edit by a panicking reader, so serving continues
+        // after a caught worker panic instead of cascading.
+        let mut graphs = self.graphs.write().unwrap_or_else(|e| e.into_inner());
         // Re-check under the write lock: a racing registration wins.
         if graphs.contains_key(name) {
             return Err(RegistryError::Exists(name.to_string()));
@@ -81,14 +84,18 @@ impl Registry {
 
     /// The entry registered under `name`.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
-        self.graphs.read().unwrap().get(name).cloned()
+        self.graphs
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
     }
 
     /// All entries in name order.
     pub fn list(&self) -> Vec<(String, Arc<GraphEntry>)> {
         self.graphs
             .read()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(n, e)| (n.clone(), Arc::clone(e)))
             .collect()
@@ -96,7 +103,7 @@ impl Registry {
 
     /// Number of registered graphs.
     pub fn len(&self) -> usize {
-        self.graphs.read().unwrap().len()
+        self.graphs.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether no graph is registered.

@@ -17,6 +17,8 @@
 //! ring buffer served by `GET /debug/trace`.
 
 use crate::cache::{CacheEntry, ResultCache};
+use crate::checkpoint::{CheckpointStore, LoadOutcome, Snapshot};
+use crate::fault::{self, FaultAction, FaultPlan};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::json::Json;
 use crate::metrics::{endpoint_index, Metrics};
@@ -26,6 +28,8 @@ use crate::solve::{self, Cancel, Outcome, PartialState};
 use mpmb_core::{Butterfly, Distribution};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -50,6 +54,17 @@ pub struct ServerConfig {
     /// 400 rather than silently clamped — results are thread-count
     /// independent, so clamping would only hide a misconfigured client.
     pub max_solver_threads: usize,
+    /// Directory for durable snapshots of the registry manifest and
+    /// every resumable partial (`None` disables checkpointing). On
+    /// startup a verified snapshot there is restored: graphs reload and
+    /// re-issued requests resume instead of restarting at trial zero.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Cadence between background snapshots, in milliseconds. A final
+    /// snapshot is always written after a graceful drain.
+    pub checkpoint_every_ms: u64,
+    /// Fault-injection spec (see [`crate::fault`]); `None` serves
+    /// faithfully.
+    pub fault_plan: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +76,9 @@ impl Default for ServerConfig {
             timeout_ms: 0,
             cache_capacity: 256,
             max_solver_threads: 0,
+            checkpoint_dir: None,
+            checkpoint_every_ms: 5_000,
+            fault_plan: None,
         }
     }
 }
@@ -131,6 +149,10 @@ pub struct AppState {
     /// Resolved per-request solver thread cap (`max_solver_threads`, or
     /// the worker-pool size when that was 0).
     pub solver_thread_cap: usize,
+    /// Durable snapshot store (`None` when checkpointing is off).
+    pub checkpoints: Option<CheckpointStore>,
+    /// Active fault-injection plan (`None` serves faithfully).
+    pub faults: Option<FaultPlan>,
     /// Raised to begin a graceful drain.
     shutdown: AtomicBool,
 }
@@ -150,14 +172,32 @@ pub struct Server {
     state: Arc<AppState>,
     accept_handle: std::thread::JoinHandle<()>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
+    checkpoint_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the pool, and starts accepting.
+    /// Binds, spawns the pool, and starts accepting. If the config
+    /// names a checkpoint directory holding a verified snapshot, the
+    /// registry and resumable partials are restored before the first
+    /// connection is accepted.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.listen)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+
+        let faults = match &cfg.fault_plan {
+            None => None,
+            Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("--fault-plan: {e}"),
+                )
+            })?),
+        };
+        let checkpoints = match &cfg.checkpoint_dir {
+            None => None,
+            Some(dir) => Some(CheckpointStore::new(dir)?),
+        };
 
         let metrics = Metrics::default();
         let solver = Arc::new(obs::SolverMetrics::new(Arc::clone(metrics.registry())));
@@ -173,7 +213,31 @@ impl Server {
             } else {
                 cfg.max_solver_threads
             },
+            checkpoints,
+            faults,
             shutdown: AtomicBool::new(false),
+        });
+
+        restore_from_checkpoint(&state);
+
+        let checkpoint_handle = state.checkpoints.as_ref().map(|_| {
+            let state = Arc::clone(&state);
+            let every = Duration::from_millis(cfg.checkpoint_every_ms.max(1));
+            std::thread::Builder::new()
+                .name("mpmb-checkpoint".to_string())
+                .spawn(move || {
+                    let mut last = Instant::now();
+                    while !state.shutting_down() {
+                        std::thread::sleep(POLL_INTERVAL.min(every));
+                        if last.elapsed() >= every {
+                            write_checkpoint(&state);
+                            last = Instant::now();
+                        }
+                    }
+                    // The final post-drain snapshot is written by
+                    // `Server::join` once the workers are done.
+                })
+                .expect("spawn checkpoint thread")
         });
 
         let (tx, rx) = sync_channel::<TcpStream>(cfg.queue.max(1));
@@ -203,6 +267,7 @@ impl Server {
             state,
             accept_handle,
             worker_handles,
+            checkpoint_handle,
         })
     }
 
@@ -216,12 +281,79 @@ impl Server {
         self.state.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Blocks until the accept loop and every worker have exited.
+    /// Blocks until the accept loop and every worker have exited, then
+    /// writes the final snapshot — after the drain, so it captures
+    /// every partial the in-flight requests produced.
     pub fn join(self) {
         self.accept_handle.join().expect("accept loop panicked");
         for h in self.worker_handles {
             h.join().expect("worker panicked");
         }
+        if let Some(h) = self.checkpoint_handle {
+            h.join().expect("checkpoint thread panicked");
+        }
+        write_checkpoint(&self.state);
+    }
+}
+
+/// Restores a verified snapshot into the registry and cache. Missing
+/// files mean a fresh start; corrupt ones are counted and skipped —
+/// never a crash. Manifest graphs that no longer load just drop, along
+/// with any partials keyed to them.
+fn restore_from_checkpoint(state: &AppState) {
+    let Some(store) = &state.checkpoints else {
+        return;
+    };
+    let snapshot = match store.load() {
+        LoadOutcome::Missing => return,
+        LoadOutcome::Corrupt(msg) => {
+            state.metrics.checkpoint_corrupt.inc();
+            eprintln!("mpmb-serve: ignoring corrupt checkpoint: {msg}");
+            return;
+        }
+        LoadOutcome::Loaded(s) => s,
+    };
+    for (name, source) in &snapshot.graphs {
+        // Registry sources read back as `file:PATH` or `dataset:…`;
+        // `load` wants the bare path for the former.
+        let spec = source.strip_prefix("file:").unwrap_or(source);
+        match state.registry.load(name, spec) {
+            Ok(_) | Err(RegistryError::Exists(_)) => {}
+            Err(e) => eprintln!("mpmb-serve: checkpoint graph `{name}` not restored: {e}"),
+        }
+    }
+    let mut restored = 0u64;
+    for (key, partial) in snapshot.partials {
+        // Cache keys are `kind|graph|…`; only re-seed partials whose
+        // graph made it back.
+        let graph = key.split('|').nth(1).unwrap_or("");
+        if state.registry.get(graph).is_none() {
+            eprintln!("mpmb-serve: dropping checkpointed partial `{key}`: graph missing");
+            continue;
+        }
+        state.cache.put(&key, CacheEntry::Partial(partial));
+        restored += 1;
+    }
+    state.metrics.checkpoint_restored.add(restored);
+}
+
+/// Writes one snapshot of the current registry manifest + partials.
+fn write_checkpoint(state: &AppState) {
+    let Some(store) = &state.checkpoints else {
+        return;
+    };
+    let snapshot = Snapshot {
+        graphs: state
+            .registry
+            .list()
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.source.clone()))
+            .collect(),
+        partials: state.cache.partials(),
+    };
+    match store.write(&snapshot) {
+        Ok(()) => state.metrics.checkpoint_written.inc(),
+        Err(e) => eprintln!("mpmb-serve: checkpoint write failed: {e}"),
     }
 }
 
@@ -246,7 +378,8 @@ fn accept_loop(
                     Ok(()) => {}
                     Err(TrySendError::Full(mut stream)) => {
                         state.metrics.load_shed.inc();
-                        let resp = Response::error(429, "server overloaded, try again later");
+                        let resp = Response::error(429, "server overloaded, try again later")
+                            .with_header("Retry-After", "1");
                         let _ = write_response(&mut stream, &resp, true);
                     }
                     Err(TrySendError::Disconnected(_)) => return,
@@ -264,11 +397,23 @@ fn worker_loop(state: &AppState, rx: &Mutex<Receiver<TcpStream>>) {
     loop {
         // Holding the lock while blocked in `recv` is the intended
         // hand-off: whichever worker holds it takes the next connection.
-        let stream = match rx.lock().unwrap().recv() {
+        // Recover from poisoning: a sibling panicking between `recv`
+        // and the guard drop must not take the whole pool down.
+        let stream = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
             Ok(s) => s,
             Err(_) => return, // accept loop gone and queue drained
         };
         handle_connection(state, stream);
+    }
+}
+
+/// Decrements the inflight gauge on drop, so a panic unwinding out of
+/// request handling cannot leak a permanently-inflated gauge.
+struct InflightGuard<'a>(&'a Metrics);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.sub(1);
     }
 }
 
@@ -303,19 +448,40 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
                 return;
             }
             Ok(req) => {
+                let injected = state
+                    .faults
+                    .as_ref()
+                    .and_then(|plan| plan.decide(&req.method, &req.path));
+                if injected.is_some() {
+                    state.metrics.faults_injected.inc();
+                }
+                if injected == Some(FaultAction::Reset) {
+                    // Drop the connection cold: the client sees a
+                    // transport error and retries.
+                    return;
+                }
                 let started = Instant::now();
                 state.metrics.inflight.add(1);
+                let inflight = InflightGuard(&state.metrics);
                 let trace_id: Arc<str> = match req.header("x-request-id") {
                     Some(v) if !v.is_empty() => Arc::from(v),
                     _ => obs::next_trace_id(),
                 };
                 let profile = Arc::new(obs::Profile::new());
-                let (resp, elapsed) = {
+                // One poisoned request must not take down the worker:
+                // panics (injected or real) are caught here, the
+                // connection is closed without a response, and the pool
+                // keeps serving. Shared state stays sound across the
+                // unwind — its locks recover from poisoning.
+                let handled = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     let _obs = obs::install(obs::ObsCtx {
                         trace_id: Some(Arc::clone(&trace_id)),
                         profile: Some(Arc::clone(&profile)),
                         solver: Some(Arc::clone(&state.solver)),
                     });
+                    if injected == Some(FaultAction::Panic) {
+                        panic!("fault injection: forced worker panic");
+                    }
                     let resp = route(state, &req);
                     let elapsed = started.elapsed();
                     obs::event(
@@ -328,16 +494,36 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
                         ],
                     );
                     (resp, elapsed)
+                }));
+                drop(inflight);
+                let (resp, elapsed) = match handled {
+                    Ok(pair) => pair,
+                    Err(_) => {
+                        state.metrics.worker_panics.inc();
+                        state
+                            .metrics
+                            .record(endpoint_index(&req.path), 500, started.elapsed());
+                        return;
+                    }
                 };
-                state.metrics.inflight.sub(1);
                 state
                     .metrics
                     .record(endpoint_index(&req.path), resp.status, elapsed);
                 record_solve_trace(state, &req, resp.status, &trace_id, elapsed, &profile);
                 let resp = resp.with_header("X-Request-Id", trace_id.as_ref());
                 let close = !req.keep_alive() || state.shutting_down();
-                if write_response(&mut writer, &resp, close).is_err() || close {
-                    return;
+                match injected {
+                    Some(action) => {
+                        match fault::write_degraded(&mut writer, &resp, close, action) {
+                            Ok(true) => {}
+                            Ok(false) | Err(_) => return,
+                        }
+                    }
+                    None => {
+                        if write_response(&mut writer, &resp, close).is_err() || close {
+                            return;
+                        }
+                    }
                 }
             }
         }
@@ -648,6 +834,8 @@ fn deadline_response(
 ) -> Response {
     state.metrics.deadline_exceeded.inc();
     state.cache.put(key, CacheEntry::Partial(partial));
+    // Retry-After 0: the partial is already cached, so an immediate
+    // retry resumes from `trials_done` — no point making clients wait.
     Response::json(
         503,
         Json::obj([
@@ -657,6 +845,7 @@ fn deadline_response(
         ])
         .to_string(),
     )
+    .with_header("Retry-After", "0")
 }
 
 fn handle_query(state: &AppState, req: &Request) -> Response {

@@ -586,6 +586,59 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_empty_bounds() {
+        let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_non_increasing_bounds() {
+        let _ = Histogram::new(&[1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn quantile_with_everything_in_overflow_clamps() {
+        // Every observation beyond the largest bound: any quantile can
+        // only honestly report that bound.
+        let h = Histogram::new(&[1.0, 10.0]);
+        for _ in 0..5 {
+            h.observe(1e6);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 10.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_q_outside_unit_interval() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        for _ in 0..10 {
+            h.observe(0.5);
+        }
+        // Out-of-range q behaves like its clamped endpoint, and q=0
+        // still targets rank 1 (the smallest observation), not rank 0.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert!(h.quantile(0.0) > 0.0);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_skips_empty_buckets() {
+        // First and middle buckets empty: interpolation must land in
+        // the only populated bucket for every q.
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..8 {
+            h.observe(3.0);
+        }
+        for q in [0.0, 0.25, 1.0] {
+            let v = h.quantile(q);
+            assert!((2.0..=4.0).contains(&v), "q={q} gave {v}");
+        }
+    }
+
+    #[test]
     fn render_matches_expected_text_exactly() {
         let r = Registry::new();
         r.counter("mpmb_cache_hits_total", "Cache hits").add(7);

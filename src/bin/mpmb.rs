@@ -14,9 +14,11 @@
 //! mpmb serve    [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
 //!               [--cache-capacity N] [--max-solver-threads N]
 //!               [--trace off|stderr|FILE] [--graph NAME=SPEC]...
+//!               [--checkpoint-dir DIR] [--checkpoint-every-ms N]
+//!               [--fault-plan SPEC]
 //! mpmb loadgen  [--target ADDR] [--requests N] [--concurrency N]
 //!               [--graph NAME] [--method M] [--trials N] [--seed N]
-//!               [--vary-seed [true|false]]
+//!               [--vary-seed [true|false]] [--retries N]
 //! ```
 //!
 //! Edge-list format: `LEFT RIGHT WEIGHT PROB` per line (tabs or spaces),
@@ -66,9 +68,20 @@ subcommands:
             [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
             [--cache-capacity N] [--max-solver-threads N]
             [--trace off|stderr|FILE] [--graph NAME=SPEC]...
+            [--checkpoint-dir DIR] [--checkpoint-every-ms N]
+            [--fault-plan SPEC]
+            (--checkpoint-dir makes the registry and resumable partial
+            results durable: a restarted server restores them and
+            re-issued requests resume instead of recomputing.
+            --fault-plan injects deterministic faults for resilience
+            testing, e.g. `seed=7,reset=0.1,slow=0.05,panic_at=3`; the
+            MPMB_FAULT_PLAN environment variable is the fallback)
   loadgen   closed-loop load generator against a running daemon
             [--target ADDR] [--requests N] [--concurrency N] [--graph NAME]
             [--method M] [--trials N] [--seed N] [--vary-seed [true|false]]
+            [--retries N]
+            (--retries N retries transport errors/429/503 up to N times
+            per request with backoff, honoring Retry-After)
 
 Edge-list format: `LEFT RIGHT WEIGHT PROB` per line, `#` comments allowed.
 `--help` anywhere prints this text.";
@@ -443,6 +456,9 @@ fn cmd_serve(flags: &Flags) {
         "max-solver-threads",
         "trace",
         "graph",
+        "checkpoint-dir",
+        "checkpoint-every-ms",
+        "fault-plan",
     ]);
     match flags.get("trace") {
         None | Some("off") => {}
@@ -457,6 +473,13 @@ fn cmd_serve(flags: &Flags) {
         timeout_ms: flags.get_parsed("timeout-ms", 0),
         cache_capacity: flags.get_parsed("cache-capacity", 256),
         max_solver_threads: flags.get_parsed("max-solver-threads", 0),
+        checkpoint_dir: flags.get("checkpoint-dir").map(Into::into),
+        checkpoint_every_ms: flags.get_parsed("checkpoint-every-ms", 5_000),
+        fault_plan: flags.get("fault-plan").map(str::to_string).or_else(|| {
+            std::env::var("MPMB_FAULT_PLAN")
+                .ok()
+                .filter(|s| !s.is_empty())
+        }),
     };
     mpmb_serve::signal::install();
     let server = mpmb_serve::Server::start(cfg)
@@ -473,6 +496,11 @@ fn cmd_serve(flags: &Flags) {
                 entry.graph.num_right(),
                 entry.graph.num_edges()
             ),
+            // A graph restored from the checkpoint beats the flag —
+            // same name, and the checkpoint's partials depend on it.
+            Err(mpmb_serve::RegistryError::Exists(_)) => {
+                eprintln!("graph `{name}` already registered (restored from checkpoint)")
+            }
             Err(e) => fail(&e.to_string()),
         }
     }
@@ -492,6 +520,7 @@ fn cmd_loadgen(flags: &Flags) {
         "trials",
         "seed",
         "vary-seed",
+        "retries",
     ]);
     let cfg = mpmb_serve::LoadgenConfig {
         target: flags.get("target").unwrap_or("127.0.0.1:7700").to_string(),
@@ -502,6 +531,7 @@ fn cmd_loadgen(flags: &Flags) {
         trials: flags.get_parsed("trials", 2_000),
         seed: flags.get_parsed("seed", 0x5EED),
         vary_seed: flags.get_parsed("vary-seed", true),
+        retries: flags.get_parsed("retries", 0),
     };
     let report = mpmb_serve::loadgen::run(&cfg);
     println!("{}", report.render());

@@ -1,0 +1,194 @@
+//! Kill -9 and restart: the whole point of durable checkpoints.
+//!
+//! Runs the real `mpmb serve` binary as a subprocess, interrupts a
+//! solve so a resumable partial lands in the cache, waits for a cadence
+//! checkpoint to capture it, then SIGKILLs the process — no drain, no
+//! shutdown snapshot. A fresh process pointed at the same directory
+//! must restore the registry and the partial, finish the solve without
+//! re-running a single trial, and produce a byte-identical response to
+//! an uninterrupted run.
+
+use mpmb_serve::client::call;
+use mpmb_serve::json::Json;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const TRIALS: u64 = 30_000;
+const GRAPH_FLAG: &str = "g=dataset:abide:0.01:3";
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpmb-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A running `mpmb serve` subprocess; killed on drop so a failing
+/// assertion never leaks a daemon.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns the binary and blocks until it reports its ephemeral address
+/// on stderr. Stderr keeps draining in a background thread so the child
+/// never stalls on a full pipe.
+fn spawn_server(dir: &Path, timeout_ms: u64, checkpoint_every_ms: u64) -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mpmb"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--queue",
+            "16",
+            "--timeout-ms",
+            &timeout_ms.to_string(),
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            "--checkpoint-every-ms",
+            &checkpoint_every_ms.to_string(),
+            "--graph",
+            GRAPH_FLAG,
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mpmb serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = std::io::BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read server stderr");
+        assert!(n > 0, "server exited before announcing its address");
+        if let Some(rest) = line.trim().strip_prefix("mpmb-serve listening on ") {
+            break rest.to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            if reader.read_line(&mut sink).unwrap_or(0) == 0 {
+                break;
+            }
+        }
+    });
+    ServerProc { child, addr }
+}
+
+fn metric_value(metrics_text: &str, name: &str) -> u64 {
+    metrics_text
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric `{name}` missing:\n{metrics_text}"))
+}
+
+fn fetch_metric(addr: &str, name: &str) -> u64 {
+    let (status, text) = call(addr, "GET", "/metrics", "").expect("GET /metrics");
+    assert_eq!(status, 200);
+    metric_value(&text, name)
+}
+
+fn solve_body(seed: u64) -> String {
+    format!(
+        "{{\"graph\":\"g\",\"method\":\"os\",\"trials\":{TRIALS},\"seed\":{seed},\"threads\":2}}"
+    )
+}
+
+/// Re-issues `body` until the solve completes, returning the 200 body.
+fn solve_to_completion(addr: &str, body: &str) -> String {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        assert!(attempts <= 2_000, "solve never completed");
+        let (status, resp) = call(addr, "POST", "/v1/solve", body).expect("solve");
+        match status {
+            503 => continue,
+            200 => return resp,
+            other => panic!("unexpected status {other}: {resp}"),
+        }
+    }
+}
+
+#[test]
+fn sigkill_and_restart_resumes_from_the_checkpoint() {
+    let dir = scratch_dir("crash-recovery");
+
+    // Process 1: a tight deadline interrupts the solve; its partial is
+    // cached and, on the 50 ms cadence, checkpointed to disk.
+    let server = spawn_server(&dir, 40, 50);
+    let (status, resp) = call(server.addr.as_str(), "POST", "/v1/solve", &solve_body(33))
+        .expect("first solve attempt");
+    assert_eq!(status, 503, "{resp}");
+    let done1 = Json::parse(&resp)
+        .unwrap()
+        .get("trials_done")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(0 < done1 && done1 < TRIALS, "done1 {done1}");
+
+    // Wait for a checkpoint written strictly after the partial was
+    // cached — earlier cadence writes may predate it.
+    let baseline = fetch_metric(&server.addr, "mpmb_checkpoint_written_total");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fetch_metric(&server.addr, "mpmb_checkpoint_written_total") <= baseline {
+        assert!(Instant::now() < deadline, "no checkpoint written");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // SIGKILL: no drain, no shutdown snapshot. Only the cadence write
+    // survives.
+    drop(server);
+
+    // Process 2: restores registry + partial, resumes, and finishes
+    // having executed only the remaining trials.
+    let server = spawn_server(&dir, 40, 50);
+    assert!(
+        fetch_metric(&server.addr, "mpmb_checkpoint_restored_total") >= 1,
+        "restart must restore the checkpointed partial"
+    );
+    let recovered = solve_to_completion(&server.addr, &solve_body(33));
+    assert_eq!(
+        Json::parse(&recovered)
+            .unwrap()
+            .get("trials_done")
+            .and_then(Json::as_u64),
+        Some(TRIALS)
+    );
+    assert_eq!(
+        fetch_metric(&server.addr, "mpmb_trials_executed_total"),
+        TRIALS - done1,
+        "no trial may run twice across the crash"
+    );
+    drop(server);
+
+    // Process 3: a clean room (fresh directory, no deadline) computes
+    // the same request uninterrupted. The recovered answer must be
+    // byte-identical.
+    let clean_dir = scratch_dir("crash-recovery-clean");
+    let server = spawn_server(&clean_dir, 0, 3_600_000);
+    let (status, uninterrupted) =
+        call(server.addr.as_str(), "POST", "/v1/solve", &solve_body(33)).expect("clean solve");
+    assert_eq!(status, 200, "{uninterrupted}");
+    assert_eq!(
+        recovered, uninterrupted,
+        "resumed-across-crash response must match an uninterrupted run byte-for-byte"
+    );
+    drop(server);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}

@@ -47,6 +47,7 @@ fn metrics_endpoint_reports_nonzero_peak_rss_after_solve() {
         timeout_ms: 0,
         cache_capacity: 16,
         max_solver_threads: 0,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.addr.to_string();

@@ -8,8 +8,11 @@
 
 use mpmb_serve::client::{call, call_ext};
 use mpmb_serve::json::Json;
-use mpmb_serve::{signal, Server, ServerConfig};
+use mpmb_serve::{signal, LoadgenConfig, RetryPolicy, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::sync::{Barrier, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Serializes the tests: the SIGTERM latch is process-global.
 fn lock() -> std::sync::MutexGuard<'static, ()> {
@@ -34,6 +37,7 @@ fn default_cfg() -> ServerConfig {
         timeout_ms: 0,
         cache_capacity: 64,
         max_solver_threads: 0,
+        ..ServerConfig::default()
     }
 }
 
@@ -638,4 +642,430 @@ fn debug_trace_records_solve_summaries_with_phases() {
 
     server.begin_shutdown();
     server.join();
+}
+
+/// A scratch directory under the system temp dir, empty on return.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpmb-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Reads one HTTP response off a raw stream: `(status, lowercased
+/// header block, body)`, or `None` on immediate EOF.
+fn read_raw_response(reader: &mut BufReader<TcpStream>) -> Option<(u16, String, String)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let status: u16 = line.split(' ').nth(1)?.parse().ok()?;
+    let mut headers = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).ok()?;
+        let trimmed = h.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+        headers.push_str(&trimmed.to_ascii_lowercase());
+        headers.push('\n');
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((status, headers, String::from_utf8(body).ok()?))
+}
+
+#[test]
+fn http10_closes_by_default_and_keep_alive_is_honored() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+
+    // Bare HTTP/1.0: answered, then the server closes the connection —
+    // read_to_string returning at all proves the close happened.
+    let mut s = TcpStream::connect(addr.as_str()).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(
+        raw.to_ascii_lowercase().contains("connection: close"),
+        "{raw}"
+    );
+    drop(s);
+
+    // HTTP/1.0 with an explicit `Connection: keep-alive` opt-in: two
+    // requests ride one socket.
+    let s = TcpStream::connect(addr.as_str()).unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut s = s;
+    for i in 0..2 {
+        s.write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        let (status, headers, _) = read_raw_response(&mut reader)
+            .unwrap_or_else(|| panic!("keep-alive request {i} went unanswered"));
+        assert_eq!(status, 200);
+        assert!(headers.contains("connection: keep-alive"), "{headers}");
+    }
+    drop((s, reader));
+
+    // HTTP/1.1 still defaults to keep-alive with no Connection header.
+    let s = TcpStream::connect(addr.as_str()).unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut s = s;
+    for _ in 0..2 {
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, headers, _) =
+            read_raw_response(&mut reader).expect("HTTP/1.1 default keep-alive reply");
+        assert_eq!(status, 200);
+        assert!(headers.contains("connection: keep-alive"), "{headers}");
+    }
+    drop((s, reader));
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_request_head_is_cut_off_with_431() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+
+    let mut s = TcpStream::connect(addr.as_str()).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    // One endless header line, sent in paced chunks so the server's
+    // budget accounting drains each chunk fully. The fourth chunk tips
+    // the cumulative head past 16 KiB, and the 431 must fire *mid-line*
+    // — before the attacker ever supplies a newline.
+    let chunk = vec![b'x'; 4096];
+    for _ in 0..4 {
+        s.write_all(&chunk).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 431"), "{raw}");
+    assert!(raw.contains("request head too large"), "{raw}");
+    drop(s);
+
+    // The server shrugged it off.
+    let (hs, _) = call(addr.as_str(), "GET", "/healthz", "").unwrap();
+    assert_eq!(hs, 200);
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn conflicting_content_length_is_rejected_but_agreeing_duplicates_pass() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+
+    // Two different Content-Length values: the smuggling vector. The
+    // body is deliberately not sent — the reject must come from the
+    // headers alone.
+    let mut s = TcpStream::connect(addr.as_str()).unwrap();
+    s.write_all(
+        b"POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\n",
+    )
+    .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    assert!(raw.contains("conflicting Content-Length"), "{raw}");
+    drop(s);
+
+    // Duplicates that agree are harmless.
+    let mut s = TcpStream::connect(addr.as_str()).unwrap();
+    s.write_all(
+        b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    drop(s);
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn shed_and_deadline_responses_carry_retry_after() {
+    let _guard = lock();
+
+    // 503 deadline: `Retry-After: 0` — the partial was cached, so an
+    // immediate retry refines rather than restarts.
+    let cfg = ServerConfig {
+        timeout_ms: 40,
+        ..default_cfg()
+    };
+    let (server, addr) = start(cfg);
+    register_graph(&addr);
+    let (status, headers, _) = call_ext(
+        addr.as_str(),
+        "POST",
+        "/v1/solve",
+        "{\"graph\":\"g\",\"method\":\"os\",\"trials\":200000000,\"seed\":5,\"threads\":2}",
+        &[],
+    )
+    .unwrap();
+    assert_eq!(status, 503);
+    let ra = headers
+        .iter()
+        .find(|(n, _)| n == "retry-after")
+        .map(|(_, v)| v.as_str());
+    assert_eq!(ra, Some("0"), "503 must invite an immediate resume");
+    server.begin_shutdown();
+    server.join();
+    signal::reset();
+
+    // 429 shed: `Retry-After: 1`. One worker, one queue slot; a slow
+    // solve plus one queued filler leave nothing for the burst.
+    let cfg = ServerConfig {
+        threads: 1,
+        queue: 1,
+        ..default_cfg()
+    };
+    let (server, addr) = start(cfg);
+    register_graph(&addr);
+    let slow = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            call(
+                addr.as_str(),
+                "POST",
+                "/v1/solve",
+                "{\"graph\":\"g\",\"method\":\"os\",\"trials\":2000000,\"seed\":8}",
+            )
+        }
+    });
+    std::thread::sleep(Duration::from_millis(300)); // slow solve owns the worker
+    let filler = std::thread::spawn({
+        let addr = addr.clone();
+        move || call(addr.as_str(), "GET", "/healthz", "")
+    });
+    std::thread::sleep(Duration::from_millis(100)); // filler occupies the queue slot
+    let mut shed = 0;
+    for _ in 0..4 {
+        let (status, headers, _) = call_ext(addr.as_str(), "GET", "/healthz", "", &[]).unwrap();
+        if status == 429 {
+            shed += 1;
+            let ra = headers
+                .iter()
+                .find(|(n, _)| n == "retry-after")
+                .map(|(_, v)| v.as_str());
+            assert_eq!(ra, Some("1"), "429 must say when to come back");
+        }
+    }
+    assert!(shed >= 1, "bounded queue never shed under overload");
+    assert_eq!(slow.join().unwrap().unwrap().0, 200);
+    assert_eq!(filler.join().unwrap().unwrap().0, 200);
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn loadgen_with_retries_survives_fault_injection() {
+    let _guard = lock();
+    let cfg = ServerConfig {
+        fault_plan: Some("seed=7,reset=0.15,slow=0.03,partial=0.1,panic_at=3".to_string()),
+        ..default_cfg()
+    };
+    let (server, addr) = start(cfg);
+
+    // Registration runs under the fault plan too: retry until it lands.
+    // A lost *response* still registers the graph, so 409 is success.
+    let policy = RetryPolicy {
+        attempts: 10,
+        base_ms: 5,
+        cap_ms: 50,
+        seed: 1,
+    };
+    let reg = mpmb_serve::call_retry(
+        &addr,
+        "POST",
+        "/v1/graphs",
+        &format!("{{\"name\":\"g\",\"spec\":\"{GRAPH_SPEC}\"}}"),
+        &policy,
+    )
+    .expect("register through faults");
+    assert!(
+        reg.status == 200 || reg.status == 409,
+        "register: {} {}",
+        reg.status,
+        reg.body
+    );
+
+    // Resets, garbled bodies, slow writes, and one forced worker panic
+    // — the retrying load generator must still land every request.
+    let report = mpmb_serve::loadgen::run(&LoadgenConfig {
+        target: addr.clone(),
+        requests: 40,
+        concurrency: 4,
+        graph: "g".to_string(),
+        method: "os".to_string(),
+        trials: 200,
+        seed: 77,
+        vary_seed: true,
+        retries: 8,
+    });
+    assert_eq!(report.failed, 0, "{}", report.render());
+    assert_eq!(report.ok, report.sent, "{}", report.render());
+    assert!(report.retried >= 1, "{}", report.render());
+
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert!(metric_value(&metrics, "mpmb_faults_injected_total") >= 1);
+    assert_eq!(
+        metric_value(&metrics, "mpmb_worker_panics_total"),
+        1,
+        "panic_at=3 forces exactly one worker panic"
+    );
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn checkpoint_restores_partials_and_graphs_across_restart() {
+    let _guard = lock();
+    let dir = scratch_dir("ckpt-restart");
+    const TRIALS: u64 = 30_000;
+    let body = format!(
+        "{{\"graph\":\"g\",\"method\":\"os\",\"trials\":{TRIALS},\"seed\":21,\"threads\":2}}"
+    );
+    let cfg = ServerConfig {
+        timeout_ms: 40,
+        checkpoint_dir: Some(dir.clone()),
+        // No cadence writes: this test exercises the shutdown snapshot.
+        checkpoint_every_ms: 3_600_000,
+        ..default_cfg()
+    };
+
+    // Server 1: the solve misses its 40 ms deadline and caches a
+    // partial; shutdown snapshots the registry and that partial.
+    let (server, addr) = start(cfg.clone());
+    register_graph(&addr);
+    let (status, resp) = call(addr.as_str(), "POST", "/v1/solve", &body).unwrap();
+    assert_eq!(status, 503, "{resp}");
+    let done1 = Json::parse(&resp)
+        .unwrap()
+        .get("trials_done")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(0 < done1 && done1 < TRIALS, "done1 {done1}");
+    server.begin_shutdown();
+    server.join();
+    signal::reset();
+
+    // Server 2: registry and partial come back from disk — the graph is
+    // listed without re-registering.
+    let (server, addr) = start(cfg);
+    let (s, listing) = call(addr.as_str(), "GET", "/v1/graphs", "").unwrap();
+    assert_eq!(s, 200);
+    assert!(listing.contains("\"g\""), "{listing}");
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert!(metric_value(&metrics, "mpmb_checkpoint_restored_total") >= 1);
+
+    // Re-issuing the same request resumes the restored partial.
+    let mut attempts = 0u32;
+    let final_resp = loop {
+        attempts += 1;
+        assert!(attempts <= 2_000, "restored solve never completed");
+        let (status, resp) = call(addr.as_str(), "POST", "/v1/solve", &body).unwrap();
+        match status {
+            503 => continue,
+            200 => break resp,
+            other => panic!("unexpected status {other}: {resp}"),
+        }
+    };
+
+    // No trial ran twice: this process only executed the remainder.
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert_eq!(
+        metric_value(&metrics, "mpmb_trials_executed_total"),
+        TRIALS - done1,
+        "restart must resume exactly where the snapshot left off"
+    );
+
+    // And the stitched-together answer matches one uninterrupted
+    // library run bit-for-bit.
+    let json = Json::parse(&final_resp).unwrap();
+    assert_eq!(json.get("trials_done").and_then(Json::as_u64), Some(TRIALS));
+    let direct = mpmb_core::OrderingSampling::new(mpmb_core::OsConfig {
+        trials: TRIALS,
+        seed: 21,
+        ..Default::default()
+    })
+    .run(&reference_graph());
+    let (_, dp) = direct.mpmb().expect("non-empty distribution");
+    let served_p = json
+        .get("mpmb")
+        .and_then(|m| m.get("prob"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(served_p.to_bits(), dp.to_bits());
+
+    server.begin_shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_is_skipped_not_fatal() {
+    let _guard = lock();
+    let dir = scratch_dir("ckpt-corrupt");
+    // Right magic, garbage after it — the checksum must catch it.
+    std::fs::write(dir.join("state.ckpt"), b"MPMBCKP1 this is not a checkpoint").unwrap();
+
+    let cfg = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..default_cfg()
+    };
+    let (server, addr) = start(cfg);
+
+    // The server came up anyway and serves normally.
+    let (hs, _) = call(addr.as_str(), "GET", "/healthz", "").unwrap();
+    assert_eq!(hs, 200);
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert_eq!(metric_value(&metrics, "mpmb_checkpoint_corrupt_total"), 1);
+    assert_eq!(metric_value(&metrics, "mpmb_checkpoint_restored_total"), 0);
+    register_graph(&addr);
+    let (status, _) = call(
+        addr.as_str(),
+        "POST",
+        "/v1/solve",
+        "{\"graph\":\"g\",\"method\":\"os\",\"trials\":100,\"seed\":1}",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+
+    // Shutdown replaces the garbage with a valid snapshot.
+    server.begin_shutdown();
+    server.join();
+    signal::reset();
+    let cfg = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..default_cfg()
+    };
+    let (server, addr) = start(cfg);
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert_eq!(metric_value(&metrics, "mpmb_checkpoint_corrupt_total"), 0);
+    let (s, listing) = call(addr.as_str(), "GET", "/v1/graphs", "").unwrap();
+    assert_eq!(s, 200);
+    assert!(listing.contains("\"g\""), "{listing}");
+
+    server.begin_shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
 }
