@@ -1,0 +1,104 @@
+//! Property-based hostility tests for [`bigraph::codec`]: the decoder
+//! and frame opener are fed untrusted bytes (disk, the cluster wire
+//! protocol), so *any* input must produce an error value — never a
+//! panic, never an unbounded allocation.
+
+use bigraph::codec::{open_frame, seal_frame, CodecError, Decoder, Encoder};
+use proptest::prelude::*;
+
+const MAGIC: &[u8; 8] = b"HOSTILE1";
+
+proptest! {
+    /// Any payload survives a seal/open round trip bit-exactly.
+    #[test]
+    fn frames_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..512),
+                         version in 0u32..16) {
+        let framed = seal_frame(MAGIC, version, &payload);
+        let (v, p) = open_frame(MAGIC, version, &framed).unwrap();
+        prop_assert_eq!(v, version);
+        prop_assert_eq!(p, payload.as_slice());
+    }
+
+    /// Truncating a valid frame anywhere is an error, not a panic.
+    #[test]
+    fn truncated_frames_are_errors(payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                   cut in 0usize..300) {
+        let framed = seal_frame(MAGIC, 1, &payload);
+        let cut = cut.min(framed.len().saturating_sub(1));
+        prop_assert!(open_frame(MAGIC, 1, &framed[..cut]).is_err());
+    }
+
+    /// Flipping any bit of a valid frame is detected: the checksum
+    /// covers magic, version, length, and payload alike.
+    #[test]
+    fn bit_flips_are_errors(payload in proptest::collection::vec(any::<u8>(), 0..256),
+                            byte in 0usize..300,
+                            bit in 0u8..8) {
+        let mut framed = seal_frame(MAGIC, 1, &payload);
+        let byte = byte % framed.len();
+        framed[byte] ^= 1 << bit;
+        prop_assert!(open_frame(MAGIC, 1, &framed).is_err());
+    }
+
+    /// Appending garbage past the declared length is rejected — a frame
+    /// must account for every byte handed to it.
+    #[test]
+    fn over_length_frames_are_errors(payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                     garbage in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut framed = seal_frame(MAGIC, 1, &payload);
+        framed.extend_from_slice(&garbage);
+        prop_assert_eq!(open_frame(MAGIC, 1, &framed), Err(CodecError::Truncated));
+    }
+
+    /// Arbitrary bytes through the frame opener never panic, whatever
+    /// they decode to.
+    #[test]
+    fn random_bytes_never_panic_the_frame_opener(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = open_frame(MAGIC, u32::MAX, &bytes);
+    }
+
+    /// Arbitrary bytes driven through every decoder read never panic,
+    /// and a decoder never claims more bytes than it was given.
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..256),
+                                            ops in proptest::collection::vec(0u8..7, 0..64)) {
+        let mut d = Decoder::new(&bytes);
+        for op in ops {
+            let before = d.remaining();
+            match op {
+                0 => { let _ = d.u8(); }
+                1 => { let _ = d.u32(); }
+                2 => { let _ = d.u64(); }
+                3 => { let _ = d.f64(); }
+                4 => { let _ = d.bytes(); }
+                5 => { let _ = d.str(); }
+                _ => { let _ = d.len_capped(16); }
+            }
+            prop_assert!(d.remaining() <= before);
+            prop_assert!(d.remaining() <= bytes.len());
+        }
+    }
+
+    /// `len_capped` admits a length iff the remaining bytes could hold
+    /// that many minimum-size records — a hostile length prefix must
+    /// not drive a giant allocation.
+    #[test]
+    fn len_capped_enforces_its_cap(len in 0u64..u64::MAX,
+                                   min_record in 0usize..64,
+                                   extra in 0usize..256) {
+        let mut e = Encoder::new();
+        e.u64(len);
+        let mut buf = e.into_bytes();
+        buf.resize(8 + extra, 0xAB);
+        let mut d = Decoder::new(&buf);
+        let fits = (len as u128) * (min_record.max(1) as u128) <= extra as u128;
+        match d.len_capped(min_record) {
+            Ok(n) => {
+                prop_assert!(fits, "cap admitted {n} records into {extra} bytes");
+                prop_assert_eq!(n as u64, len);
+            }
+            Err(CodecError::Truncated) => prop_assert!(!fits),
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
+        }
+    }
+}

@@ -225,6 +225,49 @@ impl<A> Partial<A> {
         gaps
     }
 
+    /// Folds `other` — a partial over the **same** trial space whose
+    /// completed ranges are disjoint from this one's — into `self`,
+    /// using the engine-supplied `merge` for the accumulators.
+    ///
+    /// This is the scatter-gather primitive: a coordinator hands
+    /// disjoint sub-ranges of `0..trials_requested` to workers (see
+    /// [`Executor::run_subrange`]), each returns a `Partial` covering
+    /// only its assignment, and the coordinator absorbs them back.
+    /// Under the module's determinism contract the absorbed result
+    /// finalizes bit-identically to a single local run, regardless of
+    /// how the space was partitioned or in which order the pieces
+    /// arrive.
+    ///
+    /// # Errors
+    /// Rejects (without mutating `self`) a partial over a different
+    /// trial space, or one whose completed ranges overlap this one's —
+    /// both indicate a protocol bug upstream, and silently
+    /// double-counting trials would corrupt the estimate.
+    pub fn absorb(
+        &mut self,
+        other: Partial<A>,
+        merge: impl FnOnce(&mut A, A),
+    ) -> Result<(), AbsorbError> {
+        if other.trials_requested != self.trials_requested {
+            return Err(AbsorbError::TrialSpaceMismatch {
+                ours: self.trials_requested,
+                theirs: other.trials_requested,
+            });
+        }
+        if let Some(overlap) = other
+            .done
+            .iter()
+            .find(|r| self.done.iter().any(|m| m.start < r.end && r.start < m.end))
+        {
+            return Err(AbsorbError::Overlap(overlap.clone()));
+        }
+        merge(&mut self.acc, other.acc);
+        for r in other.done {
+            self.mark_done(r);
+        }
+        Ok(())
+    }
+
     /// Records `range` as completed, keeping `done` normalized.
     /// `pub(crate)` so [`checkpoint`](crate::checkpoint) decoding can
     /// rebuild a partial from its persisted ranges.
@@ -244,6 +287,37 @@ impl<A> Partial<A> {
         self.done = merged;
     }
 }
+
+/// Why [`Partial::absorb`] refused to merge two partials.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsorbError {
+    /// The two partials describe different trial spaces.
+    TrialSpaceMismatch {
+        /// `trials_requested` of the absorbing partial.
+        ours: u64,
+        /// `trials_requested` of the partial being absorbed.
+        theirs: u64,
+    },
+    /// A completed range of the absorbed partial overlaps one already
+    /// completed here (the first offending range is reported).
+    Overlap(Range<u64>),
+}
+
+impl std::fmt::Display for AbsorbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbsorbError::TrialSpaceMismatch { ours, theirs } => write!(
+                f,
+                "trial space mismatch: absorbing over {ours} trials, absorbed over {theirs}"
+            ),
+            AbsorbError::Overlap(r) => {
+                write!(f, "range {}..{} already completed here", r.start, r.end)
+            }
+        }
+    }
+}
+
+impl std::error::Error for AbsorbError {}
 
 /// The one trial loop in the workspace: sequential or chunked-parallel
 /// execution of a [`TrialEngine`], with cancellation and resume.
@@ -360,6 +434,38 @@ impl Executor {
                 sm.record_run(resumed, cancel.is_raised(), checks);
             });
         }
+    }
+
+    /// Runs only `range` of the trial space `0..total` — the worker
+    /// half of a scatter-gather partition. The returned partial spans
+    /// the full space, but its completed ranges (and accumulator
+    /// contributions) cover exactly the prefix of `range` that ran
+    /// before `cancel` fired. Absorbing such partials for a disjoint
+    /// cover of `0..total` into one master via [`Partial::absorb`]
+    /// reproduces a local [`Executor::run`] bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `range` escapes `0..total`.
+    pub fn run_subrange<E: TrialEngine>(
+        &self,
+        engine: &E,
+        range: Range<u64>,
+        total: u64,
+        cancel: &Cancel,
+    ) -> Partial<E::Acc> {
+        assert!(
+            range.end <= total,
+            "subrange {range:?} escapes trial space 0..{total}"
+        );
+        let mut partial = Partial::empty(engine.new_acc(), total);
+        if cancel.expired() {
+            return partial;
+        }
+        for (acc, done) in self.run_range(engine, range, cancel, &mut NoopObserver) {
+            engine.merge(&mut partial.acc, acc);
+            partial.mark_done(done);
+        }
+        partial
     }
 
     /// Executes one contiguous trial range, split across the executor's
@@ -571,6 +677,69 @@ mod tests {
         p.mark_done(60..100);
         assert!(p.completed());
         assert_eq!(p.done_ranges(), std::slice::from_ref(&(0..100)));
+    }
+
+    #[test]
+    fn scatter_gather_absorb_matches_local_run() {
+        let local = Executor::new(3).run(&SumEngine, 1_000, &Cancel::never());
+        // Shard the same space across "workers" at several widths, absorb
+        // the pieces out of order, and require the identical accumulator.
+        for workers in [1usize, 2, 3, 7] {
+            let mut pieces: Vec<Partial<u64>> = chunk_ranges(1_000, workers)
+                .into_iter()
+                .map(|r| Executor::new(2).run_subrange(&SumEngine, r, 1_000, &Cancel::never()))
+                .collect();
+            pieces.reverse();
+            let mut master: Partial<u64> = Partial::empty(0, 1_000);
+            for p in pieces {
+                master.absorb(p, |a, b| *a += b).expect("disjoint pieces");
+            }
+            assert!(master.completed(), "workers={workers}");
+            assert_eq!(master.acc, local.acc, "workers={workers}");
+            assert_eq!(master.done_ranges(), local.done_ranges());
+        }
+    }
+
+    #[test]
+    fn run_subrange_respects_cancel_and_resumes() {
+        let exec = Executor::new(1).check_every(8);
+        let cancel = Cancel::after_trials(10);
+        let piece = exec.run_subrange(&SumEngine, 200..600, 1_000, &cancel);
+        let done = piece.trials_done();
+        assert!((10..400).contains(&done), "done={done}");
+        assert_eq!(
+            piece.done_ranges(),
+            std::slice::from_ref(&(200..200 + done))
+        );
+        assert_eq!(piece.trials_requested(), 1_000);
+        // The remainder of the assignment, run elsewhere, absorbs cleanly.
+        let rest = exec.run_subrange(&SumEngine, 200 + done..600, 1_000, &Cancel::never());
+        let mut master: Partial<u64> = Partial::empty(0, 1_000);
+        master.absorb(piece, |a, b| *a += b).unwrap();
+        master.absorb(rest, |a, b| *a += b).unwrap();
+        assert_eq!(master.done_ranges(), std::slice::from_ref(&(200..600)));
+        assert_eq!(master.acc, (200..600).map(|t| t + 1).sum::<u64>());
+    }
+
+    #[test]
+    fn absorb_rejects_overlap_and_mismatch() {
+        let exec = Executor::new(1);
+        let mut master = exec.run_subrange(&SumEngine, 0..50, 100, &Cancel::never());
+        let overlapping = exec.run_subrange(&SumEngine, 40..60, 100, &Cancel::never());
+        let before = master.acc;
+        assert_eq!(
+            master.absorb(overlapping, |a, b| *a += b),
+            Err(AbsorbError::Overlap(40..60))
+        );
+        assert_eq!(master.acc, before, "failed absorb must not mutate");
+        let wrong_space = exec.run_subrange(&SumEngine, 50..60, 200, &Cancel::never());
+        assert_eq!(
+            master.absorb(wrong_space, |a, b| *a += b),
+            Err(AbsorbError::TrialSpaceMismatch {
+                ours: 100,
+                theirs: 200
+            })
+        );
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! | §VII top-k MPMB | [`Distribution::top_k`] |
 //!
 //! All solvers are deterministic given their seed, including under the
-//! multi-threaded runners in [`parallel`].
+//! multi-threaded [`engine::Executor`] (which splits trial budgets with
+//! the canonical [`chunk_ranges`] partition).
 
 pub mod adaptive;
 pub mod angle;
@@ -58,7 +59,7 @@ pub use counting::{
     sample_count_distribution_parallel, CountDistribution, TooManyButterflies,
 };
 pub use distribution::{Distribution, Tally};
-pub use engine::{Cancel, Executor, Partial, TrialEngine, CHECK_EVERY};
+pub use engine::{AbsorbError, Cancel, Executor, Partial, TrialEngine, CHECK_EVERY};
 pub use ensemble::{aggregate, run_os_ensemble, EnsembleEntry, EnsembleReport};
 pub use estimators::exact_prefix::estimate_exact_prefix;
 pub use estimators::karp_luby::{
@@ -81,10 +82,6 @@ pub use os::{
     WorldOracle,
 };
 pub use parallel::chunk_ranges;
-#[allow(deprecated)]
-pub use parallel::{
-    run_karp_luby_parallel, run_mcvp_parallel, run_optimized_parallel, run_os_parallel,
-};
 pub use query::{estimate_prob_of, QueryResult, QueryTrials};
 pub use threshold::{max_weight_distribution, MaxWeightDistribution};
 pub use topk::{shared_vertices, top_k_diverse};

@@ -1,18 +1,10 @@
-//! Deterministic multi-threaded trial execution (extension feature).
+//! The canonical trial partition for deterministic parallel execution.
 //!
 //! Monte-Carlo trials are embarrassingly parallel and the per-trial RNG
-//! streams (`trial_rng(seed, t)`) make results independent of scheduling.
-//! The actual loop lives in [`crate::engine`] — the per-method runners
-//! below are thin wrappers kept for one PR as deprecated re-exports;
-//! build an [`Executor`] over the matching [`TrialEngine`] instead.
-
-use crate::distribution::Distribution;
-use crate::engine::{Cancel, Executor};
-use crate::estimators::karp_luby::KarpLubyTrials;
-use crate::estimators::optimized::OptimizedTrials;
-use crate::mcvp::{McVpConfig, McVpTrials};
-use crate::os::{OsConfig, OsTrials};
-use bigraph::UncertainBipartiteGraph;
+//! streams (`trial_rng(seed, t)`) make results independent of
+//! scheduling. The actual loop lives in [`crate::engine`]; this module
+//! holds only the partition function it (and any distributed driver)
+//! splits trial budgets with.
 
 /// Splits `total` trials into at most `threads` contiguous, non-empty
 /// ranges covering `0..total` in order.
@@ -33,96 +25,9 @@ pub fn chunk_ranges(total: u64, threads: usize) -> Vec<std::ops::Range<u64>> {
         .collect()
 }
 
-/// Parallel Ordering Sampling: identical output to
-/// [`OrderingSampling::run`](crate::OrderingSampling::run) with the same
-/// config, split across `threads` workers.
-#[deprecated(note = "use engine::Executor with os::OsTrials")]
-pub fn run_os_parallel(
-    g: &UncertainBipartiteGraph,
-    cfg: &OsConfig,
-    threads: usize,
-) -> Distribution {
-    assert!(cfg.trials > 0, "trials must be positive");
-    Executor::new(threads)
-        .run(&OsTrials::new(g, cfg), cfg.trials, &Cancel::never())
-        .acc
-        .into_distribution()
-}
-
-/// Parallel MC-VP: identical output to [`McVp::run`](crate::McVp::run)
-/// with the same config.
-#[deprecated(note = "use engine::Executor with mcvp::McVpTrials")]
-pub fn run_mcvp_parallel(
-    g: &UncertainBipartiteGraph,
-    cfg: &McVpConfig,
-    threads: usize,
-) -> Distribution {
-    assert!(cfg.trials > 0, "trials must be positive");
-    Executor::new(threads)
-        .run(&McVpTrials::new(g, cfg), cfg.trials, &Cancel::never())
-        .acc
-        .into_distribution()
-}
-
-/// Parallel Algorithm 5: identical output to
-/// [`estimate_optimized`](crate::estimate_optimized) with the same
-/// arguments.
-#[deprecated(note = "use engine::Executor with estimators::optimized::OptimizedTrials")]
-pub fn run_optimized_parallel(
-    g: &UncertainBipartiteGraph,
-    candidates: &crate::candidates::CandidateSet,
-    trials: u64,
-    seed: u64,
-    threads: usize,
-) -> Distribution {
-    assert!(trials > 0, "trials must be positive");
-    Executor::new(threads)
-        .run(
-            &OptimizedTrials::new(g, candidates, seed),
-            trials,
-            &Cancel::never(),
-        )
-        .acc
-        .into_distribution()
-}
-
-/// Parallel Algorithm 4: Karp-Luby estimation with candidates split
-/// across workers. Identical output to
-/// [`estimate_karp_luby`](crate::estimate_karp_luby) because each
-/// candidate's trial stream is already seeded independently.
-#[deprecated(note = "use engine::Executor with estimators::karp_luby::KarpLubyTrials")]
-pub fn run_karp_luby_parallel(
-    g: &UncertainBipartiteGraph,
-    candidates: &crate::candidates::CandidateSet,
-    policy: crate::KlTrialPolicy,
-    seed: u64,
-    threads: usize,
-) -> crate::KlReport {
-    let kl = KarpLubyTrials::new(g, candidates, policy, seed);
-    let partial = Executor::new(threads)
-        .check_every(1)
-        .run(&kl, kl.trials(), &Cancel::never());
-    kl.finalize(partial.acc)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::mcvp::McVp;
-    use crate::os::OrderingSampling;
-    use bigraph::{GraphBuilder, Left, Right};
-
-    fn fig1() -> UncertainBipartiteGraph {
-        let mut b = GraphBuilder::new();
-        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
-        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
-        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
-        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
-        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
-        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
-        b.build().unwrap()
-    }
 
     #[test]
     fn chunk_ranges_cover_exactly() {
@@ -136,77 +41,6 @@ mod tests {
                 expect_start = r.end;
             }
             assert_eq!(covered, total, "total={total} threads={threads}");
-        }
-    }
-
-    #[test]
-    fn parallel_os_matches_sequential_bitwise() {
-        let g = fig1();
-        let cfg = OsConfig {
-            trials: 2_000,
-            seed: 99,
-            ..Default::default()
-        };
-        let seq = OrderingSampling::new(cfg).run(&g);
-        for threads in [1, 2, 3, 8] {
-            let par = run_os_parallel(&g, &cfg, threads);
-            assert_eq!(seq.max_abs_diff(&par), 0.0, "threads={threads}");
-            assert_eq!(seq.len(), par.len());
-        }
-    }
-
-    #[test]
-    fn parallel_mcvp_matches_sequential_bitwise() {
-        let g = fig1();
-        let cfg = McVpConfig {
-            trials: 1_000,
-            seed: 4,
-        };
-        let seq = McVp::new(cfg).run(&g);
-        let par = run_mcvp_parallel(&g, &cfg, 4);
-        assert_eq!(seq.max_abs_diff(&par), 0.0);
-    }
-
-    #[test]
-    fn more_threads_than_trials_is_fine() {
-        let g = fig1();
-        let cfg = OsConfig {
-            trials: 3,
-            seed: 0,
-            ..Default::default()
-        };
-        let par = run_os_parallel(&g, &cfg, 16);
-        assert_eq!(par.trials(), Some(3));
-    }
-
-    #[test]
-    fn parallel_optimized_matches_sequential_bitwise() {
-        let g = fig1();
-        let cs =
-            crate::CandidateSet::from_butterflies(&g, crate::enumerate_backbone_butterflies(&g));
-        let seq = crate::estimate_optimized(&g, &cs, 2_000, 9);
-        for threads in [1, 3, 7] {
-            let par = run_optimized_parallel(&g, &cs, 2_000, 9, threads);
-            assert_eq!(seq.max_abs_diff(&par), 0.0, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn parallel_karp_luby_matches_sequential_bitwise() {
-        let g = fig1();
-        let cs =
-            crate::CandidateSet::from_butterflies(&g, crate::enumerate_backbone_butterflies(&g));
-        let seq = crate::estimate_karp_luby(&g, &cs, crate::KlTrialPolicy::Fixed(1_000), 5);
-        for threads in [1, 2, 4] {
-            let par =
-                run_karp_luby_parallel(&g, &cs, crate::KlTrialPolicy::Fixed(1_000), 5, threads);
-            assert_eq!(
-                seq.distribution.max_abs_diff(&par.distribution),
-                0.0,
-                "threads={threads}"
-            );
-            assert_eq!(seq.trials_per_candidate, par.trials_per_candidate);
-            assert_eq!(seq.s_values, par.s_values);
         }
     }
 }

@@ -48,8 +48,11 @@ const TAG_KL: u8 = 4;
 const TAG_QUERY: u8 = 5;
 const TAG_COUNT: u8 = 6;
 
-/// Encodes one partial state (tag + payload).
-fn encode_state(state: &PartialState, enc: &mut Encoder) {
+/// Encodes one solver state behind its tag byte. `pub(crate)`: the
+/// cluster wire protocol ([`crate::cluster::proto`]) frames the same
+/// encoding, so a worker's range response and a checkpointed partial
+/// stay one format.
+pub(crate) fn encode_state(state: &PartialState, enc: &mut Encoder) {
     match state {
         PartialState::Os(p) => {
             enc.u8(TAG_OS);
@@ -90,8 +93,8 @@ fn encode_state(state: &PartialState, enc: &mut Encoder) {
     }
 }
 
-/// Decodes one partial state written by [`encode_state`].
-fn decode_state(dec: &mut Decoder<'_>) -> Result<PartialState, CodecError> {
+/// Decodes one tagged solver state (inverse of [`encode_state`]).
+pub(crate) fn decode_state(dec: &mut Decoder<'_>) -> Result<PartialState, CodecError> {
     Ok(match dec.u8()? {
         TAG_OS => PartialState::Os(Partial::<Tally>::decode(dec)?),
         TAG_MCVP => PartialState::McVp(Partial::<Tally>::decode(dec)?),

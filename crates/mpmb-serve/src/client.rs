@@ -1,6 +1,7 @@
-//! A minimal blocking HTTP/1.1 client — enough for the load generator
-//! and the integration tests to talk to the daemon without external
-//! dependencies. One request per connection (`Connection: close`).
+//! A minimal blocking HTTP/1.1 client — enough for the load generator,
+//! the cluster coordinator, and the integration tests to talk to the
+//! daemon without external dependencies. One request per connection
+//! (`Connection: close`).
 //!
 //! [`call_retry`] adds bounded resilience on top: transport errors
 //! (connection reset, truncated response) and retryable statuses
@@ -8,13 +9,78 @@
 //! and deterministic jitter, honoring the server's `Retry-After`
 //! header. Everything else — 200s, 4xx contract errors, 500s — returns
 //! on the first attempt.
+//!
+//! Failures surface as [`ClientError`], which keeps the HTTP status as
+//! structured data: retry policies and the cluster's re-dispatch logic
+//! branch on [`ClientError::status`] instead of string-matching error
+//! messages.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// A full response: status, headers (names lowercased), body.
+/// A full response: status, headers (names lowercased), UTF-8 body.
 pub type FullResponse = (u16, Vec<(String, String)>, String);
+
+/// A full response with the body left as raw bytes (codec frames).
+pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Why a client call failed, with the HTTP status (when the server
+/// answered at all) as structured data rather than message text.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed before a complete response was read:
+    /// connect refused, connection reset, timeout, truncated body.
+    /// The peer may or may not have processed the request.
+    Transport(std::io::Error),
+    /// The server answered with a non-success status. The peer
+    /// definitely processed (and rejected or shed) the request.
+    Status {
+        /// The HTTP status code of the final response.
+        status: u16,
+        /// The response body (lossily decoded if not UTF-8).
+        body: String,
+    },
+}
+
+impl ClientError {
+    /// The HTTP status, if the server answered at all.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ClientError::Transport(_) => None,
+            ClientError::Status { status, .. } => Some(*status),
+        }
+    }
+
+    /// Whether this is a transport-level failure (no HTTP response).
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Transport(_))
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport error: {e}"),
+            ClientError::Status { status, body } => write!(f, "HTTP {status}: {body}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Transport(e) => Some(e),
+            ClientError::Status { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Transport(e)
+    }
+}
 
 /// Issues one request and returns `(status, body)`.
 pub fn call(
@@ -37,10 +103,34 @@ pub fn call_ext(
     body: &str,
     extra_headers: &[(&str, &str)],
 ) -> std::io::Result<FullResponse> {
+    let (status, headers, raw) = call_raw(
+        addr,
+        method,
+        path,
+        body.as_bytes(),
+        "application/json",
+        extra_headers,
+    )?;
+    String::from_utf8(raw)
+        .map(|b| (status, headers, b))
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))
+}
+
+/// Issues one request with an arbitrary byte body and returns the raw
+/// response bytes — the transport under every other `call_*`, and the
+/// one the cluster protocol uses directly for codec-framed payloads.
+pub fn call_raw(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<RawResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     let mut head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: mpmb\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: mpmb\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
     for (name, value) in extra_headers {
@@ -48,9 +138,9 @@ pub fn call_ext(
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(body)?;
     stream.flush()?;
-    read_response_ext(stream)
+    read_response_raw(stream)
 }
 
 /// Bounded-retry policy: exponential backoff with deterministic
@@ -125,26 +215,82 @@ fn retryable(status: u16) -> bool {
 /// overrides the computed backoff (clamped to `cap_ms`) — in
 /// particular `Retry-After: 0` on a 503 means the server cached a
 /// resumable partial and an immediate retry refines it.
+///
+/// Any final response — including 4xx/5xx — returns `Ok`; only
+/// exhausting every attempt on transport errors returns
+/// [`ClientError::Transport`].
 pub fn call_retry(
     addr: &str,
     method: &str,
     path: &str,
     body: &str,
     policy: &RetryPolicy,
-) -> std::io::Result<Retried> {
-    let salt = bigraph::fnv1a64(path.as_bytes()) ^ bigraph::fnv1a64(body.as_bytes());
+) -> Result<Retried, ClientError> {
+    let (status, headers, raw, retries) = call_retry_raw(
+        addr,
+        method,
+        path,
+        body.as_bytes(),
+        "application/json",
+        policy,
+    )?;
+    let body = String::from_utf8(raw).map_err(|_| {
+        ClientError::Transport(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "non-UTF-8 body",
+        ))
+    })?;
+    Ok(Retried {
+        status,
+        headers,
+        body,
+        retries,
+    })
+}
+
+/// Response headers as lowercased `(name, value)` pairs.
+pub type Headers = Vec<(String, String)>;
+
+/// [`call_retry`] for binary payloads, demanding success: a final
+/// non-2xx status becomes [`ClientError::Status`] (carrying the code
+/// for the caller's policy decisions) instead of an `Ok` the caller
+/// must inspect. Returns `(headers, body bytes, retries)`.
+pub fn call_retry_expect(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    content_type: &str,
+    policy: &RetryPolicy,
+) -> Result<(Headers, Vec<u8>, u32), ClientError> {
+    let (status, headers, raw, retries) =
+        call_retry_raw(addr, method, path, body, content_type, policy)?;
+    if !(200..300).contains(&status) {
+        return Err(ClientError::Status {
+            status,
+            body: String::from_utf8_lossy(&raw).into_owned(),
+        });
+    }
+    Ok((headers, raw, retries))
+}
+
+/// The shared retry loop over [`call_raw`].
+fn call_retry_raw(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    content_type: &str,
+    policy: &RetryPolicy,
+) -> Result<(u16, Headers, Vec<u8>, u32), ClientError> {
+    let salt = bigraph::fnv1a64(path.as_bytes()) ^ bigraph::fnv1a64(body);
     let attempts = policy.attempts.max(1);
     let mut last_err = None;
     for attempt in 0..attempts {
-        let wait_ms = match call_ext(addr, method, path, body, &[]) {
-            Ok((status, headers, text)) => {
+        let wait_ms = match call_raw(addr, method, path, body, content_type, &[]) {
+            Ok((status, headers, raw)) => {
                 if !retryable(status) || attempt + 1 == attempts {
-                    return Ok(Retried {
-                        status,
-                        headers,
-                        body: text,
-                        retries: attempt,
-                    });
+                    return Ok((status, headers, raw, attempt));
                 }
                 let retry_after = headers
                     .iter()
@@ -157,7 +303,7 @@ pub fn call_retry(
             }
             Err(e) => {
                 if attempt + 1 == attempts {
-                    return Err(e);
+                    return Err(ClientError::Transport(e));
                 }
                 last_err = Some(e);
                 policy.backoff_ms(attempt, salt)
@@ -168,7 +314,9 @@ pub fn call_retry(
         }
     }
     // Unreachable: the loop always returns on its last attempt.
-    Err(last_err.unwrap_or_else(|| std::io::Error::other("no attempts made")))
+    Err(ClientError::Transport(last_err.unwrap_or_else(|| {
+        std::io::Error::other("no attempts made")
+    })))
 }
 
 /// Reads one `(status, body)` response from a stream.
@@ -178,8 +326,16 @@ pub fn read_response(stream: TcpStream) -> std::io::Result<(u16, String)> {
 }
 
 /// Reads one `(status, headers, body)` response from a stream. Header
-/// names are lowercased.
+/// names are lowercased; the body must be UTF-8.
 pub fn read_response_ext(stream: TcpStream) -> std::io::Result<FullResponse> {
+    let (status, headers, raw) = read_response_raw(stream)?;
+    String::from_utf8(raw)
+        .map(|b| (status, headers, b))
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))
+}
+
+/// Reads one response from a stream, body as raw bytes.
+pub fn read_response_raw(stream: TcpStream) -> std::io::Result<RawResponse> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -215,9 +371,7 @@ pub fn read_response_ext(stream: TcpStream) -> std::io::Result<FullResponse> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    String::from_utf8(body)
-        .map(|b| (status, headers, b))
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    Ok((status, headers, body))
 }
 
 #[cfg(test)]
@@ -270,6 +424,44 @@ mod tests {
             cap_ms: 2,
             seed: 0,
         };
-        assert!(call_retry(&addr, "GET", "/healthz", "", &p).is_err());
+        let err = call_retry(&addr, "GET", "/healthz", "", &p).unwrap_err();
+        assert!(err.is_transport());
+        assert_eq!(err.status(), None, "no HTTP response was ever received");
+    }
+
+    #[test]
+    fn expect_surfaces_status_as_structured_error() {
+        // A one-shot server answering 404 with a JSON body.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            let body = "{\"error\":\"no such graph\"}";
+            let resp = format!(
+                "HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            s.write_all(resp.as_bytes()).unwrap();
+        });
+        let p = RetryPolicy {
+            attempts: 1,
+            base_ms: 1,
+            cap_ms: 1,
+            seed: 0,
+        };
+        let err = call_retry_expect(&addr, "POST", "/x", b"{}", "application/json", &p)
+            .expect_err("404 must be an error");
+        assert_eq!(err.status(), Some(404));
+        assert!(!err.is_transport());
+        match err {
+            ClientError::Status { status, body } => {
+                assert_eq!(status, 404);
+                assert!(body.contains("no such graph"));
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+        server.join().unwrap();
     }
 }

@@ -1,0 +1,577 @@
+//! The coordinator half: deterministic scatter-gather over workers.
+//!
+//! `advance_cluster_solve` mirrors [`crate::solve::advance_solve`]
+//! phase for phase, with one difference: wherever the single-node
+//! driver hands a trial space to the in-process
+//! [`mpmb_core::Executor`], the coordinator splits the *missing*
+//! ranges of the master partial with the canonical
+//! [`mpmb_core::chunk_ranges`] partition, posts each range to a
+//! worker, and absorbs the returned partials. Preparing (`ols`,
+//! `ols-kl` phase 1) runs locally on the coordinator — it is cheap,
+//! and shipping its [`CandidateSet`] output with every range request
+//! means workers never re-run it.
+//!
+//! Determinism: a trial's result is a function of its index alone, and
+//! absorption is order-insensitive, so the master accumulator after
+//! gather is byte-identical to a local run's — the finalization step
+//! literally *is* the single-node code path, called with the fully
+//! covered master state. Worker count, range boundaries, retries, and
+//! re-dispatches can change scheduling only, never bytes.
+//!
+//! Failure: a range call that dies in transport (or returns bytes that
+//! fail the frame checksum) marks its worker down and leaves the range
+//! missing; the next round re-dispatches the *remaining* trials — a
+//! worker that timed out mid-range keeps its completed prefix. If the
+//! coordinator's own deadline fires first, the partially assembled
+//! master is returned as an ordinary resumable partial and lands in
+//! the result cache, so a retried request continues the gather instead
+//! of restarting it.
+
+use super::proto::RangeRequest;
+use super::{merge, proto, Cluster, ClusterError};
+use crate::client::{self, ClientError, RetryPolicy};
+use crate::server::AppState;
+use crate::solve::{self, Cancel, CountProgress, Outcome, PartialState, Progress, SolveProgress};
+use bigraph::UncertainBipartiteGraph;
+use mpmb_core::engine::Partial;
+use mpmb_core::{
+    chunk_ranges, CandidateSet, Executor, KarpLubyTrials, OlsConfig, PrepareTrials, Tally,
+    TrialEngine,
+};
+use std::ops::Range;
+
+/// Everything a range request carries besides the range itself.
+struct ScatterSpec<'a> {
+    graph: &'a str,
+    method: &'a str,
+    trials: u64,
+    prep: u64,
+    seed: u64,
+    threads: u64,
+    candidates: Option<&'a CandidateSet>,
+}
+
+/// Starts or resumes a scattered solve. Mirrors
+/// [`solve::advance_solve`]'s contract: `prior` must come from the
+/// same request key, and the completed result is bit-identical to a
+/// single-node run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn advance_cluster_solve(
+    state: &AppState,
+    cluster: &Cluster,
+    graph_name: &str,
+    g: &UncertainBipartiteGraph,
+    method: &str,
+    trials: u64,
+    prep: u64,
+    seed: u64,
+    threads: usize,
+    prior: Option<PartialState>,
+    cancel: &Cancel,
+) -> Result<SolveProgress, ClusterError> {
+    match method {
+        "os" | "mcvp" => {
+            let mut master = match (method, prior) {
+                ("os", None) => PartialState::Os(Partial::empty(Tally::new(), trials)),
+                ("mcvp", None) => PartialState::McVp(Partial::empty(Tally::new(), trials)),
+                ("os", Some(s @ PartialState::Os(_)))
+                | ("mcvp", Some(s @ PartialState::McVp(_))) => s,
+                (_, Some(other)) => return Err(mismatch(method, &other)),
+                _ => unreachable!(),
+            };
+            let spec = ScatterSpec {
+                graph: graph_name,
+                method,
+                trials,
+                prep,
+                seed,
+                threads: threads as u64,
+                candidates: None,
+            };
+            let executed = scatter(state, cluster, &spec, &mut master, cancel)?;
+            finish(g, method, trials, prep, seed, master, executed, 0)
+        }
+        "ols" | "ols-kl" => advance_cluster_ols(
+            state, cluster, graph_name, g, method, trials, prep, seed, threads, prior, cancel,
+        ),
+        other => Err(ClusterError::BadRequest(format!(
+            "unknown method `{other}` (expected os|mcvp|ols|ols-kl)"
+        ))),
+    }
+}
+
+/// The two-phase OLS pipeline: preparing runs locally (resumable,
+/// exactly like the single-node driver), estimation scatters.
+#[allow(clippy::too_many_arguments)]
+fn advance_cluster_ols(
+    state: &AppState,
+    cluster: &Cluster,
+    graph_name: &str,
+    g: &UncertainBipartiteGraph,
+    method: &str,
+    trials: u64,
+    prep: u64,
+    seed: u64,
+    threads: usize,
+    prior: Option<PartialState>,
+    cancel: &Cancel,
+) -> Result<SolveProgress, ClusterError> {
+    let cfg = OlsConfig {
+        prep_trials: prep,
+        seed,
+        ..Default::default()
+    };
+    let mut executed = 0u64;
+    let (candidates, mut master) = match prior {
+        None | Some(PartialState::OlsPrepare(_)) => {
+            let prep_engine = PrepareTrials::new(g, &cfg);
+            let mut p = match prior {
+                Some(PartialState::OlsPrepare(p)) => p,
+                _ => Partial::empty(prep_engine.new_acc(), prep),
+            };
+            let before = p.trials_done();
+            Executor::new(threads).resume(&prep_engine, &mut p, cancel);
+            executed += p.trials_done() - before;
+            if !p.completed() {
+                let trials_done = p.trials_done();
+                return Ok(Progress {
+                    outcome: Outcome::Incomplete(PartialState::OlsPrepare(p)),
+                    trials_done,
+                    trials_requested: prep + trials,
+                    executed,
+                });
+            }
+            let candidates = prep_engine.finalize(p.acc);
+            let master = if method == "ols" {
+                PartialState::OlsSample {
+                    candidates: candidates.clone(),
+                    partial: Partial::empty(Tally::new(), trials),
+                }
+            } else {
+                let n = candidates.len() as u64;
+                PartialState::Kl {
+                    candidates: candidates.clone(),
+                    partial: Partial::empty(Vec::new(), n),
+                }
+            };
+            (candidates, master)
+        }
+        Some(s @ PartialState::OlsSample { .. }) if method == "ols" => {
+            let PartialState::OlsSample { candidates, .. } = &s else {
+                unreachable!()
+            };
+            (candidates.clone(), s)
+        }
+        Some(s @ PartialState::Kl { .. }) if method == "ols-kl" => {
+            let PartialState::Kl { candidates, .. } = &s else {
+                unreachable!()
+            };
+            (candidates.clone(), s)
+        }
+        Some(other) => return Err(mismatch(method, &other)),
+    };
+    let spec = ScatterSpec {
+        graph: graph_name,
+        method,
+        trials,
+        prep,
+        seed,
+        threads: threads as u64,
+        candidates: Some(&candidates),
+    };
+    executed += scatter(state, cluster, &spec, &mut master, cancel)?;
+    finish(g, method, trials, prep, seed, master, executed, prep)
+}
+
+/// Starts or resumes a scattered `/v1/count` run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn advance_cluster_count(
+    state: &AppState,
+    cluster: &Cluster,
+    graph_name: &str,
+    g: &UncertainBipartiteGraph,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    prior: Option<PartialState>,
+    cancel: &Cancel,
+) -> Result<CountProgress, ClusterError> {
+    let mut master = match prior {
+        None => PartialState::Count(Partial::empty(Default::default(), trials)),
+        Some(s @ PartialState::Count(_)) => s,
+        Some(other) => return Err(mismatch("count", &other)),
+    };
+    let spec = ScatterSpec {
+        graph: graph_name,
+        method: "count",
+        trials,
+        prep: 0,
+        seed,
+        threads: threads as u64,
+        candidates: None,
+    };
+    let executed = scatter(state, cluster, &spec, &mut master, cancel)?;
+    if merge::completed(&master) {
+        let mut progress = solve::advance_count(g, trials, seed, 1, Some(master), &Cancel::never())
+            .map_err(ClusterError::BadRequest)?;
+        progress.executed = executed;
+        Ok(progress)
+    } else {
+        let (done, requested) = merge::progress_of(&master);
+        Ok(Progress {
+            outcome: Outcome::Incomplete(master),
+            trials_done: done,
+            trials_requested: requested,
+            executed,
+        })
+    }
+}
+
+/// Broadcasts a graph-registration body to every *healthy* worker. A
+/// worker answering 409 already has the graph; that is success. Down
+/// members are skipped so a dead worker cannot block registration
+/// forever — if the prober later revives one that missed a graph, its
+/// solve-range 404 surfaces as a 502 and the client re-registers (the
+/// broadcast is idempotent thanks to the 409 rule).
+pub(crate) fn broadcast_register(cluster: &Cluster, body: &[u8]) -> Result<(), ClusterError> {
+    for i in cluster.members.healthy() {
+        let addr = cluster.members.addr(i);
+        match client::call_retry_expect(
+            addr,
+            "POST",
+            "/v1/graphs",
+            body,
+            "application/json",
+            &cluster.retry,
+        ) {
+            Ok(_) => cluster.members.mark_up(i),
+            Err(ClientError::Status { status: 409, .. }) => cluster.members.mark_up(i),
+            Err(ClientError::Status { status, body }) => {
+                return Err(ClusterError::Worker {
+                    addr: addr.to_string(),
+                    status,
+                    body,
+                })
+            }
+            Err(ClientError::Transport(e)) => {
+                cluster.members.mark_down(i);
+                return Err(ClusterError::Worker {
+                    addr: addr.to_string(),
+                    status: 0,
+                    body: format!("transport error: {e}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn mismatch(method: &str, state: &PartialState) -> ClusterError {
+    ClusterError::BadRequest(format!(
+        "cached partial state `{}` does not match method `{method}`",
+        state.kind()
+    ))
+}
+
+/// Completed masters finalize through the *single-node* driver (which
+/// executes zero trials on an already-covered partial and runs the
+/// same finalization code, keeping the response bytes identical);
+/// incomplete ones become a resumable [`Outcome::Incomplete`].
+/// `prep` is added to the phase-2-local trial accounting.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    g: &UncertainBipartiteGraph,
+    method: &str,
+    trials: u64,
+    prep: u64,
+    seed: u64,
+    master: PartialState,
+    executed: u64,
+    prep_base: u64,
+) -> Result<SolveProgress, ClusterError> {
+    if merge::completed(&master) {
+        let mut progress = solve::advance_solve(
+            g,
+            method,
+            trials,
+            prep,
+            seed,
+            1,
+            Some(master),
+            &Cancel::never(),
+        )
+        .map_err(ClusterError::BadRequest)?;
+        progress.executed = executed;
+        return Ok(progress);
+    }
+    let trials_done = prep_base + work_done(&master);
+    Ok(Progress {
+        outcome: Outcome::Incomplete(master),
+        trials_done,
+        trials_requested: prep_base + trials,
+        executed,
+    })
+}
+
+/// Executed-trial units of a state: actual Karp-Luby samples for `Kl`
+/// (whose executor "trials" are whole candidates), covered trial
+/// indices otherwise. Matches the single-node drivers' accounting.
+fn work_done(state: &PartialState) -> u64 {
+    match state {
+        PartialState::Kl { partial, .. } => KarpLubyTrials::consumed(&partial.acc),
+        other => merge::progress_of(other).0,
+    }
+}
+
+/// How one range call failed.
+enum CallFailure {
+    /// No usable HTTP response (connect refused, reset, truncation) —
+    /// or one whose frame failed to decode. The worker is suspect.
+    WorkerLost(String),
+    /// The worker is alive but overloaded or draining (429/503).
+    Overloaded,
+    /// The worker rejected the request outright — a config or protocol
+    /// bug that re-dispatching cannot fix.
+    Fatal {
+        /// The worker's status code.
+        status: u16,
+        /// Its response body.
+        body: String,
+    },
+}
+
+/// Runs scatter rounds until the master is covered, the deadline
+/// fires, or no worker can make progress. Returns the executed-trial
+/// delta absorbed by this call.
+fn scatter(
+    state: &AppState,
+    cluster: &Cluster,
+    spec: &ScatterSpec<'_>,
+    master: &mut PartialState,
+    cancel: &Cancel,
+) -> Result<u64, ClusterError> {
+    let start_units = work_done(master);
+    let mut round = 0u64;
+    loop {
+        if merge::completed(master) {
+            return Ok(work_done(master) - start_units);
+        }
+        if cancel.expired() {
+            // The caller caches the partial master; a retried request
+            // resumes the gather from here.
+            return Ok(work_done(master) - start_units);
+        }
+        let mut healthy = cluster.members.healthy();
+        if healthy.is_empty() {
+            // One synchronous probe round: workers that restarted
+            // since they were marked down rejoin immediately.
+            if cluster.members.probe_all(&state.metrics) == 0 {
+                if work_done(master) > start_units {
+                    return Ok(work_done(master) - start_units);
+                }
+                return Err(ClusterError::NoWorkers);
+            }
+            healthy = cluster.members.healthy();
+        }
+
+        let assignments = plan_assignments(&merge::missing_of(master), &healthy);
+        state
+            .metrics
+            .cluster_ranges_dispatched
+            .add(assignments.len() as u64);
+        if round > 0 {
+            state
+                .metrics
+                .cluster_redispatch
+                .add(assignments.len() as u64);
+        }
+        round += 1;
+
+        let results: Vec<Result<PartialState, CallFailure>> = std::thread::scope(|s| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|(w, range)| {
+                    let addr = cluster.members.addr(*w);
+                    let range = range.clone();
+                    let retry = &cluster.retry;
+                    s.spawn(move || call_worker(addr, retry, spec, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter thread panicked"))
+                .collect()
+        });
+
+        let mut progressed = false;
+        let mut transient_failures = 0usize;
+        for ((widx, range), result) in assignments.iter().zip(results) {
+            match result {
+                Ok(piece) => {
+                    check_containment(&piece, range)?;
+                    let before = merge::progress_of(master).0;
+                    merge::absorb_state(master, piece)?;
+                    if merge::progress_of(master).0 > before {
+                        progressed = true;
+                    }
+                }
+                Err(CallFailure::WorkerLost(reason)) => {
+                    obs::event(
+                        "cluster.worker_lost",
+                        &[
+                            ("worker", cluster.members.addr(*widx).into()),
+                            ("range_start", range.start.into()),
+                            ("range_end", range.end.into()),
+                            ("reason", reason.into()),
+                        ],
+                    );
+                    state.metrics.cluster_worker_errors.inc();
+                    cluster.members.mark_down(*widx);
+                    transient_failures += 1;
+                }
+                Err(CallFailure::Overloaded) => {
+                    state.metrics.cluster_worker_errors.inc();
+                    cluster.members.mark_down(*widx);
+                    transient_failures += 1;
+                }
+                Err(CallFailure::Fatal { status, body }) => {
+                    return Err(ClusterError::Worker {
+                        addr: cluster.members.addr(*widx).to_string(),
+                        status,
+                        body,
+                    });
+                }
+            }
+        }
+        if !progressed && transient_failures == 0 {
+            // Every worker answered yet nothing advanced — e.g. worker
+            // deadlines too short to finish a single check interval.
+            // Erroring beats scattering the same ranges forever.
+            return Err(ClusterError::Protocol(
+                "scatter round completed without progress".to_string(),
+            ));
+        }
+    }
+}
+
+/// Splits each missing gap across the healthy workers with the
+/// canonical [`chunk_ranges`] partition, assigning pieces round-robin
+/// in worker-list order. Pure, so the schedule is deterministic given
+/// the same gaps and membership (the *answer* never depends on it).
+fn plan_assignments(gaps: &[Range<u64>], healthy: &[usize]) -> Vec<(usize, Range<u64>)> {
+    let mut assignments = Vec::new();
+    let mut next = 0usize;
+    for gap in gaps {
+        for piece in chunk_ranges(gap.end - gap.start, healthy.len()) {
+            if piece.start == piece.end {
+                continue;
+            }
+            assignments.push((
+                healthy[next % healthy.len()],
+                gap.start + piece.start..gap.start + piece.end,
+            ));
+            next += 1;
+        }
+    }
+    assignments
+}
+
+/// One framed range call with retries; classifies the failure.
+fn call_worker(
+    addr: &str,
+    retry: &RetryPolicy,
+    spec: &ScatterSpec<'_>,
+    range: Range<u64>,
+) -> Result<PartialState, CallFailure> {
+    let request = RangeRequest {
+        graph: spec.graph.to_string(),
+        method: spec.method.to_string(),
+        trials: spec.trials,
+        prep: spec.prep,
+        seed: spec.seed,
+        threads: spec.threads,
+        start: range.start,
+        end: range.end,
+        candidates: spec.candidates.cloned(),
+    };
+    match client::call_retry_expect(
+        addr,
+        "POST",
+        "/v1/internal/solve-range",
+        &request.encode(),
+        "application/octet-stream",
+        retry,
+    ) {
+        Ok((_headers, bytes, _retries)) => proto::decode_response(&bytes)
+            .map_err(|e| CallFailure::WorkerLost(format!("undecodable response: {e}"))),
+        Err(ClientError::Transport(e)) => Err(CallFailure::WorkerLost(e.to_string())),
+        Err(ClientError::Status {
+            status: 429 | 503, ..
+        }) => Err(CallFailure::Overloaded),
+        Err(ClientError::Status { status, body }) => Err(CallFailure::Fatal { status, body }),
+    }
+}
+
+/// A worker must only cover trials inside its assigned range; anything
+/// else is a protocol violation (absorb would additionally catch
+/// overlaps, but out-of-range coverage in untouched space would pass
+/// silently without this check).
+fn check_containment(piece: &PartialState, assigned: &Range<u64>) -> Result<(), ClusterError> {
+    let (_, requested) = merge::progress_of(piece);
+    let mut cursor = 0u64;
+    let mut done = Vec::new();
+    for gap in merge::missing_of(piece) {
+        if cursor < gap.start {
+            done.push(cursor..gap.start);
+        }
+        cursor = gap.end;
+    }
+    if cursor < requested {
+        done.push(cursor..requested);
+    }
+    for r in done {
+        if r.start < assigned.start || r.end > assigned.end {
+            return Err(ClusterError::Protocol(format!(
+                "worker covered {r:?} outside its assigned range {assigned:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_covers_every_gap_exactly_once() {
+        let gaps = vec![0..100u64, 250..260, 400..1000];
+        let healthy = vec![0usize, 2, 5];
+        let plan = plan_assignments(&gaps, &healthy);
+        // Pieces tile the gaps in order, nothing dropped or duplicated.
+        let mut covered: Vec<Range<u64>> = plan.iter().map(|(_, r)| r.clone()).collect();
+        covered.sort_by_key(|r| r.start);
+        let total: u64 = covered.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(total, 100 + 10 + 600);
+        for w in covered.windows(2) {
+            assert!(w[0].end <= w[1].start, "overlap: {w:?}");
+        }
+        // Every piece lands on a configured worker.
+        assert!(plan.iter().all(|(w, _)| healthy.contains(w)));
+        // A wide gap splits across all three workers.
+        let wide: Vec<_> = plan.iter().filter(|(_, r)| r.start >= 400).collect();
+        assert_eq!(wide.len(), 3);
+        assert_eq!(
+            wide.iter().map(|(w, _)| *w).collect::<Vec<_>>(),
+            vec![0, 2, 5]
+        );
+    }
+
+    #[test]
+    fn tiny_gaps_produce_no_empty_assignments() {
+        let plan = plan_assignments(std::slice::from_ref(&(10..12)), &[0, 1, 2, 3, 4]);
+        assert!(plan.iter().all(|(_, r)| r.start < r.end));
+        let total: u64 = plan.iter().map(|(_, r)| r.end - r.start).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Static-list cluster membership with health probing.
+//!
+//! The worker set is fixed at startup (`--workers host:port,...`);
+//! what changes at runtime is each member's up/down bit. A member goes
+//! down when a scattered call fails at the transport layer or a
+//! periodic `GET /healthz` probe fails, and comes back the moment a
+//! probe succeeds — crashed-and-restarted workers rejoin without
+//! operator action. Every flip is visible as a per-worker
+//! `mpmb_cluster_worker_up{worker="addr"}` gauge.
+//!
+//! `/healthz` is exempt from fault injection (see [`crate::fault`]),
+//! so a fault plan that mangles solve traffic cannot also blind the
+//! prober — workers under chaos stay probed, exactly like production
+//! health checks bypass request middleware.
+
+use crate::client;
+use crate::metrics::Metrics;
+use obs::{Gauge, Registry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One configured worker.
+pub(crate) struct Member {
+    /// `host:port` the worker listens on.
+    pub addr: String,
+    up: AtomicBool,
+    gauge: Arc<Gauge>,
+}
+
+/// The fixed worker list plus each member's liveness bit.
+pub(crate) struct Membership {
+    members: Vec<Member>,
+}
+
+impl Membership {
+    /// Builds the member list, all optimistically up, registering one
+    /// up/down gauge per worker on `registry`.
+    pub fn new(addrs: Vec<String>, registry: &Arc<Registry>) -> Membership {
+        let members = addrs
+            .into_iter()
+            .map(|addr| {
+                let gauge = registry.gauge_with(
+                    "mpmb_cluster_worker_up",
+                    "Whether the coordinator believes this worker is healthy.",
+                    &[("worker", &addr)],
+                );
+                gauge.set(1);
+                Member {
+                    addr,
+                    up: AtomicBool::new(true),
+                    gauge,
+                }
+            })
+            .collect();
+        Membership { members }
+    }
+
+    /// Total configured workers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The address of member `i`.
+    pub fn addr(&self, i: usize) -> &str {
+        &self.members[i].addr
+    }
+
+    /// Indices of members currently believed up, in list order — the
+    /// deterministic round-robin order scatter assignment uses.
+    pub fn healthy(&self) -> Vec<usize> {
+        (0..self.members.len())
+            .filter(|&i| self.members[i].up.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Marks member `i` down (failed call or probe).
+    pub fn mark_down(&self, i: usize) {
+        self.members[i].up.store(false, Ordering::SeqCst);
+        self.members[i].gauge.set(0);
+    }
+
+    /// Marks member `i` up (successful probe).
+    pub fn mark_up(&self, i: usize) {
+        self.members[i].up.store(true, Ordering::SeqCst);
+        self.members[i].gauge.set(1);
+    }
+
+    /// Probes every member's `/healthz` once, flipping up/down bits to
+    /// match reality. Failed probes bump
+    /// `mpmb_cluster_probe_failures_total`. Returns how many members
+    /// are up afterwards.
+    pub fn probe_all(&self, metrics: &Metrics) -> usize {
+        let mut up = 0usize;
+        for i in 0..self.members.len() {
+            if self.probe_one(i) {
+                self.mark_up(i);
+                up += 1;
+            } else {
+                metrics.cluster_probe_failures.inc();
+                self.mark_down(i);
+            }
+        }
+        up
+    }
+
+    /// One `GET /healthz` round trip; healthy iff it answers 200.
+    fn probe_one(&self, i: usize) -> bool {
+        matches!(
+            client::call_raw(
+                self.addr(i),
+                "GET",
+                "/healthz",
+                b"",
+                "application/json",
+                &[]
+            ),
+            Ok((200, _, _))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_bits_flip_and_render() {
+        let metrics = Metrics::default();
+        let m = Membership::new(
+            vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            metrics.registry(),
+        );
+        assert_eq!(m.healthy(), vec![0, 1]);
+        m.mark_down(0);
+        assert_eq!(m.healthy(), vec![1]);
+        assert!(metrics
+            .render()
+            .contains("mpmb_cluster_worker_up{worker=\"127.0.0.1:1\"} 0"));
+        m.mark_up(0);
+        assert_eq!(m.healthy(), vec![0, 1]);
+    }
+
+    #[test]
+    fn probing_dead_addresses_marks_everything_down() {
+        // Bind-then-drop: the port is (almost surely) unoccupied.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let metrics = Metrics::default();
+        let m = Membership::new(vec![dead], metrics.registry());
+        assert_eq!(m.probe_all(&metrics), 0);
+        assert!(m.healthy().is_empty());
+        assert_eq!(metrics.cluster_probe_failures.get(), 1);
+    }
+}

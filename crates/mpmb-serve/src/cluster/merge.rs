@@ -1,0 +1,178 @@
+//! Order-insensitive absorption of worker partials into the master.
+//!
+//! Each [`PartialState`] variant wraps a [`mpmb_core::Partial`]; this
+//! module lifts [`Partial::absorb`] to the state level, pairing each
+//! variant with its accumulator's merge operation — the same merges
+//! the in-process [`mpmb_core::Executor`] uses when it joins per-chunk
+//! accumulators. That symmetry is the heart of the cluster's
+//! determinism argument: whether a trial range ran on a local thread
+//! or a remote worker, the bytes that reach the finalizer are the
+//! same.
+//!
+//! `absorb` validates before it merges — trial spaces must match and
+//! done-ranges must be disjoint — so a worker that answers for the
+//! wrong request shape is rejected as a protocol violation instead of
+//! silently corrupting the master accumulator.
+
+use super::ClusterError;
+use crate::solve::PartialState;
+use mpmb_core::engine::{AbsorbError, Partial};
+use mpmb_core::Tally;
+use std::ops::Range;
+
+/// `(trials_done, trials_requested)` of the wrapped partial. For the
+/// two-phase states this is phase-2-local (preparing is accounted by
+/// the coordinator, which runs it).
+pub(crate) fn progress_of(state: &PartialState) -> (u64, u64) {
+    fn of<A>(p: &Partial<A>) -> (u64, u64) {
+        (p.trials_done(), p.trials_requested())
+    }
+    match state {
+        PartialState::Os(p) | PartialState::McVp(p) => of(p),
+        PartialState::OlsPrepare(p) => of(p),
+        PartialState::OlsSample { partial, .. } => of(partial),
+        PartialState::Kl { partial, .. } => of(partial),
+        PartialState::Query(p) => of(p),
+        PartialState::Count(p) => of(p),
+    }
+}
+
+/// Whether every trial of the wrapped partial's space has run.
+pub(crate) fn completed(state: &PartialState) -> bool {
+    let (done, requested) = progress_of(state);
+    done == requested
+}
+
+/// The gaps still to dispatch, in ascending order.
+pub(crate) fn missing_of(state: &PartialState) -> Vec<Range<u64>> {
+    match state {
+        PartialState::Os(p) | PartialState::McVp(p) => p.missing(),
+        PartialState::OlsPrepare(p) => p.missing(),
+        PartialState::OlsSample { partial, .. } => partial.missing(),
+        PartialState::Kl { partial, .. } => partial.missing(),
+        PartialState::Query(p) => p.missing(),
+        PartialState::Count(p) => p.missing(),
+    }
+}
+
+fn absorb_err(e: AbsorbError) -> ClusterError {
+    ClusterError::Protocol(e.to_string())
+}
+
+/// Absorbs a worker's returned partial into the master. Both sides
+/// must be the same variant over the same trial space, with disjoint
+/// done-ranges; anything else is a [`ClusterError::Protocol`]. The
+/// master is untouched on failure.
+pub(crate) fn absorb_state(
+    master: &mut PartialState,
+    piece: PartialState,
+) -> Result<(), ClusterError> {
+    fn merge_tally(acc: &mut Tally, other: Tally) {
+        acc.merge(other);
+    }
+    match (master, piece) {
+        (PartialState::Os(m), PartialState::Os(p)) => m.absorb(p, merge_tally).map_err(absorb_err),
+        (PartialState::McVp(m), PartialState::McVp(p)) => {
+            m.absorb(p, merge_tally).map_err(absorb_err)
+        }
+        (
+            PartialState::OlsSample { partial: m, .. },
+            PartialState::OlsSample { partial: p, .. },
+        ) => m.absorb(p, merge_tally).map_err(absorb_err),
+        (PartialState::Kl { partial: m, .. }, PartialState::Kl { partial: p, .. }) => m
+            .absorb(p, |acc, rows| acc.extend(rows))
+            .map_err(absorb_err),
+        (PartialState::Query(m), PartialState::Query(p)) => {
+            m.absorb(p, |acc, hits| *acc += hits).map_err(absorb_err)
+        }
+        (PartialState::Count(m), PartialState::Count(p)) => m
+            .absorb(p, |acc, hist| {
+                for (count, occurrences) in hist {
+                    *acc.entry(count).or_insert(0) += occurrences;
+                }
+            })
+            .map_err(absorb_err),
+        (master, piece) => Err(ClusterError::Protocol(format!(
+            "range response kind `{}` does not match request kind `{}`",
+            piece.kind(),
+            master.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{GraphBuilder, Left, Right, UncertainBipartiteGraph};
+    use mpmb_core::engine::Cancel;
+    use mpmb_core::{Executor, OsConfig, OsTrials};
+
+    fn graph() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.build().unwrap()
+    }
+
+    fn os_piece(g: &UncertainBipartiteGraph, range: Range<u64>, total: u64) -> PartialState {
+        let engine = OsTrials::new(
+            g,
+            &OsConfig {
+                trials: total,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        PartialState::Os(Executor::new(1).run_subrange(&engine, range, total, &Cancel::never()))
+    }
+
+    #[test]
+    fn absorbing_disjoint_pieces_completes_the_master() {
+        let g = graph();
+        let mut master = os_piece(&g, 0..40, 120);
+        assert_eq!(missing_of(&master), vec![40..120]);
+        // Absorb out of order: the merge is order-insensitive.
+        absorb_state(&mut master, os_piece(&g, 80..120, 120)).unwrap();
+        absorb_state(&mut master, os_piece(&g, 40..80, 120)).unwrap();
+        assert!(completed(&master));
+        assert_eq!(progress_of(&master), (120, 120));
+    }
+
+    #[test]
+    fn overlap_and_kind_mismatch_are_protocol_errors() {
+        let g = graph();
+        let mut master = os_piece(&g, 0..40, 120);
+        let overlap = os_piece(&g, 30..50, 120);
+        assert!(matches!(
+            absorb_state(&mut master, overlap),
+            Err(ClusterError::Protocol(_))
+        ));
+        // Master untouched by the failed absorb.
+        assert_eq!(progress_of(&master), (40, 120));
+
+        let wrong_space = os_piece(&g, 40..60, 200);
+        assert!(absorb_state(&mut master, wrong_space).is_err());
+
+        let mcvp = {
+            let engine = mpmb_core::McVpTrials::new(
+                &g,
+                &mpmb_core::McVpConfig {
+                    trials: 120,
+                    seed: 9,
+                },
+            );
+            PartialState::McVp(Executor::new(1).run_subrange(
+                &engine,
+                40..60,
+                120,
+                &Cancel::never(),
+            ))
+        };
+        assert!(matches!(
+            absorb_state(&mut master, mcvp),
+            Err(ClusterError::Protocol(_))
+        ));
+    }
+}

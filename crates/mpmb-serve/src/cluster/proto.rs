@@ -1,0 +1,266 @@
+//! Wire protocol for `POST /v1/internal/solve-range`.
+//!
+//! Both directions are checksummed binary frames built on
+//! [`bigraph::codec`] — the same encoding the durable checkpoint store
+//! uses, so a range response is literally a framed
+//! [`PartialState`] and the coordinator absorbs it with the exact
+//! code path that absorbs a restored snapshot. JSON never touches the
+//! internal path: accumulators carry `f64` weights whose bytes must
+//! survive the round trip untouched for the cluster's bit-identity
+//! guarantee to hold.
+//!
+//! Framing (via [`seal_frame`]) adds magic, version, and an FNV-1a
+//! checksum, so a truncated or bit-flipped response (fault injection
+//! does both) surfaces as a [`CodecError`] — never a wrong answer.
+//!
+//! The request ships the phase-2 candidate set for `ols`/`ols-kl`
+//! ranges: preparing runs once on the coordinator and workers never
+//! re-run it. Large candidate sets are bounded by the server's 4 MiB
+//! request-body cap — a documented limitation of the v1 protocol.
+
+use crate::checkpoint::{decode_state, encode_state};
+use crate::solve::PartialState;
+use bigraph::codec::{open_frame, seal_frame, CodecError, Decoder, Encoder};
+use mpmb_core::{CandidateSet, Checkpoint};
+
+/// Magic prefix of a range request frame.
+pub(crate) const REQ_MAGIC: &[u8; 8] = b"MPMBRQ01";
+/// Magic prefix of a range response frame.
+pub(crate) const RESP_MAGIC: &[u8; 8] = b"MPMBRS01";
+/// Protocol version, checked on both ends.
+pub(crate) const VERSION: u32 = 1;
+
+/// One scattered unit of work: run `[start, end)` of the method's
+/// trial space (candidate indices for `ols-kl`, trial indices
+/// otherwise) against the named graph, under the full-request
+/// parameters so every engine is seeded identically to a single-node
+/// run.
+#[derive(Clone, Debug)]
+pub(crate) struct RangeRequest {
+    /// Registered graph name (must exist on the worker).
+    pub graph: String,
+    /// `os` | `mcvp` | `ols` | `ols-kl` | `count`.
+    pub method: String,
+    /// The full request's trial budget (KL per-candidate fixed count
+    /// for `ols-kl`) — part of engine seeding, NOT this range's size.
+    pub trials: u64,
+    /// The full request's preparing budget (`ols`/`ols-kl` only).
+    pub prep: u64,
+    /// The full request's seed.
+    pub seed: u64,
+    /// Requested solver threads; the worker clamps to its own cap.
+    pub threads: u64,
+    /// First trial index of this range (inclusive).
+    pub start: u64,
+    /// One past the last trial index of this range.
+    pub end: u64,
+    /// Phase-1 output for `ols`/`ols-kl`, computed on the coordinator.
+    pub candidates: Option<CandidateSet>,
+}
+
+impl RangeRequest {
+    /// Seals this request into a checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.str(&self.graph);
+        enc.str(&self.method);
+        enc.u64(self.trials);
+        enc.u64(self.prep);
+        enc.u64(self.seed);
+        enc.u64(self.threads);
+        enc.u64(self.start);
+        enc.u64(self.end);
+        match &self.candidates {
+            None => enc.u8(0),
+            Some(c) => {
+                enc.u8(1);
+                c.encode(&mut enc);
+            }
+        }
+        seal_frame(REQ_MAGIC, VERSION, &enc.into_bytes())
+    }
+
+    /// Opens and validates a request frame.
+    pub fn decode(bytes: &[u8]) -> Result<RangeRequest, CodecError> {
+        let (_version, payload) = open_frame(REQ_MAGIC, VERSION, bytes)?;
+        let mut dec = Decoder::new(payload);
+        let req = RangeRequest {
+            graph: dec.str()?,
+            method: dec.str()?,
+            trials: dec.u64()?,
+            prep: dec.u64()?,
+            seed: dec.u64()?,
+            threads: dec.u64()?,
+            start: dec.u64()?,
+            end: dec.u64()?,
+            candidates: match dec.u8()? {
+                0 => None,
+                1 => Some(CandidateSet::decode(&mut dec)?),
+                other => {
+                    return Err(CodecError::Invalid(format!(
+                        "candidates flag must be 0 or 1, got {other}"
+                    )))
+                }
+            },
+        };
+        if dec.remaining() != 0 {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after range request",
+                dec.remaining()
+            )));
+        }
+        if req.start >= req.end {
+            return Err(CodecError::Invalid(format!(
+                "empty trial range {}..{}",
+                req.start, req.end
+            )));
+        }
+        Ok(req)
+    }
+}
+
+/// Seals a worker's partial state into a response frame. The payload
+/// is exactly the checkpoint encoding of [`PartialState`].
+pub(crate) fn encode_response(state: &PartialState) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    encode_state(state, &mut enc);
+    seal_frame(RESP_MAGIC, VERSION, &enc.into_bytes())
+}
+
+/// Opens a response frame back into the worker's partial state.
+pub(crate) fn decode_response(bytes: &[u8]) -> Result<PartialState, CodecError> {
+    let (_version, payload) = open_frame(RESP_MAGIC, VERSION, bytes)?;
+    let mut dec = Decoder::new(payload);
+    let state = decode_state(&mut dec)?;
+    if dec.remaining() != 0 {
+        return Err(CodecError::Invalid(format!(
+            "{} trailing bytes after range response",
+            dec.remaining()
+        )));
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{GraphBuilder, Left, Right, UncertainBipartiteGraph};
+    use mpmb_core::engine::Cancel;
+    use mpmb_core::{Executor, OlsConfig, OsConfig, OsTrials, PrepareTrials};
+
+    fn request() -> RangeRequest {
+        RangeRequest {
+            graph: "g".to_string(),
+            method: "os".to_string(),
+            trials: 10_000,
+            prep: 100,
+            seed: 0x5EED,
+            threads: 2,
+            start: 2_500,
+            end: 5_000,
+            candidates: None,
+        }
+    }
+
+    fn graph() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.build().unwrap()
+    }
+
+    fn candidates(g: &UncertainBipartiteGraph) -> CandidateSet {
+        let cfg = OlsConfig {
+            prep_trials: 50,
+            seed: 7,
+            ..Default::default()
+        };
+        let engine = PrepareTrials::new(g, &cfg);
+        let partial = Executor::new(1).run_subrange(&engine, 0..50, 50, &Cancel::never());
+        engine.finalize(partial.acc)
+    }
+
+    fn assert_same(a: &RangeRequest, b: &RangeRequest) {
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.method, b.method);
+        assert_eq!(
+            (a.trials, a.prep, a.seed, a.threads, a.start, a.end),
+            (b.trials, b.prep, b.seed, b.threads, b.start, b.end)
+        );
+        match (&a.candidates, &b.candidates) {
+            (None, None) => {}
+            (Some(ca), Some(cb)) => {
+                assert_eq!(ca.len(), cb.len());
+                for i in 0..ca.len() {
+                    assert_eq!(ca.get(i).butterfly, cb.get(i).butterfly);
+                    assert_eq!(ca.get(i).weight, cb.get(i).weight);
+                }
+            }
+            _ => panic!("candidates presence mismatch"),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_with_and_without_candidates() {
+        let plain = request();
+        assert_same(&RangeRequest::decode(&plain.encode()).unwrap(), &plain);
+
+        let g = graph();
+        let with = RangeRequest {
+            method: "ols".to_string(),
+            candidates: Some(candidates(&g)),
+            ..request()
+        };
+        assert_same(&RangeRequest::decode(&with.encode()).unwrap(), &with);
+    }
+
+    #[test]
+    fn response_round_trips_partial_state() {
+        let g = graph();
+        let engine = OsTrials::new(
+            &g,
+            &OsConfig {
+                trials: 100,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let partial = Executor::new(1).run_subrange(&engine, 10..20, 100, &Cancel::never());
+        let counts: Vec<_> = partial.acc.counts().map(|(b, c)| (*b, *c)).collect();
+        let frame = encode_response(&PartialState::Os(partial));
+        match decode_response(&frame).unwrap() {
+            PartialState::Os(p) => {
+                assert_eq!(p.trials_done(), 10);
+                assert_eq!(p.trials_requested(), 100);
+                let back: Vec<_> = p.acc.counts().map(|(b, c)| (*b, *c)).collect();
+                assert_eq!(back, counts);
+            }
+            other => panic!("wrong variant: {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_errors_not_panics() {
+        let frame = request().encode();
+        // Truncation at every prefix length.
+        for cut in 0..frame.len() {
+            assert!(RangeRequest::decode(&frame[..cut]).is_err());
+        }
+        // A flipped payload byte fails the checksum.
+        let mut flipped = frame.clone();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        assert!(RangeRequest::decode(&flipped).is_err());
+        // An empty range is rejected even when well-framed.
+        let empty = RangeRequest {
+            start: 5,
+            end: 5,
+            ..request()
+        };
+        assert!(matches!(
+            RangeRequest::decode(&empty.encode()),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,254 @@
+//! The worker half of the range protocol:
+//! `POST /v1/internal/solve-range`.
+//!
+//! A worker is an ordinary server that additionally answers range
+//! calls: decode the frame, look up the graph, build the exact engine
+//! a single-node run would build (same config, same seed), and execute
+//! just the requested index range through
+//! [`mpmb_core::Executor::run_subrange`]. The response is the framed
+//! [`PartialState`] — the same bytes a local run's checkpoint of that
+//! range would hold.
+//!
+//! A worker that hits its own `--timeout-ms` mid-range still answers
+//! `200` with whatever prefix of the range completed: partial coverage
+//! is a *legitimate* response, and the coordinator re-dispatches only
+//! the remaining trials. Only malformed frames (400), unknown graphs
+//! (404), and unknown methods (400) are errors.
+
+use super::proto::{self, RangeRequest};
+use crate::http::{Request, Response};
+use crate::server::AppState;
+use crate::solve::{Cancel, PartialState};
+use bigraph::UncertainBipartiteGraph;
+use mpmb_core::{
+    CountTrials, Executor, KarpLubyTrials, KlTrialPolicy, McVpConfig, McVpTrials, OlsConfig,
+    OptimizedTrials, OsConfig, OsTrials,
+};
+use std::time::Instant;
+
+/// Handles one range call end to end.
+pub(crate) fn handle_solve_range(state: &AppState, req: &Request) -> Response {
+    let rr = match RangeRequest::decode(&req.body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &format!("bad range request: {e}")),
+    };
+    let entry = match state.registry.get(&rr.graph) {
+        Some(e) => e,
+        None => {
+            return Response::error(404, &format!("graph `{}` is not registered here", rr.graph))
+        }
+    };
+    let threads = (rr.threads.max(1) as usize).min(state.solver_thread_cap);
+    let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
+    match solve_range(&entry.graph, &rr, threads, &cancel) {
+        Ok(partial) => {
+            let (done, _) = super::merge::progress_of(&partial);
+            state.metrics.trials_executed.add(done);
+            Response::octets(200, proto::encode_response(&partial))
+        }
+        Err(msg) => Response::error(400, &msg),
+    }
+}
+
+/// Runs `[start, end)` of the request's trial space and returns the
+/// covered partial. The partial spans the *full* space (so the
+/// coordinator can absorb it directly); its done-set covers the prefix
+/// of the range that completed before `cancel` fired.
+fn solve_range(
+    g: &UncertainBipartiteGraph,
+    rr: &RangeRequest,
+    threads: usize,
+    cancel: &Cancel,
+) -> Result<PartialState, String> {
+    let exec = Executor::new(threads);
+    let range = rr.start..rr.end;
+    match rr.method.as_str() {
+        "os" => {
+            if rr.end > rr.trials {
+                return Err(format!("range {range:?} escapes 0..{}", rr.trials));
+            }
+            let engine = OsTrials::new(
+                g,
+                &OsConfig {
+                    trials: rr.trials,
+                    seed: rr.seed,
+                    ..Default::default()
+                },
+            );
+            Ok(PartialState::Os(
+                exec.run_subrange(&engine, range, rr.trials, cancel),
+            ))
+        }
+        "mcvp" => {
+            if rr.end > rr.trials {
+                return Err(format!("range {range:?} escapes 0..{}", rr.trials));
+            }
+            let engine = McVpTrials::new(
+                g,
+                &McVpConfig {
+                    trials: rr.trials,
+                    seed: rr.seed,
+                },
+            );
+            Ok(PartialState::McVp(
+                exec.run_subrange(&engine, range, rr.trials, cancel),
+            ))
+        }
+        "ols" => {
+            let candidates = rr
+                .candidates
+                .clone()
+                .ok_or("ols range requires a candidate set")?;
+            if rr.end > rr.trials {
+                return Err(format!("range {range:?} escapes 0..{}", rr.trials));
+            }
+            let cfg = ols_config(rr);
+            let engine = OptimizedTrials::new(g, &candidates, cfg.sample_seed());
+            let partial = exec.run_subrange(&engine, range, rr.trials, cancel);
+            Ok(PartialState::OlsSample {
+                candidates,
+                partial,
+            })
+        }
+        "ols-kl" => {
+            let candidates = rr
+                .candidates
+                .clone()
+                .ok_or("ols-kl range requires a candidate set")?;
+            let total = candidates.len() as u64;
+            if rr.end > total {
+                return Err(format!("range {range:?} escapes 0..{total} candidates"));
+            }
+            let cfg = ols_config(rr);
+            let engine = KarpLubyTrials::new(
+                g,
+                &candidates,
+                KlTrialPolicy::Fixed(rr.trials),
+                cfg.sample_seed(),
+            );
+            // One KL "trial" is a whole candidate: check the deadline
+            // per candidate, matching the single-node driver.
+            let partial = exec
+                .check_every(1)
+                .run_subrange(&engine, range, total, cancel);
+            Ok(PartialState::Kl {
+                candidates,
+                partial,
+            })
+        }
+        "count" => {
+            if rr.end > rr.trials {
+                return Err(format!("range {range:?} escapes 0..{}", rr.trials));
+            }
+            let engine = CountTrials::new(g, rr.seed);
+            Ok(PartialState::Count(
+                exec.run_subrange(&engine, range, rr.trials, cancel),
+            ))
+        }
+        other => Err(format!(
+            "unknown range method `{other}` (expected os|mcvp|ols|ols-kl|count)"
+        )),
+    }
+}
+
+/// The OLS config a single-node run would use for these parameters —
+/// seeding (notably `sample_seed()`) must match exactly.
+fn ols_config(rr: &RangeRequest) -> OlsConfig {
+    OlsConfig {
+        prep_trials: rr.prep,
+        seed: rr.seed,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::merge;
+    use bigraph::{GraphBuilder, Left, Right};
+
+    fn graph() -> UncertainBipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+        b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+        b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+        b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+        b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+        b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+        b.build().unwrap()
+    }
+
+    fn rr(method: &str, trials: u64, start: u64, end: u64) -> RangeRequest {
+        RangeRequest {
+            graph: "g".to_string(),
+            method: method.to_string(),
+            trials,
+            prep: 60,
+            seed: 17,
+            threads: 2,
+            start,
+            end,
+            candidates: None,
+        }
+    }
+
+    #[test]
+    fn os_range_pieces_reassemble_the_full_run() {
+        let g = graph();
+        // Full-space reference through the same engine.
+        let engine = OsTrials::new(
+            &g,
+            &OsConfig {
+                trials: 900,
+                seed: 17,
+                ..Default::default()
+            },
+        );
+        let full = Executor::new(2).run_subrange(&engine, 0..900, 900, &Cancel::never());
+        let reference: Vec<_> = full.acc.counts().map(|(b, c)| (*b, *c)).collect();
+
+        let mut master = solve_range(&g, &rr("os", 900, 0, 300), 1, &Cancel::never()).unwrap();
+        for (s, e) in [(600, 900), (300, 600)] {
+            let piece = solve_range(&g, &rr("os", 900, s, e), 2, &Cancel::never()).unwrap();
+            merge::absorb_state(&mut master, piece).unwrap();
+        }
+        assert!(merge::completed(&master));
+        match master {
+            PartialState::Os(p) => {
+                let got: Vec<_> = p.acc.counts().map(|(b, c)| (*b, *c)).collect();
+                assert_eq!(got, reference);
+            }
+            other => panic!("wrong variant: {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn ols_ranges_require_candidates() {
+        let g = graph();
+        assert!(solve_range(&g, &rr("ols", 500, 0, 100), 1, &Cancel::never()).is_err());
+        assert!(solve_range(&g, &rr("ols-kl", 50, 0, 1), 1, &Cancel::never()).is_err());
+    }
+
+    #[test]
+    fn out_of_space_ranges_are_rejected() {
+        let g = graph();
+        assert!(solve_range(&g, &rr("os", 100, 50, 150), 1, &Cancel::never()).is_err());
+        assert!(solve_range(&g, &rr("nope", 100, 0, 10), 1, &Cancel::never()).is_err());
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_range_coverage() {
+        let g = graph();
+        let partial = solve_range(
+            &g,
+            &rr("os", 1_000_000, 0, 1_000_000),
+            1,
+            &Cancel::after_trials(200),
+        )
+        .unwrap();
+        let (done, requested) = merge::progress_of(&partial);
+        assert!(done > 0 && done < requested, "done={done}");
+        // The covered prefix starts at the range start.
+        assert_eq!(merge::missing_of(&partial), vec![done..1_000_000]);
+    }
+}

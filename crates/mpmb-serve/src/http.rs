@@ -265,6 +265,16 @@ impl Response {
         )
     }
 
+    /// A binary response (the cluster's internal range protocol).
+    pub fn octets(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
     /// Prometheus text exposition.
     pub fn metrics_text(body: String) -> Response {
         Response {

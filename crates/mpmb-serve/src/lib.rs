@@ -23,13 +23,19 @@
 //!   (request, cache, and solver-phase series on one [`obs`] registry),
 //!   per-request trace ids honoring and echoing `X-Request-Id`,
 //!   JSON-lines access/span traces behind a runtime-selectable sink,
-//!   and `GET /debug/trace` with recent solve phase breakdowns.
+//!   and `GET /debug/trace` with recent solve phase breakdowns;
+//! * **sharded multi-node serving** — `--role coordinator` scatters
+//!   each request's trial budget across `--workers` over an internal
+//!   range protocol and gathers byte-identical answers at any worker
+//!   count, re-dispatching remaining trials when a worker dies
+//!   mid-range (see [`cluster`] and `docs/CLUSTER.md`).
 //!
 //! See `docs/SERVING.md` for the full API reference.
 
 pub mod cache;
 pub mod checkpoint;
 pub mod client;
+pub mod cluster;
 pub mod fault;
 pub mod http;
 pub mod json;
@@ -42,7 +48,8 @@ pub mod solve;
 
 pub use cache::{CacheEntry, ResultCache};
 pub use checkpoint::{CheckpointStore, LoadOutcome, Snapshot};
-pub use client::{call_retry, Retried, RetryPolicy};
+pub use client::{call_retry, call_retry_expect, ClientError, Retried, RetryPolicy};
+pub use cluster::{Cluster, ClusterError, Role};
 pub use fault::{FaultAction, FaultPlan};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use metrics::Metrics;

@@ -1,7 +1,13 @@
 //! `mpmb loadgen`: a closed-loop load generator against a running
-//! daemon. Each of `concurrency` client threads issues its share of
-//! `requests` solve calls back-to-back and records per-request latency
-//! and status; the merged report prints like the repo's bench tables.
+//! daemon (or a whole cluster). Each of `concurrency` client threads
+//! issues its share of `requests` solve calls back-to-back and records
+//! per-request latency and status; the merged report prints like the
+//! repo's bench tables.
+//!
+//! Multiple `--target` addresses round-robin: request `i` goes to
+//! `targets[i % targets.len()]`, and the report breaks sent/ok/shed/
+//! deadline/failed down per target so a skewed cluster member stands
+//! out immediately.
 
 use crate::client;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,8 +24,9 @@ const LATENCY_BUCKETS_MS: &[f64] = &[
 /// Load-generator parameters, mapped 1:1 onto `mpmb loadgen` flags.
 #[derive(Clone, Debug)]
 pub struct LoadgenConfig {
-    /// Daemon address, e.g. `127.0.0.1:7700`.
-    pub target: String,
+    /// Daemon addresses, e.g. `127.0.0.1:7700`. Request `i` targets
+    /// `targets[i % targets.len()]` (round-robin).
+    pub targets: Vec<String>,
     /// Total requests to issue.
     pub requests: u64,
     /// Concurrent client connections.
@@ -45,7 +52,7 @@ pub struct LoadgenConfig {
 impl Default for LoadgenConfig {
     fn default() -> Self {
         LoadgenConfig {
-            target: "127.0.0.1:7700".to_string(),
+            targets: vec!["127.0.0.1:7700".to_string()],
             requests: 100,
             concurrency: 4,
             graph: "default".to_string(),
@@ -56,6 +63,23 @@ impl Default for LoadgenConfig {
             retries: 0,
         }
     }
+}
+
+/// Per-target slice of a load-generation run.
+#[derive(Clone, Debug, Default)]
+pub struct TargetReport {
+    /// The target address.
+    pub target: String,
+    /// Requests routed to this target.
+    pub sent: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 429 responses (load shed).
+    pub shed: u64,
+    /// 503 responses (deadline exceeded).
+    pub deadline: u64,
+    /// Any other status or transport failure (after retries, if any).
+    pub failed: u64,
 }
 
 /// Merged outcome of a load-generation run.
@@ -73,6 +97,8 @@ pub struct LoadReport {
     pub failed: u64,
     /// Retries consumed across all requests.
     pub retried: u64,
+    /// Per-target breakdown, in `targets` order.
+    pub per_target: Vec<TargetReport>,
     /// Sorted per-request latencies in milliseconds (successful
     /// transport only).
     pub latencies_ms: Vec<f64>,
@@ -105,9 +131,10 @@ impl LoadReport {
 
     /// Renders the human-readable summary the CLI prints. The p50/p95/
     /// p99 come from the histogram (bucket-interpolated, like a
-    /// Prometheus `histogram_quantile`); max is exact.
+    /// Prometheus `histogram_quantile`); max is exact. With more than
+    /// one target a per-target table follows the totals.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "requests {}  ok {}  shed(429) {}  deadline(503) {}  failed {}  retried {}\n\
              latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}\n\
              elapsed {:.2}s  throughput {:.1} req/s",
@@ -123,12 +150,37 @@ impl LoadReport {
             self.quantile_ms(1.0),
             self.elapsed_s,
             self.rps(),
-        )
+        );
+        if self.per_target.len() > 1 {
+            let width = self
+                .per_target
+                .iter()
+                .map(|t| t.target.len())
+                .max()
+                .unwrap_or(6)
+                .max("target".len());
+            out.push_str(&format!(
+                "\n{:width$}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}",
+                "target", "sent", "ok", "shed", "503", "failed"
+            ));
+            for t in &self.per_target {
+                out.push_str(&format!(
+                    "\n{:width$}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}",
+                    t.target, t.sent, t.ok, t.shed, t.deadline, t.failed
+                ));
+            }
+        }
+        out
     }
 }
 
+/// One thread's tallies: latencies, total retries, and per-target
+/// `[sent, ok, shed, deadline, failed]` rows.
+type ThreadTally = (Vec<f64>, u64, Vec<[u64; 5]>);
+
 /// Runs the load generation and merges per-thread results.
 pub fn run(cfg: &LoadgenConfig) -> LoadReport {
+    assert!(!cfg.targets.is_empty(), "loadgen needs at least one target");
     let next = AtomicU64::new(0);
     let latency_hist = Arc::new(obs::Histogram::new(LATENCY_BUCKETS_MS));
     let started = Instant::now();
@@ -137,20 +189,23 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         seed: cfg.seed,
         ..Default::default()
     };
-    let results: Vec<(Vec<f64>, u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+    let results: Vec<ThreadTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.concurrency.max(1))
             .map(|_| {
                 let next = &next;
                 let latency_hist = &latency_hist;
                 let policy = &policy;
                 scope.spawn(move || {
-                    let (mut lat, mut ok, mut shed, mut deadline, mut failed, mut retried) =
-                        (Vec::new(), 0u64, 0u64, 0u64, 0u64, 0u64);
+                    let mut lat = Vec::new();
+                    let mut retried = 0u64;
+                    let mut by_target = vec![[0u64; 5]; cfg.targets.len()];
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cfg.requests {
                             break;
                         }
+                        let ti = (i % cfg.targets.len() as u64) as usize;
+                        let target = &cfg.targets[ti];
                         let seed = if cfg.vary_seed {
                             cfg.seed + i
                         } else {
@@ -160,32 +215,33 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                             "{{\"graph\":\"{}\",\"method\":\"{}\",\"trials\":{},\"seed\":{}}}",
                             cfg.graph, cfg.method, cfg.trials, seed
                         );
+                        by_target[ti][0] += 1;
                         let t0 = Instant::now();
                         // Latency covers the whole retried exchange:
                         // that is what a caller of a resilient client
                         // experiences.
-                        match client::call_retry(&cfg.target, "POST", "/v1/solve", &body, policy) {
+                        match client::call_retry(target, "POST", "/v1/solve", &body, policy) {
                             Ok(outcome) => {
                                 let ms = t0.elapsed().as_secs_f64() * 1_000.0;
                                 latency_hist.observe(ms);
                                 lat.push(ms);
                                 retried += outcome.retries as u64;
                                 match outcome.status {
-                                    200 => ok += 1,
-                                    429 => shed += 1,
-                                    503 => deadline += 1,
-                                    _ => failed += 1,
+                                    200 => by_target[ti][1] += 1,
+                                    429 => by_target[ti][2] += 1,
+                                    503 => by_target[ti][3] += 1,
+                                    _ => by_target[ti][4] += 1,
                                 }
                             }
                             Err(_) => {
                                 // The transport never recovered within
                                 // the attempt budget.
                                 retried += cfg.retries as u64;
-                                failed += 1;
+                                by_target[ti][4] += 1;
                             }
                         }
                     }
-                    (lat, ok, shed, deadline, failed, retried)
+                    (lat, retried, by_target)
                 })
             })
             .collect();
@@ -202,17 +258,35 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         deadline: 0,
         failed: 0,
         retried: 0,
+        per_target: cfg
+            .targets
+            .iter()
+            .map(|t| TargetReport {
+                target: t.clone(),
+                ..TargetReport::default()
+            })
+            .collect(),
         latencies_ms: Vec::new(),
         latency_hist,
         elapsed_s,
     };
-    for (lat, ok, shed, deadline, failed, retried) in results {
+    for (lat, retried, by_target) in results {
         report.latencies_ms.extend(lat);
-        report.ok += ok;
-        report.shed += shed;
-        report.deadline += deadline;
-        report.failed += failed;
         report.retried += retried;
+        for (ti, [sent, ok, shed, deadline, failed]) in by_target.into_iter().enumerate() {
+            let t = &mut report.per_target[ti];
+            t.sent += sent;
+            t.ok += ok;
+            t.shed += shed;
+            t.deadline += deadline;
+            t.failed += failed;
+        }
+    }
+    for t in &report.per_target {
+        report.ok += t.ok;
+        report.shed += t.shed;
+        report.deadline += t.deadline;
+        report.failed += t.failed;
     }
     report.latencies_ms.sort_unstable_by(|a, b| a.total_cmp(b));
     report
@@ -234,6 +308,12 @@ mod tests {
             deadline: 0,
             failed: 0,
             retried: 0,
+            per_target: vec![TargetReport {
+                target: "t".to_string(),
+                sent: latencies_ms.len() as u64,
+                ok: latencies_ms.len() as u64,
+                ..TargetReport::default()
+            }],
             latencies_ms,
             latency_hist: hist,
             elapsed_s,
@@ -249,6 +329,8 @@ mod tests {
         let rendered = r.render();
         assert!(rendered.contains("throughput 2.0 req/s"));
         assert!(rendered.contains("p99"));
+        // Single target: no per-target table.
+        assert!(!rendered.contains("target"));
     }
 
     #[test]
@@ -268,5 +350,55 @@ mod tests {
         assert_eq!(r.quantile_ms(0.5), 0.0);
         assert_eq!(r.latency_hist.quantile(0.5), 0.0);
         assert_eq!(r.rps(), 0.0);
+    }
+
+    #[test]
+    fn multi_target_render_has_one_row_per_target() {
+        let mut r = report_with(vec![1.0, 2.0], 1.0);
+        r.per_target = vec![
+            TargetReport {
+                target: "127.0.0.1:7700".to_string(),
+                sent: 1,
+                ok: 1,
+                ..TargetReport::default()
+            },
+            TargetReport {
+                target: "127.0.0.1:7701".to_string(),
+                sent: 1,
+                shed: 1,
+                ..TargetReport::default()
+            },
+        ];
+        let rendered = r.render();
+        assert!(rendered.contains("target"));
+        assert!(rendered.contains("127.0.0.1:7700"));
+        assert!(rendered.contains("127.0.0.1:7701"));
+    }
+
+    #[test]
+    fn round_robin_covers_every_target() {
+        // No servers listening: every request fails fast, but the
+        // per-target sent counters must still round-robin evenly.
+        let dead = || {
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap()
+                .to_string()
+        };
+        let cfg = LoadgenConfig {
+            targets: vec![dead(), dead(), dead()],
+            requests: 9,
+            concurrency: 2,
+            retries: 0,
+            ..LoadgenConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.sent, 9);
+        assert_eq!(r.failed, 9);
+        for t in &r.per_target {
+            assert_eq!(t.sent, 3, "round-robin must be even: {t:?}");
+            assert_eq!(t.failed, 3);
+        }
     }
 }

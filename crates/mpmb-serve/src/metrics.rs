@@ -14,7 +14,8 @@ use std::time::Duration;
 
 /// The endpoints with per-endpoint series. Order defines export order.
 pub const ENDPOINTS: &[&str] = &[
-    "solve", "query", "count", "topk", "graphs", "healthz", "metrics", "admin", "debug", "other",
+    "solve", "query", "count", "topk", "graphs", "healthz", "metrics", "admin", "debug",
+    "internal", "other",
 ];
 
 /// Latency histogram bucket upper bounds, in seconds.
@@ -62,6 +63,21 @@ pub struct Metrics {
     pub worker_panics: Arc<Counter>,
     /// Faults injected by the active fault plan.
     pub faults_injected: Arc<Counter>,
+    /// Cluster members this coordinator is configured with (0 when not
+    /// a coordinator).
+    pub cluster_workers: Arc<Gauge>,
+    /// Trial ranges dispatched to cluster workers (first dispatch and
+    /// re-dispatches both count).
+    pub cluster_ranges_dispatched: Arc<Counter>,
+    /// Ranges re-dispatched after a worker failed or returned an
+    /// incomplete range — resume semantics mean only the *remaining*
+    /// trials of the range run again.
+    pub cluster_redispatch: Arc<Counter>,
+    /// Worker calls that failed at the transport or decode layer (the
+    /// worker is marked down until a probe revives it).
+    pub cluster_worker_errors: Arc<Counter>,
+    /// Health probes that failed (the probed worker is marked down).
+    pub cluster_probe_failures: Arc<Counter>,
 }
 
 /// Index of an endpoint name in [`ENDPOINTS`].
@@ -76,6 +92,7 @@ pub fn endpoint_index(path: &str) -> usize {
         "/metrics" => "metrics",
         p if p.starts_with("/admin/") => "admin",
         p if p.starts_with("/debug/") => "debug",
+        p if p.starts_with("/v1/internal/") => "internal",
         _ => "other",
     };
     ENDPOINTS.iter().position(|&e| e == name).unwrap()
@@ -155,6 +172,26 @@ impl Default for Metrics {
             faults_injected: registry.counter(
                 "mpmb_faults_injected_total",
                 "Faults injected by the active fault plan.",
+            ),
+            cluster_workers: registry.gauge(
+                "mpmb_cluster_workers",
+                "Cluster members configured on this coordinator (0 when not coordinating).",
+            ),
+            cluster_ranges_dispatched: registry.counter(
+                "mpmb_cluster_ranges_dispatched_total",
+                "Trial ranges dispatched to cluster workers.",
+            ),
+            cluster_redispatch: registry.counter(
+                "mpmb_cluster_redispatch_total",
+                "Ranges re-dispatched after a worker failure or incomplete range response.",
+            ),
+            cluster_worker_errors: registry.counter(
+                "mpmb_cluster_worker_errors_total",
+                "Worker range calls that failed at the transport or decode layer.",
+            ),
+            cluster_probe_failures: registry.counter(
+                "mpmb_cluster_probe_failures_total",
+                "Health probes that failed, marking the probed worker down.",
             ),
             endpoints,
             registry,

@@ -18,6 +18,7 @@
 
 use crate::cache::{CacheEntry, ResultCache};
 use crate::checkpoint::{CheckpointStore, LoadOutcome, Snapshot};
+use crate::cluster::{self, Cluster, ClusterError, Role};
 use crate::fault::{self, FaultAction, FaultPlan};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::json::Json;
@@ -65,6 +66,15 @@ pub struct ServerConfig {
     /// Fault-injection spec (see [`crate::fault`]); `None` serves
     /// faithfully.
     pub fault_plan: Option<String>,
+    /// Which cluster role this process plays (see [`crate::cluster`]).
+    pub role: Role,
+    /// Worker addresses (`host:port`) a coordinator scatters to.
+    /// Required (non-empty) when `role` is [`Role::Coordinator`],
+    /// ignored otherwise.
+    pub workers: Vec<String>,
+    /// Cadence of the coordinator's `/healthz` probe loop, in
+    /// milliseconds.
+    pub probe_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +89,9 @@ impl Default for ServerConfig {
             checkpoint_dir: None,
             checkpoint_every_ms: 5_000,
             fault_plan: None,
+            role: Role::Single,
+            workers: Vec::new(),
+            probe_interval_ms: 1_000,
         }
     }
 }
@@ -153,6 +166,9 @@ pub struct AppState {
     pub checkpoints: Option<CheckpointStore>,
     /// Active fault-injection plan (`None` serves faithfully).
     pub faults: Option<FaultPlan>,
+    /// Coordinator-side cluster state (`None` for single/worker roles:
+    /// those solve locally).
+    pub cluster: Option<Cluster>,
     /// Raised to begin a graceful drain.
     shutdown: AtomicBool,
 }
@@ -173,6 +189,7 @@ pub struct Server {
     accept_handle: std::thread::JoinHandle<()>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     checkpoint_handle: Option<std::thread::JoinHandle<()>>,
+    probe_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -201,6 +218,18 @@ impl Server {
 
         let metrics = Metrics::default();
         let solver = Arc::new(obs::SolverMetrics::new(Arc::clone(metrics.registry())));
+        let cluster_state = match cfg.role {
+            Role::Coordinator => {
+                if cfg.workers.is_empty() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "--role coordinator requires at least one --workers address",
+                    ));
+                }
+                Some(Cluster::new(cfg.workers.clone(), &metrics))
+            }
+            Role::Single | Role::Worker => None,
+        };
         let state = Arc::new(AppState {
             registry: Registry::new(),
             cache: ResultCache::new(cfg.cache_capacity),
@@ -215,6 +244,7 @@ impl Server {
             },
             checkpoints,
             faults,
+            cluster: cluster_state,
             shutdown: AtomicBool::new(false),
         });
 
@@ -238,6 +268,29 @@ impl Server {
                     // `Server::join` once the workers are done.
                 })
                 .expect("spawn checkpoint thread")
+        });
+
+        // Coordinator-only: periodic `/healthz` probes flip per-worker
+        // up/down bits, so crashed-and-restarted workers rejoin
+        // without traffic having to discover them.
+        let probe_handle = state.cluster.as_ref().map(|_| {
+            let state = Arc::clone(&state);
+            let every = Duration::from_millis(cfg.probe_interval_ms.max(1));
+            std::thread::Builder::new()
+                .name("mpmb-probe".to_string())
+                .spawn(move || {
+                    let mut last = Instant::now();
+                    while !state.shutting_down() {
+                        std::thread::sleep(POLL_INTERVAL.min(every));
+                        if last.elapsed() >= every {
+                            if let Some(cluster) = &state.cluster {
+                                cluster.members.probe_all(&state.metrics);
+                            }
+                            last = Instant::now();
+                        }
+                    }
+                })
+                .expect("spawn probe thread")
         });
 
         let (tx, rx) = sync_channel::<TcpStream>(cfg.queue.max(1));
@@ -268,6 +321,7 @@ impl Server {
             accept_handle,
             worker_handles,
             checkpoint_handle,
+            probe_handle,
         })
     }
 
@@ -291,6 +345,9 @@ impl Server {
         }
         if let Some(h) = self.checkpoint_handle {
             h.join().expect("checkpoint thread panicked");
+        }
+        if let Some(h) = self.probe_handle {
+            h.join().expect("probe thread panicked");
         }
         write_checkpoint(&self.state);
     }
@@ -540,6 +597,7 @@ fn route(state: &AppState, req: &Request) -> Response {
         ("POST", "/v1/topk") => handle_solve(state, req, SolveMode::TopK),
         ("POST", "/v1/query") => handle_query(state, req),
         ("POST", "/v1/count") => handle_count(state, req),
+        ("POST", "/v1/internal/solve-range") => cluster::worker::handle_solve_range(state, req),
         ("GET", "/metrics") => Response::metrics_text(state.metrics.render()),
         ("GET", "/debug/trace") => handle_debug_trace(state, req),
         ("POST", "/admin/shutdown") => {
@@ -548,8 +606,16 @@ fn route(state: &AppState, req: &Request) -> Response {
         }
         (
             _,
-            "/healthz" | "/v1/graphs" | "/v1/solve" | "/v1/topk" | "/v1/query" | "/v1/count"
-            | "/metrics" | "/debug/trace" | "/admin/shutdown",
+            "/healthz"
+            | "/v1/graphs"
+            | "/v1/solve"
+            | "/v1/topk"
+            | "/v1/query"
+            | "/v1/count"
+            | "/v1/internal/solve-range"
+            | "/metrics"
+            | "/debug/trace"
+            | "/admin/shutdown",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -676,6 +742,16 @@ fn handle_register_graph(state: &AppState, req: &Request) -> Response {
     } else {
         return Response::error(400, "provide `spec`, `path`, or `dataset`");
     };
+    // Coordinator: every worker must hold the graph before ranges can
+    // scatter, so registration reaches the workers first. A worker
+    // that already has it answers 409, which counts as success; a
+    // worker that fails turns the whole request into a 502 and the
+    // client retries the registration as a unit.
+    if let Some(cluster) = &state.cluster {
+        if let Err(e) = cluster::coordinator::broadcast_register(cluster, &req.body) {
+            return cluster_error_response(&e);
+        }
+    }
     match state.registry.load(name, &spec) {
         Ok(entry) => Response::json(200, graph_summary(name, &entry).to_string()),
         Err(RegistryError::Exists(_)) => {
@@ -738,18 +814,36 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
     };
 
     let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
-    let progress = match solve::advance_solve(
-        &entry.graph,
-        &method,
-        trials,
-        prep,
-        seed,
-        threads,
-        prior,
-        &cancel,
-    ) {
-        Ok(p) => p,
-        Err(msg) => return Response::error(400, &msg),
+    let progress = match &state.cluster {
+        Some(cluster) => match cluster::coordinator::advance_cluster_solve(
+            state,
+            cluster,
+            &name,
+            &entry.graph,
+            &method,
+            trials,
+            prep,
+            seed,
+            threads,
+            prior,
+            &cancel,
+        ) {
+            Ok(p) => p,
+            Err(e) => return cluster_error_response(&e),
+        },
+        None => match solve::advance_solve(
+            &entry.graph,
+            &method,
+            trials,
+            prep,
+            seed,
+            threads,
+            prior,
+            &cancel,
+        ) {
+            Ok(p) => p,
+            Err(msg) => return Response::error(400, &msg),
+        },
     };
     state.metrics.trials_executed.add(progress.executed);
     let distribution = match progress.outcome {
@@ -794,6 +888,22 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
     let body = Json::Obj(fields).to_string();
     state.cache.put_complete(&key, &body);
     Response::json(200, body)
+}
+
+/// Maps a cluster failure onto the HTTP edge: caller mistakes are
+/// 400s, a fully-down worker set is a retryable 503, and worker
+/// misbehavior (wrong graph set, protocol violations) is a 502 — the
+/// coordinator is fine, its upstream is not.
+fn cluster_error_response(e: &ClusterError) -> Response {
+    match e {
+        ClusterError::BadRequest(msg) => Response::error(400, msg),
+        ClusterError::NoWorkers => {
+            Response::error(503, &e.to_string()).with_header("Retry-After", "1")
+        }
+        ClusterError::Worker { .. } | ClusterError::Protocol(_) => {
+            Response::error(502, &e.to_string())
+        }
+    }
 }
 
 /// What a cache lookup resolved to, with the metrics already recorded.
@@ -934,9 +1044,25 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
     };
 
     let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
-    let progress = match solve::advance_count(&entry.graph, trials, seed, threads, prior, &cancel) {
-        Ok(p) => p,
-        Err(msg) => return Response::error(400, &msg),
+    let progress = match &state.cluster {
+        Some(cluster) => match cluster::coordinator::advance_cluster_count(
+            state,
+            cluster,
+            &name,
+            &entry.graph,
+            trials,
+            seed,
+            threads,
+            prior,
+            &cancel,
+        ) {
+            Ok(p) => p,
+            Err(e) => return cluster_error_response(&e),
+        },
+        None => match solve::advance_count(&entry.graph, trials, seed, threads, prior, &cancel) {
+            Ok(p) => p,
+            Err(msg) => return Response::error(400, &msg),
+        },
     };
     state.metrics.trials_executed.add(progress.executed);
     let dist = match progress.outcome {

@@ -317,10 +317,16 @@ impl Registry {
 
     /// Gets or creates an unlabeled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gets or creates a gauge with the given label set (e.g. one
+    /// `mpmb_cluster_worker_up` series per cluster member).
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         self.get_or_insert(
             name,
             help,
-            &[],
+            labels,
             || Instrument::Gauge(Arc::new(Gauge::new())),
             |i| match i {
                 Instrument::Gauge(g) => Some(g.clone()),
@@ -678,6 +684,21 @@ mpmb_request_duration_seconds_count{endpoint=\"solve\"} 3
 mpmb_peak_rss_bytes 4096
 ";
         assert_eq!(r.render(), expected);
+    }
+
+    #[test]
+    fn labeled_gauges_are_distinct_series() {
+        let r = Registry::new();
+        let a = r.gauge_with("mpmb_cluster_worker_up", "Up", &[("worker", "a:1")]);
+        let b = r.gauge_with("mpmb_cluster_worker_up", "Up", &[("worker", "b:2")]);
+        a.set(1);
+        b.set(0);
+        // Same name+labels returns the same series.
+        r.gauge_with("mpmb_cluster_worker_up", "Up", &[("worker", "a:1")])
+            .set(1);
+        let text = r.render();
+        assert!(text.contains("mpmb_cluster_worker_up{worker=\"a:1\"} 1"));
+        assert!(text.contains("mpmb_cluster_worker_up{worker=\"b:2\"} 0"));
     }
 
     #[test]

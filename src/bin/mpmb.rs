@@ -16,7 +16,9 @@
 //!               [--trace off|stderr|FILE] [--graph NAME=SPEC]...
 //!               [--checkpoint-dir DIR] [--checkpoint-every-ms N]
 //!               [--fault-plan SPEC]
-//! mpmb loadgen  [--target ADDR] [--requests N] [--concurrency N]
+//!               [--role single|coordinator|worker] [--workers ADDR,...]
+//!               [--probe-interval-ms N]
+//! mpmb loadgen  [--target ADDR]... [--requests N] [--concurrency N]
 //!               [--graph NAME] [--method M] [--trials N] [--seed N]
 //!               [--vary-seed [true|false]] [--retries N]
 //! ```
@@ -70,18 +72,24 @@ subcommands:
             [--trace off|stderr|FILE] [--graph NAME=SPEC]...
             [--checkpoint-dir DIR] [--checkpoint-every-ms N]
             [--fault-plan SPEC]
+            [--role single|coordinator|worker] [--workers ADDR,...]
+            [--probe-interval-ms N]
             (--checkpoint-dir makes the registry and resumable partial
             results durable: a restarted server restores them and
             re-issued requests resume instead of recomputing.
             --fault-plan injects deterministic faults for resilience
             testing, e.g. `seed=7,reset=0.1,slow=0.05,panic_at=3`; the
-            MPMB_FAULT_PLAN environment variable is the fallback)
+            MPMB_FAULT_PLAN environment variable is the fallback.
+            --role coordinator scatters each solve across --workers
+            (repeatable or comma-separated) and returns byte-identical
+            answers at any worker count; see docs/CLUSTER.md)
   loadgen   closed-loop load generator against a running daemon
-            [--target ADDR] [--requests N] [--concurrency N] [--graph NAME]
+            [--target ADDR]... [--requests N] [--concurrency N] [--graph NAME]
             [--method M] [--trials N] [--seed N] [--vary-seed [true|false]]
             [--retries N]
-            (--retries N retries transport errors/429/503 up to N times
-            per request with backoff, honoring Retry-After)
+            (--target repeats or comma-splits; requests round-robin over
+            the target list. --retries N retries transport errors/429/503
+            up to N times per request with backoff, honoring Retry-After)
 
 Edge-list format: `LEFT RIGHT WEIGHT PROB` per line, `#` comments allowed.
 `--help` anywhere prints this text.";
@@ -459,6 +467,9 @@ fn cmd_serve(flags: &Flags) {
         "checkpoint-dir",
         "checkpoint-every-ms",
         "fault-plan",
+        "role",
+        "workers",
+        "probe-interval-ms",
     ]);
     match flags.get("trace") {
         None | Some("off") => {}
@@ -480,6 +491,21 @@ fn cmd_serve(flags: &Flags) {
                 .ok()
                 .filter(|s| !s.is_empty())
         }),
+        role: flags
+            .get("role")
+            .map(|r| mpmb_serve::Role::parse(r).unwrap_or_else(|e| fail(&e)))
+            .unwrap_or(mpmb_serve::Role::Single),
+        // Repeatable and comma-splittable: `--workers a:1,b:2` and
+        // `--workers a:1 --workers b:2` both work.
+        workers: flags
+            .get_all("workers")
+            .iter()
+            .flat_map(|v| v.split(','))
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+        probe_interval_ms: flags.get_parsed("probe-interval-ms", 1_000),
     };
     mpmb_serve::signal::install();
     let server = mpmb_serve::Server::start(cfg)
@@ -522,8 +548,21 @@ fn cmd_loadgen(flags: &Flags) {
         "vary-seed",
         "retries",
     ]);
+    // `--target` repeats and comma-splits; requests round-robin over
+    // the resulting list (one coordinator or several replicas).
+    let mut targets: Vec<String> = flags
+        .get_all("target")
+        .iter()
+        .flat_map(|v| v.split(','))
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if targets.is_empty() {
+        targets.push("127.0.0.1:7700".to_string());
+    }
     let cfg = mpmb_serve::LoadgenConfig {
-        target: flags.get("target").unwrap_or("127.0.0.1:7700").to_string(),
+        targets,
         requests: flags.get_parsed("requests", 100),
         concurrency: flags.get_parsed("concurrency", 4),
         graph: flags.get("graph").unwrap_or("default").to_string(),

@@ -1,0 +1,224 @@
+//! Multi-process cluster e2e: real `mpmb serve` binaries, one
+//! coordinator scattering over SIGKILL-able workers.
+//!
+//! The determinism contract under test: a coordinator fronting 1, 2, or
+//! 3 workers returns **byte-identical** bodies to a single-node server
+//! for every method, and a worker SIGKILLed mid-solve never changes the
+//! answer — the coordinator re-dispatches only the remaining trials of
+//! the dead worker's range (observable via
+//! `mpmb_cluster_redispatch_total` / `mpmb_cluster_worker_errors_total`).
+
+use mpmb_serve::client::call;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const GRAPH_FLAG: &str = "g=dataset:abide:0.01:3";
+
+/// A running `mpmb serve` subprocess; killed on drop so a failing
+/// assertion never leaks a daemon.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    /// SIGKILL — no drain, no goodbye. The cluster must cope.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Spawns `mpmb serve` with `extra` flags appended and blocks until it
+/// announces its ephemeral address on stderr, which a background thread
+/// then keeps draining.
+fn spawn_server(extra: &[&str]) -> ServerProc {
+    let mut args = vec![
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--threads",
+        "2",
+        "--queue",
+        "16",
+        "--graph",
+        GRAPH_FLAG,
+    ];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mpmb"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mpmb serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = std::io::BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read server stderr");
+        assert!(n > 0, "server exited before announcing its address");
+        if let Some(rest) = line.trim().strip_prefix("mpmb-serve listening on ") {
+            break rest.to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            if reader.read_line(&mut sink).unwrap_or(0) == 0 {
+                break;
+            }
+        }
+    });
+    ServerProc { child, addr }
+}
+
+fn spawn_worker(timeout_ms: u64) -> ServerProc {
+    spawn_server(&["--role", "worker", "--timeout-ms", &timeout_ms.to_string()])
+}
+
+fn spawn_coordinator(workers: &[&ServerProc], probe_interval_ms: u64) -> ServerProc {
+    let list = workers
+        .iter()
+        .map(|w| w.addr.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    spawn_server(&[
+        "--role",
+        "coordinator",
+        "--workers",
+        &list,
+        "--probe-interval-ms",
+        &probe_interval_ms.to_string(),
+    ])
+}
+
+fn metric_value(metrics_text: &str, name: &str) -> u64 {
+    metrics_text
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric `{name}` missing:\n{metrics_text}"))
+}
+
+fn fetch_metric(addr: &str, name: &str) -> u64 {
+    let (status, text) = call(addr, "GET", "/metrics", "").expect("GET /metrics");
+    assert_eq!(status, 200);
+    metric_value(&text, name)
+}
+
+/// Solve bodies covering every scatterable method. Trial budgets are
+/// small — this test is about bit-identity, not load.
+fn request_matrix() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"os\",\"trials\":2000,\"seed\":41,\"k\":3}".into(),
+        ),
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"mcvp\",\"trials\":1000,\"seed\":43}".into(),
+        ),
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"ols\",\"trials\":3000,\"prep\":150,\"seed\":47}".into(),
+        ),
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"ols-kl\",\"trials\":200,\"prep\":150,\"seed\":53}"
+                .into(),
+        ),
+        (
+            "/v1/count",
+            "{\"graph\":\"g\",\"trials\":1500,\"seed\":59}".into(),
+        ),
+    ]
+}
+
+#[test]
+fn coordinator_matches_single_node_byte_for_byte_at_one_two_and_three_workers() {
+    // Single-node baselines.
+    let single = spawn_server(&[]);
+    let matrix = request_matrix();
+    let baselines: Vec<String> = matrix
+        .iter()
+        .map(|(path, body)| {
+            let (status, resp) = call(single.addr.as_str(), "POST", path, body).expect("baseline");
+            assert_eq!(status, 200, "baseline {path} {body}: {resp}");
+            resp
+        })
+        .collect();
+    drop(single);
+
+    for n in 1..=3usize {
+        let workers: Vec<ServerProc> = (0..n).map(|_| spawn_worker(0)).collect();
+        let coord = spawn_coordinator(&workers.iter().collect::<Vec<_>>(), 200);
+        for ((path, body), want) in matrix.iter().zip(&baselines) {
+            let (status, got) = call(coord.addr.as_str(), "POST", path, body).expect("scattered");
+            assert_eq!(status, 200, "{n} workers, {path} {body}: {got}");
+            assert_eq!(
+                &got, want,
+                "{n} workers, {path} {body}: cluster answer drifted"
+            );
+        }
+        assert!(
+            fetch_metric(&coord.addr, "mpmb_cluster_ranges_dispatched_total")
+                >= matrix.len() as u64,
+            "coordinator answered without dispatching ranges"
+        );
+        assert_eq!(fetch_metric(&coord.addr, "mpmb_cluster_workers"), n as u64);
+    }
+}
+
+#[test]
+fn sigkilled_worker_mid_solve_never_changes_the_answer() {
+    // 600k OS trials with a 25 ms worker deadline: every range request
+    // returns partial coverage, so the scatter loop runs many rounds
+    // and there is a wide window to SIGKILL a worker mid-solve.
+    let body =
+        "{\"graph\":\"g\",\"method\":\"os\",\"trials\":600000,\"seed\":61,\"k\":2,\"threads\":2}";
+
+    let single = spawn_server(&[]);
+    let (status, baseline) = call(single.addr.as_str(), "POST", "/v1/solve", body).unwrap();
+    assert_eq!(status, 200, "{baseline}");
+    drop(single);
+
+    let mut workers = [spawn_worker(25), spawn_worker(25)];
+    let coord = spawn_coordinator(&workers.iter().collect::<Vec<_>>(), 60_000);
+    let coord_addr = coord.addr.clone();
+
+    let solver = std::thread::spawn(move || {
+        call(coord_addr.as_str(), "POST", "/v1/solve", body).expect("scattered solve")
+    });
+
+    // Wait until the scatter is demonstrably in flight, then SIGKILL
+    // worker #2. The long probe interval ensures the *scatter loop*
+    // (not the prober) discovers the corpse, via a failed range call.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while fetch_metric(&coord.addr, "mpmb_cluster_ranges_dispatched_total") < 4 {
+        assert!(Instant::now() < deadline, "scatter never got going");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    workers[1].kill();
+
+    let (status, got) = solver.join().expect("solver thread");
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(got, baseline, "SIGKILLed worker changed the answer");
+
+    assert!(
+        fetch_metric(&coord.addr, "mpmb_cluster_worker_errors_total") >= 1,
+        "the kill was never observed by the scatter loop"
+    );
+    assert!(
+        fetch_metric(&coord.addr, "mpmb_cluster_redispatch_total") >= 1,
+        "remaining trials were never redispatched"
+    );
+}

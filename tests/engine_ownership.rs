@@ -43,15 +43,18 @@ fn rel(path: &Path) -> String {
 }
 
 /// `thread::scope` — the data-parallel fan-out — is allowed in exactly
-/// three places: the executor itself, the (separately verified) listing
-/// kernel, and the load generator's request workers. A new use anywhere
-/// else means a trial loop grew outside the engine.
+/// four places: the executor itself, the (separately verified) listing
+/// kernel, the load generator's request workers, and the cluster
+/// coordinator's scatter threads (which block on worker HTTP calls —
+/// the trials themselves still run through remote `Executor`s). A new
+/// use anywhere else means a trial loop grew outside the engine.
 #[test]
 fn thread_scope_is_owned_by_the_executor() {
     let allowed = [
         "crates/mpmb-core/src/engine.rs",
         "crates/mpmb-core/src/listing.rs",
         "crates/mpmb-serve/src/loadgen.rs",
+        "crates/mpmb-serve/src/cluster/coordinator.rs",
     ];
     let mut offenders = Vec::new();
     for path in crate_lib_sources(&["mpmb-core", "mpmb-serve", "bench", "bigraph", "datasets"]) {
@@ -78,25 +81,5 @@ fn serve_layer_has_no_trial_rng() {
             "{} touches trial_rng; solver execution belongs to mpmb-core's Executor",
             rel(&path)
         );
-    }
-}
-
-/// The deprecated free-function runners stay confined to
-/// `parallel.rs` (as thin `Executor` wrappers) — no other library
-/// source may call them.
-#[test]
-fn deprecated_parallel_runners_have_no_library_callers() {
-    for path in crate_lib_sources(&["mpmb-core", "mpmb-serve", "bench"]) {
-        if rel(&path) == "crates/mpmb-core/src/parallel.rs" {
-            continue;
-        }
-        let src = std::fs::read_to_string(&path).expect("read source");
-        for f in ["run_os_parallel", "run_mcvp_parallel"] {
-            assert!(
-                !src.contains(&format!("{f}(")),
-                "{} calls deprecated `{f}`; use `Executor::new(threads).run(...)`",
-                rel(&path)
-            );
-        }
     }
 }

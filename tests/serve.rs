@@ -910,7 +910,7 @@ fn loadgen_with_retries_survives_fault_injection() {
     // Resets, garbled bodies, slow writes, and one forced worker panic
     // — the retrying load generator must still land every request.
     let report = mpmb_serve::loadgen::run(&LoadgenConfig {
-        target: addr.clone(),
+        targets: vec![addr.clone()],
         requests: 40,
         concurrency: 4,
         graph: "g".to_string(),
@@ -1068,4 +1068,241 @@ fn corrupt_checkpoint_is_skipped_not_fatal() {
     server.begin_shutdown();
     server.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster: coordinator + workers scatter-gather.
+// ---------------------------------------------------------------------------
+
+/// Starts `n` worker servers plus a coordinator pointed at all of them.
+/// Returns (workers, coordinator, coordinator addr).
+fn start_cluster(n: usize) -> (Vec<Server>, Server, String) {
+    let mut workers = Vec::new();
+    let mut worker_addrs = Vec::new();
+    for _ in 0..n {
+        let (s, a) = start(ServerConfig {
+            role: mpmb_serve::Role::Worker,
+            ..default_cfg()
+        });
+        workers.push(s);
+        worker_addrs.push(a);
+    }
+    let (coord, addr) = start(ServerConfig {
+        role: mpmb_serve::Role::Coordinator,
+        workers: worker_addrs,
+        probe_interval_ms: 100,
+        ..default_cfg()
+    });
+    (workers, coord, addr)
+}
+
+fn shutdown(server: Server) {
+    server.begin_shutdown();
+    server.join();
+}
+
+/// Every request a cluster test replays against single-node and each
+/// worker count: all four solve methods plus the count endpoint.
+fn cluster_request_matrix() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"os\",\"trials\":2000,\"seed\":7,\"k\":3}".into(),
+        ),
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"mcvp\",\"trials\":1000,\"seed\":11}".into(),
+        ),
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"ols\",\"trials\":3000,\"prep\":150,\"seed\":13}".into(),
+        ),
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"ols-kl\",\"trials\":200,\"prep\":150,\"seed\":17}"
+                .into(),
+        ),
+        (
+            "/v1/count",
+            "{\"graph\":\"g\",\"trials\":1500,\"seed\":19}".into(),
+        ),
+    ]
+}
+
+#[test]
+fn cluster_answers_are_byte_identical_to_single_node_at_any_worker_count() {
+    let _guard = lock();
+
+    // Single-node baseline bodies.
+    let (single, single_addr) = start(default_cfg());
+    register_graph(&single_addr);
+    let matrix = cluster_request_matrix();
+    let baselines: Vec<(u16, String)> = matrix
+        .iter()
+        .map(|(path, body)| call(single_addr.as_str(), "POST", path, body).expect("baseline"))
+        .collect();
+    for (status, body) in &baselines {
+        assert_eq!(*status, 200, "baseline failed: {body}");
+    }
+    shutdown(single);
+
+    for n in 1..=3usize {
+        signal::reset();
+        let (workers, coord, addr) = start_cluster(n);
+        // Registration through the coordinator fans out to every worker.
+        register_graph(&addr);
+        for ((path, body), (_, want)) in matrix.iter().zip(&baselines) {
+            let (status, got) = call(addr.as_str(), "POST", path, body).expect("cluster request");
+            assert_eq!(status, 200, "{n} workers, {path} {body}: {got}");
+            assert_eq!(&got, want, "{n} workers, {path} {body}");
+        }
+        let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+        assert!(
+            metric_value(&metrics, "mpmb_cluster_ranges_dispatched_total") >= matrix.len() as u64,
+            "coordinator never dispatched ranges:\n{metrics}"
+        );
+        assert_eq!(
+            metric_value(&metrics, "mpmb_cluster_workers"),
+            n as u64,
+            "{metrics}"
+        );
+        shutdown(coord);
+        workers.into_iter().for_each(shutdown);
+    }
+}
+
+#[test]
+fn dead_address_in_the_worker_list_is_marked_down_and_skipped() {
+    let _guard = lock();
+
+    let (single, single_addr) = start(default_cfg());
+    register_graph(&single_addr);
+    let body = "{\"graph\":\"g\",\"method\":\"os\",\"trials\":4000,\"seed\":23,\"k\":2}";
+    let (bs, baseline) = call(single_addr.as_str(), "POST", "/v1/solve", body).unwrap();
+    assert_eq!(bs, 200, "{baseline}");
+    shutdown(single);
+    signal::reset();
+
+    // One live worker plus one address nothing listens on: round 0
+    // dispatches to both, the dead half fails transport, and the gap is
+    // redispatched to the survivor.
+    let (worker, worker_addr) = start(ServerConfig {
+        role: mpmb_serve::Role::Worker,
+        ..default_cfg()
+    });
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let (coord, addr) = start(ServerConfig {
+        role: mpmb_serve::Role::Coordinator,
+        workers: vec![worker_addr, dead_addr],
+        probe_interval_ms: 60_000, // never revives the dead slot mid-test
+        ..default_cfg()
+    });
+    // Registration through the coordinator 502s on the dead worker (it
+    // was optimistically up), registering the live worker on the way.
+    let (rs, rbody) = call(
+        addr.as_str(),
+        "POST",
+        "/v1/graphs",
+        &format!("{{\"name\":\"g\",\"spec\":\"{GRAPH_SPEC}\"}}"),
+    )
+    .unwrap();
+    assert_eq!(rs, 502, "broadcast register must fail fast: {rbody}");
+    // The dead worker is now marked down, so the retry skips it: the
+    // live worker answers 409 (already has the graph) and the
+    // coordinator registers locally.
+    register_graph(&addr);
+
+    let (status, got) = call(addr.as_str(), "POST", "/v1/solve", body).unwrap();
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(got, baseline, "dead worker changed the answer");
+
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert_eq!(metric_value(&metrics, "mpmb_cluster_workers"), 2);
+    shutdown(coord);
+    shutdown(worker);
+}
+
+#[test]
+fn coordinator_redispatches_when_a_worker_dies_mid_membership() {
+    let _guard = lock();
+
+    let (single, single_addr) = start(default_cfg());
+    register_graph(&single_addr);
+    let body = "{\"graph\":\"g\",\"method\":\"os\",\"trials\":4000,\"seed\":29,\"k\":2}";
+    let (bs, baseline) = call(single_addr.as_str(), "POST", "/v1/solve", body).unwrap();
+    assert_eq!(bs, 200, "{baseline}");
+    shutdown(single);
+    signal::reset();
+
+    // Two live workers; one dies *after* registration, while the
+    // coordinator still believes it is up. Round 0 dispatches half the
+    // trial space to the corpse, fails transport, and the gap is
+    // redispatched to the survivor — the answer must not change. The
+    // probe interval is long so the prober cannot mark the corpse down
+    // before the solve observes the mid-range failure itself.
+    let mut workers = Vec::new();
+    let mut worker_addrs = Vec::new();
+    for _ in 0..2 {
+        let (s, a) = start(ServerConfig {
+            role: mpmb_serve::Role::Worker,
+            ..default_cfg()
+        });
+        workers.push(s);
+        worker_addrs.push(a);
+    }
+    let (coord, addr) = start(ServerConfig {
+        role: mpmb_serve::Role::Coordinator,
+        workers: worker_addrs,
+        probe_interval_ms: 60_000,
+        ..default_cfg()
+    });
+    register_graph(&addr);
+    let mut workers = workers.into_iter();
+    let survivor = workers.next().unwrap();
+    shutdown(workers.next().unwrap());
+
+    let (status, got) = call(addr.as_str(), "POST", "/v1/solve", body).unwrap();
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(got, baseline, "worker death changed the answer");
+
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert!(
+        metric_value(&metrics, "mpmb_cluster_redispatch_total") >= 1,
+        "no redispatch recorded:\n{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "mpmb_cluster_worker_errors_total") >= 1,
+        "no worker error recorded:\n{metrics}"
+    );
+    shutdown(coord);
+    shutdown(survivor);
+}
+
+#[test]
+fn coordinator_with_no_live_workers_returns_503_and_recovers() {
+    let _guard = lock();
+
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let (coord, addr) = start(ServerConfig {
+        role: mpmb_serve::Role::Coordinator,
+        workers: vec![dead_addr],
+        probe_interval_ms: 60_000,
+        ..default_cfg()
+    });
+    // Registration cannot reach any worker.
+    let (rs, _) = call(
+        addr.as_str(),
+        "POST",
+        "/v1/graphs",
+        &format!("{{\"name\":\"g\",\"spec\":\"{GRAPH_SPEC}\"}}"),
+    )
+    .unwrap();
+    assert_eq!(rs, 502);
+    shutdown(coord);
 }
