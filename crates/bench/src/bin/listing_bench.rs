@@ -164,14 +164,19 @@ fn main() {
     let (seq_secs, seq) = time_min(args.repeats, || backbone_candidate_set(&g, 1));
 
     let mut runs = Vec::new();
+    let mut mismatches = Vec::new();
     for &threads in &args.threads {
         let (secs, set) = time_min(args.repeats, || backbone_candidate_set(&g, threads));
+        let same = identical(&seq, &set);
+        if !same {
+            mismatches.push(threads.to_string());
+        }
         runs.push(format!(
             "    {{\"threads\": {}, \"secs\": {:.6}, \"speedup\": {:.3}, \"identical\": {}}}",
             threads,
             secs,
             seq_secs / secs,
-            identical(&seq, &set)
+            same
         ));
     }
 
@@ -193,4 +198,15 @@ fn main() {
     println!("{}", runs.join(",\n"));
     println!("  ]");
     println!("}}");
+
+    // The sharded kernel's contract is byte-identity with the sequential
+    // enumeration; a divergence must fail the process, not just flip a
+    // JSON field a human might miss.
+    if !mismatches.is_empty() {
+        eprintln!(
+            "error: parallel candidate sets diverged from sequential at threads: {}",
+            mismatches.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

@@ -5,6 +5,7 @@
 //! ```text
 //! solver_bench [--dataset NAME] [--scale F] [--seed N]
 //!              [--threads LIST] [--trials N] [--prep N] [--repeats N]
+//!              [--methods LIST] [--baseline FILE] [--max-regression F]
 //!
 //! --dataset   abide | movielens | jester | protein (default: movielens)
 //! --scale     generation scale, 1.0 = Table III size (default: the
@@ -14,12 +15,17 @@
 //! --trials    sampling-phase trials per solver (default 20000)
 //! --prep      OLS preparing-phase trials (default 200)
 //! --repeats   timing repeats per configuration; min is reported (default 3)
+//! --methods   comma-separated subset of os,mcvp,ols,ols-kl (default all)
+//! --baseline  committed solver_bench JSON to gate against (optional)
+//! --max-regression  allowed fractional drop in sequential trials/sec
+//!             below the baseline before exiting non-zero (default 0.30)
 //! ```
 //!
 //! Every parallel run is checked against the sequential distribution
 //! (`identical` in the output) — the executor's contract is that thread
 //! count never changes a byte of the answer, so a "speedup" that fails
-//! the check would be a correctness bug, not a win.
+//! the check would be a correctness bug, not a win. Any mismatch makes
+//! the process exit non-zero, as does a baseline regression.
 
 use bench::default_scale;
 use datasets::Dataset;
@@ -38,11 +44,15 @@ struct Args {
     trials: u64,
     prep: u64,
     repeats: u32,
+    methods: Vec<&'static str>,
+    baseline: Option<String>,
+    max_regression: f64,
 }
 
 const HELP: &str =
     "solver_bench [--dataset abide|movielens|jester|protein] [--scale F] [--seed N] \
-[--threads LIST] [--trials N] [--prep N] [--repeats N]";
+[--threads LIST] [--trials N] [--prep N] [--repeats N] [--methods LIST] \
+[--baseline FILE] [--max-regression F]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -53,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
         trials: 20_000,
         prep: 200,
         repeats: 3,
+        methods: METHODS.to_vec(),
+        baseline: None,
+        max_regression: 0.30,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -108,6 +121,30 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--repeats: {e}"))?;
                 if args.repeats == 0 {
                     return Err("--repeats must be at least 1".into());
+                }
+            }
+            "--methods" => {
+                args.methods = value("--methods")?
+                    .split(',')
+                    .map(|m| {
+                        METHODS
+                            .iter()
+                            .copied()
+                            .find(|k| *k == m.trim())
+                            .ok_or_else(|| format!("--methods: unknown method `{m}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.methods.is_empty() {
+                    return Err("--methods needs at least one method".into());
+                }
+            }
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?;
+                if !(0.0..1.0).contains(&args.max_regression) {
+                    return Err("--max-regression must be in [0, 1)".into());
                 }
             }
             "--help" | "-h" => {
@@ -243,13 +280,20 @@ fn main() {
     let g = args.dataset.generate(scale, args.seed);
 
     let mut methods_json = Vec::new();
-    for method in METHODS {
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut current_tps: Vec<(&str, f64)> = Vec::new();
+    for &method in &args.methods {
         let (seq_secs, seq_dist, seq_trials) =
             time_min(args.repeats, || run_method(&g, method, &args, 1));
+        current_tps.push((method, seq_trials as f64 / seq_secs));
         let mut runs = Vec::new();
         for &threads in &args.threads {
             let (secs, dist, trials) =
                 time_min(args.repeats, || run_method(&g, method, &args, threads));
+            let same = identical(&seq_dist, &dist);
+            if !same {
+                mismatches.push(format!("{method} @ {threads} threads"));
+            }
             runs.push(format!(
                 "      {{\"threads\": {}, \"secs\": {:.6}, \"trials_per_sec\": {:.1}, \
                  \"speedup\": {:.3}, \"identical\": {}}}",
@@ -257,7 +301,7 @@ fn main() {
                 secs,
                 trials as f64 / secs,
                 seq_secs / secs,
-                identical(&seq_dist, &dist)
+                same
             ));
         }
         let phases = profile_phases(&g, method, &args);
@@ -290,4 +334,53 @@ fn main() {
     println!("{}", methods_json.join(",\n"));
     println!("  ]");
     println!("}}");
+
+    // Identity is the executor's contract: a parallel run that disagrees
+    // with the sequential distribution is a correctness bug, and the
+    // process must say so in its exit code, not just in a JSON field.
+    if !mismatches.is_empty() {
+        eprintln!(
+            "error: parallel runs diverged from the sequential distribution: {}",
+            mismatches.join(", ")
+        );
+        std::process::exit(1);
+    }
+
+    // Optional perf gate against a committed baseline: fail only when a
+    // method's sequential throughput drops more than --max-regression
+    // below the recorded figure (faster is always fine).
+    if let Some(path) = &args.baseline {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: --baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut regressions = Vec::new();
+        for (method, tps) in &current_tps {
+            match bench::baseline::sequential_trials_per_sec(&doc, method) {
+                Some(base) => {
+                    let ok = !bench::baseline::regressed(*tps, base, args.max_regression);
+                    eprintln!(
+                        "baseline {method}: {tps:.1} trials/s vs {base:.1} committed ({:+.1}%) {}",
+                        (tps / base - 1.0) * 100.0,
+                        if ok { "ok" } else { "REGRESSED" }
+                    );
+                    if !ok {
+                        regressions.push(method.to_string());
+                    }
+                }
+                None => eprintln!("baseline {method}: no committed figure, skipping"),
+            }
+        }
+        if !regressions.is_empty() {
+            eprintln!(
+                "error: throughput regressed more than {:.0}% below baseline for: {}",
+                args.max_regression * 100.0,
+                regressions.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -2,6 +2,7 @@
 //! benches: dataset preparation at laptop or paper scale, budgeted timing
 //! (the stand-in for the paper's 4-hour timeout), and table formatting.
 
+pub mod baseline;
 pub mod experiments;
 pub mod report;
 pub mod timing;

@@ -161,6 +161,30 @@ impl GraphBuilder {
                 .then(a.cmp(&b))
         });
 
+        // Hot-path precomputation: fixed-point Bernoulli thresholds (one
+        // integer compare per trial draw instead of an f64 convert), and
+        // weight/threshold arrays gathered into the §V-B scan order so the
+        // solvers' descending-weight scans read memory sequentially.
+        let accept: Vec<u64> = probs
+            .iter()
+            .map(|&p| crate::sample::fixed_point_threshold(p))
+            .collect();
+        let desc_weights: Vec<Weight> = edges_by_weight_desc
+            .iter()
+            .map(|&e| weights[e as usize])
+            .collect();
+        let desc_accept: Vec<u64> = edges_by_weight_desc
+            .iter()
+            .map(|&e| accept[e as usize])
+            .collect();
+
+        // Degree-descending left relabeling for the wedge-listing kernel's
+        // cache-local bucket arena.
+        let left_degrees: Vec<u32> = (0..nl as usize)
+            .map(|u| left_csr.0[u + 1] - left_csr.0[u])
+            .collect();
+        let (left_rank, left_by_rank) = crate::priority::degree_desc_ranks(&left_degrees);
+
         Ok(UncertainBipartiteGraph {
             left_offsets: left_csr.0,
             left_adj: left_csr.1,
@@ -170,7 +194,12 @@ impl GraphBuilder {
             edge_right,
             weights,
             probs,
+            accept,
             edges_by_weight_desc,
+            desc_weights,
+            desc_accept,
+            left_rank,
+            left_by_rank,
         })
     }
 }

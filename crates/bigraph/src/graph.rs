@@ -31,10 +31,29 @@ pub struct UncertainBipartiteGraph {
     pub(crate) edge_right: Vec<u32>,
     pub(crate) weights: Vec<Weight>,
     pub(crate) probs: Vec<f64>,
+    /// Fixed-point Bernoulli acceptance thresholds, one per edge:
+    /// `accept[e] = ⌈p(e) · 2⁵³⌉` (see
+    /// [`fixed_point_threshold`](crate::fixed_point_threshold)).
+    /// Precomputed once so the million-trial sampling loops compare raw
+    /// `next_u64` words with a single integer compare.
+    pub(crate) accept: Vec<u64>,
     /// Edge ids sorted by weight, descending (ties by id). Precomputed at
     /// build time because the §V-B edge ordering is the backbone of both OS
     /// and OLS, and sorting 39M edges per solver call would dominate.
     pub(crate) edges_by_weight_desc: Vec<u32>,
+    /// `weights[e]` gathered into `edges_by_weight_desc` order: the §V-B
+    /// scan reads weights sequentially instead of random-gathering.
+    pub(crate) desc_weights: Vec<Weight>,
+    /// `accept[e]` gathered into `edges_by_weight_desc` order, for the
+    /// same sequential-scan reason.
+    pub(crate) desc_accept: Vec<u64>,
+    /// Degree-descending rank of each left vertex (ties by id ascending):
+    /// `left_rank[u] = r` means `u` is the `r`-th most-connected left
+    /// vertex. The wedge-listing kernel buckets by rank so hot counters
+    /// concentrate at the head of its arrays (BFC-VP / Shi–Shun layout).
+    pub(crate) left_rank: Vec<u32>,
+    /// Inverse permutation of `left_rank`: original id per rank.
+    pub(crate) left_by_rank: Vec<u32>,
 }
 
 impl UncertainBipartiteGraph {
@@ -68,6 +87,19 @@ impl UncertainBipartiteGraph {
         self.probs[e.index()]
     }
 
+    /// Fixed-point acceptance threshold `⌈p(e) · 2⁵³⌉` of edge `e` (see
+    /// [`fixed_point_threshold`](crate::fixed_point_threshold)).
+    #[inline]
+    pub fn accept_threshold(&self, e: EdgeId) -> u64 {
+        self.accept[e.index()]
+    }
+
+    /// All acceptance thresholds, indexed by edge id.
+    #[inline]
+    pub fn accept_thresholds(&self) -> &[u64] {
+        &self.accept
+    }
+
     /// Endpoints of edge `e`.
     #[inline]
     pub fn endpoints(&self, e: EdgeId) -> (Left, Right) {
@@ -87,6 +119,39 @@ impl UncertainBipartiteGraph {
     #[inline]
     pub fn edges_by_weight_desc(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.edges_by_weight_desc.iter().map(|&e| EdgeId(e))
+    }
+
+    /// Raw edge-id slice of the §V-B weight-descending order.
+    #[inline]
+    pub fn desc_edge_ids(&self) -> &[u32] {
+        &self.edges_by_weight_desc
+    }
+
+    /// Edge weights aligned with [`Self::desc_edge_ids`]:
+    /// `desc_weights()[i] == weight(desc_edge_ids()[i])`. Lets the §V-B
+    /// scan read weights sequentially.
+    #[inline]
+    pub fn desc_weights(&self) -> &[Weight] {
+        &self.desc_weights
+    }
+
+    /// Acceptance thresholds aligned with [`Self::desc_edge_ids`].
+    #[inline]
+    pub fn desc_accepts(&self) -> &[u64] {
+        &self.desc_accept
+    }
+
+    /// Degree-descending ranks of the left vertices (ties by id): the
+    /// locality relabeling used by the wedge-listing kernel.
+    #[inline]
+    pub fn left_ranks(&self) -> &[u32] {
+        &self.left_rank
+    }
+
+    /// Inverse of [`Self::left_ranks`]: original left id per rank.
+    #[inline]
+    pub fn left_by_rank(&self) -> &[u32] {
+        &self.left_by_rank
     }
 
     /// Raw adjacency slice of a left vertex (sorted by neighbor id).

@@ -50,8 +50,10 @@ pub use bitset::BitSet;
 pub use builder::{BuildError, GraphBuilder};
 pub use codec::{fnv1a64, open_frame, seal_frame, CodecError, Decoder, Encoder};
 pub use graph::UncertainBipartiteGraph;
-pub use priority::VertexPriority;
-pub use sample::{trial_rng, LazyEdgeSampler, WorldSampler};
+pub use priority::{degree_desc_ranks, VertexPriority};
+pub use sample::{
+    accept_word, fixed_point_threshold, trial_rng, LazyEdgeSampler, WorldSampler, FIXED_POINT_ONE,
+};
 pub use stats::GraphStats;
 pub use types::{EdgeId, Left, Right, Side, Vertex, Weight};
 pub use world::PossibleWorld;

@@ -80,6 +80,28 @@ impl VertexPriority {
     }
 }
 
+/// Dense degree-**descending** ranks over one vertex side (ties broken by
+/// id ascending): returns `(rank, by_rank)` with `rank[v] = r` iff
+/// `by_rank[r] = v`. Rank 0 is the most-connected vertex.
+///
+/// This is the single-side variant of the BFC-VP priority idea that the
+/// wedge-listing kernel uses as a *storage relabeling*: bucketing wedge
+/// endpoints by rank instead of raw id concentrates the frequently touched
+/// counters at the head of the bucket arrays (high-degree vertices appear
+/// in the most wedges), so the hot part of the scratch stays cache
+/// resident. It is a pure permutation of index space — consumers that
+/// translate back through `by_rank` before emitting observe no change.
+pub fn degree_desc_ranks(degrees: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let n = degrees.len();
+    let mut by_rank: Vec<u32> = (0..n as u32).collect();
+    by_rank.sort_unstable_by_key(|&v| (std::cmp::Reverse(degrees[v as usize]), v));
+    let mut rank = vec![0u32; n];
+    for (r, &v) in by_rank.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    (rank, by_rank)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +149,19 @@ mod tests {
         }
         // Equal-degree vertices still get a strict order.
         assert_ne!(p1.right(Right(1)), p1.right(Right(2)));
+    }
+
+    #[test]
+    fn degree_desc_ranks_is_an_inverse_pair_with_ties_by_id() {
+        let degrees = [2u32, 5, 2, 0, 5];
+        let (rank, by_rank) = degree_desc_ranks(&degrees);
+        // Degree 5 first (ids 1 then 4), then degree 2 (ids 0 then 2),
+        // then degree 0.
+        assert_eq!(by_rank, vec![1, 4, 0, 2, 3]);
+        for (r, &v) in by_rank.iter().enumerate() {
+            assert_eq!(rank[v as usize], r as u32);
+        }
+        assert_eq!(degree_desc_ranks(&[]), (vec![], vec![]));
     }
 
     #[test]

@@ -42,16 +42,58 @@ pub fn trial_rng(seed: u64, trial: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(splitmix64(seed ^ splitmix64(trial)))
 }
 
+/// `2⁵³`: one plus the largest value `random::<f64>()`'s 53-bit mantissa
+/// grid can take, scaled to an integer.
+pub const FIXED_POINT_ONE: u64 = 1u64 << 53;
+
+/// The fixed-point acceptance threshold for probability `p`.
+///
+/// # Rounding rule
+///
+/// `random::<f64>()` draws `u = next_u64() >> 11` (a uniform 53-bit
+/// integer) and returns `u · 2⁻⁵³` — see the vendored `rand` shim. Both
+/// `u · 2⁻⁵³` and `p · 2⁵³` are computed *exactly* in `f64`: `u` has at
+/// most 53 significant bits, and multiplying by a power of two only
+/// shifts the exponent (subnormal `p` scales up exactly; `p ≤ 1` cannot
+/// overflow). Therefore, for integer `u`:
+///
+/// ```text
+/// u · 2⁻⁵³ < p   ⟺   u < p · 2⁵³   ⟺   u < ⌈p · 2⁵³⌉ =: t
+/// ```
+///
+/// (the last step because `u` is an integer: `u < x ⟺ u < ⌈x⌉`). The
+/// threshold `t = ⌈p · 2⁵³⌉` is computed here as
+/// `(p * 2⁵³).ceil() as u64`, which is exact by the argument above, so
+/// `accept_word(w, t)` reproduces `random::<f64>() < p` bit-for-bit on
+/// the same raw word `w`. Edge cases: `p = 0 → t = 0` (never accepts,
+/// `u ≥ 0` always), `p = 1 → t = 2⁵³` (always accepts, `u ≤ 2⁵³ − 1`),
+/// `p = f64::MIN_POSITIVE → t = 1` (accepts exactly the draw `u = 0`,
+/// same as the float compare).
+#[inline]
+pub fn fixed_point_threshold(p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    (p * FIXED_POINT_ONE as f64).ceil() as u64
+}
+
+/// Whether the raw RNG word `word` is an acceptance under `threshold`
+/// (see [`fixed_point_threshold`] for the equivalence proof).
+#[inline]
+pub fn accept_word(word: u64, threshold: u64) -> bool {
+    (word >> 11) < threshold
+}
+
 /// Draws one Bernoulli outcome for edge `e` of `g`.
 ///
 /// Edges with `p = 1` never consume randomness asymmetrically: the draw is
 /// always performed so outcome sequences stay aligned across graphs that
-/// differ only in probabilities. (`random::<f64>() < p` is false for `p=0`
-/// and true for `p=1` except on the measure-zero draw of exactly 1.0,
-/// which `random` excludes.)
+/// differ only in probabilities. The accept/reject decision uses the
+/// precomputed fixed-point threshold (an integer compare on the raw
+/// `next_u64` word) and is bit-identical to the historical
+/// `rng.random::<f64>() < g.prob(e)` — both consume exactly one `u64`
+/// per draw, and [`fixed_point_threshold`] proves the decision equal.
 #[inline]
 pub fn bernoulli_edge(g: &UncertainBipartiteGraph, e: EdgeId, rng: &mut impl Rng) -> bool {
-    rng.random::<f64>() < g.prob(e)
+    accept_word(rng.next_u64(), g.accept_threshold(e))
 }
 
 /// Samples complete possible worlds into a reusable buffer.
@@ -68,13 +110,30 @@ impl WorldSampler {
 
     /// Samples into `world`, reusing its storage. `world` must have been
     /// created for a graph with the same number of edges.
+    ///
+    /// Draws are batched: a buffer of raw `next_u64` words is filled per
+    /// chunk, then compared against the precomputed thresholds in a tight
+    /// integer loop. The words are consumed in edge-id order — exactly
+    /// the sequence the per-edge path would draw — so sampled worlds are
+    /// bit-identical to repeated [`bernoulli_edge`] calls.
     pub fn sample_into(g: &UncertainBipartiteGraph, world: &mut PossibleWorld, rng: &mut impl Rng) {
         assert_eq!(world.domain(), g.num_edges(), "world/graph mismatch");
         world.clear();
-        for e in g.edge_ids() {
-            if bernoulli_edge(g, e, rng) {
-                world.insert(e);
+        const BATCH: usize = 256;
+        let mut words = [0u64; BATCH];
+        let accept = g.accept_thresholds();
+        let mut base = 0usize;
+        while base < accept.len() {
+            let n = (accept.len() - base).min(BATCH);
+            for w in &mut words[..n] {
+                *w = rng.next_u64();
             }
+            for (i, &t) in accept[base..base + n].iter().enumerate() {
+                if accept_word(words[i], t) {
+                    world.insert(EdgeId((base + i) as u32));
+                }
+            }
+            base += n;
         }
     }
 }
@@ -163,6 +222,7 @@ mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
     use crate::types::{Left, Right};
+    use rand::RngCore;
 
     fn chain_graph(probs: &[f64]) -> UncertainBipartiteGraph {
         let mut b = GraphBuilder::new();
@@ -170,6 +230,80 @@ mod tests {
             b.add_edge(Left(i as u32), Right(i as u32), 1.0, p).unwrap();
         }
         b.build().unwrap()
+    }
+
+    #[test]
+    fn threshold_edge_cases() {
+        assert_eq!(fixed_point_threshold(0.0), 0);
+        assert_eq!(fixed_point_threshold(1.0), FIXED_POINT_ONE);
+        assert_eq!(fixed_point_threshold(f64::MIN_POSITIVE), 1);
+        assert_eq!(fixed_point_threshold(0.5), FIXED_POINT_ONE / 2);
+        // p = 0 never accepts, p = 1 always accepts, for any raw word.
+        for word in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000] {
+            assert!(!accept_word(word, fixed_point_threshold(0.0)));
+            assert!(accept_word(word, fixed_point_threshold(1.0)));
+        }
+        // p = MIN_POSITIVE accepts exactly the all-zero mantissa draw.
+        let t = fixed_point_threshold(f64::MIN_POSITIVE);
+        assert!(accept_word(0x7FF, t)); // low 11 bits are discarded
+        assert!(!accept_word(0x800, t));
+    }
+
+    #[test]
+    fn integer_compare_matches_float_compare_exhaustively() {
+        // The decision `accept_word(w, fixed_point_threshold(p))` must
+        // equal the historical `(w >> 11) as f64 * 2⁻⁵³ < p` for raw
+        // words straddling each probability's threshold, plus random
+        // words from real trial streams.
+        let probs = [
+            0.0,
+            1.0,
+            f64::MIN_POSITIVE,
+            0.5,
+            0.5 - f64::EPSILON / 4.0,
+            0.5 + f64::EPSILON / 2.0,
+            0.3,
+            1e-9,
+            1.0 - f64::EPSILON / 2.0,
+        ];
+        let scale = 1.0 / FIXED_POINT_ONE as f64;
+        for &p in &probs {
+            let t = fixed_point_threshold(p);
+            let mut words: Vec<u64> = vec![0, 1 << 11, u64::MAX];
+            for d in [-2i64, -1, 0, 1, 2] {
+                let u = (t as i64 + d).clamp(0, (FIXED_POINT_ONE - 1) as i64) as u64;
+                words.push(u << 11);
+            }
+            let mut rng = trial_rng(99, 0);
+            words.extend((0..512).map(|_| rng.next_u64()));
+            for &w in &words {
+                let float_decision = (w >> 11) as f64 * scale < p;
+                assert_eq!(accept_word(w, t), float_decision, "p={p} w={w:#x} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sample_matches_per_edge_stream() {
+        // The batched path must consume the same words in the same order
+        // as per-edge draws: identical worlds from identical streams.
+        let probs: Vec<f64> = (0..1000).map(|i| (i as f64) / 999.0).collect();
+        let g = chain_graph(&probs);
+        for trial in 0..8 {
+            let mut rng_a = trial_rng(5, trial);
+            let mut rng_b = trial_rng(5, trial);
+            let mut batched = PossibleWorld::empty(g.num_edges());
+            WorldSampler::sample_into(&g, &mut batched, &mut rng_a);
+            let mut per_edge = PossibleWorld::empty(g.num_edges());
+            for e in g.edge_ids() {
+                if bernoulli_edge(&g, e, &mut rng_b) {
+                    per_edge.insert(e);
+                }
+            }
+            assert_eq!(batched, per_edge);
+            // Both paths left the RNGs at the same position.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        }
     }
 
     #[test]

@@ -6,6 +6,20 @@
 //! butterfly over that pair could otherwise be formed from two retained
 //! angles, contradicting maximality (§V-C). [`TopTwoAngles`] implements
 //! exactly the Table II update rules.
+//!
+//! [`SlotTable`] is the trial-loop container for those slots. A generic
+//! hash map of `TopTwoAngles` is the natural shape, but a terrible fit
+//! for the workload: on dense graphs a single trial creates tens of
+//! thousands of endpoint-pair slots, nearly all of which receive exactly
+//! **one** angle — so a map of heap-backed slots spends its time
+//! allocating, dropping, and re-clearing `Vec`s. The table instead keeps
+//! one flat open-addressed bucket array whose entries embed the
+//! overwhelmingly common single-mid classes inline, generation-stamps
+//! buckets so a new trial clears in O(1), and spills the rare multi-mid
+//! (tied) classes into a pooled `Vec<TopTwoAngles>` that is reused
+//! across trials. Semantics are exactly `FxHashMap<(x, y), TopTwoAngles>`
+//! (property-tested below); enumeration order is first-insertion order,
+//! which is deterministic because the trial scan is.
 
 use bigraph::Weight;
 
@@ -103,6 +117,251 @@ impl TopTwoAngles {
         self.w2 = f64::NEG_INFINITY;
         self.mids1.clear();
         self.mids2.clear();
+    }
+}
+
+/// Sentinel for "no spill slot".
+const NO_SPILL: u32 = u32::MAX;
+
+/// One open-addressed bucket: probe metadata and the inline slot state
+/// live side by side so a lookup touches a single cache line.
+#[derive(Clone, Copy)]
+struct Bucket {
+    /// Packed endpoint pair `(x << 32) | y`.
+    key: u64,
+    /// Trial generation that owns this bucket; stale = empty.
+    gen: u32,
+    /// Index into the spill pool once a weight class holds ≥ 2 mids.
+    spill: u32,
+    /// `A₁` weight (`NEG_INFINITY` never occurs inline: a live bucket
+    /// has at least one angle).
+    w1: Weight,
+    /// `A₂` weight; `NEG_INFINITY` when the class is empty.
+    w2: Weight,
+    /// The single `A₁` middle.
+    m1: u32,
+    /// The single `A₂` middle (meaningful iff `w2` is finite).
+    m2: u32,
+}
+
+/// Flat slot container for one trial's endpoint-pair angle slots — see
+/// the module docs for why this beats a hash map of [`TopTwoAngles`].
+pub struct SlotTable {
+    buckets: Vec<Bucket>,
+    mask: usize,
+    /// Bucket indices in first-insertion order (the live set).
+    live: Vec<u32>,
+    /// Pooled storage for tied (multi-mid) classes, reused across trials.
+    spill: Vec<TopTwoAngles>,
+    spill_used: usize,
+    gen: u32,
+}
+
+impl Default for SlotTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlotTable {
+    /// An empty table; buckets grow on demand and then persist.
+    pub fn new() -> Self {
+        let cap = 1024;
+        SlotTable {
+            buckets: vec![
+                Bucket {
+                    key: 0,
+                    gen: 0,
+                    spill: NO_SPILL,
+                    w1: f64::NEG_INFINITY,
+                    w2: f64::NEG_INFINITY,
+                    m1: 0,
+                    m2: 0,
+                };
+                cap
+            ],
+            mask: cap - 1,
+            live: Vec::new(),
+            spill: Vec::new(),
+            spill_used: 0,
+            gen: 0,
+        }
+    }
+
+    /// Starts a fresh trial: every bucket becomes logically empty in
+    /// O(1) (generation bump), the spill pool rewinds without dropping
+    /// its `Vec` capacities.
+    pub fn begin_trial(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation wrapped: physically clear the stamps once.
+            for b in &mut self.buckets {
+                b.gen = 0;
+            }
+            self.gen = 1;
+        }
+        self.live.clear();
+        self.spill_used = 0;
+    }
+
+    /// Number of live slots this trial.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no slot has been touched this trial.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    #[inline]
+    fn probe(&self, key: u64) -> usize {
+        // SplitMix64-style finalizer: full-width mixing so the low bits
+        // used by the mask depend on every key bit.
+        let mut h = key ^ (key >> 33);
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        let mut i = h as usize & self.mask;
+        loop {
+            let b = &self.buckets[i];
+            if b.gen != self.gen || b.key == key {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Doubles the bucket array, re-inserting live buckets. `live` keeps
+    /// its insertion order; only the bucket *indices* change.
+    #[cold]
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.buckets);
+        let cap = (self.mask + 1) * 2;
+        self.buckets = vec![
+            Bucket {
+                key: 0,
+                gen: 0,
+                spill: NO_SPILL,
+                w1: f64::NEG_INFINITY,
+                w2: f64::NEG_INFINITY,
+                m1: 0,
+                m2: 0,
+            };
+            cap
+        ];
+        self.mask = cap - 1;
+        let live = std::mem::take(&mut self.live);
+        for &i in &live {
+            let b = old[i as usize];
+            let j = self.probe(b.key);
+            self.buckets[j] = b;
+            self.live.push(j as u32);
+        }
+        debug_assert_eq!(self.live.len(), live.len());
+    }
+
+    /// Moves an inline bucket's state into a pooled [`TopTwoAngles`] so
+    /// it can hold a tied (multi-mid) class, and returns the pool index.
+    #[cold]
+    fn spill_bucket(&mut self, i: usize) -> usize {
+        let s = self.spill_used;
+        if s == self.spill.len() {
+            self.spill.push(TopTwoAngles::new());
+        } else {
+            self.spill[s].clear();
+        }
+        self.spill_used += 1;
+        let b = self.buckets[i];
+        // Replay the retained classes heaviest-first; arrival order
+        // within single-mid classes is trivially preserved.
+        self.spill[s].insert(b.m1, b.w1);
+        if b.w2 > f64::NEG_INFINITY {
+            self.spill[s].insert(b.m2, b.w2);
+        }
+        self.buckets[i].spill = s as u32;
+        s
+    }
+
+    /// Inserts the angle `∠(x, mid, y)` of weight `w` and returns the
+    /// slot's best butterfly weight (`None` until it has two angles with
+    /// distinct middles) — exactly `TopTwoAngles::insert` followed by
+    /// `best_butterfly_weight`, on the slot keyed `(x, y)`.
+    #[inline]
+    pub fn insert(&mut self, x: u32, y: u32, mid: u32, w: Weight) -> Option<Weight> {
+        // Beyond 3/4 load the probe chains (and miss rate) degrade;
+        // grow before inserting so `probe` always terminates.
+        if (self.live.len() + 1) * 4 > (self.mask + 1) * 3 {
+            self.grow();
+        }
+        let key = (u64::from(x) << 32) | u64::from(y);
+        let i = self.probe(key);
+        let b = &mut self.buckets[i];
+        if b.gen != self.gen {
+            *b = Bucket {
+                key,
+                gen: self.gen,
+                spill: NO_SPILL,
+                w1: w,
+                w2: f64::NEG_INFINITY,
+                m1: mid,
+                m2: 0,
+            };
+            self.live.push(i as u32);
+            return None;
+        }
+        if b.spill == NO_SPILL {
+            if w > b.w1 {
+                // New top class: old A₁ demotes to A₂ (dropping old A₂).
+                b.w2 = b.w1;
+                b.m2 = b.m1;
+                b.w1 = w;
+                b.m1 = mid;
+            } else if w > b.w2 && w < b.w1 {
+                b.w2 = w;
+                b.m2 = mid;
+            } else if w == b.w1 || w == b.w2 {
+                // A tie makes a class multi-mid: move to the spill pool.
+                let s = self.spill_bucket(i);
+                self.spill[s].insert(mid, w);
+                return self.spill[s].best_butterfly_weight();
+            }
+            // (w < w2: ignored, Table II last row.)
+            let b = self.buckets[i];
+            return if b.w2 > f64::NEG_INFINITY {
+                Some(b.w1 + b.w2)
+            } else {
+                None
+            };
+        }
+        let s = b.spill as usize;
+        self.spill[s].insert(mid, w);
+        self.spill[s].best_butterfly_weight()
+    }
+
+    /// Visits every live slot in first-insertion order (deterministic:
+    /// the trial scan order decides it, not hashing) as
+    /// `f(x, y, w1, mids1, w2, mids2)`; `mids2` is empty when the `A₂`
+    /// class is, and `w2` is then `NEG_INFINITY`.
+    pub fn for_each_live(&self, mut f: impl FnMut(u32, u32, Weight, &[u32], Weight, &[u32])) {
+        for &i in &self.live {
+            let b = &self.buckets[i as usize];
+            let (x, y) = ((b.key >> 32) as u32, b.key as u32);
+            if b.spill == NO_SPILL {
+                let mids2 = if b.w2 > f64::NEG_INFINITY {
+                    std::slice::from_ref(&b.m2)
+                } else {
+                    &[]
+                };
+                f(x, y, b.w1, std::slice::from_ref(&b.m1), b.w2, mids2);
+            } else {
+                let t = &self.spill[b.spill as usize];
+                let (w1, w2) = (
+                    t.w1().unwrap_or(f64::NEG_INFINITY),
+                    t.w2().unwrap_or(f64::NEG_INFINITY),
+                );
+                f(x, y, w1, t.mids1(), w2, t.mids2());
+            }
+        }
     }
 }
 
@@ -220,6 +479,56 @@ mod tests {
         assert_eq!(t.best_butterfly_weight(), None);
         t.insert(9, 1.0);
         assert_eq!(t.w1(), Some(1.0));
+    }
+
+    #[test]
+    fn slot_table_matches_hashmap_of_top_two_angles() {
+        // The table must behave exactly like a map of TopTwoAngles:
+        // same per-insert best-weight answers, same final class content,
+        // across growth (many keys) and ties (spill path).
+        let mut table = SlotTable::new();
+        // Deterministic LCG so the exercise covers collisions and ties.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _trial in 0..3 {
+            table.begin_trial();
+            let mut reference: Vec<((u32, u32), TopTwoAngles)> = Vec::new();
+            for _ in 0..4000 {
+                let x = (next() % 50) as u32;
+                let y = x + 1 + (next() % 50) as u32;
+                let mid = (next() % 30) as u32;
+                let w = (next() % 8) as f64;
+                let got = table.insert(x, y, mid, w);
+                let slot = match reference.iter_mut().find(|(k, _)| *k == (x, y)) {
+                    Some((_, s)) => s,
+                    None => {
+                        reference.push(((x, y), TopTwoAngles::new()));
+                        &mut reference.last_mut().unwrap().1
+                    }
+                };
+                slot.insert(mid, w);
+                assert_eq!(got, slot.best_butterfly_weight());
+            }
+            assert_eq!(table.len(), reference.len());
+            let mut seen = 0;
+            table.for_each_live(|x, y, w1, m1, w2, m2| {
+                let (_, want) = &reference[seen];
+                assert_eq!(reference[seen].0, (x, y), "insertion order");
+                assert_eq!(Some(w1), want.w1());
+                assert_eq!(m1, want.mids1());
+                assert_eq!(m2, want.mids2());
+                if !m2.is_empty() {
+                    assert_eq!(Some(w2), want.w2());
+                }
+                seen += 1;
+            });
+            assert_eq!(seen, reference.len());
+        }
     }
 
     #[test]

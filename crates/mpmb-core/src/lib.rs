@@ -79,7 +79,7 @@ pub use observer::{ConvergenceTracker, MultiObserver, NoopObserver, TrialObserve
 pub use ols::{EstimatorKind, OlsConfig, OlsResult, OrderingListingSampling, PrepareTrials};
 pub use os::{
     os_smb_of_world, EdgeOracle, OrderingSampling, OsConfig, OsEngine, OsTrials, SamplingOracle,
-    WorldOracle,
+    StreamingOracle, WorldOracle,
 };
 pub use parallel::chunk_ranges;
 pub use query::{estimate_prob_of, QueryResult, QueryTrials};

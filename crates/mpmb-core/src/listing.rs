@@ -33,7 +33,7 @@
 
 use crate::butterfly::Butterfly;
 use crate::candidates::{Candidate, CandidateSet};
-use bigraph::{Left, Right, UncertainBipartiteGraph};
+use bigraph::{EdgeId, Left, Right, UncertainBipartiteGraph};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -41,89 +41,238 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// steal remaining shards when the work estimate is off.
 const SHARDS_PER_THREAD: usize = 4;
 
-/// Reusable per-worker buckets for one start vertex's wedge expansion.
+/// Reusable per-worker scratch for one start vertex's wedge expansion:
+/// a flat `u32` bucket arena over **degree-ranked** left ids.
 ///
-/// `buckets[u₂]` collects the right middles common to the current start
-/// and `u₂`; `touched` remembers which buckets are dirty so clearing is
-/// `O(touched)` rather than `O(|L|)` per start vertex.
+/// Buckets are indexed by the graph's degree-descending left rank rather
+/// than the raw vertex id (`bigraph::degree_desc_ranks`): high-degree
+/// vertices close the most wedges, so the counters that are hit on
+/// nearly every wedge all live at the head of `counts`/`base` and stay
+/// cache-resident — the BFC-VP / Shi–Shun wedge-aggregation layout. The
+/// relabeling is pure index bookkeeping: emission translates ranks back
+/// through `left_by_rank` and sorts by *original* id, so the canonical
+/// `(u₁, u₂)`-major butterfly stream is untouched.
+///
+/// Middles land in one flat `arena` (bases from a prefix sum over the
+/// touched ranks) instead of per-vertex `Vec<Vec<u32>>`, killing the
+/// per-start allocation and pointer chase of the old layout; `touched`
+/// keeps clearing `O(touched ranks)`.
+///
+/// Each arena entry also carries the ids of the two wedge edges
+/// `(a, mid)` and `(b, mid)` — both are in hand for free while walking
+/// the adjacency lists. A butterfly's four backbone edges are exactly
+/// the edges of its two wedges, so emission can hand every butterfly its
+/// canonical edge ids without a single [`find_edge`] binary search —
+/// candidate-set construction (edge ids, weight, existence probability)
+/// becomes pure array reads. On butterfly-dense graphs those lookups,
+/// not the bucketing, dominate listing time.
+///
+/// [`find_edge`]: UncertainBipartiteGraph::find_edge
 struct WedgeScratch {
-    buckets: Vec<Vec<u32>>,
+    /// Per-rank middle count; doubles as the placement cursor in pass 2
+    /// (it ends back at the bucket length, which emission reads).
+    counts: Vec<u32>,
+    /// Per-rank start offset into `arena`.
+    base: Vec<u32>,
+    /// Flat middle storage; bucket `r` is `arena[base[r]..][..counts[r]]`.
+    arena: Vec<WedgeMid>,
+    /// Ranks with non-empty buckets, in first-touch order.
     touched: Vec<u32>,
+    /// Blocked wedge iteration: per middle `v` of the start vertex, the
+    /// `(v, partition_point, edge(a, v))` triple caching where its `> a`
+    /// tail begins, so the second (placement) pass replays whole
+    /// neighbor blocks without re-running the binary search.
+    tails: Vec<(u32, u32, EdgeId)>,
+}
+
+/// One bucketed wedge middle: the right vertex plus the ids of the two
+/// edges forming the wedge `a – v – b` (`a` the start vertex owning the
+/// scratch, `b` the bucket's far endpoint).
+#[derive(Clone, Copy)]
+struct WedgeMid {
+    /// The middle (right) vertex id.
+    v: u32,
+    /// Edge id of `(a, v)`.
+    ea: EdgeId,
+    /// Edge id of `(b, v)`.
+    eb: EdgeId,
 }
 
 impl WedgeScratch {
     fn new(num_left: usize) -> Self {
         WedgeScratch {
-            buckets: vec![Vec::new(); num_left],
+            counts: vec![0; num_left],
+            base: vec![0; num_left],
+            arena: Vec::new(),
             touched: Vec::new(),
+            tails: Vec::new(),
         }
+    }
+
+    /// Pass 1: count middles per rank over the wedges of start vertex
+    /// `a`, caching each middle's tail start. Returns the total wedge
+    /// count (the arena size needed).
+    fn count_pass(&mut self, g: &UncertainBipartiteGraph, a: u32) -> usize {
+        let ranks = g.left_ranks();
+        let mut total = 0usize;
+        for adj in g.left_adj(Left(a)) {
+            let radj = g.right_adj(Right(adj.nbr));
+            // Only wedges toward larger left ids: each butterfly is
+            // listed exactly once, from its smaller left vertex.
+            let from = radj.partition_point(|x| x.nbr <= a);
+            let tail = &radj[from..];
+            if tail.is_empty() {
+                continue;
+            }
+            total += tail.len();
+            self.tails.push((adj.nbr, from as u32, adj.edge));
+            for x in tail {
+                let r = ranks[x.nbr as usize] as usize;
+                if self.counts[r] == 0 {
+                    self.touched.push(r as u32);
+                }
+                self.counts[r] += 1;
+            }
+        }
+        total
+    }
+
+    /// Resets the touched counters (and the tail cache) to pristine.
+    fn clear(&mut self) {
+        for &r in &self.touched {
+            self.counts[r as usize] = 0;
+        }
+        self.touched.clear();
+        self.tails.clear();
     }
 }
 
 /// Streams every butterfly with smaller left vertex `a`, in canonical
 /// order (`u₂` ascending, then `(v₁, v₂)` lexicographic) — the same
-/// order the pairwise reference produces for this start vertex.
+/// order the pairwise reference produces for this start vertex. Each
+/// butterfly arrives with its four backbone edge ids in canonical
+/// `[(u₁,v₁), (u₁,v₂), (u₂,v₁), (u₂,v₂)]` order, assembled from the
+/// wedge edges cached in the arena (no adjacency lookups).
 fn for_each_from_start(
     g: &UncertainBipartiteGraph,
     a: u32,
     scratch: &mut WedgeScratch,
-    f: &mut impl FnMut(Butterfly),
+    f: &mut impl FnMut(Butterfly, [EdgeId; 4]),
 ) {
-    for adj in g.left_adj(Left(a)) {
-        let radj = g.right_adj(Right(adj.nbr));
-        // Only wedges toward larger left ids: each butterfly is listed
-        // exactly once, from its smaller left vertex.
-        let from = radj.partition_point(|x| x.nbr <= a);
-        for x in &radj[from..] {
-            let bucket = &mut scratch.buckets[x.nbr as usize];
-            if bucket.is_empty() {
-                scratch.touched.push(x.nbr);
-            }
-            // Middles arrive ascending because `left_adj(a)` is id-sorted.
-            bucket.push(adj.nbr);
+    let total = scratch.count_pass(g, a);
+    if total == 0 {
+        scratch.clear();
+        return;
+    }
+    if scratch.arena.len() < total {
+        let fill = WedgeMid {
+            v: 0,
+            ea: EdgeId(0),
+            eb: EdgeId(0),
+        };
+        scratch.arena.resize(total, fill);
+    }
+    // Assign contiguous arena regions (first-touch order is fine — the
+    // regions only need to be disjoint), resetting counts to act as
+    // placement cursors.
+    let mut acc = 0u32;
+    for &r in &scratch.touched {
+        scratch.base[r as usize] = acc;
+        acc += scratch.counts[r as usize];
+        scratch.counts[r as usize] = 0;
+    }
+    // Pass 2: replay the cached neighbor blocks, placing each middle in
+    // its rank's region. Middles arrive ascending per bucket because
+    // `left_adj(a)` is id-sorted — same as the old per-bucket pushes.
+    let ranks = g.left_ranks();
+    for &(mid, from, ea) in &scratch.tails {
+        let radj = g.right_adj(Right(mid));
+        for x in &radj[from as usize..] {
+            let r = ranks[x.nbr as usize] as usize;
+            scratch.arena[(scratch.base[r] + scratch.counts[r]) as usize] = WedgeMid {
+                v: mid,
+                ea,
+                eb: x.edge,
+            };
+            scratch.counts[r] += 1;
         }
     }
-    scratch.touched.sort_unstable();
-    for &b in &scratch.touched {
-        let common = &scratch.buckets[b as usize];
-        for x in 0..common.len() {
-            for &v2 in &common[(x + 1)..] {
-                f(Butterfly::new(
-                    Left(a),
-                    Left(b),
-                    Right(common[x]),
-                    Right(v2),
-                ));
-            }
+    // Emit in canonical order: ranks sorted by ORIGINAL id, so the
+    // relabeling is invisible in the output stream.
+    let by_rank = g.left_by_rank();
+    scratch
+        .touched
+        .sort_unstable_by_key(|&r| by_rank[r as usize]);
+    for &r in &scratch.touched {
+        let b = by_rank[r as usize];
+        let start = scratch.base[r as usize] as usize;
+        let len = scratch.counts[r as usize] as usize;
+        let common = &scratch.arena[start..start + len];
+        emit_pairs(a, b, common, f);
+    }
+    scratch.clear();
+}
+
+/// The butterfly `(a, b, v₁, v₂)` plus its canonical edge-id array,
+/// assembled from the two wedge entries. Kernel invariants `a < b` and
+/// `v₁ < v₂` mean the tuple is already canonical, so the wedge edges map
+/// onto [`Butterfly::edges`]'s `[(u₁,v₁), (u₁,v₂), (u₂,v₁), (u₂,v₂)]`
+/// order directly.
+#[inline]
+fn assemble(a: u32, b: u32, w1: WedgeMid, w2: WedgeMid) -> (Butterfly, [EdgeId; 4]) {
+    (
+        Butterfly::new(Left(a), Left(b), Right(w1.v), Right(w2.v)),
+        [w1.ea, w2.ea, w1.eb, w2.eb],
+    )
+}
+
+/// Emits every middle pair of one bucket as a butterfly, in `(v₁, v₂)`
+/// lexicographic order.
+#[cfg(not(feature = "hotpath-unroll"))]
+#[inline]
+fn emit_pairs(a: u32, b: u32, common: &[WedgeMid], f: &mut impl FnMut(Butterfly, [EdgeId; 4])) {
+    for x in 0..common.len() {
+        for &w2 in &common[(x + 1)..] {
+            let (bf, edges) = assemble(a, b, common[x], w2);
+            f(bf, edges);
         }
     }
-    for &b in &scratch.touched {
-        scratch.buckets[b as usize].clear();
+}
+
+/// Unrolled variant of [`emit_pairs`]: the inner loop walks the tail two
+/// middles at a time. Emission order — and therefore the canonical
+/// stream — is identical; the existing bit-identity proptests gate it.
+#[cfg(feature = "hotpath-unroll")]
+#[inline]
+fn emit_pairs(a: u32, b: u32, common: &[WedgeMid], f: &mut impl FnMut(Butterfly, [EdgeId; 4])) {
+    for x in 0..common.len() {
+        let w1 = common[x];
+        let tail = &common[(x + 1)..];
+        let mut chunks = tail.chunks_exact(2);
+        for pair in &mut chunks {
+            let (bf, edges) = assemble(a, b, w1, pair[0]);
+            f(bf, edges);
+            let (bf, edges) = assemble(a, b, w1, pair[1]);
+            f(bf, edges);
+        }
+        for &w2 in chunks.remainder() {
+            let (bf, edges) = assemble(a, b, w1, w2);
+            f(bf, edges);
+        }
     }
-    scratch.touched.clear();
 }
 
 /// Butterflies with smaller left vertex `a`, counted without
 /// materialization: each bucket of `c` common middles holds `C(c, 2)`.
+/// Only needs the counting pass — no arena placement, no ordering.
 fn count_from_start(g: &UncertainBipartiteGraph, a: u32, scratch: &mut WedgeScratch) -> u64 {
+    scratch.count_pass(g, a);
     let mut n = 0u64;
-    for adj in g.left_adj(Left(a)) {
-        let radj = g.right_adj(Right(adj.nbr));
-        let from = radj.partition_point(|x| x.nbr <= a);
-        for x in &radj[from..] {
-            let bucket = &mut scratch.buckets[x.nbr as usize];
-            if bucket.is_empty() {
-                scratch.touched.push(x.nbr);
-            }
-            bucket.push(adj.nbr);
-        }
-    }
-    for &b in &scratch.touched {
-        let c = scratch.buckets[b as usize].len() as u64;
+    for &r in &scratch.touched {
+        let c = scratch.counts[r as usize] as u64;
         n += c * (c - 1) / 2;
-        scratch.buckets[b as usize].clear();
     }
-    scratch.touched.clear();
+    scratch.clear();
     n
 }
 
@@ -133,7 +282,7 @@ fn count_from_start(g: &UncertainBipartiteGraph, a: u32, scratch: &mut WedgeScra
 pub(crate) fn for_each_sequential(g: &UncertainBipartiteGraph, mut f: impl FnMut(Butterfly)) {
     let mut scratch = WedgeScratch::new(g.num_left());
     for a in 0..g.num_left() as u32 {
-        for_each_from_start(g, a, &mut scratch, &mut f);
+        for_each_from_start(g, a, &mut scratch, &mut |b, _| f(b));
     }
 }
 
@@ -238,7 +387,7 @@ pub fn enumerate_backbone_butterflies_parallel(
         let buffers = run_sharded(g, threads, &shards, |shard, scratch| {
             let mut buf = Vec::new();
             for a in shard {
-                for_each_from_start(g, a, scratch, &mut |b| buf.push(b));
+                for_each_from_start(g, a, scratch, &mut |b, _| buf.push(b));
             }
             buf
         });
@@ -281,13 +430,20 @@ pub fn backbone_candidate_set(g: &UncertainBipartiteGraph, threads: usize) -> Ca
     let buffers = run_sharded(g, threads.max(1), &shards, |shard, scratch| {
         let mut buf: Vec<Candidate> = Vec::new();
         for a in shard {
-            for_each_from_start(g, a, scratch, &mut |b| {
-                let edges = b.edges(g).expect("listed butterfly is in the backbone");
+            for_each_from_start(g, a, scratch, &mut |b, edges| {
+                // The kernel hands over the canonical edge ids straight
+                // from the wedge cache; weight and probability fold over
+                // them in the same `[(u₁,v₁), (u₁,v₂), (u₂,v₁), (u₂,v₂)]`
+                // order as `Butterfly::weight` / `existence_prob`, so
+                // every float is accumulated in the exact sequence the
+                // lookup-based build used — bit-identical output.
+                debug_assert_eq!(Some(edges), b.edges(g));
+                let [e0, e1, e2, e3] = edges;
                 buf.push(Candidate {
                     butterfly: b,
-                    weight: b.weight(g).expect("edges exist"),
+                    weight: g.weight(e0) + g.weight(e1) + g.weight(e2) + g.weight(e3),
                     edges,
-                    existence_prob: b.existence_prob(g).expect("edges exist"),
+                    existence_prob: g.prob(e0) * g.prob(e1) * g.prob(e2) * g.prob(e3),
                 });
             });
         }

@@ -19,8 +19,8 @@ use crate::engine::{Cancel, Executor, TrialEngine};
 use crate::estimators::karp_luby::{KarpLubyTrials, KlReport, KlTrialPolicy};
 use crate::estimators::optimized::OptimizedTrials;
 use crate::observer::{NoopObserver, TrialObserver};
-use crate::os::{OsConfig, OsEngine, SamplingOracle};
-use bigraph::{trial_rng, LazyEdgeSampler, Side, UncertainBipartiteGraph};
+use crate::os::{OsConfig, OsEngine, StreamingOracle};
+use bigraph::{trial_rng, Side, UncertainBipartiteGraph};
 
 /// Which probability estimator the sampling phase uses.
 #[derive(Clone, Copy, Debug)]
@@ -290,30 +290,27 @@ impl<'g> PrepareTrials<'g> {
 
 impl<'g> TrialEngine for PrepareTrials<'g> {
     type Acc = Vec<Butterfly>;
-    type Scratch = (OsEngine<'g>, LazyEdgeSampler, Vec<Butterfly>);
+    type Scratch = (OsEngine<'g>, Vec<Butterfly>);
 
     fn new_acc(&self) -> Vec<Butterfly> {
         Vec::new()
     }
 
     fn new_scratch(&self) -> Self::Scratch {
-        (
-            OsEngine::new(self.g, &self.os_cfg),
-            LazyEdgeSampler::new(self.g.num_edges()),
-            Vec::new(),
-        )
+        (OsEngine::new(self.g, &self.os_cfg), Vec::new())
     }
 
     fn trial(
         &self,
         t: u64,
-        (engine, sampler, smb): &mut Self::Scratch,
+        (engine, smb): &mut Self::Scratch,
         union: &mut Vec<Butterfly>,
         observer: &mut dyn TrialObserver,
     ) {
         let mut rng = trial_rng(self.os_cfg.seed, t);
-        sampler.begin_trial();
-        let mut oracle = SamplingOracle::new(self.g, sampler, &mut rng);
+        // Single-scan engine: the non-memoizing streaming oracle draws
+        // the same stream the lazy sampler did, without the memo writes.
+        let mut oracle = StreamingOracle::new(self.g, &mut rng);
         engine.trial(&mut oracle, smb);
         observer.observe(t, smb);
         union.extend_from_slice(smb);

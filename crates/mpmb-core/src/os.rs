@@ -11,23 +11,34 @@
 //! * **Fast Butterfly Creating (§V-D)** — `w_max` is maintained during the
 //!   scan and only butterflies achieving it are materialized afterwards.
 
-use crate::angle::TopTwoAngles;
+use crate::angle::SlotTable;
 use crate::butterfly::Butterfly;
 use crate::distribution::{Distribution, Tally};
 use crate::engine::{Cancel, Executor, TrialEngine};
 use crate::observer::{NoopObserver, TrialObserver};
-use bigraph::fx::FxHashMap;
 use bigraph::{
     trial_rng, EdgeId, LazyEdgeSampler, Left, PossibleWorld, Right, Side, UncertainBipartiteGraph,
     Weight,
 };
 use rand::Rng;
 
-/// Tells a trial whether an edge exists. Implementations: lazy Bernoulli
-/// sampling (production) and fixed possible worlds (tests, cross-checks).
+/// Tells a trial whether an edge exists. Implementations: streaming or
+/// lazy Bernoulli sampling (production) and fixed possible worlds (tests,
+/// cross-checks).
 pub trait EdgeOracle {
     /// Whether edge `e` is present in the current trial's world.
     fn present(&mut self, e: EdgeId) -> bool;
+
+    /// Like [`EdgeOracle::present`], but the caller additionally passes
+    /// `pos`, the edge's position in the graph's weight-descending order
+    /// (`e == desc_edge_ids()[pos]`). Sampling oracles use it to read the
+    /// acceptance threshold from the scan-aligned array — a sequential
+    /// load instead of a random gather — without changing the decision.
+    #[inline]
+    fn present_at(&mut self, pos: usize, e: EdgeId) -> bool {
+        let _ = pos;
+        self.present(e)
+    }
 }
 
 /// Oracle that draws lazily from the graph's edge probabilities.
@@ -53,6 +64,42 @@ impl<R: Rng> EdgeOracle for SamplingOracle<'_, R> {
     #[inline]
     fn present(&mut self, e: EdgeId) -> bool {
         self.sampler.is_present(self.g, e, self.rng)
+    }
+}
+
+/// Non-memoizing Bernoulli oracle for engines that query each edge **at
+/// most once per trial** (the single weight-descending scan of OS, OLS
+/// preparation, and the threshold solver).
+///
+/// Each query consumes exactly one `next_u64` word and compares it
+/// against the edge's precomputed fixed-point threshold — the same draw,
+/// in the same stream position, as [`LazyEdgeSampler::is_present`] on
+/// first access, so replacing the lazy sampler in a single-scan engine
+/// is bit-identical. Skipping the memo removes the per-edge stamp/
+/// outcome writes (and the cache traffic they cost) from the hot loop.
+pub struct StreamingOracle<'a, R: Rng> {
+    g: &'a UncertainBipartiteGraph,
+    rng: &'a mut R,
+}
+
+impl<'a, R: Rng> StreamingOracle<'a, R> {
+    /// Creates an oracle drawing from `rng`. The caller must ensure each
+    /// edge is queried at most once per trial; repeated queries would
+    /// redraw (unlike the memoized [`SamplingOracle`]).
+    pub fn new(g: &'a UncertainBipartiteGraph, rng: &'a mut R) -> Self {
+        StreamingOracle { g, rng }
+    }
+}
+
+impl<R: Rng> EdgeOracle for StreamingOracle<'_, R> {
+    #[inline]
+    fn present(&mut self, e: EdgeId) -> bool {
+        bigraph::accept_word(self.rng.next_u64(), self.g.accept_threshold(e))
+    }
+
+    #[inline]
+    fn present_at(&mut self, pos: usize, _e: EdgeId) -> bool {
+        bigraph::accept_word(self.rng.next_u64(), self.g.desc_accepts()[pos])
     }
 }
 
@@ -157,30 +204,28 @@ impl<'g> OsTrials<'g> {
 
 impl<'g> TrialEngine for OsTrials<'g> {
     type Acc = Tally;
-    type Scratch = (OsEngine<'g>, LazyEdgeSampler, Vec<Butterfly>);
+    type Scratch = (OsEngine<'g>, Vec<Butterfly>);
 
     fn new_acc(&self) -> Tally {
         Tally::new()
     }
 
     fn new_scratch(&self) -> Self::Scratch {
-        (
-            OsEngine::new(self.g, &self.cfg),
-            LazyEdgeSampler::new(self.g.num_edges()),
-            Vec::new(),
-        )
+        (OsEngine::new(self.g, &self.cfg), Vec::new())
     }
 
     fn trial(
         &self,
         t: u64,
-        (engine, sampler, smb): &mut Self::Scratch,
+        (engine, smb): &mut Self::Scratch,
         tally: &mut Tally,
         observer: &mut dyn TrialObserver,
     ) {
         let mut rng = trial_rng(self.cfg.seed, t);
-        sampler.begin_trial();
-        let mut oracle = SamplingOracle::new(self.g, sampler, &mut rng);
+        // The engine queries each edge at most once (single §V-B scan),
+        // so the non-memoizing streaming oracle draws the exact same
+        // stream the historical lazy sampler did.
+        let mut oracle = StreamingOracle::new(self.g, &mut rng);
         engine.trial(&mut oracle, smb);
         observer.observe(t, smb);
         tally.record_trial(smb.iter());
@@ -210,8 +255,11 @@ pub struct OsEngine<'g> {
     added: Vec<Vec<(u32, Weight)>>,
     /// Middles with non-empty `added` lists, for O(touched) clearing.
     touched: Vec<u32>,
-    /// `A₁/A₂` slots per endpoint pair (non-middle side).
-    slots: FxHashMap<(u32, u32), TopTwoAngles>,
+    /// `A₁/A₂` slots per endpoint pair (non-middle side). A flat
+    /// generation-stamped table, not a map of `TopTwoAngles`: dense
+    /// trials create tens of thousands of slots, almost all single-angle
+    /// (see [`SlotTable`]).
+    slots: SlotTable,
 }
 
 impl<'g> OsEngine<'g> {
@@ -230,7 +278,7 @@ impl<'g> OsEngine<'g> {
             dynamic_wbar: cfg.dynamic_wbar,
             added: vec![Vec::new(); mids],
             touched: Vec::new(),
-            slots: FxHashMap::default(),
+            slots: SlotTable::new(),
         }
     }
 
@@ -265,8 +313,14 @@ impl<'g> OsEngine<'g> {
         let mut w_max = f64::NEG_INFINITY;
         // Top-3 present edge weights seen so far (descending).
         let mut present_top = [f64::NEG_INFINITY; 3];
-        for e in self.g.edges_by_weight_desc() {
-            let w_e = self.g.weight(e);
+        // Scan-aligned arrays: weights (and, inside sampling oracles,
+        // acceptance thresholds) are read sequentially instead of
+        // gathered through the edge-id permutation.
+        let desc_ids = self.g.desc_edge_ids();
+        let desc_weights = self.g.desc_weights();
+        for pos in 0..desc_ids.len() {
+            let e = EdgeId(desc_ids[pos]);
+            let w_e = desc_weights[pos];
             // §V-B: every butterfly through e weighs ≤ w(e) + w̄.
             if self.edge_ordering {
                 let w_bar = if self.dynamic_wbar {
@@ -278,33 +332,45 @@ impl<'g> OsEngine<'g> {
                     break;
                 }
             }
-            if !oracle.present(e) {
+            if !oracle.present_at(pos, e) {
                 continue;
             }
-            if self.dynamic_wbar {
-                // Insert w_e into the sorted top-3 (edges arrive in
-                // descending weight order, so this fills front-to-back).
-                if w_e > present_top[0] {
-                    present_top = [w_e, present_top[0], present_top[1]];
-                } else if w_e > present_top[1] {
-                    present_top = [present_top[0], w_e, present_top[1]];
-                } else if w_e > present_top[2] {
-                    present_top[2] = w_e;
-                }
+            // Insert w_e into the sorted top-3 (edges arrive in
+            // descending weight order, so this fills front-to-back).
+            // Maintained unconditionally: the combine prune below needs
+            // the top-2 present weights even when dynamic w̄ is off.
+            if w_e > present_top[0] {
+                present_top = [w_e, present_top[0], present_top[1]];
+            } else if w_e > present_top[1] {
+                present_top = [present_top[0], w_e, present_top[1]];
+            } else if w_e > present_top[2] {
+                present_top[2] = w_e;
             }
             let (u, v) = self.g.endpoints(e);
             let (mid, other) = match self.middle_side {
                 Side::Right => (v.0, u.0),
                 Side::Left => (u.0, v.0),
             };
+            // Any butterfly is two angles on the same endpoint pair; each
+            // angle is a sum of two *present* edges. Every present edge —
+            // seen or still ahead of the weight-descending scan — weighs
+            // at most `max(present_top[i], w_e)`, so no companion angle
+            // can ever exceed this bound. It is fixed for the rest of the
+            // trial once two present edges have been seen.
+            let companion = present_top[0].max(w_e) + present_top[1].max(w_e);
             // Combine with every earlier present edge sharing this middle
-            // (Algorithm 2 lines 10–13).
-            let added_here = &self.added[mid as usize];
-            for &(o2, w2) in added_here {
-                let key = (other.min(o2), other.max(o2));
-                let slot = self.slots.entry(key).or_default();
-                slot.insert(mid, w_e + w2);
-                if let Some(bw) = slot.best_butterfly_weight() {
+            // (Algorithm 2 lines 10–13). `added` holds partners in scan
+            // order, i.e. weight-descending: as soon as one angle cannot
+            // reach `w_max` with the best possible companion, neither can
+            // any later partner — break, don't wade through the slot map.
+            // `w_max` only grows, so skipped angles can never re-qualify;
+            // ties (`==`) are kept, so `S_MB` is untouched.
+            let (added, slots) = (&self.added, &mut self.slots);
+            for &(o2, w2) in &added[mid as usize] {
+                if w_e + w2 + companion < w_max {
+                    break;
+                }
+                if let Some(bw) = slots.insert(other.min(o2), other.max(o2), mid, w_e + w2) {
                     if bw > w_max {
                         w_max = bw;
                     }
@@ -317,25 +383,22 @@ impl<'g> OsEngine<'g> {
         }
 
         // §V-D fast butterfly creating (Algorithm 2 lines 15–20).
-        for (&(x, y), slot) in self.slots.iter() {
-            let Some(w1) = slot.w1() else { continue };
-            let m1 = slot.mids1();
+        let (slots, middle_side) = (&self.slots, self.middle_side);
+        slots.for_each_live(|x, y, w1, m1, w2, m2| {
             if m1.len() >= 2 {
                 if w1 + w1 == w_max {
                     for i in 0..m1.len() {
                         for j in (i + 1)..m1.len() {
-                            smb.push(self.make_butterfly(x, y, m1[i], m1[j]));
+                            smb.push(Self::butterfly_of(middle_side, x, y, m1[i], m1[j]));
                         }
                     }
                 }
-            } else if let Some(w2) = slot.w2() {
-                if w1 + w2 == w_max {
-                    for &b in slot.mids2() {
-                        smb.push(self.make_butterfly(x, y, m1[0], b));
-                    }
+            } else if !m2.is_empty() && w1 + w2 == w_max {
+                for &b in m2 {
+                    smb.push(Self::butterfly_of(middle_side, x, y, m1[0], b));
                 }
             }
-        }
+        });
         if smb.is_empty() {
             0.0
         } else {
@@ -344,8 +407,8 @@ impl<'g> OsEngine<'g> {
     }
 
     #[inline]
-    fn make_butterfly(&self, x: u32, y: u32, mid_a: u32, mid_b: u32) -> Butterfly {
-        match self.middle_side {
+    fn butterfly_of(middle_side: Side, x: u32, y: u32, mid_a: u32, mid_b: u32) -> Butterfly {
+        match middle_side {
             Side::Right => Butterfly::new(Left(x), Left(y), Right(mid_a), Right(mid_b)),
             Side::Left => Butterfly::new(Left(mid_a), Left(mid_b), Right(x), Right(y)),
         }
@@ -358,7 +421,7 @@ impl<'g> OsEngine<'g> {
         }
         self.touched = touched;
         self.touched.clear();
-        self.slots.clear();
+        self.slots.begin_trial();
     }
 }
 

@@ -10,8 +10,8 @@
 
 use crate::engine::{Cancel, Executor, TrialEngine};
 use crate::observer::TrialObserver;
-use crate::os::{OsConfig, OsEngine, SamplingOracle};
-use bigraph::{trial_rng, LazyEdgeSampler, UncertainBipartiteGraph, Weight};
+use crate::os::{OsConfig, OsEngine, StreamingOracle};
+use bigraph::{trial_rng, UncertainBipartiteGraph, Weight};
 
 /// Sampled distribution of `w_max` over possible worlds.
 #[derive(Clone, Debug)]
@@ -123,30 +123,27 @@ impl<'g> MaxWeightTrials<'g> {
 
 impl<'g> TrialEngine for MaxWeightTrials<'g> {
     type Acc = (bigraph::fx::FxHashMap<u64, u64>, u64);
-    type Scratch = (OsEngine<'g>, LazyEdgeSampler, Vec<crate::Butterfly>);
+    type Scratch = (OsEngine<'g>, Vec<crate::Butterfly>);
 
     fn new_acc(&self) -> Self::Acc {
         (Default::default(), 0)
     }
 
     fn new_scratch(&self) -> Self::Scratch {
-        (
-            OsEngine::new(self.g, &self.cfg),
-            LazyEdgeSampler::new(self.g.num_edges()),
-            Vec::new(),
-        )
+        (OsEngine::new(self.g, &self.cfg), Vec::new())
     }
 
     fn trial(
         &self,
         t: u64,
-        (engine, sampler, smb): &mut Self::Scratch,
+        (engine, smb): &mut Self::Scratch,
         (counts, none_count): &mut Self::Acc,
         _observer: &mut dyn TrialObserver,
     ) {
         let mut rng = trial_rng(self.seed, t);
-        sampler.begin_trial();
-        let mut oracle = SamplingOracle::new(self.g, sampler, &mut rng);
+        // Single-scan engine: streaming oracle, same stream as the lazy
+        // sampler drew, no memo writes.
+        let mut oracle = StreamingOracle::new(self.g, &mut rng);
         let w = engine.trial(&mut oracle, smb);
         if smb.is_empty() {
             *none_count += 1;

@@ -187,6 +187,22 @@ impl RetryPolicy {
         let low = step / 2;
         low + r % (step - low + 1)
     }
+
+    /// The wait this policy honors for a server's `Retry-After` header
+    /// value (whole seconds, per RFC 9110's delay-seconds form), in
+    /// milliseconds. `None` when the value is not a plain non-negative
+    /// integer (HTTP-date forms fall back to the computed backoff).
+    ///
+    /// The honored wait is **clamped to `cap_ms`**: a buggy or hostile
+    /// upstream answering `Retry-After: 86400` must not stall the
+    /// coordinator's redispatch loop or a loadgen worker for a day —
+    /// the server's hint can shorten or zero the wait (`Retry-After: 0`
+    /// means "retry immediately") but never extend it past the
+    /// policy's own cap.
+    pub fn honored_retry_after_ms(&self, header_value: &str) -> Option<u64> {
+        let secs = header_value.trim().parse::<u64>().ok()?;
+        Some(secs.saturating_mul(1_000).min(self.cap_ms))
+    }
 }
 
 /// Outcome of a [`call_retry`]: the final response plus how many
@@ -292,14 +308,11 @@ fn call_retry_raw(
                 if !retryable(status) || attempt + 1 == attempts {
                     return Ok((status, headers, raw, attempt));
                 }
-                let retry_after = headers
+                headers
                     .iter()
                     .find(|(name, _)| name == "retry-after")
-                    .and_then(|(_, v)| v.trim().parse::<u64>().ok());
-                match retry_after {
-                    Some(secs) => secs.saturating_mul(1_000).min(policy.cap_ms),
-                    None => policy.backoff_ms(attempt, salt),
-                }
+                    .and_then(|(_, v)| policy.honored_retry_after_ms(v))
+                    .unwrap_or_else(|| policy.backoff_ms(attempt, salt))
             }
             Err(e) => {
                 if attempt + 1 == attempts {
@@ -401,6 +414,72 @@ mod tests {
             (0..5).map(|k| p.backoff_ms(k, 1)).collect::<Vec<_>>(),
             (0..5).map(|k| p.backoff_ms(k, 2)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn retry_after_is_clamped_to_the_backoff_cap() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_ms: 25,
+            cap_ms: 1_000,
+            seed: 0,
+        };
+        // A day-long Retry-After must be cut down to the cap.
+        assert_eq!(p.honored_retry_after_ms("86400"), Some(1_000));
+        // Saturating: absurd values cannot overflow into tiny waits.
+        assert_eq!(p.honored_retry_after_ms(&u64::MAX.to_string()), Some(1_000));
+        // Hints below the cap are honored verbatim (0 = retry now).
+        assert_eq!(p.honored_retry_after_ms("0"), Some(0));
+        assert_eq!(p.honored_retry_after_ms(" 1 "), Some(1_000));
+        // Non-delay-seconds forms fall back to the computed backoff.
+        assert_eq!(
+            p.honored_retry_after_ms("Wed, 21 Oct 2026 07:28:00 GMT"),
+            None
+        );
+        assert_eq!(p.honored_retry_after_ms("-1"), None);
+        assert_eq!(p.honored_retry_after_ms(""), None);
+    }
+
+    #[test]
+    fn hostile_retry_after_does_not_stall_the_retry_loop() {
+        // A server that sheds with `Retry-After: 86400` and then answers.
+        // Without the clamp, call_retry would sleep a day; with it, the
+        // whole exchange completes within the test timeout.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for i in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 1024];
+                let _ = s.read(&mut buf);
+                let resp = if i == 0 {
+                    "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 86400\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_string()
+                } else {
+                    let body = "ok";
+                    format!(
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                };
+                s.write_all(resp.as_bytes()).unwrap();
+            }
+        });
+        let p = RetryPolicy {
+            attempts: 3,
+            base_ms: 1,
+            cap_ms: 50, // hostile hint clamps to 50ms
+            seed: 0,
+        };
+        let started = std::time::Instant::now();
+        let r = call_retry(&addr, "GET", "/healthz", "", &p).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.retries, 1);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "Retry-After was honored past the cap: {:?}",
+            started.elapsed()
+        );
+        server.join().unwrap();
     }
 
     #[test]

@@ -80,6 +80,47 @@ pub struct TargetReport {
     pub deadline: u64,
     /// Any other status or transport failure (after retries, if any).
     pub failed: u64,
+    /// Sorted latencies of this target's 200 responses, in ms.
+    pub ok_latencies_ms: Vec<f64>,
+}
+
+impl TargetReport {
+    /// Mean latency over this target's successful responses, or `None`
+    /// when there were none — callers must not divide by the success
+    /// count themselves (a dead target would yield `0/0 = NaN`).
+    pub fn mean_ok_ms(&self) -> Option<f64> {
+        if self.ok_latencies_ms.is_empty() {
+            return None;
+        }
+        Some(self.ok_latencies_ms.iter().sum::<f64>() / self.ok_latencies_ms.len() as f64)
+    }
+
+    /// Nearest-rank latency quantile over successful responses, or
+    /// `None` when there were none (instead of a garbage percentile).
+    pub fn quantile_ok_ms(&self, q: f64) -> Option<f64> {
+        if self.ok_latencies_ms.is_empty() {
+            return None;
+        }
+        let idx = ((self.ok_latencies_ms.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.ok_latencies_ms[idx.min(self.ok_latencies_ms.len() - 1)])
+    }
+
+    /// The latency cell of this target's report row: `mean/p50/p99` over
+    /// its successes, the explicit marker `failed` when **every** request
+    /// to the target failed (e.g. a dead address in a multi-target run),
+    /// or `-` when there were no successes to summarize (all shed /
+    /// deadline). Never NaN, never a quantile of an empty sample.
+    pub fn latency_cell(&self) -> String {
+        match (
+            self.mean_ok_ms(),
+            self.quantile_ok_ms(0.50),
+            self.quantile_ok_ms(0.99),
+        ) {
+            (Some(mean), Some(p50), Some(p99)) => format!("{mean:.2}/{p50:.2}/{p99:.2}"),
+            _ if self.sent > 0 && self.failed == self.sent => "failed".to_string(),
+            _ => "-".to_string(),
+        }
+    }
 }
 
 /// Merged outcome of a load-generation run.
@@ -160,13 +201,19 @@ impl LoadReport {
                 .unwrap_or(6)
                 .max("target".len());
             out.push_str(&format!(
-                "\n{:width$}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}",
-                "target", "sent", "ok", "shed", "503", "failed"
+                "\n{:width$}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}  {:>20}",
+                "target", "sent", "ok", "shed", "503", "failed", "ms mean/p50/p99"
             ));
             for t in &self.per_target {
                 out.push_str(&format!(
-                    "\n{:width$}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}",
-                    t.target, t.sent, t.ok, t.shed, t.deadline, t.failed
+                    "\n{:width$}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}  {:>20}",
+                    t.target,
+                    t.sent,
+                    t.ok,
+                    t.shed,
+                    t.deadline,
+                    t.failed,
+                    t.latency_cell()
                 ));
             }
         }
@@ -174,9 +221,10 @@ impl LoadReport {
     }
 }
 
-/// One thread's tallies: latencies, total retries, and per-target
-/// `[sent, ok, shed, deadline, failed]` rows.
-type ThreadTally = (Vec<f64>, u64, Vec<[u64; 5]>);
+/// One thread's tallies: latencies, total retries, per-target
+/// `[sent, ok, shed, deadline, failed]` rows, and per-target latencies
+/// of 200 responses.
+type ThreadTally = (Vec<f64>, u64, Vec<[u64; 5]>, Vec<Vec<f64>>);
 
 /// Runs the load generation and merges per-thread results.
 pub fn run(cfg: &LoadgenConfig) -> LoadReport {
@@ -199,6 +247,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                     let mut lat = Vec::new();
                     let mut retried = 0u64;
                     let mut by_target = vec![[0u64; 5]; cfg.targets.len()];
+                    let mut ok_lat = vec![Vec::new(); cfg.targets.len()];
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cfg.requests {
@@ -227,7 +276,10 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                                 lat.push(ms);
                                 retried += outcome.retries as u64;
                                 match outcome.status {
-                                    200 => by_target[ti][1] += 1,
+                                    200 => {
+                                        by_target[ti][1] += 1;
+                                        ok_lat[ti].push(ms);
+                                    }
                                     429 => by_target[ti][2] += 1,
                                     503 => by_target[ti][3] += 1,
                                     _ => by_target[ti][4] += 1,
@@ -241,7 +293,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                             }
                         }
                     }
-                    (lat, retried, by_target)
+                    (lat, retried, by_target, ok_lat)
                 })
             })
             .collect();
@@ -270,7 +322,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         latency_hist,
         elapsed_s,
     };
-    for (lat, retried, by_target) in results {
+    for (lat, retried, by_target, ok_lat) in results {
         report.latencies_ms.extend(lat);
         report.retried += retried;
         for (ti, [sent, ok, shed, deadline, failed]) in by_target.into_iter().enumerate() {
@@ -281,6 +333,9 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
             t.deadline += deadline;
             t.failed += failed;
         }
+        for (ti, ms) in ok_lat.into_iter().enumerate() {
+            report.per_target[ti].ok_latencies_ms.extend(ms);
+        }
     }
     for t in &report.per_target {
         report.ok += t.ok;
@@ -289,6 +344,9 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         report.failed += t.failed;
     }
     report.latencies_ms.sort_unstable_by(|a, b| a.total_cmp(b));
+    for t in &mut report.per_target {
+        t.ok_latencies_ms.sort_unstable_by(|a, b| a.total_cmp(b));
+    }
     report
 }
 
@@ -373,6 +431,68 @@ mod tests {
         assert!(rendered.contains("target"));
         assert!(rendered.contains("127.0.0.1:7700"));
         assert!(rendered.contains("127.0.0.1:7701"));
+    }
+
+    #[test]
+    fn latency_cell_reports_stats_failed_or_dash() {
+        // Healthy target: mean/p50/p99 of its 200-only latencies.
+        let healthy = TargetReport {
+            target: "a".to_string(),
+            sent: 4,
+            ok: 3,
+            failed: 1,
+            ok_latencies_ms: vec![1.0, 2.0, 3.0],
+            ..TargetReport::default()
+        };
+        assert_eq!(healthy.mean_ok_ms(), Some(2.0));
+        assert_eq!(healthy.quantile_ok_ms(0.50), Some(2.0));
+        assert_eq!(healthy.latency_cell(), "2.00/2.00/3.00");
+        // All requests failed: an explicit marker, never NaN.
+        let dead = TargetReport {
+            target: "b".to_string(),
+            sent: 4,
+            failed: 4,
+            ..TargetReport::default()
+        };
+        assert_eq!(dead.mean_ok_ms(), None);
+        assert_eq!(dead.latency_cell(), "failed");
+        // Never addressed at all: a plain dash.
+        let idle = TargetReport {
+            target: "c".to_string(),
+            ..TargetReport::default()
+        };
+        assert_eq!(idle.latency_cell(), "-");
+    }
+
+    #[test]
+    fn all_failed_target_renders_failed_not_nan() {
+        // No servers listening: every request to every target fails, and
+        // the rendered table must say so explicitly instead of printing
+        // NaN (or garbage) percentiles over an empty latency set.
+        let dead = || {
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap()
+                .to_string()
+        };
+        let cfg = LoadgenConfig {
+            targets: vec![dead(), dead()],
+            requests: 6,
+            concurrency: 2,
+            retries: 0,
+            ..LoadgenConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.failed, 6);
+        for t in &r.per_target {
+            assert!(t.ok_latencies_ms.is_empty());
+            assert_eq!(t.mean_ok_ms(), None);
+            assert_eq!(t.latency_cell(), "failed");
+        }
+        let rendered = r.render();
+        assert!(rendered.contains("failed"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
     }
 
     #[test]

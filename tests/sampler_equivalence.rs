@@ -1,0 +1,126 @@
+//! Locks down the fixed-point Bernoulli acceptance semantics.
+//!
+//! The samplers decide edge presence with an integer compare against the
+//! precomputed threshold `t = ⌈p · 2⁵³⌉` (see `bigraph::sample`). This
+//! suite proves, for **every distinct probability appearing in the
+//! repo's datasets** plus the adversarial values
+//! `{0, 1, f64::MIN_POSITIVE, 0.5 ± ulp}`, that the integer decision
+//! matches the historical float decision `random::<f64>() < p` on the
+//! same RNG stream — word for word — so the fixed-point rewrite cannot
+//! perturb any estimator.
+
+use bigraph::{accept_word, fixed_point_threshold, trial_rng, FIXED_POINT_ONE};
+use datasets::Dataset;
+use rand::RngCore;
+
+/// The historical decision: `random::<f64>() < p` with the shim's
+/// `random::<f64>() = (next_u64() >> 11) · 2⁻⁵³`, spelled out on a raw
+/// word so both paths can be fed the identical stream.
+fn float_decision(word: u64, p: f64) -> bool {
+    ((word >> 11) as f64) * (1.0 / FIXED_POINT_ONE as f64) < p
+}
+
+/// Adversarial probabilities around the representable edge cases.
+fn edge_case_probs() -> Vec<f64> {
+    let half = 0.5f64;
+    vec![
+        0.0,
+        1.0,
+        f64::MIN_POSITIVE,
+        half,
+        // 0.5 ± one ulp (ulp of 0.5 going down is EPSILON/4, going up
+        // EPSILON/2 — use f64 bit steps to be exact about "± ulp").
+        f64::from_bits(half.to_bits() - 1),
+        f64::from_bits(half.to_bits() + 1),
+        1.0 - f64::EPSILON / 2.0,
+        f64::EPSILON,
+    ]
+}
+
+/// Every distinct probability across all four datasets (at the scales
+/// the equivalence sweep can afford), bit-deduplicated.
+fn dataset_probs() -> Vec<f64> {
+    let mut bits: Vec<u64> = Vec::new();
+    for (dataset, scale) in [
+        (Dataset::Abide, 1.0),
+        (Dataset::MovieLens, 0.05),
+        (Dataset::Jester, 0.005),
+        (Dataset::Protein, 0.01),
+    ] {
+        let g = dataset.generate(scale, 3);
+        bits.extend(g.edge_ids().map(|e| g.prob(e).to_bits()));
+    }
+    bits.sort_unstable();
+    bits.dedup();
+    bits.into_iter().map(f64::from_bits).collect()
+}
+
+/// Raw words that straddle `p`'s acceptance boundary, plus extremes.
+fn boundary_words(t: u64) -> Vec<u64> {
+    let mut words = vec![0u64, u64::MAX];
+    for d in [-2i64, -1, 0, 1, 2] {
+        let u = (t as i64 + d).clamp(0, (FIXED_POINT_ONE - 1) as i64) as u64;
+        // The low 11 bits are discarded by both paths; vary them too.
+        words.push(u << 11);
+        words.push((u << 11) | 0x7FF);
+    }
+    words
+}
+
+#[test]
+fn integer_threshold_matches_float_compare_for_all_dataset_probs() {
+    let mut probs = dataset_probs();
+    probs.extend(edge_case_probs());
+    assert!(
+        probs.len() > 100,
+        "expected a rich probability set from the datasets, got {}",
+        probs.len()
+    );
+    // A shared random word stream: every probability judges the same
+    // draws, as a trial stream would present them.
+    let mut rng = trial_rng(0xE9, 0);
+    let stream: Vec<u64> = (0..256).map(|_| rng.next_u64()).collect();
+    for &p in &probs {
+        let t = fixed_point_threshold(p);
+        for w in boundary_words(t).into_iter().chain(stream.iter().copied()) {
+            assert_eq!(
+                accept_word(w, t),
+                float_decision(w, p),
+                "divergence at p={p} ({:#x}) word={w:#x} t={t}",
+                p.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_stream_decisions_match_on_a_real_dataset() {
+    // Replay complete trial streams over a real graph: the per-edge
+    // decisions of the production sampler must equal the historical
+    // float path drawing from an identical ChaCha stream.
+    let g = Dataset::Abide.generate(0.5, 7);
+    for trial in 0..32 {
+        let mut rng_new = trial_rng(11, trial);
+        let mut rng_old = trial_rng(11, trial);
+        for e in g.edge_ids() {
+            let new = bigraph::sample::bernoulli_edge(&g, e, &mut rng_new);
+            let old = float_decision(rng_old.next_u64(), g.prob(e));
+            assert_eq!(new, old, "trial {trial} edge {e:?}");
+        }
+        // Both consumed the same number of words.
+        assert_eq!(rng_new.next_u64(), rng_old.next_u64(), "trial {trial}");
+    }
+}
+
+#[test]
+fn deterministic_probabilities_never_flip() {
+    // p = 0 and p = 1 are decision constants for every possible word.
+    let t0 = fixed_point_threshold(0.0);
+    let t1 = fixed_point_threshold(1.0);
+    let mut rng = trial_rng(23, 0);
+    for _ in 0..10_000 {
+        let w = rng.next_u64();
+        assert!(!accept_word(w, t0));
+        assert!(accept_word(w, t1));
+    }
+}
