@@ -4,6 +4,7 @@
 //! ```text
 //! listing_bench [--dataset NAME] [--scale F] [--seed N]
 //!               [--threads LIST] [--repeats N]
+//!               [--container] [--min-load-speedup F]
 //!
 //! --dataset   abide | movielens | jester | protein (default: movielens)
 //! --scale     generation scale, 1.0 = Table III size (default: the
@@ -11,6 +12,12 @@
 //! --seed      generation seed (default 42)
 //! --threads   comma-separated thread counts (default 2,4,8)
 //! --repeats   timing repeats per configuration; min is reported (default 3)
+//! --container round-trip the graph through a `UBGCONT1` container,
+//!             bench against the attached copy, and report container
+//!             attach vs text re-parse load timings
+//! --min-load-speedup  with --container: exit non-zero unless attach
+//!             beats text re-parse by at least this factor (default 0,
+//!             no gate; perf-smoke passes 10)
 //! ```
 //!
 //! Each parallel run is checked for byte-identity against the sequential
@@ -29,11 +36,13 @@ struct Args {
     seed: u64,
     threads: Vec<usize>,
     repeats: u32,
+    container: bool,
+    min_load_speedup: f64,
 }
 
 const HELP: &str =
     "listing_bench [--dataset abide|movielens|jester|protein] [--scale F] [--seed N] \
-[--threads LIST] [--repeats N]";
+[--threads LIST] [--repeats N] [--container] [--min-load-speedup F]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -42,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: vec![2, 4, 8],
         repeats: 3,
+        container: false,
+        min_load_speedup: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -86,12 +97,24 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--repeats must be at least 1".into());
                 }
             }
+            "--container" => args.container = true,
+            "--min-load-speedup" => {
+                args.min_load_speedup = value("--min-load-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-load-speedup: {e}"))?;
+                if args.min_load_speedup < 0.0 {
+                    return Err("--min-load-speedup must be non-negative".into());
+                }
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.min_load_speedup > 0.0 && !args.container {
+        return Err("--min-load-speedup requires --container".into());
     }
     Ok(args)
 }
@@ -159,7 +182,15 @@ fn main() {
     };
 
     let scale = args.scale.unwrap_or_else(|| default_scale(args.dataset));
-    let g = args.dataset.generate(scale, args.seed);
+    let generated = args.dataset.generate(scale, args.seed);
+    // In container mode the kernels run against the *attached* copy, so
+    // a storage-layer drift would surface as a candidate-set divergence.
+    let (g, load) = if args.container {
+        let (attached, cmp) = bench::loadpath::compare_load_paths(&generated, args.repeats);
+        (attached, Some(cmp))
+    } else {
+        (generated, None)
+    };
 
     let (seq_secs, seq) = time_min(args.repeats, || backbone_candidate_set(&g, 1));
 
@@ -192,6 +223,9 @@ fn main() {
         g.num_edges()
     );
     println!("  \"butterflies\": {},", seq.len());
+    if let Some(cmp) = &load {
+        println!("  \"load\": {},", cmp.to_json());
+    }
     println!("  \"phases\": {},", profile_phases(&g));
     println!("  \"sequential\": {{\"secs\": {seq_secs:.6}}},");
     println!("  \"parallel\": [");
@@ -208,5 +242,14 @@ fn main() {
             mismatches.join(", ")
         );
         std::process::exit(1);
+    }
+    if let Some(cmp) = &load {
+        if args.min_load_speedup > 0.0 && cmp.speedup < args.min_load_speedup {
+            eprintln!(
+                "error: container attach only {:.1}x faster than text re-parse (need {:.1}x)",
+                cmp.speedup, args.min_load_speedup
+            );
+            std::process::exit(1);
+        }
     }
 }

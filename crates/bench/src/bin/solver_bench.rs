@@ -6,6 +6,7 @@
 //! solver_bench [--dataset NAME] [--scale F] [--seed N]
 //!              [--threads LIST] [--trials N] [--prep N] [--repeats N]
 //!              [--methods LIST] [--baseline FILE] [--max-regression F]
+//!              [--container] [--min-load-speedup F]
 //!
 //! --dataset   abide | movielens | jester | protein (default: movielens)
 //! --scale     generation scale, 1.0 = Table III size (default: the
@@ -19,6 +20,12 @@
 //! --baseline  committed solver_bench JSON to gate against (optional)
 //! --max-regression  allowed fractional drop in sequential trials/sec
 //!             below the baseline before exiting non-zero (default 0.30)
+//! --container round-trip the graph through a `UBGCONT1` container,
+//!             bench against the attached copy, and report container
+//!             attach vs text re-parse load timings
+//! --min-load-speedup  with --container: exit non-zero unless attach
+//!             beats text re-parse by at least this factor (default 0,
+//!             no gate; perf-smoke passes 10)
 //! ```
 //!
 //! Every parallel run is checked against the sequential distribution
@@ -47,12 +54,14 @@ struct Args {
     methods: Vec<&'static str>,
     baseline: Option<String>,
     max_regression: f64,
+    container: bool,
+    min_load_speedup: f64,
 }
 
 const HELP: &str =
     "solver_bench [--dataset abide|movielens|jester|protein] [--scale F] [--seed N] \
 [--threads LIST] [--trials N] [--prep N] [--repeats N] [--methods LIST] \
-[--baseline FILE] [--max-regression F]";
+[--baseline FILE] [--max-regression F] [--container] [--min-load-speedup F]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -66,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         methods: METHODS.to_vec(),
         baseline: None,
         max_regression: 0.30,
+        container: false,
+        min_load_speedup: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -147,12 +158,24 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--max-regression must be in [0, 1)".into());
                 }
             }
+            "--container" => args.container = true,
+            "--min-load-speedup" => {
+                args.min_load_speedup = value("--min-load-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-load-speedup: {e}"))?;
+                if args.min_load_speedup < 0.0 {
+                    return Err("--min-load-speedup must be non-negative".into());
+                }
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.min_load_speedup > 0.0 && !args.container {
+        return Err("--min-load-speedup requires --container".into());
     }
     Ok(args)
 }
@@ -277,7 +300,15 @@ fn main() {
     };
 
     let scale = args.scale.unwrap_or_else(|| default_scale(args.dataset));
-    let g = args.dataset.generate(scale, args.seed);
+    let generated = args.dataset.generate(scale, args.seed);
+    // In container mode the solvers run against the *attached* copy, so
+    // a storage-layer drift would surface as a distribution divergence.
+    let (g, load) = if args.container {
+        let (attached, cmp) = bench::loadpath::compare_load_paths(&generated, args.repeats);
+        (attached, Some(cmp))
+    } else {
+        (generated, None)
+    };
 
     let mut methods_json = Vec::new();
     let mut mismatches: Vec<String> = Vec::new();
@@ -330,6 +361,9 @@ fn main() {
         g.num_right(),
         g.num_edges()
     );
+    if let Some(cmp) = &load {
+        println!("  \"load\": {},", cmp.to_json());
+    }
     println!("  \"methods\": [");
     println!("{}", methods_json.join(",\n"));
     println!("  ]");
@@ -344,6 +378,16 @@ fn main() {
             mismatches.join(", ")
         );
         std::process::exit(1);
+    }
+
+    if let Some(cmp) = &load {
+        if args.min_load_speedup > 0.0 && cmp.speedup < args.min_load_speedup {
+            eprintln!(
+                "error: container attach only {:.1}x faster than text re-parse (need {:.1}x)",
+                cmp.speedup, args.min_load_speedup
+            );
+            std::process::exit(1);
+        }
     }
 
     // Optional perf gate against a committed baseline: fail only when a

@@ -4,6 +4,7 @@
 
 pub mod baseline;
 pub mod experiments;
+pub mod loadpath;
 pub mod report;
 pub mod timing;
 

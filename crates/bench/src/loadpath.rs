@@ -1,0 +1,156 @@
+//! Load-path benchmark behind the `--container` modes of
+//! `listing_bench` and `solver_bench`: the same generated graph is
+//! written both as a text edge list and as a `UBGCONT1` container, then
+//! re-loaded through [`bigraph::io::read_auto`] — the exact dispatch
+//! `mpmb serve` and the CLI run at attach time.
+//!
+//! The container format exists to make loading *cheap*: raw CSR
+//! sections mapped or streamed with no float parsing, no sorting, no
+//! rank recomputation (docs/STORAGE.md). The `min_speedup` gate in the
+//! binaries turns that into an enforced contract — perf-smoke runs with
+//! `--min-load-speedup 10`, so a regression that drags attach back
+//! toward parse speed fails CI instead of rotting silently.
+
+use bigraph::UncertainBipartiteGraph;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One attach-vs-parse comparison, minimum wall clock over the repeats.
+pub struct LoadComparison {
+    /// Seconds to parse the text edge list.
+    pub text_secs: f64,
+    /// Seconds to attach and materialize the container.
+    pub container_secs: f64,
+    /// Seconds for a header-only [`bigraph::ContainerReader::open`] —
+    /// the parse-free re-attach the serving registry performs at
+    /// startup, before any lazy materialization.
+    pub open_secs: f64,
+    /// `text_secs / container_secs`.
+    pub speedup: f64,
+}
+
+impl LoadComparison {
+    /// The comparison as a JSON object for the bench reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"text_parse_secs\": {:.6}, \"container_attach_secs\": {:.6}, \
+             \"container_open_secs\": {:.6}, \"speedup\": {:.3}}}",
+            self.text_secs, self.container_secs, self.open_secs, self.speedup
+        )
+    }
+}
+
+/// A unique scratch path that is removed on drop, so an assertion
+/// failure in the caller never leaves temp files behind.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(suffix: &str) -> Scratch {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        Scratch(
+            std::env::temp_dir().join(format!("mpmb-loadpath-{}-{n}{suffix}", std::process::id())),
+        )
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn time_min<T>(repeats: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("repeats >= 1"))
+}
+
+/// Writes `g` as both a text edge list and a container, times `repeats`
+/// loads of each through `read_auto`, and verifies that both loaded
+/// graphs reproduce the original bit-for-bit (container encodings
+/// compared, which covers every derived array the solvers index).
+///
+/// Returns the container-loaded graph so container-mode benches run
+/// their kernels against the materialized arrays, not the generated
+/// ones — any drift would surface as a candidate-set divergence.
+///
+/// # Panics
+///
+/// Panics on I/O failure or if either load is not bit-identical to the
+/// generated graph; a load path that changes bytes must never produce a
+/// timing number.
+pub fn compare_load_paths(
+    g: &UncertainBipartiteGraph,
+    repeats: u32,
+) -> (UncertainBipartiteGraph, LoadComparison) {
+    let text = Scratch::new(".tsv");
+    let container = Scratch::new(".ubgc");
+    {
+        let file = std::fs::File::create(&text.0).expect("create text scratch");
+        let mut w = std::io::BufWriter::new(file);
+        bigraph::io::write_edge_list(g, &mut w).expect("write edge list");
+    }
+    bigraph::write_container_path(g, &container.0).expect("write container");
+
+    let reference = container_bytes(g);
+    let (text_secs, parsed) = time_min(repeats, || {
+        bigraph::io::read_auto(&text.0).expect("parse text")
+    });
+    let (container_secs, attached) = time_min(repeats, || {
+        bigraph::io::read_auto(&container.0).expect("attach container")
+    });
+    let (open_secs, _) = time_min(repeats, || {
+        bigraph::ContainerReader::open(&container.0).expect("open container")
+    });
+    assert_eq!(
+        container_bytes(&parsed),
+        reference,
+        "text re-parse must reproduce the generated graph bit-for-bit"
+    );
+    assert_eq!(
+        container_bytes(&attached),
+        reference,
+        "container attach must reproduce the generated graph bit-for-bit"
+    );
+
+    let cmp = LoadComparison {
+        text_secs,
+        container_secs,
+        open_secs,
+        speedup: text_secs / container_secs,
+    };
+    (attached, cmp)
+}
+
+fn container_bytes(g: &UncertainBipartiteGraph) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bigraph::write_container(g, &mut bytes).expect("encode container");
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::Dataset;
+
+    #[test]
+    fn comparison_returns_the_attached_graph_and_finite_timings() {
+        let g = Dataset::Abide.generate(0.05, 9);
+        let (back, cmp) = compare_load_paths(&g, 2);
+        assert_eq!(container_bytes(&g), container_bytes(&back));
+        assert!(cmp.text_secs > 0.0 && cmp.text_secs.is_finite());
+        assert!(cmp.container_secs > 0.0 && cmp.container_secs.is_finite());
+        assert!(cmp.open_secs > 0.0 && cmp.open_secs.is_finite());
+        assert!(cmp.speedup.is_finite());
+        let json = cmp.to_json();
+        assert!(json.contains("\"speedup\""), "{json}");
+    }
+}

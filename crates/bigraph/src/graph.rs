@@ -283,6 +283,29 @@ impl UncertainBipartiteGraph {
     pub fn edges_existence_prob(&self, edges: &[EdgeId]) -> f64 {
         edges.iter().map(|&e| self.prob(e)).product()
     }
+
+    /// Bytes of heap memory the graph's arrays occupy while resident.
+    /// A pure function of the graph's dimensions (element counts ×
+    /// element sizes, ignoring allocator slack), so the serving
+    /// registry's memory-budget accounting is deterministic across
+    /// runs and platforms.
+    pub fn resident_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let u32s = self.left_offsets.len()
+            + self.right_offsets.len()
+            + self.edge_left.len()
+            + self.edge_right.len()
+            + self.edges_by_weight_desc.len()
+            + self.left_rank.len()
+            + self.left_by_rank.len();
+        let u64s = self.weights.len()
+            + self.probs.len()
+            + self.accept.len()
+            + self.desc_weights.len()
+            + self.desc_accept.len();
+        let adjs = self.left_adj.len() + self.right_adj.len();
+        (u32s * size_of::<u32>() + u64s * size_of::<u64>() + adjs * size_of::<Adj>()) as u64
+    }
 }
 
 #[cfg(test)]

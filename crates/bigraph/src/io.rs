@@ -51,6 +51,18 @@ impl From<BuildError> for IoError {
     }
 }
 
+impl From<crate::storage::StorageError> for IoError {
+    fn from(e: crate::storage::StorageError) -> Self {
+        match e {
+            crate::storage::StorageError::Io(io) => IoError::Io(io),
+            crate::storage::StorageError::Format(c) => IoError::Parse {
+                line: 0,
+                msg: format!("container: {c}"),
+            },
+        }
+    }
+}
+
 /// Reads an uncertain bipartite graph from tab- or space-separated text.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<UncertainBipartiteGraph, IoError> {
     let mut b = GraphBuilder::new();
@@ -114,6 +126,13 @@ pub fn write_binary<W: Write>(g: &UncertainBipartiteGraph, mut w: W) -> std::io:
 }
 
 /// Reads the binary format written by [`write_binary`].
+///
+/// The length prefixes are treated as hostile until the payload backs
+/// them up: pre-allocation is capped, truncated files fail the
+/// per-record read with a clean [`IoError`], and declared vertex
+/// counts may exceed the ids the edge records actually reach by at
+/// most ~10⁶ per side (isolated trailing vertices are legitimate;
+/// multi-GiB phantom reservations are not).
 pub fn read_binary<R: std::io::Read>(mut r: R) -> Result<UncertainBipartiteGraph, IoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -134,9 +153,16 @@ pub fn read_binary<R: std::io::Read>(mut r: R) -> Result<UncertainBipartiteGraph
     if nl > u32::MAX as u64 || nr > u32::MAX as u64 || m > u32::MAX as u64 {
         return Err(IoError::Build(BuildError::TooLarge));
     }
-    let mut b = GraphBuilder::with_capacity(m as usize);
-    b.reserve_vertices(nl as u32, nr as u32);
+    // The claimed edge count is untrusted: cap the pre-allocation the
+    // way `codec::Decoder::len_capped` does, so a bit-flipped or
+    // hostile length prefix costs at most ~24 MiB up front instead of
+    // aborting the process on a multi-GiB reservation. The builder
+    // grows normally as real records arrive; a short file then fails
+    // the per-record `read_exact` with a clean `IoError`.
+    const MAX_PREALLOC_EDGES: u64 = 1 << 20;
+    let mut b = GraphBuilder::with_capacity(m.min(MAX_PREALLOC_EDGES) as usize);
     let mut rec = [0u8; 24];
+    let (mut max_u, mut max_v) = (0u64, 0u64);
     for i in 0..m {
         r.read_exact(&mut rec).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -152,18 +178,41 @@ pub fn read_binary<R: std::io::Read>(mut r: R) -> Result<UncertainBipartiteGraph
         let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
         let w = f64::from_le_bytes(rec[8..16].try_into().unwrap());
         let p = f64::from_le_bytes(rec[16..24].try_into().unwrap());
+        max_u = max_u.max(u as u64 + 1);
+        max_v = max_v.max(v as u64 + 1);
         b.add_edge(Left(u), Right(v), w, p)?;
     }
+    // The declared vertex counts are as untrusted as the edge count,
+    // and `build()` materializes per-vertex CSR arrays sized by them —
+    // a bit-flipped count can demand gigabytes of isolated vertices
+    // the edge data never mentions. Honor the legitimate use (trailing
+    // isolated vertices written by `write_binary`, bounded slack) and
+    // refuse the bomb.
+    const ISOLATED_SLACK: u64 = 1 << 20;
+    if nl > max_u + ISOLATED_SLACK || nr > max_v + ISOLATED_SLACK {
+        return Err(IoError::Parse {
+            line: 0,
+            msg: format!(
+                "declared {nl}x{nr} vertices but the {m} edge records reach only \
+                 {max_u}x{max_v}: refusing an implausible isolated-vertex reservation"
+            ),
+        });
+    }
+    b.reserve_vertices(nl as u32, nr as u32);
     Ok(b.build()?)
 }
 
-/// Reads a graph by path, dispatching on the binary magic so callers can
-/// pass either format.
+/// Reads a graph by path, dispatching on the leading magic so callers
+/// can pass text edge lists, `UBGRAPH1` binaries, or `UBGCONT1`
+/// containers interchangeably.
 pub fn read_auto(path: &std::path::Path) -> Result<UncertainBipartiteGraph, IoError> {
     let file = std::fs::File::open(path)?;
     let mut reader = std::io::BufReader::new(file);
     let peek = reader.fill_buf()?;
-    if peek.starts_with(BINARY_MAGIC) {
+    if peek.starts_with(crate::storage::CONTAINER_MAGIC) {
+        drop(reader);
+        Ok(crate::storage::read_container_path(path)?)
+    } else if peek.starts_with(BINARY_MAGIC) {
         read_binary(reader)
     } else {
         read_edge_list(reader)
@@ -312,13 +361,67 @@ mod tests {
         let dir = std::env::temp_dir();
         let text_path = dir.join("mpmb_io_test.tsv");
         let bin_path = dir.join("mpmb_io_test.ubg");
+        let cont_path = dir.join("mpmb_io_test.ubgc");
         write_edge_list(&g, std::fs::File::create(&text_path).unwrap()).unwrap();
         write_binary(&g, std::fs::File::create(&bin_path).unwrap()).unwrap();
-        for path in [&text_path, &bin_path] {
+        crate::storage::write_container_path(&g, &cont_path).unwrap();
+        for path in [&text_path, &bin_path, &cont_path] {
             let g2 = read_auto(path).unwrap();
             assert_eq!(g2.num_edges(), g.num_edges(), "{path:?}");
         }
         let _ = std::fs::remove_file(text_path);
         let _ = std::fs::remove_file(bin_path);
+        let _ = std::fs::remove_file(cont_path);
+    }
+
+    /// A valid two-edge binary file to mutate in hostility tests.
+    fn small_binary() -> Vec<u8> {
+        let g = read_edge_list(Cursor::new("0 0 1 0.5\n0 1 1 0.5\n")).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn binary_overlength_edge_count_errors_without_allocating() {
+        // Claim u32::MAX edges (the largest count the format admits)
+        // with only two records of payload: pre-hardening this
+        // reserved ~96 GiB in the builder and aborted; now it must
+        // return a clean truncation error.
+        let mut buf = small_binary();
+        buf[24..32].copy_from_slice(&(u32::MAX as u64).to_le_bytes());
+        let err = read_binary(Cursor::new(&buf)).unwrap_err();
+        match err {
+            IoError::Parse { msg, .. } => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_bitflipped_length_prefixes_error_not_abort() {
+        let good = small_binary();
+        // Flip every bit of the three length words (nl, nr, m). Each
+        // mutant must either parse (flips can make counts smaller or
+        // reserve a few isolated vertices) or fail with an IoError —
+        // never abort, panic, or materialize a phantom multi-GiB
+        // vertex set (the isolated-vertex slack check).
+        for byte in 8..32 {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                let _ = read_binary(Cursor::new(&bad));
+            }
+        }
+    }
+
+    #[test]
+    fn binary_truncation_at_every_prefix_errors() {
+        let good = small_binary();
+        for cut in 0..good.len() {
+            assert!(
+                read_binary(Cursor::new(&good[..cut])).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
     }
 }

@@ -42,6 +42,7 @@ pub mod io;
 pub mod priority;
 pub mod sample;
 pub mod stats;
+pub mod storage;
 pub mod transform;
 pub mod types;
 pub mod world;
@@ -55,5 +56,10 @@ pub use sample::{
     accept_word, fixed_point_threshold, trial_rng, LazyEdgeSampler, WorldSampler, FIXED_POINT_ONE,
 };
 pub use stats::GraphStats;
+pub use storage::{
+    peek_container_checksum, read_container_path, section_checksum, write_container,
+    write_container_path, ContainerMeta, ContainerReader, StorageError, CONTAINER_MAGIC,
+    CONTAINER_VERSION,
+};
 pub use types::{EdgeId, Left, Right, Side, Vertex, Weight};
 pub use world::PossibleWorld;

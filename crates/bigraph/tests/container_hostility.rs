@@ -1,0 +1,242 @@
+//! Hostility and round-trip tests for the `UBGCONT1` graph container
+//! (see [`bigraph::storage`] and docs/STORAGE.md). Container files are
+//! untrusted bytes from disk: truncation, bit flips, bogus section
+//! tables, and future versions must all come back as error values —
+//! never a panic, never an unbounded allocation. And a graph that
+//! *does* materialize must be bit-identical to the one that was
+//! written, `accept` thresholds and weight-descending order included.
+
+use bigraph::codec::fnv1a64;
+use bigraph::{
+    read_container_path, section_checksum, write_container, write_container_path, ContainerReader,
+    GraphBuilder, Left, Right, UncertainBipartiteGraph, CONTAINER_MAGIC, CONTAINER_VERSION,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch path per call, cleaned up by [`Scratch::drop`].
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        Scratch(
+            std::env::temp_dir().join(format!("ubgc-hostility-{}-{n}.ubgc", std::process::id())),
+        )
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn fig1() -> UncertainBipartiteGraph {
+    let mut b = GraphBuilder::new();
+    b.add_edge(Left(0), Right(0), 2.0, 0.5).unwrap();
+    b.add_edge(Left(0), Right(1), 2.0, 0.6).unwrap();
+    b.add_edge(Left(0), Right(2), 1.0, 0.8).unwrap();
+    b.add_edge(Left(1), Right(0), 3.0, 0.3).unwrap();
+    b.add_edge(Left(1), Right(1), 3.0, 0.4).unwrap();
+    b.add_edge(Left(1), Right(2), 1.0, 0.7).unwrap();
+    b.build().unwrap()
+}
+
+fn container_bytes(g: &UncertainBipartiteGraph) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_container(g, &mut bytes).unwrap();
+    bytes
+}
+
+/// The strongest available equality: two graphs whose container
+/// encodings agree byte-for-byte agree on every array the solvers
+/// index — offsets, adjacency, endpoints, weights, probs, `accept`,
+/// the weight-descending order and its gathered arrays, and the
+/// degree-rank relabeling.
+fn assert_bit_identical(a: &UncertainBipartiteGraph, b: &UncertainBipartiteGraph) {
+    assert_eq!(container_bytes(a), container_bytes(b));
+}
+
+/// Section-table layout constants, mirrored from the format doc.
+const ENTRY_BYTES: usize = 28;
+const N_SECTIONS: usize = 15;
+const HEADER_LEN: usize = 16 + N_SECTIONS * ENTRY_BYTES + 8;
+
+/// Recomputes the trailing header checksum after a header mutation, so
+/// tests can probe *semantic* rejections (bad version, bogus table)
+/// separately from checksum rejections.
+fn reseal_header(bytes: &mut [u8], header_len: usize) {
+    let sum = fnv1a64(&bytes[..header_len - 8]);
+    bytes[header_len - 8..header_len].copy_from_slice(&sum.to_le_bytes());
+}
+
+#[test]
+fn truncation_at_every_prefix_is_an_error_not_a_panic() {
+    let scratch = Scratch::new();
+    let bytes = container_bytes(&fig1());
+    for cut in 0..bytes.len() {
+        std::fs::write(&scratch.0, &bytes[..cut]).unwrap();
+        assert!(
+            read_container_path(&scratch.0).is_err(),
+            "prefix of {cut} bytes must not materialize"
+        );
+    }
+}
+
+#[test]
+fn future_version_is_rejected_at_open() {
+    let scratch = Scratch::new();
+    let mut bytes = container_bytes(&fig1());
+    bytes[8..12].copy_from_slice(&(CONTAINER_VERSION + 1).to_le_bytes());
+    reseal_header(&mut bytes, HEADER_LEN);
+    std::fs::write(&scratch.0, &bytes).unwrap();
+    let err = ContainerReader::open(&scratch.0).map(|_| ()).unwrap_err();
+    assert!(
+        err.to_string().contains("version"),
+        "want a version error, got: {err}"
+    );
+}
+
+#[test]
+fn unknown_section_ids_are_skipped() {
+    // Append a 16-byte section with an id this reader has never heard
+    // of. The header grows by one table entry, which shifts every
+    // payload offset by ENTRY_BYTES; a forward-compatible reader must
+    // skip the stranger and still materialize the original graph.
+    let g = fig1();
+    let old = container_bytes(&g);
+    let stranger_payload = [0xABu8; 16];
+
+    let n = u32::from_le_bytes(old[12..16].try_into().unwrap()) as usize;
+    assert_eq!(n, N_SECTIONS);
+    let old_header_len = 16 + n * ENTRY_BYTES + 8;
+
+    let mut header = Vec::new();
+    header.extend_from_slice(CONTAINER_MAGIC);
+    header.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+    header.extend_from_slice(&((n + 1) as u32).to_le_bytes());
+    for chunk in old[16..16 + n * ENTRY_BYTES].chunks_exact(ENTRY_BYTES) {
+        header.extend_from_slice(&chunk[0..4]); // id unchanged
+        let offset = u64::from_le_bytes(chunk[4..12].try_into().unwrap());
+        header.extend_from_slice(&(offset + ENTRY_BYTES as u64).to_le_bytes());
+        header.extend_from_slice(&chunk[12..28]); // len + checksum unchanged
+    }
+    // The stranger, placed after every known payload.
+    header.extend_from_slice(&999u32.to_le_bytes());
+    header.extend_from_slice(&((old.len() + ENTRY_BYTES) as u64).to_le_bytes());
+    header.extend_from_slice(&(stranger_payload.len() as u64).to_le_bytes());
+    header.extend_from_slice(&section_checksum(999, &stranger_payload).to_le_bytes());
+    let sum = fnv1a64(&header);
+    header.extend_from_slice(&sum.to_le_bytes());
+
+    let mut file = header;
+    file.extend_from_slice(&old[old_header_len..]);
+    file.extend_from_slice(&stranger_payload);
+
+    let scratch = Scratch::new();
+    std::fs::write(&scratch.0, &file).unwrap();
+    let back = read_container_path(&scratch.0).unwrap();
+    assert_bit_identical(&g, &back);
+}
+
+#[test]
+fn convert_cycle_preserves_solver_facing_arrays() {
+    // Build → write → attach ≡ original, spot-checked through the
+    // public accessors the solvers actually use (the byte-level check
+    // lives in assert_bit_identical).
+    let g = fig1();
+    let scratch = Scratch::new();
+    write_container_path(&g, &scratch.0).unwrap();
+    let back = read_container_path(&scratch.0).unwrap();
+    assert_eq!(g.num_left(), back.num_left());
+    assert_eq!(g.num_right(), back.num_right());
+    assert_eq!(g.num_edges(), back.num_edges());
+    assert_eq!(g.accept_thresholds(), back.accept_thresholds());
+    assert_eq!(g.desc_edge_ids(), back.desc_edge_ids());
+    assert_eq!(g.desc_weights(), back.desc_weights());
+    assert_eq!(g.desc_accepts(), back.desc_accepts());
+    assert_eq!(g.left_ranks(), back.left_ranks());
+    let ids: Vec<_> = g.edges_by_weight_desc().collect();
+    let back_ids: Vec<_> = back.edges_by_weight_desc().collect();
+    assert_eq!(ids, back_ids);
+    assert_bit_identical(&g, &back);
+}
+
+/// Random small graphs for the proptests: deduped (left, right) pairs
+/// with finite positive weights and probabilities in (0, 1].
+fn arb_graph() -> impl Strategy<Value = UncertainBipartiteGraph> {
+    proptest::collection::vec((0u32..8, 0u32..8, 1u32..1_000, 1u32..=1_000), 0..24).prop_map(
+        |edges| {
+            let mut b = GraphBuilder::new();
+            let mut seen = std::collections::HashSet::new();
+            for (l, r, w, p) in edges {
+                if seen.insert((l, r)) {
+                    b.add_edge(Left(l), Right(r), w as f64 / 16.0, p as f64 / 1_000.0)
+                        .unwrap();
+                }
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+proptest! {
+    /// build → convert → attach reproduces the original graph
+    /// bit-identically, `accept` and `edges_by_weight_desc` included.
+    #[test]
+    fn round_trip_is_bit_identical(g in arb_graph()) {
+        let scratch = Scratch::new();
+        let written = write_container_path(&g, &scratch.0).unwrap();
+        let back = read_container_path(&scratch.0).unwrap();
+        prop_assert_eq!(container_bytes(&g), container_bytes(&back));
+        // And the attach-time checksum is stable across re-opens.
+        let reopened = ContainerReader::open(&scratch.0).unwrap();
+        prop_assert_eq!(written, reopened.content_checksum());
+    }
+
+    /// Flipping any bit anywhere in a container is detected: header
+    /// flips fail the header checksum (or a semantic check), payload
+    /// flips fail that section's checksum at materialize time.
+    #[test]
+    fn any_bit_flip_is_an_error(byte in 0usize..10_000, bit in 0u8..8) {
+        let scratch = Scratch::new();
+        let mut bytes = container_bytes(&fig1());
+        let byte = byte % bytes.len();
+        bytes[byte] ^= 1 << bit;
+        std::fs::write(&scratch.0, &bytes).unwrap();
+        prop_assert!(read_container_path(&scratch.0).is_err(),
+                     "flip at byte {} bit {} must not materialize", byte, bit);
+    }
+
+    /// Arbitrary bytes never panic the reader, however they parse.
+    #[test]
+    fn random_bytes_never_panic_the_reader(bytes in proptest::collection::vec(any::<u8>(), 0..2_048)) {
+        let scratch = Scratch::new();
+        std::fs::write(&scratch.0, &bytes).unwrap();
+        let _ = read_container_path(&scratch.0);
+    }
+
+    /// A hostile section table (random ids/offsets/lengths under a
+    /// resealed header checksum) either fails bounds/checksum/invariant
+    /// validation, or — when the lie happens to be harmless — still
+    /// materializes the *original* graph. It can never conjure a
+    /// different one.
+    #[test]
+    fn corrupt_section_tables_cannot_change_the_graph(entry in 0usize..N_SECTIONS,
+                                                      field_off in 0usize..ENTRY_BYTES,
+                                                      flip in 1u8..=255) {
+        let g = fig1();
+        let scratch = Scratch::new();
+        let mut bytes = container_bytes(&g);
+        let pos = 16 + entry * ENTRY_BYTES + field_off;
+        bytes[pos] ^= flip; // nonzero XOR: the byte always changes
+        reseal_header(&mut bytes, HEADER_LEN);
+        std::fs::write(&scratch.0, &bytes).unwrap();
+        if let Ok(back) = read_container_path(&scratch.0) {
+            prop_assert_eq!(container_bytes(&g), container_bytes(&back));
+        }
+    }
+}

@@ -27,14 +27,46 @@ use std::sync::Mutex;
 /// Snapshot file name inside `--checkpoint-dir`.
 pub const SNAPSHOT_FILE: &str = "state.ckpt";
 const MAGIC: &[u8; 8] = b"MPMBCKP1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// One registry manifest row: enough to re-attach the graph on restart
+/// without re-parsing it.
+///
+/// Version 2 snapshots record, for container-backed graphs, the
+/// container's content checksum at attach time. On restore the registry
+/// re-attaches the container file (a header read, not a parse) and
+/// refuses it if the checksum changed — a swapped file cannot silently
+/// change answers across a crash. Version 1 snapshots decode with
+/// `container_checksum: None`, which restores without the extra pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Registered graph name.
+    pub name: String,
+    /// Load spec as [`crate::registry::Registry::load`] wants it (bare
+    /// path or `dataset:…`).
+    pub spec: String,
+    /// Content checksum of the backing container at attach time, if the
+    /// graph was container-backed.
+    pub container_checksum: Option<u64>,
+}
+
+impl ManifestEntry {
+    /// A manifest row for an in-memory (non-container) graph.
+    pub fn memory(name: impl Into<String>, spec: impl Into<String>) -> ManifestEntry {
+        ManifestEntry {
+            name: name.into(),
+            spec: spec.into(),
+            container_checksum: None,
+        }
+    }
+}
 
 /// One durable view of the server's resumable state.
 #[derive(Debug, Default)]
 pub struct Snapshot {
-    /// Registry manifest: `(name, load spec)` pairs, reloadable via
-    /// [`crate::registry::Registry::load`].
-    pub graphs: Vec<(String, String)>,
+    /// Registry manifest, reloadable via
+    /// [`crate::registry::Registry::load_with_expected`].
+    pub graphs: Vec<ManifestEntry>,
     /// Cached partials: `(cache key, state)` pairs.
     pub partials: Vec<(String, PartialState)>,
 }
@@ -122,9 +154,16 @@ impl Snapshot {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         enc.u64(self.graphs.len() as u64);
-        for (name, spec) in &self.graphs {
-            enc.str(name);
-            enc.str(spec);
+        for entry in &self.graphs {
+            enc.str(&entry.name);
+            enc.str(&entry.spec);
+            match entry.container_checksum {
+                None => enc.u8(0),
+                Some(sum) => {
+                    enc.u8(1);
+                    enc.u64(sum);
+                }
+            }
         }
         enc.u64(self.partials.len() as u64);
         for (key, state) in &self.partials {
@@ -134,16 +173,35 @@ impl Snapshot {
         seal_frame(MAGIC, VERSION, &enc.into_bytes())
     }
 
-    /// Parses a sealed frame back into a snapshot.
+    /// Parses a sealed frame back into a snapshot. Accepts both the
+    /// current version-2 layout and legacy version-1 files (which carry
+    /// no per-graph backing tag).
     pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, CodecError> {
-        let (_version, payload) = open_frame(MAGIC, VERSION, bytes)?;
+        let (version, payload) = open_frame(MAGIC, VERSION, bytes)?;
         let mut dec = Decoder::new(payload);
         let graph_count = dec.len_capped(8)?;
         let mut graphs = Vec::with_capacity(graph_count);
         for _ in 0..graph_count {
             let name = dec.str()?;
             let spec = dec.str()?;
-            graphs.push((name, spec));
+            let container_checksum = if version >= 2 {
+                match dec.u8()? {
+                    0 => None,
+                    1 => Some(dec.u64()?),
+                    other => {
+                        return Err(CodecError::Invalid(format!(
+                            "unknown manifest backing tag {other}"
+                        )))
+                    }
+                }
+            } else {
+                None
+            };
+            graphs.push(ManifestEntry {
+                name,
+                spec,
+                container_checksum,
+            });
         }
         let partial_count = dec.len_capped(8)?;
         let mut partials = Vec::with_capacity(partial_count);
@@ -281,7 +339,7 @@ mod tests {
         for (method, trials, prep, budget) in cases {
             let state = make_partial(method, trials, prep, budget);
             let snap = Snapshot {
-                graphs: vec![("g".to_string(), "dataset:abide:0.01:3".to_string())],
+                graphs: vec![ManifestEntry::memory("g", "dataset:abide:0.01:3")],
                 partials: vec![(format!("solve|g|{method}"), state)],
             };
             let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
@@ -336,7 +394,7 @@ mod tests {
         assert!(matches!(store.load(), LoadOutcome::Missing));
 
         let snap = Snapshot {
-            graphs: vec![("g".to_string(), "dataset:abide:0.01:3".to_string())],
+            graphs: vec![ManifestEntry::memory("g", "dataset:abide:0.01:3")],
             partials: vec![(
                 "count|g|100|7".to_string(),
                 make_partial("os", 2_000, 1, 64),
@@ -371,5 +429,61 @@ mod tests {
         let snap = Snapshot::default();
         let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
         assert!(back.graphs.is_empty() && back.partials.is_empty());
+    }
+
+    /// Container-backed manifest rows carry their checksum through the
+    /// snapshot bit-exactly.
+    #[test]
+    fn container_manifest_entries_round_trip() {
+        let snap = Snapshot {
+            graphs: vec![
+                ManifestEntry::memory("a", "dataset:abide:0.01:3"),
+                ManifestEntry {
+                    name: "b".to_string(),
+                    spec: "/tmp/b.ubgc".to_string(),
+                    // Checksums use all 64 bits; exercise the high ones.
+                    container_checksum: Some(0xDEAD_BEEF_F00D_0001),
+                },
+            ],
+            partials: vec![],
+        };
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.graphs, snap.graphs);
+    }
+
+    /// A hand-encoded version-1 snapshot (no backing tags) still loads;
+    /// its graphs come back with `container_checksum: None`.
+    #[test]
+    fn version1_snapshot_still_decodes() {
+        let mut enc = Encoder::new();
+        enc.u64(2); // graph count
+        enc.str("g1");
+        enc.str("dataset:abide:0.01:3");
+        enc.str("g2");
+        enc.str("/tmp/g2.txt");
+        enc.u64(0); // partial count
+        let bytes = seal_frame(MAGIC, 1, &enc.into_bytes());
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            back.graphs,
+            vec![
+                ManifestEntry::memory("g1", "dataset:abide:0.01:3"),
+                ManifestEntry::memory("g2", "/tmp/g2.txt"),
+            ]
+        );
+        assert!(back.partials.is_empty());
+    }
+
+    /// An unknown backing tag in a v2 manifest is an error, not a panic.
+    #[test]
+    fn unknown_backing_tag_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.u64(1);
+        enc.str("g");
+        enc.str("/tmp/g.ubgc");
+        enc.u8(7); // bogus tag
+        enc.u64(0);
+        let bytes = seal_frame(MAGIC, VERSION, &enc.into_bytes());
+        assert!(Snapshot::from_bytes(&bytes).is_err());
     }
 }

@@ -38,9 +38,15 @@ pub(crate) fn handle_solve_range(state: &AppState, req: &Request) -> Response {
             return Response::error(404, &format!("graph `{}` is not registered here", rr.graph))
         }
     };
+    // Materialize (container-backed graphs load lazily); the Arc pins
+    // the graph against eviction for the duration of the range.
+    let graph = match state.registry.materialize(&entry) {
+        Ok(g) => g,
+        Err(e) => return Response::error(503, &format!("graph unavailable: {e}")),
+    };
     let threads = (rr.threads.max(1) as usize).min(state.solver_thread_cap);
     let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
-    match solve_range(&entry.graph, &rr, threads, &cancel) {
+    match solve_range(&graph, &rr, threads, &cancel) {
         Ok(partial) => {
             let (done, _) = super::merge::progress_of(&partial);
             state.metrics.trials_executed.add(done);

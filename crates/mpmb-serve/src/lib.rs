@@ -47,13 +47,14 @@ pub mod signal;
 pub mod solve;
 
 pub use cache::{CacheEntry, ResultCache};
+pub use checkpoint::ManifestEntry;
 pub use checkpoint::{CheckpointStore, LoadOutcome, Snapshot};
 pub use client::{call_retry, call_retry_expect, ClientError, Retried, RetryPolicy};
 pub use cluster::{Cluster, ClusterError, Role};
 pub use fault::{FaultAction, FaultPlan};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use metrics::Metrics;
-pub use registry::{GraphEntry, Registry, RegistryError};
+pub use registry::{GraphHandle, Registry, RegistryError};
 pub use server::{AppState, Server, ServerConfig, SolveTrace};
 pub use solve::{
     advance_count, advance_query, advance_solve, Cancel, CountProgress, Outcome, Partial,

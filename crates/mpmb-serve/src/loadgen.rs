@@ -31,8 +31,11 @@ pub struct LoadgenConfig {
     pub requests: u64,
     /// Concurrent client connections.
     pub concurrency: usize,
-    /// Registered graph name to query.
-    pub graph: String,
+    /// Registered graph names to query. Request `i` targets
+    /// `graphs[i % graphs.len()]` — more than one name makes requests
+    /// alternate between graphs, which under a server `--mem-budget`
+    /// too small for all of them exercises eviction churn.
+    pub graphs: Vec<String>,
     /// Solver method (`os`, `mcvp`, `ols`, `ols-kl`).
     pub method: String,
     /// Trials per request.
@@ -55,7 +58,7 @@ impl Default for LoadgenConfig {
             targets: vec!["127.0.0.1:7700".to_string()],
             requests: 100,
             concurrency: 4,
-            graph: "default".to_string(),
+            graphs: vec!["default".to_string()],
             method: "os".to_string(),
             trials: 2_000,
             seed: 0x5EED,
@@ -229,6 +232,7 @@ type ThreadTally = (Vec<f64>, u64, Vec<[u64; 5]>, Vec<Vec<f64>>);
 /// Runs the load generation and merges per-thread results.
 pub fn run(cfg: &LoadgenConfig) -> LoadReport {
     assert!(!cfg.targets.is_empty(), "loadgen needs at least one target");
+    assert!(!cfg.graphs.is_empty(), "loadgen needs at least one graph");
     let next = AtomicU64::new(0);
     let latency_hist = Arc::new(obs::Histogram::new(LATENCY_BUCKETS_MS));
     let started = Instant::now();
@@ -260,9 +264,10 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                         } else {
                             cfg.seed
                         };
+                        let graph = &cfg.graphs[(i % cfg.graphs.len() as u64) as usize];
                         let body = format!(
-                            "{{\"graph\":\"{}\",\"method\":\"{}\",\"trials\":{},\"seed\":{}}}",
-                            cfg.graph, cfg.method, cfg.trials, seed
+                            "{{\"graph\":\"{graph}\",\"method\":\"{}\",\"trials\":{},\"seed\":{}}}",
+                            cfg.method, cfg.trials, seed
                         );
                         by_target[ti][0] += 1;
                         let t0 = Instant::now();

@@ -78,6 +78,12 @@ pub struct Metrics {
     pub cluster_worker_errors: Arc<Counter>,
     /// Health probes that failed (the probed worker is marked down).
     pub cluster_probe_failures: Arc<Counter>,
+    /// Container-backed graphs evicted from residency by the memory
+    /// budget.
+    pub graph_evictions: Arc<Counter>,
+    /// Container materializations (first use and every post-eviction
+    /// reload).
+    pub graph_materializations: Arc<Counter>,
 }
 
 /// Index of an endpoint name in [`ENDPOINTS`].
@@ -192,6 +198,14 @@ impl Default for Metrics {
             cluster_probe_failures: registry.counter(
                 "mpmb_cluster_probe_failures_total",
                 "Health probes that failed, marking the probed worker down.",
+            ),
+            graph_evictions: registry.counter(
+                "mpmb_graph_evictions_total",
+                "Container-backed graphs evicted from residency by the memory budget.",
+            ),
+            graph_materializations: registry.counter(
+                "mpmb_graph_materializations_total",
+                "Container materializations (first use and post-eviction reloads).",
             ),
             endpoints,
             registry,

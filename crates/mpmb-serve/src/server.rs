@@ -75,6 +75,11 @@ pub struct ServerConfig {
     /// Cadence of the coordinator's `/healthz` probe loop, in
     /// milliseconds.
     pub probe_interval_ms: u64,
+    /// Graph-residency budget in bytes (0 = unlimited). When tracked
+    /// graph bytes — or, with the counting allocator installed, live
+    /// process heap — exceed it, cold container-backed graphs are
+    /// evicted and re-materialize on next use.
+    pub mem_budget: u64,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +97,7 @@ impl Default for ServerConfig {
             role: Role::Single,
             workers: Vec::new(),
             probe_interval_ms: 1_000,
+            mem_budget: 0,
         }
     }
 }
@@ -112,6 +118,11 @@ pub struct SolveTrace {
     pub status: u16,
     /// End-to-end request duration in microseconds.
     pub dur_us: u64,
+    /// Whether the graph was already materialized when the solve
+    /// started (`None` when the request never reached a graph, e.g.
+    /// 400/404s). `false` means this request paid a container
+    /// materialization.
+    pub resident_at_start: Option<bool>,
     /// Solver phase breakdown recorded while handling the request.
     pub phases: Vec<obs::PhaseStat>,
 }
@@ -138,6 +149,13 @@ impl SolveTrace {
             ("graph".to_string(), Json::Str(self.graph.clone())),
             ("status".to_string(), Json::Num(self.status as f64)),
             ("dur_us".to_string(), Json::Num(self.dur_us as f64)),
+            (
+                "resident_at_start".to_string(),
+                match self.resident_at_start {
+                    Some(b) => Json::Bool(b),
+                    None => Json::Null,
+                },
+            ),
             ("phases".to_string(), Json::Obj(phases)),
         ])
     }
@@ -218,6 +236,12 @@ impl Server {
 
         let metrics = Metrics::default();
         let solver = Arc::new(obs::SolverMetrics::new(Arc::clone(metrics.registry())));
+        let registry = Registry::with_budget(cfg.mem_budget);
+        registry.attach_metrics(
+            metrics.registry(),
+            Arc::clone(&metrics.graph_evictions),
+            Arc::clone(&metrics.graph_materializations),
+        );
         let cluster_state = match cfg.role {
             Role::Coordinator => {
                 if cfg.workers.is_empty() {
@@ -231,7 +255,7 @@ impl Server {
             Role::Single | Role::Worker => None,
         };
         let state = Arc::new(AppState {
-            registry: Registry::new(),
+            registry,
             cache: ResultCache::new(cfg.cache_capacity),
             metrics,
             solver,
@@ -370,11 +394,18 @@ fn restore_from_checkpoint(state: &AppState) {
         }
         LoadOutcome::Loaded(s) => s,
     };
-    for (name, source) in &snapshot.graphs {
+    for entry in &snapshot.graphs {
         // Registry sources read back as `file:PATH` or `dataset:…`;
-        // `load` wants the bare path for the former.
-        let spec = source.strip_prefix("file:").unwrap_or(source);
-        match state.registry.load(name, spec) {
+        // `load` wants the bare path for the former. Container-backed
+        // graphs re-attach (a header read) with their recorded checksum
+        // pinned, so a file swapped while the server was down is
+        // refused instead of silently changing answers.
+        let spec = entry.spec.strip_prefix("file:").unwrap_or(&entry.spec);
+        let name = &entry.name;
+        match state
+            .registry
+            .load_with_expected(name, spec, entry.container_checksum)
+        {
             Ok(_) | Err(RegistryError::Exists(_)) => {}
             Err(e) => eprintln!("mpmb-serve: checkpoint graph `{name}` not restored: {e}"),
         }
@@ -404,7 +435,11 @@ fn write_checkpoint(state: &AppState) {
             .registry
             .list()
             .iter()
-            .map(|(name, entry)| (name.clone(), entry.source.clone()))
+            .map(|(name, handle)| crate::checkpoint::ManifestEntry {
+                name: name.clone(),
+                spec: handle.source.clone(),
+                container_checksum: handle.container_checksum(),
+            })
             .collect(),
         partials: state.cache.partials(),
     };
@@ -587,8 +622,31 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
     }
 }
 
+thread_local! {
+    /// Residency of the request's graph at the moment the handler first
+    /// touched it, captured by [`materialize_graph`] and read back by
+    /// [`record_solve_trace`]. Thread-local works because a request is
+    /// routed and trace-recorded on the same worker thread.
+    static RESIDENCY_AT_START: std::cell::Cell<Option<bool>> = const { std::cell::Cell::new(None) };
+}
+
+/// Resolves a graph handle into a solver-ready graph, materializing a
+/// container-backed one on first use. Records whether the graph was
+/// already resident for the request trace. The returned `Arc` pins the
+/// graph against eviction for as long as the handler holds it.
+fn materialize_graph(
+    state: &AppState,
+    handle: &Arc<crate::registry::GraphHandle>,
+) -> Result<Arc<bigraph::UncertainBipartiteGraph>, Response> {
+    RESIDENCY_AT_START.with(|c| c.set(Some(handle.is_resident())));
+    state.registry.materialize(handle).map_err(|e| {
+        Response::error(503, &format!("graph unavailable: {e}")).with_header("Retry-After", "1")
+    })
+}
+
 /// Dispatches one request to its handler.
 fn route(state: &AppState, req: &Request) -> Response {
+    RESIDENCY_AT_START.with(|c| c.set(None));
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(state),
         ("GET", "/v1/graphs") => handle_list_graphs(state),
@@ -647,6 +705,7 @@ fn record_solve_trace(
         graph,
         status,
         dur_us: elapsed.as_micros() as u64,
+        resident_at_start: RESIDENCY_AT_START.with(std::cell::Cell::get),
         phases: profile.snapshot(),
     });
 }
@@ -694,13 +753,16 @@ fn handle_healthz(state: &AppState) -> Response {
     )
 }
 
-fn graph_summary(name: &str, entry: &crate::registry::GraphEntry) -> Json {
+fn graph_summary(name: &str, handle: &crate::registry::GraphHandle) -> Json {
     Json::obj([
         ("name", Json::Str(name.to_string())),
-        ("left", Json::Num(entry.graph.num_left() as f64)),
-        ("right", Json::Num(entry.graph.num_right() as f64)),
-        ("edges", Json::Num(entry.graph.num_edges() as f64)),
-        ("source", Json::Str(entry.source.clone())),
+        ("left", Json::Num(handle.num_left() as f64)),
+        ("right", Json::Num(handle.num_right() as f64)),
+        ("edges", Json::Num(handle.num_edges() as f64)),
+        ("source", Json::Str(handle.source.clone())),
+        ("backing", Json::Str(handle.backing_name().to_string())),
+        ("resident", Json::Bool(handle.is_resident())),
+        ("resident_bytes", Json::Num(handle.resident_bytes() as f64)),
     ])
 }
 
@@ -709,7 +771,7 @@ fn handle_list_graphs(state: &AppState) -> Response {
         .registry
         .list()
         .iter()
-        .map(|(name, entry)| graph_summary(name, entry))
+        .map(|(name, handle)| graph_summary(name, handle))
         .collect();
     Response::json(
         200,
@@ -742,18 +804,44 @@ fn handle_register_graph(state: &AppState, req: &Request) -> Response {
     } else {
         return Response::error(400, "provide `spec`, `path`, or `dataset`");
     };
+    // Container registrations are pinned to the file's content
+    // checksum: a worker (or this node, on eviction reload) refuses to
+    // serve different bytes than the ones registered. The checksum
+    // travels as a hex string — JSON numbers here are f64-backed and
+    // would corrupt the high bits.
+    let expected = body
+        .get("container_checksum")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .or_else(|| bigraph::storage::peek_container_checksum(std::path::Path::new(&spec)));
     // Coordinator: every worker must hold the graph before ranges can
     // scatter, so registration reaches the workers first. A worker
     // that already has it answers 409, which counts as success; a
     // worker that fails turns the whole request into a 502 and the
     // client retries the registration as a unit.
     if let Some(cluster) = &state.cluster {
-        if let Err(e) = cluster::coordinator::broadcast_register(cluster, &req.body) {
+        let wire = match expected {
+            // Re-serialize with the checksum spliced in, so workers
+            // attach the same container bytes the coordinator saw.
+            Some(sum) if body.get("container_checksum").is_none() => {
+                let mut fields = match &body {
+                    Json::Obj(fields) => fields.clone(),
+                    _ => Vec::new(),
+                };
+                fields.push((
+                    "container_checksum".to_string(),
+                    Json::Str(format!("{sum:016x}")),
+                ));
+                Json::Obj(fields).to_string().into_bytes()
+            }
+            _ => req.body.clone(),
+        };
+        if let Err(e) = cluster::coordinator::broadcast_register(cluster, &wire) {
             return cluster_error_response(&e);
         }
     }
-    match state.registry.load(name, &spec) {
-        Ok(entry) => Response::json(200, graph_summary(name, &entry).to_string()),
+    match state.registry.load_with_expected(name, &spec, expected) {
+        Ok(handle) => Response::json(200, graph_summary(name, &handle).to_string()),
         Err(RegistryError::Exists(_)) => {
             Response::error(409, &format!("graph `{name}` already registered"))
         }
@@ -775,6 +863,10 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
     };
     let (name, entry) = match lookup_graph(state, &body) {
         Ok(ge) => ge,
+        Err(resp) => return resp,
+    };
+    let graph = match materialize_graph(state, &entry) {
+        Ok(g) => g,
         Err(resp) => return resp,
     };
     let method = body
@@ -816,34 +908,18 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
     let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
     let progress = match &state.cluster {
         Some(cluster) => match cluster::coordinator::advance_cluster_solve(
-            state,
-            cluster,
-            &name,
-            &entry.graph,
-            &method,
-            trials,
-            prep,
-            seed,
-            threads,
-            prior,
-            &cancel,
+            state, cluster, &name, &graph, &method, trials, prep, seed, threads, prior, &cancel,
         ) {
             Ok(p) => p,
             Err(e) => return cluster_error_response(&e),
         },
-        None => match solve::advance_solve(
-            &entry.graph,
-            &method,
-            trials,
-            prep,
-            seed,
-            threads,
-            prior,
-            &cancel,
-        ) {
-            Ok(p) => p,
-            Err(msg) => return Response::error(400, &msg),
-        },
+        None => {
+            match solve::advance_solve(&graph, &method, trials, prep, seed, threads, prior, &cancel)
+            {
+                Ok(p) => p,
+                Err(msg) => return Response::error(400, &msg),
+            }
+        }
     };
     state.metrics.trials_executed.add(progress.executed);
     let distribution = match progress.outcome {
@@ -967,6 +1043,10 @@ fn handle_query(state: &AppState, req: &Request) -> Response {
         Ok(ge) => ge,
         Err(resp) => return resp,
     };
+    let graph = match materialize_graph(state, &entry) {
+        Ok(g) => g,
+        Err(resp) => return resp,
+    };
     let b = match butterfly_field(&body) {
         Ok(b) => b,
         Err(resp) => return resp,
@@ -985,7 +1065,7 @@ fn handle_query(state: &AppState, req: &Request) -> Response {
     };
 
     let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
-    let progress = match solve::advance_query(&entry.graph, &b, trials, seed, prior, &cancel) {
+    let progress = match solve::advance_query(&graph, &b, trials, seed, prior, &cancel) {
         Some(Ok(p)) => p,
         Some(Err(msg)) => return Response::error(400, &msg),
         None => return Response::error(404, "butterfly is not in the graph's backbone"),
@@ -1025,6 +1105,10 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
         Ok(ge) => ge,
         Err(resp) => return resp,
     };
+    let graph = match materialize_graph(state, &entry) {
+        Ok(g) => g,
+        Err(resp) => return resp,
+    };
     let trials = body.get("trials").and_then(Json::as_u64).unwrap_or(2_000);
     let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0x5EED);
     let threads = match solver_threads(state, &body) {
@@ -1046,20 +1130,12 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
     let cancel = Cancel::at(state.timeout.map(|t| Instant::now() + t));
     let progress = match &state.cluster {
         Some(cluster) => match cluster::coordinator::advance_cluster_count(
-            state,
-            cluster,
-            &name,
-            &entry.graph,
-            trials,
-            seed,
-            threads,
-            prior,
-            &cancel,
+            state, cluster, &name, &graph, trials, seed, threads, prior, &cancel,
         ) {
             Ok(p) => p,
             Err(e) => return cluster_error_response(&e),
         },
-        None => match solve::advance_count(&entry.graph, trials, seed, threads, prior, &cancel) {
+        None => match solve::advance_count(&graph, trials, seed, threads, prior, &cancel) {
             Ok(p) => p,
             Err(msg) => return Response::error(400, &msg),
         },
@@ -1134,13 +1210,13 @@ fn parse_body(req: &Request) -> Result<Json, Response> {
 fn lookup_graph(
     state: &AppState,
     body: &Json,
-) -> Result<(String, Arc<crate::registry::GraphEntry>), Response> {
+) -> Result<(String, Arc<crate::registry::GraphHandle>), Response> {
     let name = body
         .get("graph")
         .and_then(Json::as_str)
         .ok_or_else(|| Response::error(400, "missing string field `graph`"))?;
     match state.registry.get(name) {
-        Some(entry) => Ok((name.to_string(), entry)),
+        Some(handle) => Ok((name.to_string(), handle)),
         None => Err(Response::error(
             404,
             &format!("graph `{name}` is not registered"),

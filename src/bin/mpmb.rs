@@ -11,15 +11,17 @@
 //! mpmb stats    --input G.tsv
 //! mpmb generate --dataset abide|movielens|jester|protein --scale F
 //!               [--seed N] [--output FILE]
+//! mpmb convert  --input G.tsv --output G.ubgc
 //! mpmb serve    [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
 //!               [--cache-capacity N] [--max-solver-threads N]
+//!               [--mem-budget BYTES[k|m|g]]
 //!               [--trace off|stderr|FILE] [--graph NAME=SPEC]...
 //!               [--checkpoint-dir DIR] [--checkpoint-every-ms N]
 //!               [--fault-plan SPEC]
 //!               [--role single|coordinator|worker] [--workers ADDR,...]
 //!               [--probe-interval-ms N]
 //! mpmb loadgen  [--target ADDR]... [--requests N] [--concurrency N]
-//!               [--graph NAME] [--method M] [--trials N] [--seed N]
+//!               [--graph NAME[,NAME]...] [--method M] [--trials N] [--seed N]
 //!               [--vary-seed [true|false]] [--retries N]
 //! ```
 //!
@@ -66,15 +68,26 @@ subcommands:
   generate  synthetic Table III stand-in datasets
             --dataset abide|movielens|jester|protein  [--scale F] [--seed N]
             [--output FILE]
+            (an `.ubg` output writes the compact binary format; `.ubgc`
+            writes the mmap-ready container, see docs/STORAGE.md)
+  convert   re-encode a graph into the on-disk container format
+            --input FILE  --output FILE.ubgc
+            (the container attaches without a parse step: `mpmb serve`
+            maps its sections on demand and can evict/reload the graph
+            under --mem-budget; see docs/STORAGE.md)
   serve     long-running HTTP query daemon (see docs/SERVING.md)
             [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
             [--cache-capacity N] [--max-solver-threads N]
+            [--mem-budget BYTES[k|m|g]]
             [--trace off|stderr|FILE] [--graph NAME=SPEC]...
             [--checkpoint-dir DIR] [--checkpoint-every-ms N]
             [--fault-plan SPEC]
             [--role single|coordinator|worker] [--workers ADDR,...]
             [--probe-interval-ms N]
-            (--checkpoint-dir makes the registry and resumable partial
+            (--mem-budget bounds resident graph bytes: when exceeded,
+            cold container-backed graphs are evicted and re-materialize
+            on next use, bit-identically. 0 = unlimited.
+            --checkpoint-dir makes the registry and resumable partial
             results durable: a restarted server restores them and
             re-issued requests resume instead of recomputing.
             --fault-plan injects deterministic faults for resilience
@@ -84,12 +97,13 @@ subcommands:
             (repeatable or comma-separated) and returns byte-identical
             answers at any worker count; see docs/CLUSTER.md)
   loadgen   closed-loop load generator against a running daemon
-            [--target ADDR]... [--requests N] [--concurrency N] [--graph NAME]
-            [--method M] [--trials N] [--seed N] [--vary-seed [true|false]]
-            [--retries N]
-            (--target repeats or comma-splits; requests round-robin over
-            the target list. --retries N retries transport errors/429/503
-            up to N times per request with backoff, honoring Retry-After)
+            [--target ADDR]... [--requests N] [--concurrency N]
+            [--graph NAME[,NAME]...] [--method M] [--trials N] [--seed N]
+            [--vary-seed [true|false]] [--retries N]
+            (--target and --graph repeat or comma-split; requests
+            round-robin over both lists. --retries N retries transport
+            errors/429/503 up to N times per request with backoff,
+            honoring Retry-After)
 
 Edge-list format: `LEFT RIGHT WEIGHT PROB` per line, `#` comments allowed.
 `--help` anywhere prints this text.";
@@ -178,6 +192,22 @@ impl Flags {
                 .unwrap_or_else(|_| fail(&format!("cannot parse --{name} value `{v}`"))),
         }
     }
+}
+
+/// Parses a `--mem-budget` value: raw bytes, or with a binary
+/// `k`/`m`/`g` suffix (case-insensitive). `0` disables the budget.
+fn parse_mem_budget(v: &str) -> u64 {
+    let (digits, mult) = match v.trim().to_ascii_lowercase() {
+        s if s.ends_with('k') => (s[..s.len() - 1].to_string(), 1u64 << 10),
+        s if s.ends_with('m') => (s[..s.len() - 1].to_string(), 1u64 << 20),
+        s if s.ends_with('g') => (s[..s.len() - 1].to_string(), 1u64 << 30),
+        s => (s, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("cannot parse --mem-budget value `{v}`")));
+    n.checked_mul(mult)
+        .unwrap_or_else(|| fail(&format!("--mem-budget value `{v}` overflows")))
 }
 
 fn load(flags: &Flags) -> UncertainBipartiteGraph {
@@ -433,11 +463,17 @@ fn cmd_generate(flags: &Flags) {
     let seed: u64 = flags.get_parsed("seed", 42);
     let g = dataset.generate(scale, seed);
     match flags.get("output") {
+        // `.ubg` selects the compact binary format, `.ubgc` the
+        // mmap-ready container; anything else is the text edge list.
+        Some(path) if path.ends_with(".ubgc") => {
+            bigraph::write_container_path(&g, std::path::Path::new(path))
+                .unwrap_or_else(|e| fail(&format!("write failed: {e}")));
+            eprintln!("wrote {} ({})", path, GraphStats::compute(&g));
+        }
         Some(path) => {
             let file = std::fs::File::create(path)
                 .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
             let out = std::io::BufWriter::new(file);
-            // `.ubg` extension selects the compact binary format.
             let res = if path.ends_with(".ubg") {
                 bigraph::io::write_binary(&g, out)
             } else {
@@ -454,6 +490,24 @@ fn cmd_generate(flags: &Flags) {
     }
 }
 
+/// `mpmb convert`: re-encodes any readable graph (text, `.ubg` binary,
+/// or an existing container) into the on-disk container format.
+fn cmd_convert(flags: &Flags) {
+    flags.expect(&["input", "output"]);
+    let g = load(flags);
+    let out = flags
+        .get("output")
+        .unwrap_or_else(|| fail("--output is required"));
+    let checksum = bigraph::write_container_path(&g, std::path::Path::new(out))
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    eprintln!(
+        "wrote container {} ({}, checksum {:016x})",
+        out,
+        GraphStats::compute(&g),
+        checksum
+    );
+}
+
 fn cmd_serve(flags: &Flags) {
     flags.expect(&[
         "listen",
@@ -462,6 +516,7 @@ fn cmd_serve(flags: &Flags) {
         "timeout-ms",
         "cache-capacity",
         "max-solver-threads",
+        "mem-budget",
         "trace",
         "graph",
         "checkpoint-dir",
@@ -506,6 +561,7 @@ fn cmd_serve(flags: &Flags) {
             .map(str::to_string)
             .collect(),
         probe_interval_ms: flags.get_parsed("probe-interval-ms", 1_000),
+        mem_budget: parse_mem_budget(flags.get("mem-budget").unwrap_or("0")),
     };
     mpmb_serve::signal::install();
     let server = mpmb_serve::Server::start(cfg)
@@ -515,12 +571,13 @@ fn cmd_serve(flags: &Flags) {
             fail(&format!("--graph expects NAME=SPEC, got `{spec}`"));
         };
         match server.state().registry.load(name, src) {
-            Ok(entry) => eprintln!(
-                "loaded graph `{name}` from {} ({} x {} vertices, {} edges)",
-                entry.source,
-                entry.graph.num_left(),
-                entry.graph.num_right(),
-                entry.graph.num_edges()
+            Ok(handle) => eprintln!(
+                "loaded graph `{name}` from {} ({} x {} vertices, {} edges, {})",
+                handle.source,
+                handle.num_left(),
+                handle.num_right(),
+                handle.num_edges(),
+                handle.backing_name(),
             ),
             // A graph restored from the checkpoint beats the flag —
             // same name, and the checkpoint's partials depend on it.
@@ -565,7 +622,21 @@ fn cmd_loadgen(flags: &Flags) {
         targets,
         requests: flags.get_parsed("requests", 100),
         concurrency: flags.get_parsed("concurrency", 4),
-        graph: flags.get("graph").unwrap_or("default").to_string(),
+        graphs: {
+            // Like `--target`: repeatable and comma-splittable.
+            let mut graphs: Vec<String> = flags
+                .get_all("graph")
+                .iter()
+                .flat_map(|v| v.split(','))
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if graphs.is_empty() {
+                graphs.push("default".to_string());
+            }
+            graphs
+        },
         method: flags.get("method").unwrap_or("os").to_string(),
         trials: flags.get_parsed("trials", 2_000),
         seed: flags.get_parsed("seed", 0x5EED),
@@ -597,6 +668,7 @@ fn main() {
         "exact" => cmd_exact(&flags),
         "stats" => cmd_stats(&flags),
         "generate" => cmd_generate(&flags),
+        "convert" => cmd_convert(&flags),
         "serve" => cmd_serve(&flags),
         "loadgen" => cmd_loadgen(&flags),
         other => fail(&format!("unknown subcommand `{other}`")),

@@ -43,11 +43,14 @@ fn rel(path: &Path) -> String {
 }
 
 /// `thread::scope` — the data-parallel fan-out — is allowed in exactly
-/// four places: the executor itself, the (separately verified) listing
-/// kernel, the load generator's request workers, and the cluster
+/// five places: the executor itself, the (separately verified) listing
+/// kernel, the load generator's request workers, the cluster
 /// coordinator's scatter threads (which block on worker HTTP calls —
-/// the trials themselves still run through remote `Executor`s). A new
-/// use anywhere else means a trial loop grew outside the engine.
+/// the trials themselves still run through remote `Executor`s), and
+/// the container reader's section decode/validate fan-out (pure
+/// functions of on-disk bytes, no trials and no RNG — bit-identical to
+/// its serial path by construction). A new use anywhere else means a
+/// trial loop grew outside the engine.
 #[test]
 fn thread_scope_is_owned_by_the_executor() {
     let allowed = [
@@ -55,6 +58,7 @@ fn thread_scope_is_owned_by_the_executor() {
         "crates/mpmb-core/src/listing.rs",
         "crates/mpmb-serve/src/loadgen.rs",
         "crates/mpmb-serve/src/cluster/coordinator.rs",
+        "crates/bigraph/src/storage.rs",
     ];
     let mut offenders = Vec::new();
     for path in crate_lib_sources(&["mpmb-core", "mpmb-serve", "bench", "bigraph", "datasets"]) {

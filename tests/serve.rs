@@ -913,7 +913,7 @@ fn loadgen_with_retries_survives_fault_injection() {
         targets: vec![addr.clone()],
         requests: 40,
         concurrency: 4,
-        graph: "g".to_string(),
+        graphs: vec!["g".to_string()],
         method: "os".to_string(),
         trials: 200,
         seed: 77,
