@@ -80,8 +80,10 @@ fn with_full_observability<T>(f: impl FnOnce() -> T) -> (T, Arc<obs::Profile>) {
     let profile = Arc::new(obs::Profile::new());
     let registry = Arc::new(obs::Registry::new());
     let solver = Arc::new(obs::SolverMetrics::new(registry));
+    let trace_id = obs::next_trace_id();
     let guard = obs::install(obs::ObsCtx {
-        trace_id: Some(obs::next_trace_id()),
+        trace_id: Some(trace_id.clone()),
+        span: Some(obs::SpanContext::root(trace_id)),
         profile: Some(profile.clone()),
         solver: Some(solver),
     });

@@ -242,12 +242,27 @@ pub fn call_retry(
     body: &str,
     policy: &RetryPolicy,
 ) -> Result<Retried, ClientError> {
+    call_retry_ext(addr, method, path, body, &[], policy)
+}
+
+/// [`call_retry`] with extra request headers — e.g. a client-supplied
+/// `X-Request-Id` the server echoes back and traces under. The same
+/// headers are re-sent on every retry attempt.
+pub fn call_retry_ext(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+    policy: &RetryPolicy,
+) -> Result<Retried, ClientError> {
     let (status, headers, raw, retries) = call_retry_raw(
         addr,
         method,
         path,
         body.as_bytes(),
         "application/json",
+        extra_headers,
         policy,
     )?;
     let body = String::from_utf8(raw).map_err(|_| {
@@ -280,7 +295,7 @@ pub fn call_retry_expect(
     policy: &RetryPolicy,
 ) -> Result<(Headers, Vec<u8>, u32), ClientError> {
     let (status, headers, raw, retries) =
-        call_retry_raw(addr, method, path, body, content_type, policy)?;
+        call_retry_raw(addr, method, path, body, content_type, &[], policy)?;
     if !(200..300).contains(&status) {
         return Err(ClientError::Status {
             status,
@@ -297,13 +312,14 @@ fn call_retry_raw(
     path: &str,
     body: &[u8],
     content_type: &str,
+    extra_headers: &[(&str, &str)],
     policy: &RetryPolicy,
 ) -> Result<(u16, Headers, Vec<u8>, u32), ClientError> {
     let salt = bigraph::fnv1a64(path.as_bytes()) ^ bigraph::fnv1a64(body);
     let attempts = policy.attempts.max(1);
     let mut last_err = None;
     for attempt in 0..attempts {
-        let wait_ms = match call_raw(addr, method, path, body, content_type, &[]) {
+        let wait_ms = match call_raw(addr, method, path, body, content_type, extra_headers) {
             Ok((status, headers, raw)) => {
                 if !retryable(status) || attempt + 1 == attempts {
                     return Ok((status, headers, raw, attempt));

@@ -39,6 +39,8 @@ use mpmb_core::{
     TrialEngine,
 };
 use std::ops::Range;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Everything a range request carries besides the range itself.
 struct ScatterSpec<'a> {
@@ -387,14 +389,46 @@ fn scatter(
         }
         round += 1;
 
-        let results: Vec<Result<PartialState, CallFailure>> = std::thread::scope(|s| {
+        // Each range call gets its own hop in the trace tree: a child
+        // span of this request's context, whose id the worker's
+        // in-range spans then parent on. The spawned threads install
+        // only the span context (no profile) so the `cluster.range`
+        // timeline spans never double-count into the phase table —
+        // stitching below attributes time precisely instead.
+        let ctx = obs::current();
+        let hops: Vec<Option<obs::SpanContext>> = assignments
+            .iter()
+            .map(|_| ctx.span.as_ref().map(|sc| sc.child()))
+            .collect();
+        let results: Vec<Result<RangeReply, CallFailure>> = std::thread::scope(|s| {
             let handles: Vec<_> = assignments
                 .iter()
-                .map(|(w, range)| {
+                .zip(&hops)
+                .map(|((w, range), hop)| {
                     let addr = cluster.members.addr(*w);
                     let range = range.clone();
                     let retry = &cluster.retry;
-                    s.spawn(move || call_worker(addr, retry, spec, range))
+                    let trace = hop.as_ref().map(|sc| proto::TraceContext {
+                        trace_id: sc.trace_id.to_string(),
+                        parent_span: sc.span_id,
+                    });
+                    let hop = hop.clone();
+                    s.spawn(move || {
+                        let _g = hop.map(|sc| {
+                            obs::install(obs::ObsCtx {
+                                trace_id: Some(Arc::clone(&sc.trace_id)),
+                                span: Some(sc),
+                                profile: None,
+                                solver: None,
+                            })
+                        });
+                        let mut sp = obs::span("cluster.range");
+                        sp.items(range.end - range.start);
+                        sp.field("worker", addr);
+                        sp.field("range_start", range.start);
+                        sp.field("range_end", range.end);
+                        call_worker(addr, retry, spec, range, trace)
+                    })
                 })
                 .collect();
             handles
@@ -405,15 +439,20 @@ fn scatter(
 
         let mut progressed = false;
         let mut transient_failures = 0usize;
+        let mut merge_span = obs::span("cluster.merge");
+        let mut absorbed = 0u64;
         for ((widx, range), result) in assignments.iter().zip(results) {
             match result {
-                Ok(piece) => {
-                    check_containment(&piece, range)?;
+                Ok(reply) => {
+                    check_containment(&reply.state, range)?;
                     let before = merge::progress_of(master).0;
-                    merge::absorb_state(master, piece)?;
+                    let covered = merge::progress_of(&reply.state).0;
+                    merge::absorb_state(master, reply.state)?;
                     if merge::progress_of(master).0 > before {
                         progressed = true;
                     }
+                    absorbed += covered;
+                    stitch_reply(&ctx, cluster.members.addr(*widx), reply.phases, reply.wall);
                 }
                 Err(CallFailure::WorkerLost(reason)) => {
                     obs::event(
@@ -443,6 +482,8 @@ fn scatter(
                 }
             }
         }
+        merge_span.items(absorbed);
+        drop(merge_span);
         if !progressed && transient_failures == 0 {
             // Every worker answered yet nothing advanced — e.g. worker
             // deadlines too short to finish a single check interval.
@@ -476,13 +517,55 @@ fn plan_assignments(gaps: &[Range<u64>], healthy: &[usize]) -> Vec<(usize, Range
     assignments
 }
 
-/// One framed range call with retries; classifies the failure.
+/// A successful range call: the worker's partial, its phase profile
+/// (absent from v1 workers), and the call's wall time as seen from the
+/// coordinator.
+struct RangeReply {
+    state: PartialState,
+    phases: Option<Vec<obs::PhaseStat>>,
+    wall: Duration,
+}
+
+/// Folds one worker reply into the request's profile: each returned
+/// phase becomes a worker-labeled child entry (`addr/phase`), and the
+/// gap between the call's wall time and the worker's own accounted
+/// time is charged to `cluster.network`. A v1 worker returns no
+/// profile — its whole call degrades to one `addr/unattributed` entry
+/// rather than an error.
+fn stitch_reply(
+    ctx: &obs::ObsCtx,
+    addr: &str,
+    phases: Option<Vec<obs::PhaseStat>>,
+    wall: Duration,
+) {
+    let Some(profile) = &ctx.profile else { return };
+    match phases {
+        Some(phases) => {
+            let accounted: f64 = phases.iter().map(|p| p.secs).sum();
+            for p in &phases {
+                profile.absorb(&format!("{addr}/{}", p.name), p.secs, p.items, p.calls);
+            }
+            let overhead = wall.as_secs_f64() - accounted;
+            if overhead > 0.0 {
+                profile.absorb("cluster.network", overhead, 0, 1);
+            }
+        }
+        None => profile.absorb(&format!("{addr}/unattributed"), wall.as_secs_f64(), 0, 1),
+    }
+}
+
+/// One framed range call with retries; classifies the failure. A
+/// worker that rejects the v2 frame with `BadVersion` (pre-trace
+/// build) gets the same range re-sent as a v1 frame without the trace
+/// context — mixed-version clusters lose attribution, never answers.
 fn call_worker(
     addr: &str,
     retry: &RetryPolicy,
     spec: &ScatterSpec<'_>,
     range: Range<u64>,
-) -> Result<PartialState, CallFailure> {
+    trace: Option<proto::TraceContext>,
+) -> Result<RangeReply, CallFailure> {
+    let started = Instant::now();
     let request = RangeRequest {
         graph: spec.graph.to_string(),
         method: spec.method.to_string(),
@@ -493,12 +576,39 @@ fn call_worker(
         start: range.start,
         end: range.end,
         candidates: spec.candidates.cloned(),
+        trace,
     };
+    let result = match post_range(addr, retry, &request.encode()) {
+        Err(CallFailure::Fatal {
+            status: 400,
+            ref body,
+        }) if body.contains("unsupported format version") => {
+            obs::event(
+                "cluster.proto_downgrade",
+                &[("worker", addr.into()), ("version", 1u64.into())],
+            );
+            post_range(addr, retry, &request.encode_v1())
+        }
+        other => other,
+    };
+    result.map(|(state, phases)| RangeReply {
+        state,
+        phases,
+        wall: started.elapsed(),
+    })
+}
+
+/// Posts one already-encoded frame and decodes the reply.
+fn post_range(
+    addr: &str,
+    retry: &RetryPolicy,
+    frame: &[u8],
+) -> Result<(PartialState, Option<Vec<obs::PhaseStat>>), CallFailure> {
     match client::call_retry_expect(
         addr,
         "POST",
         "/v1/internal/solve-range",
-        &request.encode(),
+        frame,
         "application/octet-stream",
         retry,
     ) {

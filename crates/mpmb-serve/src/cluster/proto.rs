@@ -17,6 +17,16 @@
 //! ranges: preparing runs once on the coordinator and workers never
 //! re-run it. Large candidate sets are bounded by the server's 4 MiB
 //! request-body cap — a documented limitation of the v1 protocol.
+//!
+//! **v2** appends observability to both directions: requests may carry
+//! the coordinator's trace context (trace id + parent span id), and
+//! responses may carry the worker's per-phase profile for the range.
+//! Both are strictly appended after the v1 layout, and decoders branch
+//! on the frame's actual version, so a v2 node reads v1 frames (and
+//! simply sees no trace context / no profile). A v1 worker rejects a
+//! v2 *request* with `BadVersion`; the coordinator detects that
+//! specific rejection and re-sends the range as a v1 frame — tracing
+//! degrades to unattributed spans, correctness never does.
 
 use crate::checkpoint::{decode_state, encode_state};
 use crate::solve::PartialState;
@@ -27,8 +37,21 @@ use mpmb_core::{CandidateSet, Checkpoint};
 pub(crate) const REQ_MAGIC: &[u8; 8] = b"MPMBRQ01";
 /// Magic prefix of a range response frame.
 pub(crate) const RESP_MAGIC: &[u8; 8] = b"MPMBRS01";
-/// Protocol version, checked on both ends.
-pub(crate) const VERSION: u32 = 1;
+/// Highest protocol version this build speaks; decoders accept
+/// anything up to it and encoders can down-rev for old peers.
+pub(crate) const VERSION: u32 = 2;
+/// The pre-observability protocol: no trace context, no profiles.
+pub(crate) const VERSION_1: u32 = 1;
+
+/// The coordinator's position in the request's trace tree, shipped
+/// inside a v2 range request so worker spans join the same trace.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct TraceContext {
+    /// Trace id shared by every hop of the client request.
+    pub trace_id: String,
+    /// Span id of the coordinator hop dispatching this range.
+    pub parent_span: u64,
+}
 
 /// One scattered unit of work: run `[start, end)` of the method's
 /// trial space (candidate indices for `ols-kl`, trial indices
@@ -56,12 +79,12 @@ pub(crate) struct RangeRequest {
     pub end: u64,
     /// Phase-1 output for `ols`/`ols-kl`, computed on the coordinator.
     pub candidates: Option<CandidateSet>,
+    /// Coordinator trace context (v2 frames only; absent on v1).
+    pub trace: Option<TraceContext>,
 }
 
 impl RangeRequest {
-    /// Seals this request into a checksummed frame.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut enc = Encoder::new();
+    fn encode_common(&self, enc: &mut Encoder) {
         enc.str(&self.graph);
         enc.str(&self.method);
         enc.u64(self.trials);
@@ -74,17 +97,46 @@ impl RangeRequest {
             None => enc.u8(0),
             Some(c) => {
                 enc.u8(1);
-                c.encode(&mut enc);
+                c.encode(enc);
+            }
+        }
+    }
+
+    /// Seals this request into a checksummed v2 frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode_common(&mut enc);
+        match &self.trace {
+            None => enc.u8(0),
+            Some(t) => {
+                enc.u8(1);
+                enc.str(&t.trace_id);
+                enc.u64(t.parent_span);
             }
         }
         seal_frame(REQ_MAGIC, VERSION, &enc.into_bytes())
     }
 
-    /// Opens and validates a request frame.
+    /// Seals this request as a v1 frame (trace context dropped), for
+    /// workers that rejected the v2 encoding with `BadVersion`.
+    pub fn encode_v1(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode_common(&mut enc);
+        seal_frame(REQ_MAGIC, VERSION_1, &enc.into_bytes())
+    }
+
+    /// Opens and validates a request frame, version discarded.
+    #[cfg(test)]
     pub fn decode(bytes: &[u8]) -> Result<RangeRequest, CodecError> {
-        let (_version, payload) = open_frame(REQ_MAGIC, VERSION, bytes)?;
+        Ok(RangeRequest::decode_versioned(bytes)?.0)
+    }
+
+    /// Opens a request frame, also returning the frame's version so
+    /// the worker can mirror it on the response.
+    pub fn decode_versioned(bytes: &[u8]) -> Result<(RangeRequest, u32), CodecError> {
+        let (version, payload) = open_frame(REQ_MAGIC, VERSION, bytes)?;
         let mut dec = Decoder::new(payload);
-        let req = RangeRequest {
+        let mut req = RangeRequest {
             graph: dec.str()?,
             method: dec.str()?,
             trials: dec.u64()?,
@@ -102,7 +154,22 @@ impl RangeRequest {
                     )))
                 }
             },
+            trace: None,
         };
+        if version >= 2 {
+            req.trace = match dec.u8()? {
+                0 => None,
+                1 => Some(TraceContext {
+                    trace_id: dec.str()?,
+                    parent_span: dec.u64()?,
+                }),
+                other => {
+                    return Err(CodecError::Invalid(format!(
+                        "trace flag must be 0 or 1, got {other}"
+                    )))
+                }
+            };
+        }
         if dec.remaining() != 0 {
             return Err(CodecError::Invalid(format!(
                 "{} trailing bytes after range request",
@@ -115,30 +182,83 @@ impl RangeRequest {
                 req.start, req.end
             )));
         }
-        Ok(req)
+        Ok((req, version))
     }
 }
 
-/// Seals a worker's partial state into a response frame. The payload
-/// is exactly the checkpoint encoding of [`PartialState`].
-pub(crate) fn encode_response(state: &PartialState) -> Vec<u8> {
+/// Seals a worker's partial state into a response frame of the given
+/// version. The payload starts with exactly the checkpoint encoding of
+/// [`PartialState`]; v2 appends the worker's phase profile for the
+/// range (name, seconds-as-bits, items, calls per phase) so the
+/// coordinator can stitch a cross-node timeline. `version` mirrors the
+/// request frame's, so an old coordinator is never sent fields it
+/// cannot read.
+pub(crate) fn encode_response(
+    version: u32,
+    state: &PartialState,
+    profile: Option<&[obs::PhaseStat]>,
+) -> Vec<u8> {
     let mut enc = Encoder::new();
     encode_state(state, &mut enc);
-    seal_frame(RESP_MAGIC, VERSION, &enc.into_bytes())
+    if version >= 2 {
+        match profile {
+            None => enc.u8(0),
+            Some(phases) => {
+                enc.u8(1);
+                enc.u32(phases.len() as u32);
+                for p in phases {
+                    enc.str(&p.name);
+                    enc.u64(p.secs.to_bits());
+                    enc.u64(p.items);
+                    enc.u64(p.calls);
+                }
+            }
+        }
+    }
+    seal_frame(RESP_MAGIC, version.min(VERSION), &enc.into_bytes())
 }
 
-/// Opens a response frame back into the worker's partial state.
-pub(crate) fn decode_response(bytes: &[u8]) -> Result<PartialState, CodecError> {
-    let (_version, payload) = open_frame(RESP_MAGIC, VERSION, bytes)?;
+/// Opens a response frame back into the worker's partial state plus,
+/// for v2 frames, its phase profile (a v1 worker's response simply has
+/// none — the range shows up unattributed in the stitched trace).
+pub(crate) fn decode_response(
+    bytes: &[u8],
+) -> Result<(PartialState, Option<Vec<obs::PhaseStat>>), CodecError> {
+    let (version, payload) = open_frame(RESP_MAGIC, VERSION, bytes)?;
     let mut dec = Decoder::new(payload);
     let state = decode_state(&mut dec)?;
+    let profile = if version >= 2 {
+        match dec.u8()? {
+            0 => None,
+            1 => {
+                let n = dec.u32()?;
+                let mut phases = Vec::new();
+                for _ in 0..n {
+                    phases.push(obs::PhaseStat {
+                        name: dec.str()?,
+                        secs: f64::from_bits(dec.u64()?),
+                        items: dec.u64()?,
+                        calls: dec.u64()?,
+                    });
+                }
+                Some(phases)
+            }
+            other => {
+                return Err(CodecError::Invalid(format!(
+                    "profile flag must be 0 or 1, got {other}"
+                )))
+            }
+        }
+    } else {
+        None
+    };
     if dec.remaining() != 0 {
         return Err(CodecError::Invalid(format!(
             "{} trailing bytes after range response",
             dec.remaining()
         )));
     }
-    Ok(state)
+    Ok((state, profile))
 }
 
 #[cfg(test)]
@@ -159,6 +279,7 @@ mod tests {
             start: 2_500,
             end: 5_000,
             candidates: None,
+            trace: None,
         }
     }
 
@@ -229,8 +350,10 @@ mod tests {
         );
         let partial = Executor::new(1).run_subrange(&engine, 10..20, 100, &Cancel::never());
         let counts: Vec<_> = partial.acc.counts().map(|(b, c)| (*b, *c)).collect();
-        let frame = encode_response(&PartialState::Os(partial));
-        match decode_response(&frame).unwrap() {
+        let frame = encode_response(VERSION, &PartialState::Os(partial), None);
+        let (state, profile) = decode_response(&frame).unwrap();
+        assert!(profile.is_none());
+        match state {
             PartialState::Os(p) => {
                 assert_eq!(p.trials_done(), 10);
                 assert_eq!(p.trials_requested(), 100);
@@ -239,6 +362,97 @@ mod tests {
             }
             other => panic!("wrong variant: {}", other.kind()),
         }
+    }
+
+    #[test]
+    fn trace_context_and_profile_round_trip_in_v2() {
+        let with_trace = RangeRequest {
+            trace: Some(TraceContext {
+                trace_id: "req-42".to_string(),
+                parent_span: 0xABCD_1234,
+            }),
+            ..request()
+        };
+        let (back, version) = RangeRequest::decode_versioned(&with_trace.encode()).unwrap();
+        assert_eq!(version, VERSION);
+        assert_eq!(back.trace, with_trace.trace);
+
+        let g = graph();
+        let engine = OsTrials::new(
+            &g,
+            &OsConfig {
+                trials: 100,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let partial = Executor::new(1).run_subrange(&engine, 0..10, 100, &Cancel::never());
+        let phases = vec![
+            obs::PhaseStat {
+                name: "os.sample".to_string(),
+                secs: 0.125,
+                items: 10,
+                calls: 2,
+            },
+            obs::PhaseStat {
+                name: "registry.materialize".to_string(),
+                secs: 1e-6,
+                items: 0,
+                calls: 1,
+            },
+        ];
+        let frame = encode_response(VERSION, &PartialState::Os(partial), Some(&phases));
+        let (_, profile) = decode_response(&frame).unwrap();
+        assert_eq!(profile.unwrap(), phases);
+    }
+
+    #[test]
+    fn v1_frames_interoperate_without_observability() {
+        // A v1 request (old coordinator, or the down-rev fallback)
+        // decodes on a v2 worker with no trace context.
+        let req = RangeRequest {
+            trace: Some(TraceContext {
+                trace_id: "dropped".to_string(),
+                parent_span: 7,
+            }),
+            ..request()
+        };
+        let (back, version) = RangeRequest::decode_versioned(&req.encode_v1()).unwrap();
+        assert_eq!(version, VERSION_1);
+        assert_eq!(back.trace, None);
+        assert_eq!(back.graph, req.graph);
+
+        // A v1 response (old worker) decodes on a v2 coordinator with
+        // no profile.
+        let g = graph();
+        let engine = OsTrials::new(
+            &g,
+            &OsConfig {
+                trials: 100,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let partial = Executor::new(1).run_subrange(&engine, 0..10, 100, &Cancel::never());
+        let phases = vec![obs::PhaseStat {
+            name: "os.sample".to_string(),
+            secs: 0.5,
+            items: 10,
+            calls: 1,
+        }];
+        // Mirroring a v1 request drops the profile even when offered.
+        let frame = encode_response(VERSION_1, &PartialState::Os(partial), Some(&phases));
+        let (state, profile) = decode_response(&frame).unwrap();
+        assert!(profile.is_none());
+        assert!(matches!(state, PartialState::Os(_)));
+
+        // And a v1-only peer rejects v2 frames cleanly (the signal the
+        // coordinator's fallback keys on).
+        let v2 = request().encode();
+        assert_eq!(
+            open_frame(REQ_MAGIC, VERSION_1, &v2),
+            Err(CodecError::BadVersion(VERSION))
+        );
     }
 
     #[test]

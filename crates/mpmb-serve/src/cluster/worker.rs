@@ -14,6 +14,15 @@
 //! is a *legitimate* response, and the coordinator re-dispatches only
 //! the remaining trials. Only malformed frames (400), unknown graphs
 //! (404), and unknown methods (400) are errors.
+//!
+//! When a v2 request carries the coordinator's trace context, the
+//! worker re-installs its observability context around the range — the
+//! coordinator's trace id with a fresh per-hop span id parented on the
+//! dispatching span. A `cluster.range.served` event emitted under that
+//! context is the worker-side anchor of the cross-node timeline (it
+//! lands in the worker's own trace sink *under the coordinator's trace
+//! id*), and the per-phase profile is shipped back in the response for
+//! stitching.
 
 use super::proto::{self, RangeRequest};
 use crate::http::{Request, Response};
@@ -24,14 +33,30 @@ use mpmb_core::{
     CountTrials, Executor, KarpLubyTrials, KlTrialPolicy, McVpConfig, McVpTrials, OlsConfig,
     OptimizedTrials, OsConfig, OsTrials,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Handles one range call end to end.
 pub(crate) fn handle_solve_range(state: &AppState, req: &Request) -> Response {
-    let rr = match RangeRequest::decode(&req.body) {
+    let started = Instant::now();
+    let (rr, version) = match RangeRequest::decode_versioned(&req.body) {
         Ok(r) => r,
         Err(e) => return Response::error(400, &format!("bad range request: {e}")),
     };
+    // Join the coordinator's trace: same trace id, fresh hop span id,
+    // parented on the dispatching span. The request-scoped profile and
+    // solver metrics installed by the HTTP layer carry over, so the
+    // phases recorded below are exactly this range's.
+    let outer = obs::current();
+    let _trace_guard = rr.trace.as_ref().map(|t| {
+        let sc = obs::SpanContext::child_of(Arc::from(t.trace_id.as_str()), t.parent_span);
+        obs::install(obs::ObsCtx {
+            trace_id: Some(Arc::clone(&sc.trace_id)),
+            span: Some(sc),
+            profile: outer.profile.clone(),
+            solver: outer.solver.clone(),
+        })
+    });
     let entry = match state.registry.get(&rr.graph) {
         Some(e) => e,
         None => {
@@ -50,7 +75,27 @@ pub(crate) fn handle_solve_range(state: &AppState, req: &Request) -> Response {
         Ok(partial) => {
             let (done, _) = super::merge::progress_of(&partial);
             state.metrics.trials_executed.add(done);
-            Response::octets(200, proto::encode_response(&partial))
+            let phases = outer.profile.as_ref().map(|p| p.snapshot());
+            // Emitted while the hop context is installed: this line in
+            // the worker's own sink carries the coordinator's trace id
+            // and the dispatching span as parent. (An event, not a
+            // span — it must not feed the profile shipped above, or
+            // the stitched budget would double-count the range.)
+            obs::event(
+                "cluster.range.served",
+                &[
+                    ("graph", rr.graph.as_str().into()),
+                    ("method", rr.method.as_str().into()),
+                    ("start", rr.start.into()),
+                    ("end", rr.end.into()),
+                    ("done", done.into()),
+                    ("dur_us", (started.elapsed().as_micros() as u64).into()),
+                ],
+            );
+            Response::octets(
+                200,
+                proto::encode_response(version, &partial, phases.as_deref()),
+            )
         }
         Err(msg) => Response::error(400, &msg),
     }
@@ -195,6 +240,7 @@ mod tests {
             start,
             end,
             candidates: None,
+            trace: None,
         }
     }
 

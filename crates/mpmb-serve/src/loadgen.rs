@@ -8,6 +8,13 @@
 //! `targets[i % targets.len()]`, and the report breaks sent/ok/shed/
 //! deadline/failed down per target so a skewed cluster member stands
 //! out immediately.
+//!
+//! Every request carries a deterministic `X-Request-Id` derived from
+//! the loadgen seed and the request ordinal, so a rerun with the same
+//! flags sends the same ids. The server traces each request under the
+//! supplied id, and the report names the ids of the slowest (p99-tail)
+//! requests — paste one into `GET /debug/trace` or grep the server's
+//! trace file to see exactly where that request's time went.
 
 use crate::client;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -150,6 +157,10 @@ pub struct LoadReport {
     /// concurrently by the client threads; the summary's p50/p95/p99
     /// come from here.
     pub latency_hist: Arc<obs::Histogram>,
+    /// The slowest requests at or above the p99 latency (up to five),
+    /// as `(X-Request-Id, ms)` worst-first — the ids to look up in the
+    /// server's `/debug/trace` ring or trace file.
+    pub slowest: Vec<(String, f64)>,
     /// Wall-clock duration of the whole run in seconds.
     pub elapsed_s: f64,
 }
@@ -195,6 +206,12 @@ impl LoadReport {
             self.elapsed_s,
             self.rps(),
         );
+        if !self.slowest.is_empty() {
+            out.push_str("\np99-worst requests:");
+            for (id, ms) in &self.slowest {
+                out.push_str(&format!("  {id} ({ms:.2}ms)"));
+            }
+        }
         if self.per_target.len() > 1 {
             let width = self
                 .per_target
@@ -224,10 +241,24 @@ impl LoadReport {
     }
 }
 
+/// The deterministic `X-Request-Id` of request `i` under `seed`: a
+/// pure function of both, so reruns with the same flags re-send the
+/// same ids and the ordinal stays readable in the id itself.
+pub fn request_id(seed: u64, i: u64) -> String {
+    let tag = crate::fault::splitmix64(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    format!("lg-{tag:016x}-{i}")
+}
+
 /// One thread's tallies: latencies, total retries, per-target
-/// `[sent, ok, shed, deadline, failed]` rows, and per-target latencies
-/// of 200 responses.
-type ThreadTally = (Vec<f64>, u64, Vec<[u64; 5]>, Vec<Vec<f64>>);
+/// `[sent, ok, shed, deadline, failed]` rows, per-target latencies of
+/// 200 responses, and `(ms, request id)` pairs for tail attribution.
+type ThreadTally = (
+    Vec<f64>,
+    u64,
+    Vec<[u64; 5]>,
+    Vec<Vec<f64>>,
+    Vec<(f64, String)>,
+);
 
 /// Runs the load generation and merges per-thread results.
 pub fn run(cfg: &LoadgenConfig) -> LoadReport {
@@ -252,6 +283,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                     let mut retried = 0u64;
                     let mut by_target = vec![[0u64; 5]; cfg.targets.len()];
                     let mut ok_lat = vec![Vec::new(); cfg.targets.len()];
+                    let mut tagged = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cfg.requests {
@@ -270,15 +302,24 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                             cfg.method, cfg.trials, seed
                         );
                         by_target[ti][0] += 1;
+                        let rid = request_id(cfg.seed, i);
                         let t0 = Instant::now();
                         // Latency covers the whole retried exchange:
                         // that is what a caller of a resilient client
                         // experiences.
-                        match client::call_retry(target, "POST", "/v1/solve", &body, policy) {
+                        match client::call_retry_ext(
+                            target,
+                            "POST",
+                            "/v1/solve",
+                            &body,
+                            &[("X-Request-Id", &rid)],
+                            policy,
+                        ) {
                             Ok(outcome) => {
                                 let ms = t0.elapsed().as_secs_f64() * 1_000.0;
                                 latency_hist.observe(ms);
                                 lat.push(ms);
+                                tagged.push((ms, rid));
                                 retried += outcome.retries as u64;
                                 match outcome.status {
                                     200 => {
@@ -298,7 +339,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                             }
                         }
                     }
-                    (lat, retried, by_target, ok_lat)
+                    (lat, retried, by_target, ok_lat, tagged)
                 })
             })
             .collect();
@@ -325,11 +366,14 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
             .collect(),
         latencies_ms: Vec::new(),
         latency_hist,
+        slowest: Vec::new(),
         elapsed_s,
     };
-    for (lat, retried, by_target, ok_lat) in results {
+    let mut tagged_all = Vec::new();
+    for (lat, retried, by_target, ok_lat, tagged) in results {
         report.latencies_ms.extend(lat);
         report.retried += retried;
+        tagged_all.extend(tagged);
         for (ti, [sent, ok, shed, deadline, failed]) in by_target.into_iter().enumerate() {
             let t = &mut report.per_target[ti];
             t.sent += sent;
@@ -352,6 +396,16 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
     for t in &mut report.per_target {
         t.ok_latencies_ms.sort_unstable_by(|a, b| a.total_cmp(b));
     }
+    // Tail attribution: the ids of the requests at or above the p99
+    // latency, worst first, capped at five.
+    let p99 = report.quantile_ms(0.99);
+    tagged_all.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+    report.slowest = tagged_all
+        .into_iter()
+        .filter(|(ms, _)| *ms >= p99)
+        .take(5)
+        .map(|(ms, id)| (id, ms))
+        .collect();
     report
 }
 
@@ -379,8 +433,31 @@ mod tests {
             }],
             latencies_ms,
             latency_hist: hist,
+            slowest: Vec::new(),
             elapsed_s,
         }
+    }
+
+    #[test]
+    fn request_ids_are_deterministic_and_distinct() {
+        assert_eq!(request_id(7, 3), request_id(7, 3));
+        assert_ne!(request_id(7, 3), request_id(7, 4));
+        assert_ne!(request_id(7, 3), request_id(8, 3));
+        // The ordinal stays readable for cross-referencing.
+        assert!(request_id(7, 3).ends_with("-3"));
+        assert!(request_id(7, 3).starts_with("lg-"));
+    }
+
+    #[test]
+    fn report_names_p99_worst_request_ids() {
+        let mut r = report_with(vec![1.0, 2.0, 100.0], 1.0);
+        r.slowest = vec![(request_id(1, 2), 100.0)];
+        let rendered = r.render();
+        assert!(rendered.contains("p99-worst requests:"), "{rendered}");
+        assert!(rendered.contains(&request_id(1, 2)), "{rendered}");
+        // And an empty tail renders no dangling header.
+        r.slowest.clear();
+        assert!(!r.render().contains("p99-worst"));
     }
 
     #[test]

@@ -26,6 +26,19 @@ const BUCKETS: &[f64] = &[
 /// Statuses tracked per endpoint (everything else folds into `other`).
 const STATUSES: &[u16] = &[200, 400, 404, 429, 503];
 
+/// Deadline-budget bucket names, in export order: each solve-like
+/// request's wall time is attributed across exactly these buckets (see
+/// [`crate::server::Budget`]) and observed into one
+/// `mpmb_deadline_spent_seconds{bucket=…}` histogram per name.
+pub const BUDGET_BUCKETS: [&str; 6] = [
+    "queue",
+    "materialize",
+    "prepare",
+    "trials",
+    "network",
+    "finalize",
+];
+
 /// Pre-created handles for one endpoint.
 struct EndpointHandles {
     /// Requests by status: indices follow `STATUSES`, last slot = other.
@@ -84,6 +97,12 @@ pub struct Metrics {
     /// Container materializations (first use and every post-eviction
     /// reload).
     pub graph_materializations: Arc<Counter>,
+    /// Worker `/metrics` scrapes attempted by `GET /metrics/cluster`.
+    pub federation_scrapes: Arc<Counter>,
+    /// Federation scrapes that failed (worker unreachable or non-200).
+    pub federation_scrape_failures: Arc<Counter>,
+    /// Per-bucket deadline-spend histograms, [`BUDGET_BUCKETS`] order.
+    budget_spent: Vec<Arc<Histogram>>,
 }
 
 /// Index of an endpoint name in [`ENDPOINTS`].
@@ -95,7 +114,7 @@ pub fn endpoint_index(path: &str) -> usize {
         "/v1/topk" => "topk",
         "/v1/graphs" => "graphs",
         "/healthz" => "healthz",
-        "/metrics" => "metrics",
+        "/metrics" | "/metrics/cluster" => "metrics",
         p if p.starts_with("/admin/") => "admin",
         p if p.starts_with("/debug/") => "debug",
         p if p.starts_with("/v1/internal/") => "internal",
@@ -207,9 +226,33 @@ impl Default for Metrics {
                 "mpmb_graph_materializations_total",
                 "Container materializations (first use and post-eviction reloads).",
             ),
+            federation_scrapes: registry.counter(
+                "mpmb_federation_scrapes_total",
+                "Worker /metrics scrapes attempted by GET /metrics/cluster.",
+            ),
+            federation_scrape_failures: registry.counter(
+                "mpmb_federation_scrape_failures_total",
+                "Federation scrapes that failed (worker unreachable or non-200).",
+            ),
+            budget_spent: BUDGET_BUCKETS
+                .iter()
+                .map(|bucket| {
+                    registry.histogram_with(
+                        "mpmb_deadline_spent_seconds",
+                        "Wall time attributed to each deadline-budget bucket, per solve-like request.",
+                        BUCKETS,
+                        &[("bucket", bucket)],
+                    )
+                })
+                .collect(),
             endpoints,
             registry,
         };
+        metrics.registry.counter_fn(
+            "mpmb_trace_rotations_total",
+            "Trace-file rotations performed by the size-capped sink.",
+            obs::trace_rotations,
+        );
         metrics.registry.gauge_fn(
             "mpmb_peak_rss_bytes",
             "Peak bytes allocated through the counting allocator (0 when the allocator is not installed).",
@@ -225,6 +268,14 @@ impl Metrics {
     /// same `/metrics` page.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// Observes one request's deadline-budget attribution, values in
+    /// [`BUDGET_BUCKETS`] order.
+    pub fn observe_budget(&self, values: [f64; 6]) {
+        for (hist, secs) in self.budget_spent.iter().zip(values) {
+            hist.observe(secs);
+        }
     }
 
     /// Records one finished request.

@@ -682,7 +682,9 @@ mod tests {
 
     #[test]
     fn evict_reload_is_bit_identical() {
-        let p = tmp_container("bitid", 80);
+        // 77 edges is the (7, 11) residue-pair capacity of
+        // `tmp_container`; more would duplicate (u0, v0).
+        let p = tmp_container("bitid", 77);
         let r = Registry::with_budget(1);
         let h = r.load("g", p.to_str().unwrap()).unwrap();
         let g1 = r.materialize(&h).unwrap();

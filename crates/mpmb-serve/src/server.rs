@@ -80,6 +80,12 @@ pub struct ServerConfig {
     /// process heap — exceed it, cold container-backed graphs are
     /// evicted and re-materialize on next use.
     pub mem_budget: u64,
+    /// How many solve summaries `GET /debug/trace` retains. The CLI
+    /// rejects 0; the server itself clamps to at least 1.
+    pub trace_ring: usize,
+    /// Whether solve-like responses carry an `X-Mpmb-Budget` debug
+    /// header with the per-bucket deadline spend.
+    pub budget_header: bool,
 }
 
 impl Default for ServerConfig {
@@ -98,12 +104,96 @@ impl Default for ServerConfig {
             workers: Vec::new(),
             probe_interval_ms: 1_000,
             mem_budget: 0,
+            trace_ring: 64,
+            budget_header: false,
         }
     }
 }
 
-/// How many solve summaries `GET /debug/trace` retains.
-const DEBUG_TRACE_CAPACITY: usize = 64;
+/// Wall-clock attribution of one solve-like request into the named
+/// deadline-budget buckets of [`crate::metrics::BUDGET_BUCKETS`].
+/// Derived from the request's phase profile: every recorded phase maps
+/// onto exactly one bucket (worker-stitched `addr/phase` entries are
+/// classified by their phase suffix), and whatever wall time no phase
+/// accounted for lands in `finalize` — response shaping, cache writes,
+/// serialization. Because nested spans (e.g. `ols.listing` inside an
+/// OLS prepare) can overlap, the classified sum may exceed wall time;
+/// `finalize` saturates at zero rather than going negative.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Budget {
+    /// Accept-queue wait before a worker thread picked the connection
+    /// up (first request on the connection only).
+    pub queue: f64,
+    /// Container materialization of the request's graph.
+    pub materialize: f64,
+    /// Candidate preparation: OLS prepare passes and listing phases.
+    pub prepare: f64,
+    /// Trial execution (sampling phases, plus time on legacy workers
+    /// that ship no profile).
+    pub trials: f64,
+    /// Cluster dispatch and merge: scatter/gather overhead plus
+    /// per-worker wall time no worker phase accounted for.
+    pub network: f64,
+    /// Everything else — wall time outside every recorded phase.
+    pub finalize: f64,
+}
+
+impl Budget {
+    /// Classifies a phase profile against the request's wall time.
+    pub fn from_phases(phases: &[obs::PhaseStat], wall_secs: f64) -> Budget {
+        let mut b = Budget::default();
+        for p in phases {
+            // Worker-stitched phases arrive as `addr/phase`; classify
+            // by the phase name alone.
+            let name = p.name.rsplit('/').next().unwrap_or(&p.name);
+            let slot = match name {
+                "queue.wait" => &mut b.queue,
+                "registry.materialize" => &mut b.materialize,
+                "cluster.merge" | "cluster.network" => &mut b.network,
+                "unattributed" => &mut b.trials,
+                n if n.contains("prepare") || n.contains("listing") => &mut b.prepare,
+                _ => &mut b.trials,
+            };
+            *slot += p.secs;
+        }
+        b.finalize =
+            (wall_secs - b.queue - b.materialize - b.prepare - b.trials - b.network).max(0.0);
+        b
+    }
+
+    /// Bucket values in [`crate::metrics::BUDGET_BUCKETS`] order.
+    pub fn values(&self) -> [f64; 6] {
+        [
+            self.queue,
+            self.materialize,
+            self.prepare,
+            self.trials,
+            self.network,
+            self.finalize,
+        ]
+    }
+
+    /// The `X-Mpmb-Budget` header value: `bucket=seconds` pairs joined
+    /// with `;`, microsecond precision.
+    pub fn header_value(&self) -> String {
+        crate::metrics::BUDGET_BUCKETS
+            .iter()
+            .zip(self.values())
+            .map(|(name, secs)| format!("{name}={secs:.6}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(
+            crate::metrics::BUDGET_BUCKETS
+                .iter()
+                .zip(self.values())
+                .map(|(name, secs)| (name.to_string(), Json::Num(secs)))
+                .collect(),
+        )
+    }
+}
 
 /// One completed solve-like request, as retained for `/debug/trace`.
 #[derive(Clone, Debug)]
@@ -125,6 +215,8 @@ pub struct SolveTrace {
     pub resident_at_start: Option<bool>,
     /// Solver phase breakdown recorded while handling the request.
     pub phases: Vec<obs::PhaseStat>,
+    /// Deadline-budget attribution of the request's wall time.
+    pub budget: Budget,
 }
 
 impl SolveTrace {
@@ -157,6 +249,7 @@ impl SolveTrace {
                 },
             ),
             ("phases".to_string(), Json::Obj(phases)),
+            ("budget".to_string(), self.budget.to_json()),
         ])
     }
 }
@@ -187,6 +280,11 @@ pub struct AppState {
     /// Coordinator-side cluster state (`None` for single/worker roles:
     /// those solve locally).
     pub cluster: Option<Cluster>,
+    /// Whether solve-like responses carry the `X-Mpmb-Budget` header.
+    pub budget_header: bool,
+    /// Per-worker instant of the last successful federation scrape,
+    /// behind the `GET /metrics/cluster` staleness gauges.
+    federation_seen: Mutex<std::collections::HashMap<String, Instant>>,
     /// Raised to begin a graceful drain.
     shutdown: AtomicBool,
 }
@@ -259,7 +357,7 @@ impl Server {
             cache: ResultCache::new(cfg.cache_capacity),
             metrics,
             solver,
-            traces: obs::Ring::new(DEBUG_TRACE_CAPACITY),
+            traces: obs::Ring::new(cfg.trace_ring.max(1)),
             timeout: (cfg.timeout_ms > 0).then(|| Duration::from_millis(cfg.timeout_ms)),
             solver_thread_cap: if cfg.max_solver_threads == 0 {
                 cfg.threads.max(1)
@@ -269,6 +367,8 @@ impl Server {
             checkpoints,
             faults,
             cluster: cluster_state,
+            budget_header: cfg.budget_header,
+            federation_seen: Mutex::new(std::collections::HashMap::new()),
             shutdown: AtomicBool::new(false),
         });
 
@@ -317,7 +417,7 @@ impl Server {
                 .expect("spawn probe thread")
         });
 
-        let (tx, rx) = sync_channel::<TcpStream>(cfg.queue.max(1));
+        let (tx, rx) = sync_channel::<(TcpStream, Instant)>(cfg.queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let worker_handles: Vec<_> = (0..cfg.threads.max(1))
             .map(|i| {
@@ -457,7 +557,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 fn accept_loop(
     state: &AppState,
     listener: &TcpListener,
-    tx: std::sync::mpsc::SyncSender<TcpStream>,
+    tx: std::sync::mpsc::SyncSender<(TcpStream, Instant)>,
 ) {
     loop {
         if state.shutting_down() {
@@ -466,9 +566,9 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 state.metrics.connections.inc();
-                match tx.try_send(stream) {
+                match tx.try_send((stream, Instant::now())) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(mut stream)) => {
+                    Err(TrySendError::Full((mut stream, _))) => {
                         state.metrics.load_shed.inc();
                         let resp = Response::error(429, "server overloaded, try again later")
                             .with_header("Retry-After", "1");
@@ -485,17 +585,17 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(state: &AppState, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(state: &AppState, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
     loop {
         // Holding the lock while blocked in `recv` is the intended
         // hand-off: whichever worker holds it takes the next connection.
         // Recover from poisoning: a sibling panicking between `recv`
         // and the guard drop must not take the whole pool down.
-        let stream = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+        let (stream, queued_at) = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
             Ok(s) => s,
             Err(_) => return, // accept loop gone and queue drained
         };
-        handle_connection(state, stream);
+        handle_connection(state, stream, queued_at.elapsed());
     }
 }
 
@@ -509,7 +609,7 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
-fn handle_connection(state: &AppState, stream: TcpStream) {
+fn handle_connection(state: &AppState, stream: TcpStream, queued: Duration) {
     // Finite read timeout so idle keep-alive connections notice a drain.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let mut writer = match stream.try_clone() {
@@ -517,6 +617,9 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    // Accept-queue wait is a connection-level cost; charge it to the
+    // first request's budget and no other.
+    let mut queue_wait = Some(queued);
     loop {
         match read_request(&mut reader) {
             Err(ReadError::Closed) => return,
@@ -560,6 +663,10 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
                     _ => obs::next_trace_id(),
                 };
                 let profile = Arc::new(obs::Profile::new());
+                let queued_secs = queue_wait.take().map_or(0.0, |w| w.as_secs_f64());
+                if queued_secs > 0.0 {
+                    profile.absorb("queue.wait", queued_secs, 0, 1);
+                }
                 // One poisoned request must not take down the worker:
                 // panics (injected or real) are caught here, the
                 // connection is closed without a response, and the pool
@@ -568,6 +675,7 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
                 let handled = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     let _obs = obs::install(obs::ObsCtx {
                         trace_id: Some(Arc::clone(&trace_id)),
+                        span: Some(obs::SpanContext::root(Arc::clone(&trace_id))),
                         profile: Some(Arc::clone(&profile)),
                         solver: Some(Arc::clone(&state.solver)),
                     });
@@ -601,8 +709,31 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
                 state
                     .metrics
                     .record(endpoint_index(&req.path), resp.status, elapsed);
-                record_solve_trace(state, &req, resp.status, &trace_id, elapsed, &profile);
-                let resp = resp.with_header("X-Request-Id", trace_id.as_ref());
+                // Deadline-budget attribution covers accept to response:
+                // handler wall time plus the connection's queue wait.
+                let budget = solve_like(&req.path).then(|| {
+                    let b = Budget::from_phases(
+                        &profile.snapshot(),
+                        elapsed.as_secs_f64() + queued_secs,
+                    );
+                    state.metrics.observe_budget(b.values());
+                    b
+                });
+                record_solve_trace(
+                    state,
+                    &req,
+                    resp.status,
+                    &trace_id,
+                    elapsed,
+                    &profile,
+                    budget,
+                );
+                let mut resp = resp.with_header("X-Request-Id", trace_id.as_ref());
+                if state.budget_header {
+                    if let Some(b) = &budget {
+                        resp = resp.with_header("X-Mpmb-Budget", b.header_value());
+                    }
+                }
                 let close = !req.keep_alive() || state.shutting_down();
                 match injected {
                     Some(action) => {
@@ -638,7 +769,10 @@ fn materialize_graph(
     state: &AppState,
     handle: &Arc<crate::registry::GraphHandle>,
 ) -> Result<Arc<bigraph::UncertainBipartiteGraph>, Response> {
-    RESIDENCY_AT_START.with(|c| c.set(Some(handle.is_resident())));
+    let resident = handle.is_resident();
+    RESIDENCY_AT_START.with(|c| c.set(Some(resident)));
+    let mut sp = obs::span("registry.materialize");
+    sp.field("resident", resident);
     state.registry.materialize(handle).map_err(|e| {
         Response::error(503, &format!("graph unavailable: {e}")).with_header("Retry-After", "1")
     })
@@ -657,6 +791,7 @@ fn route(state: &AppState, req: &Request) -> Response {
         ("POST", "/v1/count") => handle_count(state, req),
         ("POST", "/v1/internal/solve-range") => cluster::worker::handle_solve_range(state, req),
         ("GET", "/metrics") => Response::metrics_text(state.metrics.render()),
+        ("GET", "/metrics/cluster") => handle_metrics_cluster(state),
         ("GET", "/debug/trace") => handle_debug_trace(state, req),
         ("POST", "/admin/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
@@ -672,11 +807,18 @@ fn route(state: &AppState, req: &Request) -> Response {
             | "/v1/count"
             | "/v1/internal/solve-range"
             | "/metrics"
+            | "/metrics/cluster"
             | "/debug/trace"
             | "/admin/shutdown",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+/// Whether a path gets deadline-budget attribution and a
+/// `/debug/trace` entry.
+fn solve_like(path: &str) -> bool {
+    matches!(path, "/v1/solve" | "/v1/topk" | "/v1/query" | "/v1/count")
 }
 
 /// Retains a solve-like request's trace summary for `/debug/trace`.
@@ -687,13 +829,11 @@ fn record_solve_trace(
     trace_id: &Arc<str>,
     elapsed: Duration,
     profile: &Arc<obs::Profile>,
+    budget: Option<Budget>,
 ) {
-    if !matches!(
-        req.path.as_str(),
-        "/v1/solve" | "/v1/topk" | "/v1/query" | "/v1/count"
-    ) {
+    let Some(budget) = budget else {
         return;
-    }
+    };
     let graph = std::str::from_utf8(&req.body)
         .ok()
         .and_then(|t| Json::parse(t).ok())
@@ -707,6 +847,7 @@ fn record_solve_trace(
         dur_us: elapsed.as_micros() as u64,
         resident_at_start: RESIDENCY_AT_START.with(std::cell::Cell::get),
         phases: profile.snapshot(),
+        budget,
     });
 }
 
@@ -739,6 +880,62 @@ fn handle_debug_trace(state: &AppState, req: &Request) -> Response {
         ])
         .to_string(),
     )
+}
+
+/// `GET /metrics/cluster`: one merged Prometheus page for the whole
+/// cluster. The coordinator scrapes each currently-healthy worker's
+/// `/metrics`, then [`obs::merge_prometheus`] folds the pages together
+/// with its own — counters summed, gauges maxed, histograms merged
+/// bucket-wise — and re-renders every constituent series with a `node`
+/// label (`node="coordinator"` for the local page). A worker that dies
+/// mid-scrape just drops out of this response and bumps the failure
+/// counter; staleness gauges record how long ago each worker was last
+/// scraped successfully (-1 = never).
+fn handle_metrics_cluster(state: &AppState) -> Response {
+    let Some(cluster) = &state.cluster else {
+        return Response::error(404, "metrics federation requires --role coordinator");
+    };
+    let mut pages: Vec<(String, String)> = Vec::new();
+    for i in cluster.members.healthy() {
+        let addr = cluster.members.addr(i).to_string();
+        state.metrics.federation_scrapes.inc();
+        match crate::client::call(addr.as_str(), "GET", "/metrics", "") {
+            Ok((200, text)) => {
+                state
+                    .federation_seen
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(addr.clone(), Instant::now());
+                pages.push((addr, text));
+            }
+            Ok(_) | Err(_) => state.metrics.federation_scrape_failures.inc(),
+        }
+    }
+    // Refresh staleness gauges for every configured member — including
+    // the ones that just failed — before rendering the local page, so
+    // they ride along in the merged output.
+    let seen = state
+        .federation_seen
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    for i in 0..cluster.members.len() {
+        let addr = cluster.members.addr(i);
+        state
+            .metrics
+            .registry()
+            .gauge_with(
+                "mpmb_federation_staleness_seconds",
+                "Seconds since this worker's /metrics was last scraped successfully (-1 = never).",
+                &[("node", addr)],
+            )
+            .set(match seen.get(addr) {
+                Some(t) => t.elapsed().as_secs() as i64,
+                None => -1,
+            });
+    }
+    drop(seen);
+    pages.insert(0, ("coordinator".to_string(), state.metrics.render()));
+    Response::metrics_text(obs::merge_prometheus(&pages))
 }
 
 fn handle_healthz(state: &AppState) -> Response {

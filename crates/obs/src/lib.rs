@@ -26,6 +26,7 @@
 
 mod metrics;
 mod profile;
+mod promtext;
 mod ring;
 mod trace;
 
@@ -34,9 +35,11 @@ pub use metrics::{
     PHASE_SECONDS_BUCKETS,
 };
 pub use profile::{render_table, PhaseStat, Profile};
+pub use promtext::merge_prometheus;
 pub use ring::Ring;
 pub use trace::{
-    current, event, install, next_trace_id, observing, set_sink_file, set_sink_off,
-    set_sink_stderr, span, thread_ord, trace_enabled, trace_id, with_solver, CtxGuard, FieldValue,
-    ObsCtx, Span,
+    current, event, install, next_span_id, next_trace_id, observing, set_sink_file,
+    set_sink_file_capped, set_sink_off, set_sink_stderr, span, span_context, thread_ord,
+    trace_enabled, trace_id, trace_rotations, with_solver, CtxGuard, FieldValue, ObsCtx, Span,
+    SpanContext,
 };

@@ -200,6 +200,7 @@ impl Histogram {
 /// One registered series: a label set plus its instrument.
 enum Instrument {
     Counter(Arc<Counter>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
     Gauge(Arc<Gauge>),
     GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
     Histogram(Arc<Histogram>),
@@ -208,7 +209,7 @@ enum Instrument {
 impl Instrument {
     fn kind(&self) -> &'static str {
         match self {
-            Instrument::Counter(_) => "counter",
+            Instrument::Counter(_) | Instrument::CounterFn(_) => "counter",
             Instrument::Gauge(_) | Instrument::GaugeFn(_) => "gauge",
             Instrument::Histogram(_) => "histogram",
         }
@@ -335,6 +336,22 @@ impl Registry {
         )
     }
 
+    /// Registers a counter whose value is computed by `f` at render
+    /// time (e.g. reading a process-global atomic owned elsewhere).
+    /// `f` must be monotonic for the series to behave as a counter.
+    pub fn counter_fn(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.get_or_insert(
+            name,
+            help,
+            &[],
+            || Instrument::CounterFn(Box::new(f)),
+            |i| match i {
+                Instrument::CounterFn(_) => Some(()),
+                _ => None,
+            },
+        )
+    }
+
     /// Registers a gauge whose value is computed by `f` at render time
     /// (e.g. reading an allocator's peak watermark).
     pub fn gauge_fn(&self, name: &str, help: &str, f: impl Fn() -> i64 + Send + Sync + 'static) {
@@ -433,6 +450,9 @@ fn render_series(out: &mut String, name: &str, series: &Series) {
     match &series.instrument {
         Instrument::Counter(c) => {
             out.push_str(&format!("{name}{labels} {}\n", c.get()));
+        }
+        Instrument::CounterFn(f) => {
+            out.push_str(&format!("{name}{labels} {}\n", f()));
         }
         Instrument::Gauge(g) => {
             out.push_str(&format!("{name}{labels} {}\n", g.get()));

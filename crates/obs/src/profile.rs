@@ -53,6 +53,27 @@ impl Profile {
         }
     }
 
+    /// Folds an already-aggregated stat into the table, merging its
+    /// call count (unlike [`record`](Self::record), which counts one
+    /// closure). Coordinators use this to stitch a worker's returned
+    /// phase table into the request's own profile.
+    pub fn absorb(&self, name: &str, secs: f64, items: u64, calls: u64) {
+        let mut phases = self.phases.lock().unwrap();
+        match phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.secs += secs;
+                p.items += items;
+                p.calls += calls;
+            }
+            None => phases.push(PhaseStat {
+                name: name.to_string(),
+                secs,
+                items,
+                calls,
+            }),
+        }
+    }
+
     /// A copy of the current table, in first-seen order.
     pub fn snapshot(&self) -> Vec<PhaseStat> {
         self.phases.lock().unwrap().clone()
@@ -130,6 +151,19 @@ mod tests {
         assert!((snap[0].secs - 0.75).abs() < 1e-12);
         assert_eq!(snap[1].name, "ols.sample");
         assert!((p.total_secs() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges_call_counts() {
+        let p = Profile::new();
+        p.record("os.sample", 0.5, 100);
+        p.absorb("os.sample", 0.25, 50, 3);
+        p.absorb("w1/os.sample", 0.1, 10, 2);
+        let snap = p.snapshot();
+        assert_eq!(snap[0].calls, 4);
+        assert_eq!(snap[0].items, 150);
+        assert_eq!(snap[1].name, "w1/os.sample");
+        assert_eq!(snap[1].calls, 2);
     }
 
     #[test]

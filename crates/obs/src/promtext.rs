@@ -1,0 +1,449 @@
+//! Prometheus text-format parsing and cluster federation merge.
+//!
+//! A coordinator scrapes each healthy worker's `/metrics` and merges
+//! the exposition streams into one: per family, an **aggregate** series
+//! set (counters summed, gauges maxed, histograms merged bucket-wise —
+//! bucket bounds are identical across nodes by construction, every node
+//! registers the same fixed-bound families) followed by the per-node
+//! series with a `node` label joined on. The parser accepts exactly the
+//! dialect [`crate::Registry::render`] emits (`# HELP`/`# TYPE` lines,
+//! `name{labels} value` samples, `\\`/`\"`/`\n` label escapes) and
+//! skips anything it cannot read — a malformed scrape degrades, never
+//! panics.
+
+use std::fmt::Write as _;
+
+/// One parsed sample line: the full sample name (including any
+/// `_bucket`/`_sum`/`_count` suffix), its labels in source order, and
+/// the value.
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// A family parsed from one scrape: metadata plus its samples in
+/// source order.
+#[derive(Debug, Clone)]
+struct ParsedFamily {
+    name: String,
+    help: String,
+    kind: String,
+    samples: Vec<Sample>,
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Parses `{k="v",…}` starting after the `{`; returns the labels and
+/// the rest of the line after the closing `}`.
+fn parse_labels(s: &str) -> Option<(Vec<(String, String)>, &str)> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start_matches(',');
+        if let Some(after) = rest.strip_prefix('}') {
+            return Some((labels, after));
+        }
+        let eq = rest.find("=\"")?;
+        let key = rest[..eq].to_string();
+        let mut value = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    value = rest[eq + 2..eq + 2 + i].to_string();
+                    end = Some(eq + 2 + i + 1);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        rest = &rest[end?..];
+        labels.push((key, unescape_label(&value)));
+    }
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    let (name, labels, rest) = match line.find('{') {
+        Some(brace) if brace < line.find(' ').unwrap_or(usize::MAX) => {
+            let (labels, rest) = parse_labels(&line[brace + 1..])?;
+            (line[..brace].to_string(), labels, rest)
+        }
+        _ => {
+            let sp = line.find(' ')?;
+            (line[..sp].to_string(), Vec::new(), &line[sp..])
+        }
+    };
+    let value: f64 = rest.trim().parse().ok()?;
+    Some(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Parses one exposition stream into families. Samples that precede
+/// any `# TYPE` for their family land in an implicit `untyped` family.
+fn parse(text: &str) -> Vec<ParsedFamily> {
+    let mut families: Vec<ParsedFamily> = Vec::new();
+    let find = |families: &mut Vec<ParsedFamily>, name: &str| -> usize {
+        match families.iter().position(|f| f.name == name) {
+            Some(i) => i,
+            None => {
+                families.push(ParsedFamily {
+                    name: name.to_string(),
+                    help: String::new(),
+                    kind: "untyped".to_string(),
+                    samples: Vec::new(),
+                });
+                families.len() - 1
+            }
+        }
+    };
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some((name, help)) = rest.split_once(' ') {
+                let i = find(&mut families, name);
+                families[i].help = help.to_string();
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, kind)) = rest.split_once(' ') {
+                let i = find(&mut families, name);
+                families[i].kind = kind.to_string();
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some(sample) = parse_sample(line) else {
+            continue;
+        };
+        // A histogram sample's family is its name minus the suffix.
+        let family_name = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                let base = sample.name.strip_suffix(suf)?;
+                families
+                    .iter()
+                    .any(|f| f.name == base && f.kind == "histogram")
+                    .then(|| base.to_string())
+            })
+            .unwrap_or_else(|| sample.name.clone());
+        let i = find(&mut families, &family_name);
+        families[i].samples.push(sample);
+    }
+    families
+}
+
+/// Aggregated state of one family across every scraped node.
+struct MergedFamily {
+    name: String,
+    help: String,
+    kind: String,
+    /// Aggregate scalar series (counters summed / gauges maxed), keyed
+    /// by label set in first-seen order.
+    scalars: Vec<(Vec<(String, String)>, f64)>,
+    /// Aggregate histogram series keyed by label set minus `le`.
+    hists: Vec<HistAgg>,
+    /// Raw per-node samples, `(node, sample)`, in scrape order.
+    per_node: Vec<(String, Sample)>,
+}
+
+struct HistAgg {
+    labels: Vec<(String, String)>,
+    /// Cumulative bucket values by `le` text, in first-seen order.
+    buckets: Vec<(String, f64)>,
+    sum: f64,
+    count: f64,
+}
+
+fn labels_without_le(labels: &[(String, String)]) -> (Vec<(String, String)>, Option<String>) {
+    let mut le = None;
+    let rest = labels
+        .iter()
+        .filter(|(k, v)| {
+            if k == "le" {
+                le = Some(v.clone());
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, le)
+}
+
+fn fold_sample(merged: &mut MergedFamily, node: &str, sample: &Sample) {
+    merged.per_node.push((node.to_string(), sample.clone()));
+    match merged.kind.as_str() {
+        "counter" => {
+            match merged
+                .scalars
+                .iter_mut()
+                .find(|(labels, _)| *labels == sample.labels)
+            {
+                Some((_, v)) => *v += sample.value,
+                None => merged.scalars.push((sample.labels.clone(), sample.value)),
+            }
+        }
+        "histogram" => {
+            let (labels, le) = labels_without_le(&sample.labels);
+            let agg = match merged.hists.iter_mut().position(|h| h.labels == labels) {
+                Some(i) => &mut merged.hists[i],
+                None => {
+                    merged.hists.push(HistAgg {
+                        labels,
+                        buckets: Vec::new(),
+                        sum: 0.0,
+                        count: 0.0,
+                    });
+                    merged.hists.last_mut().unwrap()
+                }
+            };
+            if sample.name.ends_with("_bucket") {
+                let le = le.unwrap_or_else(|| "+Inf".to_string());
+                match agg.buckets.iter_mut().find(|(b, _)| *b == le) {
+                    Some((_, v)) => *v += sample.value,
+                    None => agg.buckets.push((le, sample.value)),
+                }
+            } else if sample.name.ends_with("_sum") {
+                agg.sum += sample.value;
+            } else if sample.name.ends_with("_count") {
+                agg.count += sample.value;
+            }
+        }
+        // Gauges (and anything untyped) aggregate as a max: summing a
+        // worker-count gauge across nodes would be nonsense, the peak is
+        // the useful cluster-level reading.
+        _ => {
+            match merged
+                .scalars
+                .iter_mut()
+                .find(|(labels, _)| *labels == sample.labels)
+            {
+                Some((_, v)) => *v = v.max(sample.value),
+                None => merged.scalars.push((sample.labels.clone(), sample.value)),
+            }
+        }
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], node: Option<&str>) {
+    if labels.is_empty() && node.is_none() {
+        return;
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(n) = node {
+        parts.push(format!("node=\"{}\"", escape_label(n)));
+    }
+    let _ = write!(out, "{{{}}}", parts.join(","));
+}
+
+/// Merges Prometheus text scrapes from several nodes into one
+/// exposition stream.
+///
+/// `scrapes` is `(node, text)` in membership order. Per family (first
+/// seen wins the ordering and metadata), the output carries the
+/// cluster aggregate first — counters summed, gauges maxed, histograms
+/// merged bucket-wise per `le` — followed by every node's own series
+/// re-emitted with a `node="<node>"` label appended, so dashboards can
+/// show both the cluster total and the per-node breakdown from one
+/// scrape.
+pub fn merge_prometheus(scrapes: &[(String, String)]) -> String {
+    let mut families: Vec<MergedFamily> = Vec::new();
+    for (node, text) in scrapes {
+        for parsed in parse(text) {
+            let merged = match families.iter_mut().position(|f| f.name == parsed.name) {
+                Some(i) => &mut families[i],
+                None => {
+                    families.push(MergedFamily {
+                        name: parsed.name.clone(),
+                        help: parsed.help.clone(),
+                        kind: parsed.kind.clone(),
+                        scalars: Vec::new(),
+                        hists: Vec::new(),
+                        per_node: Vec::new(),
+                    });
+                    families.last_mut().unwrap()
+                }
+            };
+            for sample in &parsed.samples {
+                fold_sample(merged, node, sample);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for f in &families {
+        let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+        let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind);
+        for (labels, value) in &f.scalars {
+            out.push_str(&f.name);
+            render_labels(&mut out, labels, None);
+            let _ = writeln!(out, " {value}");
+        }
+        for h in &f.hists {
+            for (le, value) in &h.buckets {
+                let mut labels = h.labels.clone();
+                labels.push(("le".to_string(), le.clone()));
+                let _ = write!(out, "{}_bucket", f.name);
+                render_labels(&mut out, &labels, None);
+                let _ = writeln!(out, " {value}");
+            }
+            let _ = write!(out, "{}_sum", f.name);
+            render_labels(&mut out, &h.labels, None);
+            let _ = writeln!(out, " {}", h.sum);
+            let _ = write!(out, "{}_count", f.name);
+            render_labels(&mut out, &h.labels, None);
+            let _ = writeln!(out, " {}", h.count);
+        }
+        for (node, sample) in &f.per_node {
+            out.push_str(&sample.name);
+            render_labels(&mut out, &sample.labels, Some(node));
+            let _ = writeln!(out, " {}", sample.value);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn worker_registry(requests: u64, inflight: i64, obs: &[f64]) -> Registry {
+        let r = Registry::new();
+        r.counter_with("mpmb_requests_total", "Requests.", &[("endpoint", "solve")])
+            .add(requests);
+        r.gauge("mpmb_inflight", "In-flight requests.")
+            .set(inflight);
+        let h = r.histogram("mpmb_request_seconds", "Latency.", &[0.01, 0.1, 1.0]);
+        for &v in obs {
+            h.observe(v);
+        }
+        r
+    }
+
+    #[test]
+    fn round_trips_own_render_format() {
+        let r = worker_registry(7, 3, &[0.005, 0.5]);
+        let text = r.render();
+        let families = parse(&text);
+        let names: Vec<&str> = families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "mpmb_requests_total",
+                "mpmb_inflight",
+                "mpmb_request_seconds"
+            ]
+        );
+        assert_eq!(families[0].kind, "counter");
+        assert_eq!(
+            families[0].samples[0].labels,
+            vec![("endpoint".to_string(), "solve".to_string())]
+        );
+        assert_eq!(families[0].samples[0].value, 7.0);
+        assert_eq!(families[2].kind, "histogram");
+        // 3 finite buckets + +Inf + _sum + _count.
+        assert_eq!(families[2].samples.len(), 6);
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_and_adds_node_labels() {
+        let a = worker_registry(7, 3, &[0.005]).render();
+        let b = worker_registry(5, 9, &[0.5]).render();
+        let merged = merge_prometheus(&[("w1:1".to_string(), a), ("w2:2".to_string(), b)]);
+        assert!(
+            merged.contains("mpmb_requests_total{endpoint=\"solve\"} 12\n"),
+            "counters sum:\n{merged}"
+        );
+        assert!(
+            merged.contains("mpmb_inflight 9\n"),
+            "gauges max:\n{merged}"
+        );
+        assert!(
+            merged.contains("mpmb_requests_total{endpoint=\"solve\",node=\"w1:1\"} 7\n"),
+            "per-node counter:\n{merged}"
+        );
+        assert!(
+            merged.contains("mpmb_inflight{node=\"w2:2\"} 9\n"),
+            "per-node gauge:\n{merged}"
+        );
+    }
+
+    #[test]
+    fn merge_folds_histograms_bucket_wise() {
+        let a = worker_registry(1, 1, &[0.005, 0.005]).render();
+        let b = worker_registry(1, 1, &[0.5]).render();
+        let merged = merge_prometheus(&[("w1:1".to_string(), a), ("w2:2".to_string(), b)]);
+        // Cumulative per le, summed across nodes: 2 obs ≤0.01 on w1,
+        // 1 obs ≤1 on w2.
+        assert!(merged.contains("mpmb_request_seconds_bucket{le=\"0.01\"} 2\n"));
+        assert!(merged.contains("mpmb_request_seconds_bucket{le=\"1\"} 3\n"));
+        assert!(merged.contains("mpmb_request_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(merged.contains("mpmb_request_seconds_count 3\n"));
+        assert!(merged.contains("mpmb_request_seconds_sum 0.51\n"));
+        assert!(merged.contains("mpmb_request_seconds_bucket{le=\"+Inf\",node=\"w2:2\"} 1\n"));
+    }
+
+    #[test]
+    fn hostile_text_degrades_instead_of_panicking() {
+        let junk = "no value line\nname{unterminated 5\n# TYPE lonely\n{} 3\nok 1.5\n";
+        let merged = merge_prometheus(&[("n".to_string(), junk.to_string())]);
+        assert!(merged.contains("ok 1.5\n"));
+        assert!(merged.contains("ok{node=\"n\"} 1.5\n"));
+        // Label values with escapes survive the round trip.
+        let tricky = "# TYPE t gauge\nt{p=\"a\\\\b\\\"c\\nd\"} 1\n";
+        let merged = merge_prometheus(&[("n".to_string(), tricky.to_string())]);
+        assert!(merged.contains("t{p=\"a\\\\b\\\"c\\nd\"} 1\n"), "{merged}");
+        assert!(merged.contains("t{p=\"a\\\\b\\\"c\\nd\",node=\"n\"} 1\n"));
+    }
+
+    #[test]
+    fn empty_scrape_list_renders_empty() {
+        assert_eq!(merge_prometheus(&[]), "");
+    }
+}

@@ -14,7 +14,7 @@ use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -27,7 +27,17 @@ const SINK_STDERR: u8 = 1;
 const SINK_FILE: u8 = 2;
 
 static SINK_KIND: AtomicU8 = AtomicU8::new(SINK_OFF);
-static SINK_FILE_HANDLE: Mutex<Option<File>> = Mutex::new(None);
+static SINK_FILE_HANDLE: Mutex<Option<FileSink>> = Mutex::new(None);
+static TRACE_ROTATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The file sink plus the bookkeeping rotation needs: where the file
+/// lives, how much this process has appended, and the size cap (if any).
+struct FileSink {
+    file: File,
+    path: PathBuf,
+    written: u64,
+    max_bytes: Option<u64>,
+}
 
 /// Disables trace emission (the default). Spans still feed profiles
 /// and solver metrics when a context is installed.
@@ -44,10 +54,37 @@ pub fn set_sink_stderr() {
 
 /// Emits trace JSON lines to `path` (appending; created if missing).
 pub fn set_sink_file(path: impl AsRef<Path>) -> std::io::Result<()> {
-    let file = OpenOptions::new().create(true).append(true).open(path)?;
-    *SINK_FILE_HANDLE.lock().unwrap() = Some(file);
+    set_sink_file_capped(path, None)
+}
+
+/// Like [`set_sink_file`], but when `max_bytes` is set the sink rotates
+/// once the file exceeds it: the file is atomically renamed to
+/// `<path>.1` (replacing any previous rotation) and a fresh `<path>` is
+/// started, so at most two generations exist on disk. Each rotation
+/// increments the process-wide counter read by [`trace_rotations`].
+pub fn set_sink_file_capped(path: impl AsRef<Path>, max_bytes: Option<u64>) -> std::io::Result<()> {
+    let path = path.as_ref().to_path_buf();
+    let file = OpenOptions::new().create(true).append(true).open(&path)?;
+    let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+    *SINK_FILE_HANDLE.lock().unwrap() = Some(FileSink {
+        file,
+        path,
+        written,
+        max_bytes,
+    });
     SINK_KIND.store(SINK_FILE, Ordering::Release);
     Ok(())
+}
+
+/// Number of trace-file rotations performed by this process.
+pub fn trace_rotations() -> u64 {
+    TRACE_ROTATIONS.load(Ordering::Relaxed)
+}
+
+fn rotated_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".1");
+    PathBuf::from(name)
 }
 
 /// True when a trace sink (stderr or file) is enabled.
@@ -63,12 +100,35 @@ fn emit_line(line: &str) {
         }
         SINK_FILE => {
             let mut guard = SINK_FILE_HANDLE.lock().unwrap();
-            if let Some(file) = guard.as_mut() {
-                let _ = writeln!(file, "{line}");
+            if let Some(sink) = guard.as_mut() {
+                let _ = writeln!(sink.file, "{line}");
+                sink.written += line.len() as u64 + 1;
+                if sink.max_bytes.is_some_and(|max| sink.written >= max) {
+                    rotate(sink);
+                }
             }
         }
         _ => {}
     }
+}
+
+/// Rotates under the sink lock: rename is atomic (same directory), and
+/// any I/O failure leaves tracing best-effort rather than panicking a
+/// request thread. `written` resets either way so a persistent failure
+/// retries once per cap's worth of output, not once per line.
+fn rotate(sink: &mut FileSink) {
+    let _ = sink.file.flush();
+    if std::fs::rename(&sink.path, rotated_path(&sink.path)).is_ok() {
+        TRACE_ROTATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Ok(fresh) = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&sink.path)
+    {
+        sink.file = fresh;
+    }
+    sink.written = 0;
 }
 
 // ---------------------------------------------------------------------
@@ -103,6 +163,58 @@ pub fn next_trace_id() -> Arc<str> {
     Arc::from(format!("t{:x}-{:06x}", std::process::id(), n).as_str())
 }
 
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a fresh span id, unique across the processes of one cluster:
+/// the pid occupies the high 32 bits, so a coordinator hop and a worker
+/// hop can never collide even though each process counts from 1.
+pub fn next_span_id() -> u64 {
+    let n = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    ((std::process::id() as u64) << 32) | (n & 0xffff_ffff)
+}
+
+/// Where the current operation sits in a (possibly cross-node) trace
+/// tree: the shared trace id, this hop's span id, and the span id of
+/// the hop that dispatched to this one (absent at the root). A
+/// coordinator ships its context inside each range request; the worker
+/// installs a [`SpanContext::child_of`] so its trace lines carry the
+/// same trace id and link back via `parent`.
+#[derive(Clone, Debug)]
+pub struct SpanContext {
+    /// Trace id shared by every hop of the request.
+    pub trace_id: Arc<str>,
+    /// This hop's process-unique span id.
+    pub span_id: u64,
+    /// Span id of the dispatching hop, if any.
+    pub parent_span_id: Option<u64>,
+}
+
+impl SpanContext {
+    /// A root context for a new trace (no parent hop).
+    pub fn root(trace_id: Arc<str>) -> SpanContext {
+        SpanContext {
+            trace_id,
+            span_id: next_span_id(),
+            parent_span_id: None,
+        }
+    }
+
+    /// A context for a hop dispatched by the remote span `parent` of
+    /// the same trace (used when the parent arrived over the wire).
+    pub fn child_of(trace_id: Arc<str>, parent: u64) -> SpanContext {
+        SpanContext {
+            trace_id,
+            span_id: next_span_id(),
+            parent_span_id: Some(parent),
+        }
+    }
+
+    /// A child hop of this context (fresh span id, this hop as parent).
+    pub fn child(&self) -> SpanContext {
+        SpanContext::child_of(Arc::clone(&self.trace_id), self.span_id)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Context
 
@@ -112,6 +224,9 @@ pub fn next_trace_id() -> Arc<str> {
 pub struct ObsCtx {
     /// Trace/request id stamped onto every span and event.
     pub trace_id: Option<Arc<str>>,
+    /// This hop's position in the cross-node trace tree; when set, its
+    /// span/parent ids are stamped onto every span and event line.
+    pub span: Option<SpanContext>,
     /// Phase table closed spans aggregate into.
     pub profile: Option<Arc<Profile>>,
     /// Solver metric handles closed engine spans record into.
@@ -120,7 +235,10 @@ pub struct ObsCtx {
 
 impl ObsCtx {
     fn is_empty(&self) -> bool {
-        self.trace_id.is_none() && self.profile.is_none() && self.solver.is_none()
+        self.trace_id.is_none()
+            && self.span.is_none()
+            && self.profile.is_none()
+            && self.solver.is_none()
     }
 }
 
@@ -173,6 +291,14 @@ pub fn trace_id() -> Option<Arc<str>> {
         return None;
     }
     CTX.with(|c| c.borrow().trace_id.clone())
+}
+
+/// The current span context, if one is installed.
+pub fn span_context() -> Option<SpanContext> {
+    if !ctx_active() {
+        return None;
+    }
+    CTX.with(|c| c.borrow().span.clone())
 }
 
 /// Runs `f` with the installed [`SolverMetrics`], if any.
@@ -289,6 +415,12 @@ fn line_prologue(kind: &str, name: &str) -> String {
     if let Some(id) = trace_id() {
         out.push_str(",\"trace\":");
         push_json_str(&mut out, &id);
+    }
+    if let Some(sc) = span_context() {
+        let _ = write!(out, ",\"span\":{}", sc.span_id);
+        if let Some(parent) = sc.parent_span_id {
+            let _ = write!(out, ",\"parent\":{parent}");
+        }
     }
     let _ = write!(out, ",\"tid\":{}", thread_ord());
     out
@@ -413,6 +545,7 @@ mod tests {
         let profile = Arc::new(Profile::new());
         let guard = install(ObsCtx {
             trace_id: Some(next_trace_id()),
+            span: None,
             profile: Some(profile.clone()),
             solver: None,
         });
@@ -500,6 +633,83 @@ mod tests {
             .expect("event line present");
         assert!(event_line.contains("\"type\":\"event\""));
         assert!(event_line.contains("\"ok\":true"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn span_context_links_hops_and_stamps_lines() {
+        let _l = sink_lock();
+        let root = SpanContext::root(Arc::from("trace-sc"));
+        assert_eq!(root.parent_span_id, None);
+        let hop = SpanContext::child_of(Arc::clone(&root.trace_id), root.span_id);
+        assert_eq!(hop.parent_span_id, Some(root.span_id));
+        assert_ne!(hop.span_id, root.span_id);
+        let grand = hop.child();
+        assert_eq!(grand.parent_span_id, Some(hop.span_id));
+
+        let dir = std::env::temp_dir().join(format!("obs-sc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        set_sink_file(&path).unwrap();
+        {
+            let _g = install(ObsCtx {
+                trace_id: Some(Arc::clone(&hop.trace_id)),
+                span: Some(hop.clone()),
+                profile: None,
+                solver: None,
+            });
+            span("hop.phase").items(1);
+        }
+        set_sink_off();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"name\":\"hop.phase\""))
+            .expect("span line present");
+        assert!(
+            line.contains(&format!("\"span\":{}", hop.span_id)),
+            "{line}"
+        );
+        assert!(
+            line.contains(&format!("\"parent\":{}", root.span_id)),
+            "{line}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_sink_rotates_at_cap_keeping_one_generation() {
+        let _l = sink_lock();
+        let dir = std::env::temp_dir().join(format!("obs-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let before = trace_rotations();
+        set_sink_file_capped(&path, Some(256)).unwrap();
+        let _g = install(ObsCtx {
+            trace_id: Some(Arc::from("rot-test")),
+            span: None,
+            profile: None,
+            solver: None,
+        });
+        for _ in 0..32 {
+            span("rotate.phase").items(1);
+        }
+        set_sink_off();
+        assert!(trace_rotations() > before, "cap of 256 B forces rotation");
+        let rotated = rotated_path(&path);
+        assert!(rotated.exists(), "previous generation kept as .1");
+        assert!(path.exists(), "live file reopened after rename");
+        assert!(
+            std::fs::metadata(&rotated).unwrap().len() >= 256,
+            "rotation happens only past the cap"
+        );
+        // Every line in both generations is intact (no torn writes).
+        for p in [&path, &rotated] {
+            for line in std::fs::read_to_string(p).unwrap().lines() {
+                assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

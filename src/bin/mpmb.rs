@@ -15,7 +15,8 @@
 //! mpmb serve    [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
 //!               [--cache-capacity N] [--max-solver-threads N]
 //!               [--mem-budget BYTES[k|m|g]]
-//!               [--trace off|stderr|FILE] [--graph NAME=SPEC]...
+//!               [--trace off|stderr|FILE] [--trace-max-bytes N]
+//!               [--trace-ring N] [--budget-header] [--graph NAME=SPEC]...
 //!               [--checkpoint-dir DIR] [--checkpoint-every-ms N]
 //!               [--fault-plan SPEC]
 //!               [--role single|coordinator|worker] [--workers ADDR,...]
@@ -79,12 +80,19 @@ subcommands:
             [--listen ADDR] [--threads N] [--queue N] [--timeout-ms N]
             [--cache-capacity N] [--max-solver-threads N]
             [--mem-budget BYTES[k|m|g]]
-            [--trace off|stderr|FILE] [--graph NAME=SPEC]...
+            [--trace off|stderr|FILE] [--trace-max-bytes N]
+            [--trace-ring N] [--budget-header] [--graph NAME=SPEC]...
             [--checkpoint-dir DIR] [--checkpoint-every-ms N]
             [--fault-plan SPEC]
             [--role single|coordinator|worker] [--workers ADDR,...]
             [--probe-interval-ms N]
-            (--mem-budget bounds resident graph bytes: when exceeded,
+            (--trace-max-bytes rotates a --trace FILE at N bytes,
+            keeping one prior generation as FILE.1.
+            --trace-ring sets how many solve summaries GET /debug/trace
+            retains (default 64, must be at least 1).
+            --budget-header adds an X-Mpmb-Budget response header with
+            the per-bucket deadline spend of each solve-like request.
+            --mem-budget bounds resident graph bytes: when exceeded,
             cold container-backed graphs are evicted and re-materialize
             on next use, bit-identically. 0 = unlimited.
             --checkpoint-dir makes the registry and resumable partial
@@ -103,7 +111,9 @@ subcommands:
             (--target and --graph repeat or comma-split; requests
             round-robin over both lists. --retries N retries transport
             errors/429/503 up to N times per request with backoff,
-            honoring Retry-After)
+            honoring Retry-After. Every request carries a deterministic
+            X-Request-Id derived from --seed and the request ordinal;
+            the report names the p99-worst ids for trace lookup)
 
 Edge-list format: `LEFT RIGHT WEIGHT PROB` per line, `#` comments allowed.
 `--help` anywhere prints this text.";
@@ -116,7 +126,7 @@ fn fail(msg: &str) -> ! {
 
 /// Flags that are on/off switches: the value may be omitted
 /// (`--vary-seed` reads as `--vary-seed true`).
-const BOOL_FLAGS: &[&str] = &["vary-seed", "profile", "mem-stats"];
+const BOOL_FLAGS: &[&str] = &["vary-seed", "profile", "mem-stats", "budget-header"];
 
 /// Minimal flag parser: `--name value` pairs after the subcommand.
 struct Flags(Vec<(String, String)>);
@@ -290,8 +300,10 @@ fn cmd_solve(flags: &Flags) {
     // the trial loop's results — proptests pin bit-identity.
     let profile = Arc::new(obs::Profile::new());
     let _obs_guard = (profile_on || flags.get("trace-json").is_some()).then(|| {
+        let trace_id = obs::next_trace_id();
         obs::install(obs::ObsCtx {
-            trace_id: Some(obs::next_trace_id()),
+            trace_id: Some(Arc::clone(&trace_id)),
+            span: Some(obs::SpanContext::root(trace_id)),
             profile: Some(Arc::clone(&profile)),
             solver: None,
         })
@@ -525,12 +537,34 @@ fn cmd_serve(flags: &Flags) {
         "role",
         "workers",
         "probe-interval-ms",
+        "trace-max-bytes",
+        "trace-ring",
+        "budget-header",
     ]);
+    let trace_cap: Option<u64> = flags.get("trace-max-bytes").map(|v| {
+        let n = v
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("cannot parse --trace-max-bytes value `{v}`")));
+        if n == 0 {
+            fail("--trace-max-bytes must be positive");
+        }
+        n
+    });
     match flags.get("trace") {
-        None | Some("off") => {}
-        Some("stderr") => obs::set_sink_stderr(),
-        Some(path) => obs::set_sink_file(path)
+        None | Some("off") | Some("stderr") => {
+            if trace_cap.is_some() {
+                fail("--trace-max-bytes requires --trace FILE");
+            }
+            if flags.get("trace") == Some("stderr") {
+                obs::set_sink_stderr();
+            }
+        }
+        Some(path) => obs::set_sink_file_capped(path, trace_cap)
             .unwrap_or_else(|e| fail(&format!("cannot open --trace {path}: {e}"))),
+    }
+    let trace_ring: usize = flags.get_parsed("trace-ring", 64);
+    if trace_ring == 0 {
+        fail("--trace-ring must be at least 1");
     }
     let cfg = mpmb_serve::ServerConfig {
         listen: flags.get("listen").unwrap_or("127.0.0.1:7700").to_string(),
@@ -562,6 +596,8 @@ fn cmd_serve(flags: &Flags) {
             .collect(),
         probe_interval_ms: flags.get_parsed("probe-interval-ms", 1_000),
         mem_budget: parse_mem_budget(flags.get("mem-budget").unwrap_or("0")),
+        trace_ring,
+        budget_header: flags.get_parsed("budget-header", false),
     };
     mpmb_serve::signal::install();
     let server = mpmb_serve::Server::start(cfg)

@@ -8,7 +8,8 @@
 //! the dead worker's range (observable via
 //! `mpmb_cluster_redispatch_total` / `mpmb_cluster_worker_errors_total`).
 
-use mpmb_serve::client::call;
+use mpmb_serve::client::{call, call_ext};
+use mpmb_serve::json::Json;
 use std::io::BufRead;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -85,19 +86,38 @@ fn spawn_worker(timeout_ms: u64) -> ServerProc {
 }
 
 fn spawn_coordinator(workers: &[&ServerProc], probe_interval_ms: u64) -> ServerProc {
+    spawn_coordinator_with(workers, probe_interval_ms, &[])
+}
+
+fn spawn_coordinator_with(
+    workers: &[&ServerProc],
+    probe_interval_ms: u64,
+    extra: &[&str],
+) -> ServerProc {
     let list = workers
         .iter()
         .map(|w| w.addr.as_str())
         .collect::<Vec<_>>()
         .join(",");
-    spawn_server(&[
+    let mut args = vec![
         "--role",
         "coordinator",
         "--workers",
         &list,
         "--probe-interval-ms",
-        &probe_interval_ms.to_string(),
-    ])
+    ];
+    let probe = probe_interval_ms.to_string();
+    args.push(&probe);
+    args.extend_from_slice(extra);
+    spawn_server(&args)
+}
+
+/// A scratch directory under the system temp dir, empty on return.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpmb-cluster-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
 }
 
 fn metric_value(metrics_text: &str, name: &str) -> u64 {
@@ -221,4 +241,229 @@ fn sigkilled_worker_mid_solve_never_changes_the_answer() {
         fetch_metric(&coord.addr, "mpmb_cluster_redispatch_total") >= 1,
         "remaining trials were never redispatched"
     );
+}
+
+/// The observability tentpole, end to end: a cluster solve under a
+/// client-supplied `X-Request-Id` produces ONE stitched trace — the
+/// coordinator's `/debug/trace` entry carries per-worker phase
+/// breakdowns and a deadline budget summing to ~the request wall time,
+/// the worker's own trace file contains the coordinator's trace id
+/// (cross-node propagation), and none of it perturbs the answer:
+/// obs-on bodies are byte-identical to an obs-off cluster's.
+#[test]
+fn cluster_trace_is_stitched_budgeted_and_answers_stay_bit_identical() {
+    let body = "{\"graph\":\"g\",\"method\":\"os\",\"trials\":2000,\"seed\":67,\"k\":3}";
+
+    // Obs-off baseline: a plain cluster, no sinks, no request id.
+    let baseline = {
+        let workers = [spawn_worker(0), spawn_worker(0)];
+        let coord = spawn_coordinator(&workers.iter().collect::<Vec<_>>(), 200);
+        let (status, got) = call(coord.addr.as_str(), "POST", "/v1/solve", body).unwrap();
+        assert_eq!(status, 200, "{got}");
+        got
+    };
+
+    // Obs-on cluster: every node writes a trace file, the coordinator
+    // additionally exposes the budget header.
+    let dir = scratch_dir("stitch");
+    let worker_traces: Vec<String> = (0..2)
+        .map(|i| dir.join(format!("worker{i}.jsonl")).display().to_string())
+        .collect();
+    let workers: Vec<ServerProc> = worker_traces
+        .iter()
+        .map(|path| {
+            spawn_server(&[
+                "--role",
+                "worker",
+                "--timeout-ms",
+                "0",
+                "--trace",
+                path.as_str(),
+            ])
+        })
+        .collect();
+    let coord_trace = dir.join("coord.jsonl").display().to_string();
+    let coord = spawn_coordinator_with(
+        &workers.iter().collect::<Vec<_>>(),
+        200,
+        &["--trace", coord_trace.as_str(), "--budget-header"],
+    );
+
+    let (status, headers, got) = call_ext(
+        coord.addr.as_str(),
+        "POST",
+        "/v1/solve",
+        body,
+        &[("X-Request-Id", "xnode-stitch-e2e")],
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(got, baseline, "tracing changed the cluster answer");
+
+    // The budget header is present and names all six buckets.
+    let budget_header = headers
+        .iter()
+        .find(|(k, _)| k == "x-mpmb-budget")
+        .map(|(_, v)| v.as_str())
+        .expect("--budget-header adds X-Mpmb-Budget on solve responses");
+    for bucket in [
+        "queue=",
+        "materialize=",
+        "prepare=",
+        "trials=",
+        "network=",
+        "finalize=",
+    ] {
+        assert!(budget_header.contains(bucket), "{budget_header}");
+    }
+
+    // The coordinator's /debug/trace entry is the stitched timeline.
+    let (status, resp) = call(coord.addr.as_str(), "GET", "/debug/trace", "").unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let json = Json::parse(&resp).unwrap();
+    let traces = json.get("traces").and_then(Json::as_arr).unwrap();
+    let entry = traces
+        .iter()
+        .find(|t| t.get("trace_id").and_then(Json::as_str) == Some("xnode-stitch-e2e"))
+        .expect("cluster solve retained in the coordinator ring");
+    let phases = match entry.get("phases").expect("phases object") {
+        Json::Obj(phases) => phases,
+        other => panic!("phases should be an object, got {other:?}"),
+    };
+    // Worker phases come back namespaced `{addr}/{phase}`: at least one
+    // per worker, since the 2000-trial range scatters across both.
+    for w in &workers {
+        assert!(
+            phases.iter().any(|(name, _)| name
+                .strip_prefix(w.addr.as_str())
+                .is_some_and(|rest| rest.starts_with('/'))),
+            "no stitched phase from worker {}: {phases:?}",
+            w.addr
+        );
+    }
+    // The deadline budget covers the request wall clock: the six
+    // buckets sum to at least the measured duration (nested solver
+    // spans can push the classified total slightly above it).
+    let dur_us = entry.get("dur_us").and_then(Json::as_f64).unwrap();
+    let budget = entry.get("budget").expect("budget object");
+    let spent: f64 = [
+        "queue",
+        "materialize",
+        "prepare",
+        "trials",
+        "network",
+        "finalize",
+    ]
+    .iter()
+    .map(|b| budget.get(b).and_then(Json::as_f64).unwrap())
+    .sum();
+    assert!(
+        spent >= dur_us / 1e6 * 0.99,
+        "budget accounts {spent}s of a {}s request",
+        dur_us / 1e6
+    );
+
+    // Cross-node propagation: the coordinator's trace id shows up in
+    // every worker's own trace file, with parented spans.
+    for (path, w) in worker_traces.iter().zip(&workers) {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("worker trace file {path}: {e}"));
+        assert!(
+            text.contains("xnode-stitch-e2e"),
+            "worker {} never joined the coordinator's trace:\n{text}",
+            w.addr
+        );
+        assert!(
+            text.contains("\"parent\":"),
+            "worker {} spans carry no parent ids",
+            w.addr
+        );
+    }
+
+    drop(coord);
+    drop(workers);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Metrics federation under membership churn: `/metrics/cluster` merges
+/// every healthy worker's page under `node` labels; a worker SIGKILLed
+/// between scrapes bumps the failure counter while the survivor keeps
+/// rendering, and repeated scrapes against the half-dead membership
+/// never panic the coordinator.
+#[test]
+fn metrics_federation_survives_worker_churn() {
+    let mut workers = [spawn_worker(0), spawn_worker(0)];
+    // A probe interval far longer than the test: the scrape loop itself
+    // must discover the corpse, so the failure counter is deterministic.
+    let coord = spawn_coordinator(&workers.iter().collect::<Vec<_>>(), 60_000);
+
+    // Warm the workers' metric pages so the merge has real series.
+    for _ in 0..2 {
+        let (status, got) = call(
+            coord.addr.as_str(),
+            "POST",
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"os\",\"trials\":500,\"seed\":71}",
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{got}");
+    }
+
+    let (status, merged) = call(coord.addr.as_str(), "GET", "/metrics/cluster", "").unwrap();
+    assert_eq!(status, 200, "{merged}");
+    for w in &workers {
+        assert!(
+            merged.contains(&format!("node=\"{}\"", w.addr)),
+            "worker {} missing from the federated page:\n{merged}",
+            w.addr
+        );
+    }
+    assert!(
+        merged.contains("node=\"coordinator\""),
+        "coordinator's own page missing from the merge"
+    );
+    // Aggregate (unlabeled) series precede the per-node breakdown.
+    assert!(
+        merged.contains("mpmb_requests_total"),
+        "no aggregated series in the merge:\n{merged}"
+    );
+    assert_eq!(
+        fetch_metric(&coord.addr, "mpmb_federation_scrape_failures_total"),
+        0
+    );
+    let scrapes_before = fetch_metric(&coord.addr, "mpmb_federation_scrapes_total");
+    assert!(scrapes_before >= 2, "both workers should have been scraped");
+
+    // Kill one worker. The prober (60 s interval) still believes it is
+    // healthy, so the next scrape hits the corpse and fails.
+    workers[1].kill();
+    let dead = workers[1].addr.clone();
+    let (status, merged) = call(coord.addr.as_str(), "GET", "/metrics/cluster", "").unwrap();
+    assert_eq!(status, 200, "churn must degrade, not fail: {merged}");
+    let node_series = |addr: &str| {
+        let label = format!("node=\"{addr}\"");
+        merged
+            .lines()
+            .any(|l| l.starts_with("mpmb_requests_total") && l.contains(&label))
+    };
+    assert!(
+        node_series(&workers[0].addr),
+        "survivor dropped from the federated page:\n{merged}"
+    );
+    assert!(
+        fetch_metric(&coord.addr, "mpmb_federation_scrape_failures_total") >= 1,
+        "dead worker's scrape failure went uncounted"
+    );
+    assert!(
+        !node_series(&dead),
+        "dead worker still rendering fresh series:\n{merged}"
+    );
+
+    // Flapping membership never panics: hammer the endpoint while the
+    // dead slot lingers in the member list.
+    for _ in 0..3 {
+        let (status, _) = call(coord.addr.as_str(), "GET", "/metrics/cluster", "").unwrap();
+        assert_eq!(status, 200);
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }

@@ -1,0 +1,133 @@
+//! Property test for the PR-4 invariant extended to the cluster path:
+//! observability must never perturb a coordinator's answers. For random
+//! solve-like requests, a scatter-gathered response with the trace sink
+//! ON and a client-supplied `X-Request-Id` is byte-identical to the
+//! same request with the sink OFF and no request id.
+//!
+//! The cluster (two in-process workers plus a coordinator) is started
+//! once and reused across cases; the result cache is disabled so every
+//! request recomputes — a cache hit would make the comparison vacuous.
+
+use mpmb_serve::client::{call, call_ext};
+use mpmb_serve::{Role, Server, ServerConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const GRAPH_SPEC: &str = "dataset:abide:0.01:3";
+
+struct Cluster {
+    /// Held only to keep the worker/coordinator threads alive for the
+    /// duration of the test process.
+    _nodes: Vec<Server>,
+    coord_addr: String,
+}
+
+fn uncached_cfg() -> ServerConfig {
+    ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        threads: 2,
+        queue: 32,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    }
+}
+
+fn cluster() -> &'static Cluster {
+    static CLUSTER: OnceLock<Cluster> = OnceLock::new();
+    CLUSTER.get_or_init(|| {
+        let mut nodes = Vec::new();
+        let mut worker_addrs = Vec::new();
+        for _ in 0..2 {
+            let s = Server::start(ServerConfig {
+                role: Role::Worker,
+                ..uncached_cfg()
+            })
+            .expect("start worker");
+            worker_addrs.push(s.addr.to_string());
+            nodes.push(s);
+        }
+        let coord = Server::start(ServerConfig {
+            role: Role::Coordinator,
+            workers: worker_addrs,
+            probe_interval_ms: 200,
+            ..uncached_cfg()
+        })
+        .expect("start coordinator");
+        let coord_addr = coord.addr.to_string();
+        nodes.push(coord);
+
+        let (status, body) = call(
+            coord_addr.as_str(),
+            "POST",
+            "/v1/graphs",
+            &format!("{{\"name\":\"g\",\"spec\":\"{GRAPH_SPEC}\"}}"),
+        )
+        .expect("register graph");
+        assert_eq!(status, 200, "register failed: {body}");
+        Cluster {
+            _nodes: nodes,
+            coord_addr,
+        }
+    })
+}
+
+fn trace_path() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mpmb-cluster-obs-prop-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn arb_request() -> impl Strategy<Value = (String, String)> {
+    (0usize..3, 50u64..400, any::<u64>()).prop_map(|(method, trials, seed)| match method {
+        0 => (
+            "/v1/solve".to_string(),
+            format!(
+                "{{\"graph\":\"g\",\"method\":\"os\",\"trials\":{trials},\"seed\":{seed},\"k\":2}}"
+            ),
+        ),
+        1 => (
+            "/v1/solve".to_string(),
+            format!("{{\"graph\":\"g\",\"method\":\"mcvp\",\"trials\":{trials},\"seed\":{seed}}}"),
+        ),
+        _ => (
+            "/v1/count".to_string(),
+            format!("{{\"graph\":\"g\",\"trials\":{trials},\"seed\":{seed}}}"),
+        ),
+    })
+}
+
+proptest! {
+    /// Sink off + anonymous request vs sink on + traced request: the
+    /// scattered bodies must agree byte for byte.
+    #[test]
+    fn cluster_answers_ignore_observability(req in arb_request(), tag in any::<u64>()) {
+        let (path, body) = req;
+        let c = cluster();
+
+        obs::set_sink_off();
+        let (off_status, off_body) =
+            call(c.coord_addr.as_str(), "POST", &path, &body).expect("obs-off request");
+
+        obs::set_sink_file(trace_path()).expect("trace sink file");
+        let rid = format!("obs-prop-{tag:016x}");
+        let (on_status, headers, on_body) = call_ext(
+            c.coord_addr.as_str(),
+            "POST",
+            &path,
+            &body,
+            &[("X-Request-Id", rid.as_str())],
+        )
+        .expect("obs-on request");
+        obs::set_sink_off();
+
+        prop_assert_eq!(off_status, on_status, "status drifted under tracing");
+        prop_assert_eq!(&off_body, &on_body, "body drifted under tracing");
+        // The traced request really ran under the supplied id.
+        let echoed = headers
+            .iter()
+            .find(|(k, _)| k == "x-request-id")
+            .map(|(_, v)| v.as_str());
+        prop_assert_eq!(echoed, Some(rid.as_str()));
+    }
+}
