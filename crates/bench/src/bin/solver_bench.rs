@@ -1,12 +1,14 @@
 //! `solver_bench` — trial-engine throughput benchmark: every sampler
-//! (os, mcvp, ols, ols-kl) through the unified `Executor` at several
-//! thread counts, as machine-readable JSON (`BENCH_solvers.json` in CI).
+//! (os, mcvp, ols, ols-kl, fast) through the unified `Executor` at
+//! several thread counts, as machine-readable JSON
+//! (`BENCH_solvers.json` in CI).
 //!
 //! ```text
 //! solver_bench [--dataset NAME] [--scale F] [--seed N]
 //!              [--threads LIST] [--trials N] [--prep N] [--repeats N]
 //!              [--methods LIST] [--baseline FILE] [--max-regression F]
 //!              [--container] [--min-load-speedup F]
+//!              [--min-fast-speedup F]
 //!
 //! --dataset   abide | movielens | jester | protein (default: movielens)
 //! --scale     generation scale, 1.0 = Table III size (default: the
@@ -16,7 +18,8 @@
 //! --trials    sampling-phase trials per solver (default 20000)
 //! --prep      OLS preparing-phase trials (default 200)
 //! --repeats   timing repeats per configuration; min is reported (default 3)
-//! --methods   comma-separated subset of os,mcvp,ols,ols-kl (default all)
+//! --methods   comma-separated subset of os,mcvp,ols,ols-kl,fast
+//!             (default all)
 //! --baseline  committed solver_bench JSON to gate against (optional)
 //! --max-regression  allowed fractional drop in sequential trials/sec
 //!             below the baseline before exiting non-zero (default 0.30)
@@ -26,6 +29,12 @@
 //! --min-load-speedup  with --container: exit non-zero unless attach
 //!             beats text re-parse by at least this factor (default 0,
 //!             no gate; perf-smoke passes 10)
+//! --min-fast-speedup  exit non-zero unless the sequential fast tier
+//!             beats sequential os by at least this factor at the same
+//!             trial budget — and, per the Chebyshev bound both share,
+//!             at the same certified relative error. Requires both os
+//!             and fast in --methods (default 0, no gate; perf-smoke
+//!             passes 10)
 //! ```
 //!
 //! Every parallel run is checked against the sequential distribution
@@ -37,8 +46,9 @@
 use bench::default_scale;
 use datasets::Dataset;
 use mpmb_core::{
-    Cancel, Distribution, EstimatorKind, Executor, KlTrialPolicy, McVpConfig, McVpTrials,
-    OlsConfig, OrderingListingSampling, OsConfig, OsTrials,
+    estimate_fast, Cancel, Distribution, EstimatorKind, Executor, FastEstimate, KlTrialPolicy,
+    McVpConfig, McVpTrials, OlsConfig, OrderingListingSampling, OsConfig, OsTrials,
+    SublinearConfig,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -56,12 +66,14 @@ struct Args {
     max_regression: f64,
     container: bool,
     min_load_speedup: f64,
+    min_fast_speedup: f64,
 }
 
 const HELP: &str =
     "solver_bench [--dataset abide|movielens|jester|protein] [--scale F] [--seed N] \
 [--threads LIST] [--trials N] [--prep N] [--repeats N] [--methods LIST] \
-[--baseline FILE] [--max-regression F] [--container] [--min-load-speedup F]";
+[--baseline FILE] [--max-regression F] [--container] [--min-load-speedup F] \
+[--min-fast-speedup F]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -77,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
         max_regression: 0.30,
         container: false,
         min_load_speedup: 0.0,
+        min_fast_speedup: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -159,6 +172,14 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--container" => args.container = true,
+            "--min-fast-speedup" => {
+                args.min_fast_speedup = value("--min-fast-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-fast-speedup: {e}"))?;
+                if args.min_fast_speedup < 0.0 {
+                    return Err("--min-fast-speedup must be non-negative".into());
+                }
+            }
             "--min-load-speedup" => {
                 args.min_load_speedup = value("--min-load-speedup")?
                     .parse()
@@ -177,10 +198,24 @@ fn parse_args() -> Result<Args, String> {
     if args.min_load_speedup > 0.0 && !args.container {
         return Err("--min-load-speedup requires --container".into());
     }
+    if args.min_fast_speedup > 0.0
+        && !(args.methods.contains(&"os") && args.methods.contains(&"fast"))
+    {
+        return Err("--min-fast-speedup requires both os and fast in --methods".into());
+    }
     Ok(args)
 }
 
-const METHODS: [&str; 4] = ["os", "mcvp", "ols", "ols-kl"];
+const METHODS: [&str; 5] = ["os", "mcvp", "ols", "ols-kl", "fast"];
+
+/// What a solver pass produced: the full sampling distribution for the
+/// exact tiers, or the certified estimate for the sublinear fast tier.
+/// Either way the identity check is bit-exact — thread count must never
+/// change a byte of the answer.
+enum BenchResult {
+    Dist(Distribution),
+    Fast(FastEstimate),
+}
 
 /// One solver pass on `threads` workers; returns the distribution and
 /// the total executor trials it ran (for the trials/sec figure).
@@ -189,9 +224,17 @@ fn run_method(
     method: &str,
     args: &Args,
     threads: usize,
-) -> (Distribution, u64) {
+) -> (BenchResult, u64) {
     let (trials, prep, seed) = (args.trials, args.prep, args.seed);
     match method {
+        "fast" => {
+            let cfg = SublinearConfig {
+                trials,
+                seed,
+                delta: 0.05,
+            };
+            (BenchResult::Fast(estimate_fast(g, &cfg, threads)), trials)
+        }
         "os" => {
             let cfg = OsConfig {
                 trials,
@@ -202,7 +245,7 @@ fn run_method(
                 .run(&OsTrials::new(g, &cfg), trials, &Cancel::never())
                 .acc
                 .into_distribution();
-            (dist, trials)
+            (BenchResult::Dist(dist), trials)
         }
         "mcvp" => {
             let cfg = McVpConfig { trials, seed };
@@ -210,7 +253,7 @@ fn run_method(
                 .run(&McVpTrials::new(g, &cfg), trials, &Cancel::never())
                 .acc
                 .into_distribution();
-            (dist, trials)
+            (BenchResult::Dist(dist), trials)
         }
         "ols" => {
             let res = OrderingListingSampling::new(OlsConfig {
@@ -221,7 +264,7 @@ fn run_method(
                 ..Default::default()
             })
             .run(g);
-            (res.distribution, prep + trials)
+            (BenchResult::Dist(res.distribution), prep + trials)
         }
         "ols-kl" => {
             let res = OrderingListingSampling::new(OlsConfig {
@@ -239,14 +282,14 @@ fn run_method(
                 .as_ref()
                 .map(|r| r.trials_per_candidate.iter().sum())
                 .unwrap_or(0);
-            (res.distribution, prep + consumed)
+            (BenchResult::Dist(res.distribution), prep + consumed)
         }
         other => unreachable!("unknown method {other}"),
     }
 }
 
 /// Minimum wall-clock seconds over `repeats` runs, plus the last result.
-fn time_min<F: FnMut() -> (Distribution, u64)>(repeats: u32, mut f: F) -> (f64, Distribution, u64) {
+fn time_min<F: FnMut() -> (BenchResult, u64)>(repeats: u32, mut f: F) -> (f64, BenchResult, u64) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..repeats {
@@ -259,9 +302,22 @@ fn time_min<F: FnMut() -> (Distribution, u64)>(repeats: u32, mut f: F) -> (f64, 
     (best, dist, trials)
 }
 
-/// Distribution equality: same support, zero maximum deviation.
-fn identical(a: &Distribution, b: &Distribution) -> bool {
-    a.len() == b.len() && a.max_abs_diff(b) == 0.0
+/// Bit-exact result equality: same support and zero maximum deviation
+/// for distributions, identical bits across all certified fields for a
+/// fast estimate.
+fn identical(a: &BenchResult, b: &BenchResult) -> bool {
+    match (a, b) {
+        (BenchResult::Dist(a), BenchResult::Dist(b)) => {
+            a.len() == b.len() && a.max_abs_diff(b) == 0.0
+        }
+        (BenchResult::Fast(a), BenchResult::Fast(b)) => {
+            a.estimate.to_bits() == b.estimate.to_bits()
+                && a.variance.to_bits() == b.variance.to_bits()
+                && a.ci_low.to_bits() == b.ci_low.to_bits()
+                && a.ci_high.to_bits() == b.ci_high.to_bits()
+        }
+        _ => false,
+    }
 }
 
 /// One untimed sequential run under an [`obs::Profile`], returning the
@@ -313,10 +369,12 @@ fn main() {
     let mut methods_json = Vec::new();
     let mut mismatches: Vec<String> = Vec::new();
     let mut current_tps: Vec<(&str, f64)> = Vec::new();
+    let mut seq_secs_of: Vec<(&str, f64)> = Vec::new();
     for &method in &args.methods {
         let (seq_secs, seq_dist, seq_trials) =
             time_min(args.repeats, || run_method(&g, method, &args, 1));
         current_tps.push((method, seq_trials as f64 / seq_secs));
+        seq_secs_of.push((method, seq_secs));
         let mut runs = Vec::new();
         for &threads in &args.threads {
             let (secs, dist, trials) =
@@ -385,6 +443,27 @@ fn main() {
             eprintln!(
                 "error: container attach only {:.1}x faster than text re-parse (need {:.1}x)",
                 cmp.speedup, args.min_load_speedup
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // The sublinear tier's reason to exist: at the same trial budget
+    // (hence the same Chebyshev-certified relative error) sequential
+    // fast must beat sequential os by the gated factor, or serving it
+    // as a deadline tier would be pointless.
+    if args.min_fast_speedup > 0.0 {
+        let secs = |m: &str| seq_secs_of.iter().find(|(k, _)| *k == m).map(|(_, s)| *s);
+        let (os, fast) = (secs("os").unwrap(), secs("fast").unwrap());
+        let speedup = os / fast;
+        eprintln!(
+            "fast tier: {fast:.6}s vs sequential os {os:.6}s ({speedup:.1}x, need {:.1}x)",
+            args.min_fast_speedup
+        );
+        if speedup < args.min_fast_speedup {
+            eprintln!(
+                "error: fast tier only {speedup:.1}x faster than sequential os (need {:.1}x)",
+                args.min_fast_speedup
             );
             std::process::exit(1);
         }

@@ -30,6 +30,10 @@ pub struct AdaptiveConfig {
     pub max_trials: u64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads per batch (values ≤ 1 mean sequential). Batches
+    /// run chunked-parallel on the engine [`Executor`]; the result is
+    /// bit-identical to the sequential run at any thread count.
+    pub threads: usize,
     /// Ordering Sampling options for the per-trial engine.
     pub os: OsConfig,
 }
@@ -42,6 +46,7 @@ impl Default for AdaptiveConfig {
             batch: 1_000,
             max_trials: 1_000_000,
             seed: 0x5EED,
+            threads: 1,
             os: OsConfig::default(),
         }
     }
@@ -83,16 +88,19 @@ pub fn run_os_adaptive(g: &UncertainBipartiteGraph, cfg: &AdaptiveConfig) -> Ada
             ..cfg.os
         },
     );
-    let executor = Executor::new(1);
+    let executor = Executor::new(cfg.threads);
     let mut tally = Tally::new();
     let mut satisfied = false;
 
     let mut t = 0u64;
     while t < cfg.max_trials {
         let stop_at = (t + cfg.batch).min(cfg.max_trials);
+        // Parallel batches return one accumulator per chunk, in range
+        // order; tally merges are integer additions, so the fold is
+        // bit-identical to the sequential single-chunk run.
         for (acc, done) in executor.run_range(&os, t..stop_at, &Cancel::never(), &mut NoopObserver)
         {
-            debug_assert_eq!(done, t..stop_at);
+            debug_assert!(done.start >= t && done.end <= stop_at);
             os.merge(&mut tally, acc);
         }
         t = stop_at;
@@ -113,6 +121,24 @@ pub fn run_os_adaptive(g: &UncertainBipartiteGraph, cfg: &AdaptiveConfig) -> Ada
         bound_satisfied: satisfied,
         target,
     }
+}
+
+/// The variance-driven escalation rule for the serving fast tier: given
+/// a fast-tier answer (`estimate` with confidence half-width
+/// `half_width`), decide whether an exact-method run should be
+/// scheduled. The fast answer stands on its own only when its interval
+/// certifies relative error `ε` — the same target the adaptive stopping
+/// rule above enforces for Ordering Sampling. A zero estimate with a
+/// non-degenerate interval always escalates: nothing was certified.
+///
+/// # Panics
+/// Panics unless `ε > 0`.
+pub fn fast_escalation_needed(estimate: f64, half_width: f64, epsilon: f64) -> bool {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    if estimate <= 0.0 {
+        return half_width > 0.0;
+    }
+    half_width > epsilon * estimate
 }
 
 /// The butterfly with the highest hit count, deterministic under ties.
@@ -219,5 +245,37 @@ mod tests {
         let b = run_os_adaptive(&g, &cfg);
         assert_eq!(a.trials_used, b.trials_used);
         assert_eq!(a.distribution.max_abs_diff(&b.distribution), 0.0);
+    }
+
+    #[test]
+    fn threads_are_bit_identical_to_sequential() {
+        let g = fig1();
+        let base = AdaptiveConfig {
+            batch: 300,
+            max_trials: 3_000,
+            epsilon: 0.3,
+            delta: 0.3,
+            seed: 37,
+            ..Default::default()
+        };
+        let seq = run_os_adaptive(&g, &base);
+        for threads in [2, 3, 8] {
+            let par = run_os_adaptive(&g, &AdaptiveConfig { threads, ..base });
+            assert_eq!(seq.trials_used, par.trials_used, "threads={threads}");
+            assert_eq!(seq.bound_satisfied, par.bound_satisfied);
+            assert_eq!(seq.target, par.target, "threads={threads}");
+            assert_eq!(seq.distribution.max_abs_diff(&par.distribution), 0.0);
+        }
+    }
+
+    #[test]
+    fn escalation_rule_tracks_certified_relative_error() {
+        // Interval tighter than ε·estimate: the fast answer stands.
+        assert!(!fast_escalation_needed(10.0, 0.5, 0.1));
+        // Interval too wide: escalate.
+        assert!(fast_escalation_needed(10.0, 2.0, 0.1));
+        // Zero estimate: only a degenerate interval is self-certifying.
+        assert!(!fast_escalation_needed(0.0, 0.0, 0.1));
+        assert!(fast_escalation_needed(0.0, 0.3, 0.1));
     }
 }

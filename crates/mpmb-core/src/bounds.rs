@@ -14,6 +14,22 @@ pub fn mc_trial_lower_bound(mu: f64, epsilon: f64, delta: f64) -> f64 {
     (1.0 / mu) * (4.0 * (2.0 / delta).ln() / (epsilon * epsilon))
 }
 
+/// Distribution-free confidence half-width for a sample mean: by
+/// Chebyshev's inequality the interval `mean ± sqrt(s²/(N·δ))` (with
+/// `s²` the unbiased sample variance over `N` trials) covers the true
+/// expectation with probability at least `1 − δ`. The fast counting
+/// tier reports this interval — conservative, but valid for the
+/// heavy-tailed per-wedge estimator without any range assumption.
+///
+/// # Panics
+/// Panics unless `variance ≥ 0`, `trials > 0`, `0 < δ < 1`.
+pub fn chebyshev_half_width(variance: f64, trials: u64, delta: f64) -> f64 {
+    assert!(variance >= 0.0, "variance must be non-negative");
+    assert!(trials > 0, "trials must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    (variance / (trials as f64 * delta)).sqrt()
+}
+
 /// Equation 8: the ratio `N_kl / N_op` of trial counts giving Karp-Luby
 /// (Algorithm 4) and the optimized estimator (Algorithm 5) the same `ε–δ`
 /// guarantee on a candidate with existence probability `Pr[E(B_i)]`,
@@ -129,5 +145,20 @@ mod tests {
     #[should_panic(expected = "mu must be in (0,1]")]
     fn rejects_zero_mu() {
         let _ = mc_trial_lower_bound(0.0, 0.1, 0.1);
+    }
+
+    #[test]
+    fn chebyshev_half_width_shrinks_with_trials_and_confidence() {
+        let w = chebyshev_half_width(4.0, 100, 0.1);
+        assert!((w - (4.0f64 / 10.0).sqrt()).abs() < 1e-12);
+        assert!(chebyshev_half_width(4.0, 400, 0.1) < w);
+        assert!(chebyshev_half_width(4.0, 100, 0.01) > w);
+        assert_eq!(chebyshev_half_width(0.0, 100, 0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trials must be positive")]
+    fn chebyshev_rejects_zero_trials() {
+        let _ = chebyshev_half_width(1.0, 0, 0.1);
     }
 }

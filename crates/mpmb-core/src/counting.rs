@@ -28,8 +28,13 @@ pub struct CountDistribution {
 }
 
 impl CountDistribution {
-    /// Empirical `Pr[count ≥ k]`.
+    /// Empirical `Pr[count ≥ k]`. An empty distribution (zero trials)
+    /// reports `0.0` for every `k` — never `NaN` from `0/0`, which
+    /// would serialize as `null` in JSON bodies.
     pub fn tail_prob(&self, k: u64) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
         let hits: u64 = self
             .histogram
             .iter()
@@ -72,11 +77,21 @@ pub fn sample_count_distribution_parallel(
 }
 
 /// Finalizes a (possibly resumed) count histogram into the moment
-/// summary. `trials` must equal the histogram's total mass.
+/// summary. `trials` must equal the histogram's total mass. Zero trials
+/// (a zero-progress resumed partial finalized as-is) yield a
+/// well-defined empty distribution — zero moments, not `0/0 = NaN`.
 pub fn count_distribution_from_histogram(
     histogram: FxHashMap<u64, u64>,
     trials: u64,
 ) -> CountDistribution {
+    if trials == 0 {
+        return CountDistribution {
+            mean: 0.0,
+            variance: 0.0,
+            histogram,
+            trials: 0,
+        };
+    }
     let mut keys: Vec<u64> = histogram.keys().copied().collect();
     keys.sort_unstable();
     let (mut s1, mut s2) = (0.0f64, 0.0f64);
@@ -429,6 +444,21 @@ mod tests {
         let b = sample_count_distribution(&g, 1_000, 9);
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.histogram, b.histogram);
+    }
+
+    #[test]
+    fn zero_trial_distribution_is_nan_free() {
+        // A zero-progress resumed partial finalized as-is must not leak
+        // NaN (which serializes as `null` in JSON) to clients.
+        let d = count_distribution_from_histogram(FxHashMap::default(), 0);
+        assert_eq!(d.mean, 0.0);
+        assert_eq!(d.variance, 0.0);
+        assert_eq!(d.trials, 0);
+        for k in [0, 1, 10] {
+            let p = d.tail_prob(k);
+            assert!(!p.is_nan(), "tail_prob({k}) = {p}");
+            assert_eq!(p, 0.0);
+        }
     }
 
     #[test]

@@ -4,3 +4,4 @@
 pub mod exact_prefix;
 pub mod karp_luby;
 pub mod optimized;
+pub mod sublinear;

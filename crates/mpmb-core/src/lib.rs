@@ -45,7 +45,7 @@ pub mod threshold;
 pub mod topk;
 pub mod validation;
 
-pub use adaptive::{run_os_adaptive, AdaptiveConfig, AdaptiveResult};
+pub use adaptive::{fast_escalation_needed, run_os_adaptive, AdaptiveConfig, AdaptiveResult};
 pub use angle::TopTwoAngles;
 pub use butterfly::{
     count_backbone_butterflies, enumerate_backbone_butterflies, for_each_backbone_butterfly,
@@ -67,6 +67,9 @@ pub use estimators::karp_luby::{
 };
 pub use estimators::optimized::{
     estimate_optimized, estimate_optimized_with_observer, OptimizedTrials,
+};
+pub use estimators::sublinear::{
+    estimate_fast, finalize_rows, FastEstimate, FastSample, SublinearConfig, SublinearTrials,
 };
 pub use exact::{exact_distribution, exact_mpmb, exact_prob, ExactConfig, ExactError};
 pub use hardness::{Monotone2Sat, Reduction};

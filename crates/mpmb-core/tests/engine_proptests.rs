@@ -10,9 +10,10 @@
 
 use bigraph::{GraphBuilder, Left, Right, UncertainBipartiteGraph};
 use mpmb_core::{
-    enumerate_backbone_butterflies, Butterfly, Cancel, CandidateSet, Executor, KarpLubyTrials,
-    KlCandidate, KlTrialPolicy, McVpConfig, McVpTrials, OlsConfig, OptimizedTrials, OsConfig,
-    OsTrials, Partial, PrepareTrials, Tally, TrialEngine,
+    enumerate_backbone_butterflies, run_os_adaptive, AdaptiveConfig, Butterfly, Cancel,
+    CandidateSet, Executor, FastSample, KarpLubyTrials, KlCandidate, KlTrialPolicy, McVpConfig,
+    McVpTrials, OlsConfig, OptimizedTrials, OsConfig, OsTrials, Partial, PrepareTrials,
+    SublinearTrials, Tally, TrialEngine,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -203,4 +204,71 @@ proptest! {
         prop_assert_eq!(a.distribution.max_abs_diff(&b.distribution), 0.0);
         prop_assert_eq!(a.trials_per_candidate, b.trials_per_candidate);
     }
+
+    /// The sublinear fast tier: cancel/resume on any worker count lands
+    /// on the same index-tagged rows — and therefore the same finalized
+    /// estimate bits — as the uninterrupted sequential run.
+    #[test]
+    fn sublinear_cancel_resume_is_bit_identical(
+        edges in arb_graph(),
+        seed in 0u64..1_000,
+        budget in 1u64..160,
+        threads_idx in 0usize..THREAD_COUNTS.len(),
+        grain_idx in 0usize..CHECK_GRAINS.len(),
+    ) {
+        let threads = THREAD_COUNTS[threads_idx];
+        let check_every = CHECK_GRAINS[grain_idx];
+        let g = build(&edges);
+        let trials = 160u64;
+        let engine = SublinearTrials::new(&g, seed);
+        let (base, resumed) = run_interrupted(&engine, trials, budget, threads, check_every);
+        prop_assert_eq!(fast_bytes(&resumed.acc), fast_bytes(&base));
+        let a = engine.finalize(base, 0.1);
+        let b = engine.finalize(resumed.acc, 0.1);
+        prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        prop_assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+        prop_assert_eq!(a.ci_low.to_bits(), b.ci_low.to_bits());
+        prop_assert_eq!(a.ci_high.to_bits(), b.ci_high.to_bits());
+    }
+
+    /// The adaptive OS driver at `threads` ∈ {1,2,3,8}: every thread
+    /// count stops at the same batch with the same distribution bits —
+    /// the `--threads N` flag can never change an adaptive answer.
+    #[test]
+    fn adaptive_threads_are_bit_identical(
+        edges in arb_graph(),
+        seed in 0u64..1_000,
+    ) {
+        let g = build(&edges);
+        let base_cfg = AdaptiveConfig {
+            epsilon: 0.4,
+            delta: 0.3,
+            batch: 100,
+            max_trials: 600,
+            seed,
+            threads: 1,
+            ..Default::default()
+        };
+        let sequential = run_os_adaptive(&g, &base_cfg);
+        for threads in THREAD_COUNTS {
+            let parallel = run_os_adaptive(&g, &AdaptiveConfig { threads, ..base_cfg });
+            prop_assert_eq!(parallel.trials_used, sequential.trials_used, "threads={}", threads);
+            prop_assert_eq!(parallel.bound_satisfied, sequential.bound_satisfied);
+            prop_assert_eq!(parallel.target, sequential.target);
+            prop_assert_eq!(
+                parallel.distribution.max_abs_diff(&sequential.distribution),
+                0.0,
+                "threads={}",
+                threads
+            );
+        }
+    }
+}
+
+/// A fast accumulator, flattened to comparable bytes: rows sorted by
+/// trial index (the merge order is schedule-dependent, the set is not).
+fn fast_bytes(acc: &[FastSample]) -> Vec<FastSample> {
+    let mut rows = acc.to_vec();
+    rows.sort_unstable();
+    rows
 }

@@ -79,6 +79,7 @@ const TAG_OLS_SAMPLE: u8 = 3;
 const TAG_KL: u8 = 4;
 const TAG_QUERY: u8 = 5;
 const TAG_COUNT: u8 = 6;
+const TAG_FAST: u8 = 7;
 
 /// Encodes one solver state behind its tag byte. `pub(crate)`: the
 /// cluster wire protocol ([`crate::cluster::proto`]) frames the same
@@ -122,6 +123,10 @@ pub(crate) fn encode_state(state: &PartialState, enc: &mut Encoder) {
             enc.u8(TAG_COUNT);
             p.encode(enc);
         }
+        PartialState::Fast(p) => {
+            enc.u8(TAG_FAST);
+            p.encode(enc);
+        }
     }
 }
 
@@ -141,6 +146,7 @@ pub(crate) fn decode_state(dec: &mut Decoder<'_>) -> Result<PartialState, CodecE
         },
         TAG_QUERY => PartialState::Query(Partial::<u64>::decode(dec)?),
         TAG_COUNT => PartialState::Count(Partial::<FxHashMap<u64, u64>>::decode(dec)?),
+        TAG_FAST => PartialState::Fast(Partial::<Vec<mpmb_core::FastSample>>::decode(dec)?),
         other => {
             return Err(CodecError::Invalid(format!(
                 "unknown partial-state tag {other}"
@@ -371,6 +377,41 @@ mod tests {
                 0.0,
                 "{method}: restored partial must complete bit-identically"
             );
+        }
+    }
+
+    /// The fast tier's checkpoint variant round-trips and the restored
+    /// partial completes bit-identically to the uninterrupted estimate.
+    #[test]
+    fn fast_partial_round_trips_and_resumes_identically() {
+        use crate::solve::advance_fast;
+        let g = fig1();
+        let progress =
+            advance_fast(&g, 2_000, 31, 0.1, 1, None, &Cancel::after_trials(300)).unwrap();
+        let state = match progress.outcome {
+            Outcome::Incomplete(s) => s,
+            Outcome::Done(_) => panic!("budget should have interrupted the fast run"),
+        };
+        assert_eq!(state.kind(), "fast");
+        let snap = Snapshot {
+            graphs: vec![],
+            partials: vec![("fast|g|2000|31|0.1".to_string(), state)],
+        };
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let restored = back.partials.into_iter().next().unwrap().1;
+        assert_eq!(restored.kind(), "fast");
+
+        let full = advance_fast(&g, 2_000, 31, 0.1, 1, None, &Cancel::never()).unwrap();
+        let resumed =
+            advance_fast(&g, 2_000, 31, 0.1, 2, Some(restored), &Cancel::never()).unwrap();
+        match (full.outcome, resumed.outcome) {
+            (Outcome::Done(a), Outcome::Done(b)) => {
+                assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+                assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+                assert_eq!(a.ci_low.to_bits(), b.ci_low.to_bits());
+                assert_eq!(a.ci_high.to_bits(), b.ci_high.to_bits());
+            }
+            _ => panic!("both fast runs must complete"),
         }
     }
 

@@ -31,7 +31,9 @@ use super::proto::RangeRequest;
 use super::{merge, proto, Cluster, ClusterError};
 use crate::client::{self, ClientError, RetryPolicy};
 use crate::server::AppState;
-use crate::solve::{self, Cancel, CountProgress, Outcome, PartialState, Progress, SolveProgress};
+use crate::solve::{
+    self, Cancel, CountProgress, FastProgress, Outcome, PartialState, Progress, SolveProgress,
+};
 use bigraph::UncertainBipartiteGraph;
 use mpmb_core::engine::Partial;
 use mpmb_core::{
@@ -216,6 +218,54 @@ pub(crate) fn advance_cluster_count(
     if merge::completed(&master) {
         let mut progress = solve::advance_count(g, trials, seed, 1, Some(master), &Cancel::never())
             .map_err(ClusterError::BadRequest)?;
+        progress.executed = executed;
+        Ok(progress)
+    } else {
+        let (done, requested) = merge::progress_of(&master);
+        Ok(Progress {
+            outcome: Outcome::Incomplete(master),
+            trials_done: done,
+            trials_requested: requested,
+            executed,
+        })
+    }
+}
+
+/// Starts or resumes a scattered fast-tier (sublinear) estimate.
+/// `delta` affects only finalization, so it never travels with the
+/// range requests — workers return raw per-trial rows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn advance_cluster_fast(
+    state: &AppState,
+    cluster: &Cluster,
+    graph_name: &str,
+    g: &UncertainBipartiteGraph,
+    trials: u64,
+    seed: u64,
+    delta: f64,
+    threads: usize,
+    prior: Option<PartialState>,
+    cancel: &Cancel,
+) -> Result<FastProgress, ClusterError> {
+    let mut master = match prior {
+        None => PartialState::Fast(Partial::empty(Vec::new(), trials)),
+        Some(s @ PartialState::Fast(_)) => s,
+        Some(other) => return Err(mismatch("fast", &other)),
+    };
+    let spec = ScatterSpec {
+        graph: graph_name,
+        method: "fast",
+        trials,
+        prep: 0,
+        seed,
+        threads: threads as u64,
+        candidates: None,
+    };
+    let executed = scatter(state, cluster, &spec, &mut master, cancel)?;
+    if merge::completed(&master) {
+        let mut progress =
+            solve::advance_fast(g, trials, seed, delta, 1, Some(master), &Cancel::never())
+                .map_err(ClusterError::BadRequest)?;
         progress.executed = executed;
         Ok(progress)
     } else {

@@ -34,6 +34,7 @@ pub(crate) fn progress_of(state: &PartialState) -> (u64, u64) {
         PartialState::Kl { partial, .. } => of(partial),
         PartialState::Query(p) => of(p),
         PartialState::Count(p) => of(p),
+        PartialState::Fast(p) => of(p),
     }
 }
 
@@ -52,6 +53,7 @@ pub(crate) fn missing_of(state: &PartialState) -> Vec<Range<u64>> {
         PartialState::Kl { partial, .. } => partial.missing(),
         PartialState::Query(p) => p.missing(),
         PartialState::Count(p) => p.missing(),
+        PartialState::Fast(p) => p.missing(),
     }
 }
 
@@ -91,6 +93,9 @@ pub(crate) fn absorb_state(
                     *acc.entry(count).or_insert(0) += occurrences;
                 }
             })
+            .map_err(absorb_err),
+        (PartialState::Fast(m), PartialState::Fast(p)) => m
+            .absorb(p, |acc, rows| acc.extend(rows))
             .map_err(absorb_err),
         (master, piece) => Err(ClusterError::Protocol(format!(
             "range response kind `{}` does not match request kind `{}`",

@@ -31,7 +31,7 @@ use crate::solve::{Cancel, PartialState};
 use bigraph::UncertainBipartiteGraph;
 use mpmb_core::{
     CountTrials, Executor, KarpLubyTrials, KlTrialPolicy, McVpConfig, McVpTrials, OlsConfig,
-    OptimizedTrials, OsConfig, OsTrials,
+    OptimizedTrials, OsConfig, OsTrials, SublinearTrials,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -196,8 +196,17 @@ fn solve_range(
                 exec.run_subrange(&engine, range, rr.trials, cancel),
             ))
         }
+        "fast" => {
+            if rr.end > rr.trials {
+                return Err(format!("range {range:?} escapes 0..{}", rr.trials));
+            }
+            let engine = SublinearTrials::new(g, rr.seed);
+            Ok(PartialState::Fast(
+                exec.run_subrange(&engine, range, rr.trials, cancel),
+            ))
+        }
         other => Err(format!(
-            "unknown range method `{other}` (expected os|mcvp|ols|ols-kl|count)"
+            "unknown range method `{other}` (expected os|mcvp|ols|ols-kl|count|fast)"
         )),
     }
 }
@@ -269,6 +278,29 @@ mod tests {
             PartialState::Os(p) => {
                 let got: Vec<_> = p.acc.counts().map(|(b, c)| (*b, *c)).collect();
                 assert_eq!(got, reference);
+            }
+            other => panic!("wrong variant: {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn fast_range_pieces_reassemble_the_full_run() {
+        let g = graph();
+        let engine = SublinearTrials::new(&g, 17);
+        let full = Executor::new(2).run_subrange(&engine, 0..900, 900, &Cancel::never());
+        let reference = engine.finalize(full.acc, 0.1);
+
+        let mut master = solve_range(&g, &rr("fast", 900, 0, 300), 1, &Cancel::never()).unwrap();
+        for (s, e) in [(600, 900), (300, 600)] {
+            let piece = solve_range(&g, &rr("fast", 900, s, e), 2, &Cancel::never()).unwrap();
+            merge::absorb_state(&mut master, piece).unwrap();
+        }
+        assert!(merge::completed(&master));
+        match master {
+            PartialState::Fast(p) => {
+                let got = engine.finalize(p.acc, 0.1);
+                assert_eq!(got.estimate.to_bits(), reference.estimate.to_bits());
+                assert_eq!(got.ci_high.to_bits(), reference.ci_high.to_bits());
             }
             other => panic!("wrong variant: {}", other.kind()),
         }

@@ -101,6 +101,14 @@ pub struct Metrics {
     pub federation_scrapes: Arc<Counter>,
     /// Federation scrapes that failed (worker unreachable or non-200).
     pub federation_scrape_failures: Arc<Counter>,
+    /// `method=fast` solve/count requests served from the sublinear
+    /// tier (completed fast answers; partials don't count).
+    pub fast_requests: Arc<Counter>,
+    /// Fast answers whose certified CI missed the requested relative
+    /// error, scheduling an exact-tier escalation partial.
+    pub fast_escalations: Arc<Counter>,
+    /// Certified relative error of completed fast answers.
+    pub fast_relative_error: Arc<Histogram>,
     /// Per-bucket deadline-spend histograms, [`BUDGET_BUCKETS`] order.
     budget_spent: Vec<Arc<Histogram>>,
 }
@@ -233,6 +241,19 @@ impl Default for Metrics {
             federation_scrape_failures: registry.counter(
                 "mpmb_federation_scrape_failures_total",
                 "Federation scrapes that failed (worker unreachable or non-200).",
+            ),
+            fast_requests: registry.counter(
+                "mpmb_fast_requests_total",
+                "Completed method=fast answers served from the sublinear tier.",
+            ),
+            fast_escalations: registry.counter(
+                "mpmb_fast_escalations_total",
+                "Fast answers whose CI exceeded the requested relative error, seeding an exact-tier escalation.",
+            ),
+            fast_relative_error: registry.histogram(
+                "mpmb_fast_relative_error",
+                "Certified relative error (half-width / estimate) of completed fast answers.",
+                &[0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0],
             ),
             budget_spent: BUDGET_BUCKETS
                 .iter()

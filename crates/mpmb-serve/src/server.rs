@@ -86,6 +86,13 @@ pub struct ServerConfig {
     /// Whether solve-like responses carry an `X-Mpmb-Budget` debug
     /// header with the per-bucket deadline spend.
     pub budget_header: bool,
+    /// Whether a completed `method=fast` answer whose certified CI
+    /// misses the requested relative error additionally seeds (or
+    /// advances) the exact os-tier partial under the os cache key
+    /// within the request's remaining deadline — so a `method=os`
+    /// retry refines toward the exact answer instead of starting at
+    /// trial zero.
+    pub fast_escalate: bool,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +113,7 @@ impl Default for ServerConfig {
             mem_budget: 0,
             trace_ring: 64,
             budget_header: false,
+            fast_escalate: false,
         }
     }
 }
@@ -282,6 +290,9 @@ pub struct AppState {
     pub cluster: Option<Cluster>,
     /// Whether solve-like responses carry the `X-Mpmb-Budget` header.
     pub budget_header: bool,
+    /// Whether uncertified fast answers escalate to the exact tier
+    /// (see [`ServerConfig::fast_escalate`]).
+    pub fast_escalate: bool,
     /// Per-worker instant of the last successful federation scrape,
     /// behind the `GET /metrics/cluster` staleness gauges.
     federation_seen: Mutex<std::collections::HashMap<String, Instant>>,
@@ -368,6 +379,7 @@ impl Server {
             faults,
             cluster: cluster_state,
             budget_header: cfg.budget_header,
+            fast_escalate: cfg.fast_escalate,
             federation_seen: Mutex::new(std::collections::HashMap::new()),
             shutdown: AtomicBool::new(false),
         });
@@ -1086,6 +1098,17 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
     if trials == 0 || (matches!(method.as_str(), "ols" | "ols-kl") && prep == 0) {
         return Response::error(400, "trials and prep must be positive");
     }
+    if method == "fast" {
+        if mode == SolveMode::TopK {
+            return Response::error(
+                400,
+                "method `fast` estimates the expected count, not a butterfly ranking",
+            );
+        }
+        return handle_fast_solve(
+            state, &name, &graph, &body, trials, prep, seed, threads, k, max_shared,
+        );
+    }
 
     // Thread count is excluded: parallel runs are bit-identical.
     let key = format!(
@@ -1132,35 +1155,230 @@ fn handle_solve(state: &AppState, req: &Request, mode: SolveMode) -> Response {
         }
     };
 
+    let body = solve_body(
+        &name,
+        &method,
+        seed,
+        progress.trials_requested,
+        progress.trials_done,
+        &distribution,
+        mode,
+        k,
+        max_shared,
+    );
+    state.cache.put_complete(&key, &body);
+    Response::json(200, body)
+}
+
+/// The completed solve/topk response body. Shared by [`handle_solve`]
+/// and the fast tier's escalation path, so an escalation-completed
+/// exact answer replays byte-identical to a directly-served one.
+#[allow(clippy::too_many_arguments)]
+fn solve_body(
+    name: &str,
+    method: &str,
+    seed: u64,
+    trials_requested: u64,
+    trials_done: u64,
+    distribution: &Distribution,
+    mode: SolveMode,
+    k: usize,
+    max_shared: Option<u64>,
+) -> String {
     let mut fields = vec![
-        ("graph".to_string(), Json::Str(name)),
-        ("method".to_string(), Json::Str(method)),
+        ("graph".to_string(), Json::Str(name.to_string())),
+        ("method".to_string(), Json::Str(method.to_string())),
         ("seed".to_string(), Json::Num(seed as f64)),
         (
             "trials_requested".to_string(),
-            Json::Num(progress.trials_requested as f64),
+            Json::Num(trials_requested as f64),
         ),
-        (
-            "trials_done".to_string(),
-            Json::Num(progress.trials_done as f64),
-        ),
+        ("trials_done".to_string(), Json::Num(trials_done as f64)),
         ("support".to_string(), Json::Num(distribution.len() as f64)),
     ];
     match mode {
         SolveMode::Solve => {
-            fields.push(("mpmb".to_string(), mpmb_json(&distribution)));
+            fields.push(("mpmb".to_string(), mpmb_json(distribution)));
             if k > 0 {
-                fields.push(("top".to_string(), top_json(&distribution, k, max_shared)));
+                fields.push(("top".to_string(), top_json(distribution, k, max_shared)));
             }
         }
         SolveMode::TopK => {
             fields.push(("k".to_string(), Json::Num(k as f64)));
-            fields.push(("top".to_string(), top_json(&distribution, k, max_shared)));
+            fields.push(("top".to_string(), top_json(distribution, k, max_shared)));
         }
     }
-    let body = Json::Obj(fields).to_string();
+    Json::Obj(fields).to_string()
+}
+
+/// Runs (or resumes) one fast-tier estimate: cache lookup, dispatch
+/// (cluster or local), deadline handling, and the per-answer fast
+/// metrics. `Err` carries the response to send directly — a complete
+/// cache replay, a 503 with the partial cached, or a 4xx/5xx.
+#[allow(clippy::too_many_arguments)]
+fn run_fast(
+    state: &AppState,
+    key: &str,
+    name: &str,
+    graph: &bigraph::UncertainBipartiteGraph,
+    trials: u64,
+    seed: u64,
+    delta: f64,
+    threads: usize,
+    deadline: Option<Instant>,
+) -> Result<(mpmb_core::FastEstimate, u64, u64), Response> {
+    let prior = match lookup_cache(state, key) {
+        CacheLookup::Complete(hit) => return Err(Response::json(200, hit)),
+        CacheLookup::Partial(p) => Some(p),
+        CacheLookup::Miss => None,
+    };
+    let cancel = Cancel::at(deadline);
+    let progress = match &state.cluster {
+        Some(cluster) => cluster::coordinator::advance_cluster_fast(
+            state, cluster, name, graph, trials, seed, delta, threads, prior, &cancel,
+        )
+        .map_err(|e| cluster_error_response(&e))?,
+        None => solve::advance_fast(graph, trials, seed, delta, threads, prior, &cancel)
+            .map_err(|msg| Response::error(400, &msg))?,
+    };
+    state.metrics.trials_executed.add(progress.executed);
+    match progress.outcome {
+        Outcome::Done(est) => {
+            state.metrics.fast_requests.inc();
+            state
+                .metrics
+                .fast_relative_error
+                .observe(est.relative_error);
+            Ok((est, progress.trials_done, progress.trials_requested))
+        }
+        Outcome::Incomplete(partial) => Err(deadline_response(
+            state,
+            key,
+            partial,
+            progress.trials_done,
+            progress.trials_requested,
+        )),
+    }
+}
+
+/// `method=fast` on `/v1/solve`: a sublinear count estimate with a
+/// certified (1-delta) confidence interval, answered within the
+/// deadline the exact tiers would blow. With `--fast-escalate`, an
+/// answer whose CI misses the requested relative error seeds the
+/// exact os partial under the os cache key before returning.
+#[allow(clippy::too_many_arguments)]
+fn handle_fast_solve(
+    state: &AppState,
+    name: &str,
+    graph: &bigraph::UncertainBipartiteGraph,
+    body: &Json,
+    trials: u64,
+    prep: u64,
+    seed: u64,
+    threads: usize,
+    k: usize,
+    max_shared: Option<u64>,
+) -> Response {
+    let delta = body.get("delta").and_then(Json::as_f64).unwrap_or(0.05);
+    if !(delta > 0.0 && delta < 1.0) {
+        return Response::error(400, "delta must be in (0, 1)");
+    }
+    let epsilon = body.get("epsilon").and_then(Json::as_f64).unwrap_or(0.05);
+    if epsilon <= 0.0 || epsilon.is_nan() {
+        return Response::error(400, "epsilon must be positive");
+    }
+    let key = format!("fast|{name}|{trials}|{seed}|{delta}");
+    let deadline = state.timeout.map(|t| Instant::now() + t);
+    let (est, trials_done, trials_requested) = match run_fast(
+        state, &key, name, graph, trials, seed, delta, threads, deadline,
+    ) {
+        Ok(done) => done,
+        Err(resp) => return resp,
+    };
+    let half_width = est.ci_high - est.estimate;
+    let escalate =
+        state.fast_escalate && mpmb_core::fast_escalation_needed(est.estimate, half_width, epsilon);
+    if escalate {
+        state.metrics.fast_escalations.inc();
+        escalate_to_exact(
+            state, name, graph, trials, prep, seed, threads, k, max_shared, deadline,
+        );
+    }
+    let body = Json::obj([
+        ("graph", Json::Str(name.to_string())),
+        ("method", Json::Str("fast".to_string())),
+        ("seed", Json::Num(seed as f64)),
+        ("delta", Json::Num(delta)),
+        ("epsilon", Json::Num(epsilon)),
+        ("trials_requested", Json::Num(trials_requested as f64)),
+        ("trials_done", Json::Num(trials_done as f64)),
+        ("estimate", Json::Num(est.estimate)),
+        ("variance", Json::Num(est.variance)),
+        ("ci_low", Json::Num(est.ci_low)),
+        ("ci_high", Json::Num(est.ci_high)),
+        ("relative_error", Json::Num(est.relative_error)),
+        ("escalated", Json::Bool(escalate)),
+    ])
+    .to_string();
     state.cache.put_complete(&key, &body);
     Response::json(200, body)
+}
+
+/// Seeds (or advances) the exact os-tier partial behind a fast answer,
+/// spending whatever is left of the request's deadline. A completed
+/// escalation caches the finished os body — built by the same
+/// [`solve_body`] the os handler uses, so a `method=os` retry replays
+/// bytes identical to a direct run; an interrupted one caches the
+/// partial, so the retry resumes instead of restarting. Best-effort:
+/// errors leave the cache untouched and the fast answer stands.
+#[allow(clippy::too_many_arguments)]
+fn escalate_to_exact(
+    state: &AppState,
+    name: &str,
+    graph: &bigraph::UncertainBipartiteGraph,
+    trials: u64,
+    prep: u64,
+    seed: u64,
+    threads: usize,
+    k: usize,
+    max_shared: Option<u64>,
+    deadline: Option<Instant>,
+) {
+    let key = format!("solve|{name}|os|{trials}|{prep}|{seed}|{k}|{max_shared:?}");
+    let prior = match state.cache.get(&key) {
+        Some(CacheEntry::Complete(_)) => return, // exact answer already cached
+        Some(CacheEntry::Partial(p)) => Some(p),
+        None => None,
+    };
+    let cancel = Cancel::at(deadline);
+    let result = match &state.cluster {
+        Some(cluster) => cluster::coordinator::advance_cluster_solve(
+            state, cluster, name, graph, "os", trials, prep, seed, threads, prior, &cancel,
+        )
+        .map_err(|e| e.to_string()),
+        None => solve::advance_solve(graph, "os", trials, prep, seed, threads, prior, &cancel),
+    };
+    let Ok(progress) = result else { return };
+    state.metrics.trials_executed.add(progress.executed);
+    match progress.outcome {
+        Outcome::Done(distribution) => {
+            let body = solve_body(
+                name,
+                "os",
+                seed,
+                progress.trials_requested,
+                progress.trials_done,
+                &distribution,
+                SolveMode::Solve,
+                k,
+                max_shared,
+            );
+            state.cache.put_complete(&key, &body);
+        }
+        Outcome::Incomplete(partial) => {
+            state.cache.put(&key, CacheEntry::Partial(partial));
+        }
+    }
 }
 
 /// Maps a cluster failure onto the HTTP edge: caller mistakes are
@@ -1315,6 +1533,16 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
     if trials == 0 {
         return Response::error(400, "trials must be positive");
     }
+    match body.get("method").and_then(Json::as_str).unwrap_or("exact") {
+        "exact" => {}
+        "fast" => return handle_fast_count(state, &name, &graph, &body, trials, seed, threads),
+        other => {
+            return Response::error(
+                400,
+                &format!("unknown method `{other}` (expected exact|fast)"),
+            )
+        }
+    }
 
     // Thread count is excluded: parallel runs are bit-identical.
     let key = format!("count|{name}|{trials}|{seed}");
@@ -1356,6 +1584,49 @@ fn handle_count(state: &AppState, req: &Request) -> Response {
         ("variance", Json::Num(dist.variance)),
         ("trials", Json::Num(dist.trials as f64)),
         ("distinct_counts", Json::Num(dist.histogram.len() as f64)),
+    ])
+    .to_string();
+    state.cache.put_complete(&key, &body);
+    Response::json(200, body)
+}
+
+/// `method=fast` on `/v1/count`: the same sublinear estimate as the
+/// fast solve tier (and the same cache namespace — only the response
+/// shape differs), without the escalation policy: `/v1/count`'s exact
+/// tier is the sampling distribution, not the os solver.
+fn handle_fast_count(
+    state: &AppState,
+    name: &str,
+    graph: &bigraph::UncertainBipartiteGraph,
+    body: &Json,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> Response {
+    let delta = body.get("delta").and_then(Json::as_f64).unwrap_or(0.05);
+    if !(delta > 0.0 && delta < 1.0) {
+        return Response::error(400, "delta must be in (0, 1)");
+    }
+    let key = format!("count-fast|{name}|{trials}|{seed}|{delta}");
+    let deadline = state.timeout.map(|t| Instant::now() + t);
+    let (est, trials_done, trials_requested) = match run_fast(
+        state, &key, name, graph, trials, seed, delta, threads, deadline,
+    ) {
+        Ok(done) => done,
+        Err(resp) => return resp,
+    };
+    let body = Json::obj([
+        ("graph", Json::Str(name.to_string())),
+        ("method", Json::Str("fast".to_string())),
+        ("seed", Json::Num(seed as f64)),
+        ("delta", Json::Num(delta)),
+        ("trials_requested", Json::Num(trials_requested as f64)),
+        ("trials_done", Json::Num(trials_done as f64)),
+        ("estimate", Json::Num(est.estimate)),
+        ("variance", Json::Num(est.variance)),
+        ("ci_low", Json::Num(est.ci_low)),
+        ("ci_high", Json::Num(est.ci_high)),
+        ("relative_error", Json::Num(est.relative_error)),
     ])
     .to_string();
     state.cache.put_complete(&key, &body);

@@ -27,9 +27,9 @@ use bigraph::UncertainBipartiteGraph;
 pub use mpmb_core::engine::{Cancel, Partial, CHECK_EVERY};
 use mpmb_core::{
     count_distribution_from_histogram, Butterfly, CandidateSet, CountDistribution, CountTrials,
-    Distribution, Executor, KarpLubyTrials, KlCandidate, KlTrialPolicy, McVpConfig, McVpTrials,
-    OlsConfig, OptimizedTrials, OsConfig, OsTrials, PrepareTrials, QueryResult, QueryTrials, Tally,
-    TrialEngine,
+    Distribution, Executor, FastEstimate, FastSample, KarpLubyTrials, KlCandidate, KlTrialPolicy,
+    McVpConfig, McVpTrials, OlsConfig, OptimizedTrials, OsConfig, OsTrials, PrepareTrials,
+    QueryResult, QueryTrials, SublinearTrials, Tally, TrialEngine,
 };
 
 /// Where a cancelled request stopped: the method-specific accumulator
@@ -62,6 +62,9 @@ pub enum PartialState {
     Query(Partial<u64>),
     /// `/v1/count` mid-run (accumulator = count histogram).
     Count(Partial<FxHashMap<u64, u64>>),
+    /// Sublinear `method=fast` counting tier mid-run (accumulator =
+    /// index-tagged per-trial samples).
+    Fast(Partial<Vec<FastSample>>),
 }
 
 impl PartialState {
@@ -76,6 +79,7 @@ impl PartialState {
             PartialState::Kl { .. } => "ols-kl",
             PartialState::Query(_) => "query",
             PartialState::Count(_) => "count",
+            PartialState::Fast(_) => "fast",
         }
     }
 
@@ -111,7 +115,10 @@ impl PartialState {
                 .iter()
                 .max_by(|a, b| a.1.prob.total_cmp(&b.1.prob))
                 .map(|(idx, c)| (candidates.get(*idx as usize).butterfly, c.prob)),
-            PartialState::OlsPrepare(_) | PartialState::Query(_) | PartialState::Count(_) => None,
+            PartialState::OlsPrepare(_)
+            | PartialState::Query(_)
+            | PartialState::Count(_)
+            | PartialState::Fast(_) => None,
         }
     }
 }
@@ -152,6 +159,8 @@ pub type SolveProgress = Progress<Distribution>;
 pub type QueryProgress = Progress<QueryResult>;
 /// A `/v1/count` request's progress.
 pub type CountProgress = Progress<CountDistribution>;
+/// A `method=fast` request's progress.
+pub type FastProgress = Progress<FastEstimate>;
 
 /// Resumes `partial` on `exec` and returns how many trials this call
 /// executed.
@@ -403,6 +412,45 @@ fn advance_kl(
             executed,
         })
     }
+}
+
+/// Starts or resumes a sublinear `method=fast` estimate: the cheap
+/// counting tier that answers inside deadlines the per-world methods
+/// cannot. Same resume contract as [`advance_solve`] — a partial fed
+/// back under the same `(graph, trials, seed)` refines to the same
+/// bytes an uninterrupted run produces; `delta` only shapes the final
+/// confidence interval and may differ between calls without affecting
+/// the sampled rows.
+pub fn advance_fast(
+    g: &UncertainBipartiteGraph,
+    trials: u64,
+    seed: u64,
+    delta: f64,
+    threads: usize,
+    state: Option<PartialState>,
+    cancel: &Cancel,
+) -> Result<FastProgress, String> {
+    assert!(trials > 0, "trials must be positive");
+    let engine = SublinearTrials::new(g, seed);
+    let mut partial = match state {
+        None => Partial::empty(engine.new_acc(), trials),
+        Some(PartialState::Fast(p)) => p,
+        Some(other) => return state_mismatch("fast", &other),
+    };
+    let executed = drive(Executor::new(threads), &engine, &mut partial, cancel);
+    let trials_done = partial.trials_done();
+    let trials_requested = partial.trials_requested();
+    let outcome = if partial.completed() {
+        Outcome::Done(engine.finalize(std::mem::take(&mut partial.acc), delta))
+    } else {
+        Outcome::Incomplete(PartialState::Fast(partial))
+    };
+    Ok(Progress {
+        outcome,
+        trials_done,
+        trials_requested,
+        executed,
+    })
 }
 
 /// Starts or resumes a conditioned `/v1/query` probability estimate.
@@ -673,6 +721,57 @@ mod tests {
         };
         assert_eq!(dist.mean, core.mean);
         assert_eq!(dist.variance, core.variance);
+    }
+
+    #[test]
+    fn fast_refines_to_core_result_bitwise() {
+        let g = fig1();
+        let core = mpmb_core::estimate_fast(
+            &g,
+            &mpmb_core::SublinearConfig {
+                trials: 3_000,
+                seed: 19,
+                delta: 0.1,
+            },
+            2,
+        );
+        let mut state = None;
+        let fe = loop {
+            let progress = advance_fast(
+                &g,
+                3_000,
+                19,
+                0.1,
+                2,
+                state.take(),
+                &Cancel::after_trials(400),
+            )
+            .unwrap();
+            match progress.outcome {
+                Outcome::Done(fe) => break fe,
+                Outcome::Incomplete(s) => {
+                    assert_eq!(s.kind(), "fast");
+                    assert!(s.leader().is_none());
+                    state = Some(s);
+                }
+            }
+        };
+        assert_eq!(fe.estimate.to_bits(), core.estimate.to_bits());
+        assert_eq!(fe.variance.to_bits(), core.variance.to_bits());
+        assert_eq!(fe.ci_low.to_bits(), core.ci_low.to_bits());
+        assert_eq!(fe.ci_high.to_bits(), core.ci_high.to_bits());
+    }
+
+    #[test]
+    fn fast_rejects_mismatched_state() {
+        let g = fig1();
+        let run =
+            advance_solve(&g, "os", 1_000, 100, 1, 1, None, &Cancel::after_trials(64)).unwrap();
+        let state = match run.outcome {
+            Outcome::Incomplete(s) => s,
+            Outcome::Done(_) => panic!("budget should have cancelled"),
+        };
+        assert!(advance_fast(&g, 1_000, 1, 0.1, 1, Some(state), &Cancel::never()).is_err());
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! `mpmb` — command-line MPMB search over edge-list files.
 //!
 //! ```text
-//! mpmb solve    --input G.tsv [--method os|mcvp|ols|ols-kl] [--trials N]
-//!               [--prep N] [--seed N] [--top-k K] [--diverse MAX_SHARED]
-//!               [--threads N] [--progress EVERY] [--trace-json FILE]
-//!               [--profile] [--mem-stats]
+//! mpmb solve    --input G.tsv [--method os|mcvp|ols|ols-kl|fast] [--trials N]
+//!               [--prep N] [--seed N] [--delta F] [--top-k K]
+//!               [--diverse MAX_SHARED] [--threads N] [--progress EVERY]
+//!               [--trace-json FILE] [--profile] [--mem-stats]
 //! mpmb exact    --input G.tsv [--max-uncertain N] [--top-k K]
 //! mpmb query    --input G.tsv --u1 A --u2 B --v1 C --v2 D [--trials N] [--seed N]
-//! mpmb count    --input G.tsv [--trials N] [--seed N] [--threads N] [--mem-stats]
+//! mpmb count    --input G.tsv [--method exact|fast] [--trials N] [--seed N]
+//!               [--delta F] [--threads N] [--mem-stats]
 //! mpmb stats    --input G.tsv
 //! mpmb generate --dataset abide|movielens|jester|protein --scale F
 //!               [--seed N] [--output FILE]
@@ -20,7 +21,7 @@
 //!               [--checkpoint-dir DIR] [--checkpoint-every-ms N]
 //!               [--fault-plan SPEC]
 //!               [--role single|coordinator|worker] [--workers ADDR,...]
-//!               [--probe-interval-ms N]
+//!               [--probe-interval-ms N] [--fast-escalate]
 //! mpmb loadgen  [--target ADDR]... [--requests N] [--concurrency N]
 //!               [--graph NAME[,NAME]...] [--method M] [--trials N] [--seed N]
 //!               [--vary-seed [true|false]] [--retries N]
@@ -34,7 +35,7 @@
 use datasets::Dataset;
 use mpmb::prelude::*;
 use mpmb_core::{top_k_diverse, Distribution};
-use mpmb_serve::solve::{advance_solve, Outcome};
+use mpmb_serve::solve::{advance_fast, advance_solve, Outcome};
 use mpmb_serve::Cancel;
 use std::process::exit;
 use std::sync::Arc;
@@ -48,10 +49,15 @@ const USAGE: &str = "usage: mpmb <subcommand> [--flag value]...
 
 subcommands:
   solve     estimate the MPMB of an edge-list graph
-            --input FILE  [--method os|mcvp|ols|ols-kl] [--trials N] [--prep N]
-            [--seed N] [--top-k K] [--diverse MAX_SHARED] [--threads N]
+            --input FILE  [--method os|mcvp|ols|ols-kl|fast] [--trials N]
+            [--prep N] [--seed N] [--delta F] [--top-k K]
+            [--diverse MAX_SHARED] [--threads N]
             [--progress EVERY] [--trace-json FILE] [--profile] [--mem-stats]
-            (--threads applies to every method; results are identical at
+            (--method fast prints a sublinear estimate of the expected
+            butterfly count with a certified (1-delta) confidence
+            interval instead of a butterfly ranking; --delta defaults
+            to 0.05 and only applies to fast.
+            --threads applies to every method; results are identical at
             any thread count, with or without any of the flags below.
             --progress prints trials/sec and the running MPMB estimate to
             stderr every EVERY trials and works with every method at any
@@ -63,7 +69,10 @@ subcommands:
   query     conditioned P(B) estimate for one butterfly
             --input FILE  --u1 A --u2 B --v1 C --v2 D  [--trials N] [--seed N]
   count     butterfly-count distribution over possible worlds
-            --input FILE  [--trials N] [--seed N] [--threads N] [--mem-stats]
+            --input FILE  [--method exact|fast] [--trials N] [--seed N]
+            [--delta F] [--threads N] [--mem-stats]
+            (--method fast skips the per-world exact counts and prints
+            a sublinear estimate with a (1-delta) confidence interval)
   stats     structural statistics of a graph
             --input FILE
   generate  synthetic Table III stand-in datasets
@@ -85,8 +94,12 @@ subcommands:
             [--checkpoint-dir DIR] [--checkpoint-every-ms N]
             [--fault-plan SPEC]
             [--role single|coordinator|worker] [--workers ADDR,...]
-            [--probe-interval-ms N]
-            (--trace-max-bytes rotates a --trace FILE at N bytes,
+            [--probe-interval-ms N] [--fast-escalate]
+            (--fast-escalate makes a completed method=fast answer whose
+            CI misses the requested relative error seed the exact os
+            partial in the result cache, so a method=os retry refines
+            toward the exact answer instead of starting at trial zero.
+            --trace-max-bytes rotates a --trace FILE at N bytes,
             keeping one prior generation as FILE.1.
             --trace-ring sets how many solve summaries GET /debug/trace
             retains (default 64, must be at least 1).
@@ -126,7 +139,13 @@ fn fail(msg: &str) -> ! {
 
 /// Flags that are on/off switches: the value may be omitted
 /// (`--vary-seed` reads as `--vary-seed true`).
-const BOOL_FLAGS: &[&str] = &["vary-seed", "profile", "mem-stats", "budget-header"];
+const BOOL_FLAGS: &[&str] = &[
+    "vary-seed",
+    "profile",
+    "mem-stats",
+    "budget-header",
+    "fast-escalate",
+];
 
 /// Minimal flag parser: `--name value` pairs after the subcommand.
 struct Flags(Vec<(String, String)>);
@@ -262,6 +281,7 @@ fn cmd_solve(flags: &Flags) {
         "trials",
         "prep",
         "seed",
+        "delta",
         "top-k",
         "diverse",
         "threads",
@@ -308,6 +328,62 @@ fn cmd_solve(flags: &Flags) {
             solver: None,
         })
     });
+
+    // The fast tier estimates the expected count instead of a ranking;
+    // it shares the resumable driver (and --progress slicing) but
+    // prints an estimate with its certified confidence interval.
+    if method == "fast" {
+        let delta: f64 = flags.get_parsed("delta", 0.05);
+        if !(delta > 0.0 && delta < 1.0) {
+            fail("--delta must be in (0, 1)");
+        }
+        memtrack::reset_peak();
+        let started = std::time::Instant::now();
+        let mut state = None;
+        let est = loop {
+            let cancel = match progress {
+                Some(every) => Cancel::after_trials(every),
+                None => Cancel::never(),
+            };
+            let p = advance_fast(&g, trials, seed, delta, threads, state.take(), &cancel)
+                .unwrap_or_else(|e| fail(&e));
+            match p.outcome {
+                Outcome::Done(est) => break est,
+                Outcome::Incomplete(s) => {
+                    let rate = p.trials_done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                    eprintln!(
+                        "progress: {}/{} trials ({}), {rate:.0} trials/sec",
+                        p.trials_done,
+                        p.trials_requested,
+                        s.kind()
+                    );
+                    state = Some(s);
+                }
+            }
+        };
+        let wall = started.elapsed().as_secs_f64();
+        println!("expected butterflies ~ {:.6}", est.estimate);
+        println!(
+            "{:.0}% CI [{:.6}, {:.6}]  relative error {:.4}  ({} trials)",
+            100.0 * (1.0 - est.delta),
+            est.ci_low,
+            est.ci_high,
+            est.relative_error,
+            est.trials
+        );
+        if profile_on {
+            eprintln!("phase profile ({wall:.3}s wall):");
+            eprint!("{}", obs::render_table(&profile.snapshot(), wall));
+        }
+        if mem_stats {
+            let peak = memtrack::peak_bytes();
+            eprintln!(
+                "peak allocation: {peak} bytes ({:.1} MiB)",
+                peak as f64 / (1024.0 * 1024.0)
+            );
+        }
+        return;
+    }
 
     // Every method runs through the server's resumable driver: with
     // --progress the run is sliced every EVERY trials and the running
@@ -418,13 +494,59 @@ fn cmd_query(flags: &Flags) {
 }
 
 fn cmd_count(flags: &Flags) {
-    flags.expect(&["input", "trials", "seed", "threads", "mem-stats"]);
+    flags.expect(&[
+        "input",
+        "method",
+        "trials",
+        "seed",
+        "delta",
+        "threads",
+        "mem-stats",
+    ]);
     let g = load(flags);
     let trials: u64 = flags.get_parsed("trials", 5_000);
     let seed: u64 = flags.get_parsed("seed", 42);
     let threads: usize = flags.get_parsed("threads", 1);
     let mem_stats: bool = flags.get_parsed("mem-stats", false);
     let expect = bigraph::expected::expected_butterfly_count(&g);
+    match flags.get("method").unwrap_or("exact") {
+        "exact" => {}
+        "fast" => {
+            let delta: f64 = flags.get_parsed("delta", 0.05);
+            if !(delta > 0.0 && delta < 1.0) {
+                fail("--delta must be in (0, 1)");
+            }
+            memtrack::reset_peak();
+            let est = mpmb_core::estimate_fast(
+                &g,
+                &mpmb_core::SublinearConfig {
+                    trials,
+                    seed,
+                    delta,
+                },
+                threads,
+            );
+            if mem_stats {
+                let peak = memtrack::peak_bytes();
+                eprintln!(
+                    "peak allocation: {peak} bytes ({:.1} MiB)",
+                    peak as f64 / (1024.0 * 1024.0)
+                );
+            }
+            println!("expected butterflies (closed form) = {expect:.4}");
+            println!(
+                "fast estimate = {:.4}  ({:.0}% CI [{:.4}, {:.4}], relative error {:.4}, {} trials)",
+                est.estimate,
+                100.0 * (1.0 - est.delta),
+                est.ci_low,
+                est.ci_high,
+                est.relative_error,
+                est.trials
+            );
+            return;
+        }
+        other => fail(&format!("unknown --method `{other}` (expected exact|fast)")),
+    }
     memtrack::reset_peak();
     let d = mpmb_core::sample_count_distribution_parallel(&g, trials, seed, threads);
     if mem_stats {
@@ -540,6 +662,7 @@ fn cmd_serve(flags: &Flags) {
         "trace-max-bytes",
         "trace-ring",
         "budget-header",
+        "fast-escalate",
     ]);
     let trace_cap: Option<u64> = flags.get("trace-max-bytes").map(|v| {
         let n = v
@@ -598,6 +721,7 @@ fn cmd_serve(flags: &Flags) {
         mem_budget: parse_mem_budget(flags.get("mem-budget").unwrap_or("0")),
         trace_ring,
         budget_header: flags.get_parsed("budget-header", false),
+        fast_escalate: flags.get_parsed("fast-escalate", false),
     };
     mpmb_serve::signal::install();
     let server = mpmb_serve::Server::start(cfg)

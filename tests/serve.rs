@@ -333,6 +333,169 @@ fn timed_out_solve_is_refined_across_requests_to_the_exact_answer() {
 }
 
 #[test]
+fn fast_tier_answers_within_a_deadline_that_503s_os_and_escalates_to_exact() {
+    let _guard = lock();
+    // Container-backed graph: the fast tier has to work against the
+    // mmap-served storage path, not just in-memory registrations.
+    let dir = scratch_dir("fast-tier");
+    let container = dir.join("g.ubgc");
+    bigraph::write_container_path(&reference_graph(), &container).expect("write container");
+    let cfg = ServerConfig {
+        timeout_ms: 80,
+        fast_escalate: true,
+        ..default_cfg()
+    };
+    let (server, addr) = start(cfg);
+    let (status, body) = call(
+        addr.as_str(),
+        "POST",
+        "/v1/graphs",
+        &format!("{{\"name\":\"g\",\"path\":\"{}\"}}", container.display()),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "container register failed: {body}");
+
+    // The exact tier cannot finish this budget inside one 80 ms
+    // deadline — its first attempt 503s with a cached partial.
+    const TRIALS: u64 = 30_000;
+    let os_body = format!("{{\"graph\":\"g\",\"method\":\"os\",\"trials\":{TRIALS},\"seed\":7}}");
+    let (status, resp) = call(addr.as_str(), "POST", "/v1/solve", &os_body).unwrap();
+    assert_eq!(status, 503, "os should blow the deadline: {resp}");
+
+    // The fast tier answers the same trial budget within the same
+    // deadline, and its CI covers the closed-form expected count. The
+    // tiny epsilon guarantees the certified error misses the target,
+    // so the answer escalates: the cached os partial advances with the
+    // request's remaining deadline.
+    let fast_body = format!(
+        "{{\"graph\":\"g\",\"method\":\"fast\",\"trials\":{TRIALS},\"seed\":7,\"epsilon\":0.0001}}"
+    );
+    let (status, resp) = call(addr.as_str(), "POST", "/v1/solve", &fast_body).unwrap();
+    assert_eq!(
+        status, 200,
+        "fast should answer within the deadline: {resp}"
+    );
+    let json = Json::parse(&resp).unwrap();
+    let exact = bigraph::expected::expected_butterfly_count(&reference_graph());
+    let lo = json.get("ci_low").and_then(Json::as_f64).unwrap();
+    let hi = json.get("ci_high").and_then(Json::as_f64).unwrap();
+    assert!(
+        lo <= exact && exact <= hi,
+        "CI [{lo}, {hi}] misses the exact count {exact}"
+    );
+    let rel = json.get("relative_error").and_then(Json::as_f64).unwrap();
+    assert!(rel.is_finite(), "relative_error must be JSON-finite: {rel}");
+    assert!(
+        matches!(json.get("escalated"), Some(Json::Bool(true))),
+        "{resp}"
+    );
+
+    // A fast repeat is a pure cache hit, byte-identical.
+    let (status, replay) = call(addr.as_str(), "POST", "/v1/solve", &fast_body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(replay, resp);
+
+    // method=os retries refine the escalation-advanced partial to
+    // completion. The final body must match an uninterrupted library
+    // run bit-for-bit — escalation changed *when* trials ran, never
+    // what they computed.
+    let mut attempts = 0u32;
+    let final_os = loop {
+        attempts += 1;
+        assert!(attempts <= 2_000, "os refinement never completed");
+        let (status, resp) = call(addr.as_str(), "POST", "/v1/solve", &os_body).unwrap();
+        match status {
+            503 => continue,
+            200 => break resp,
+            other => panic!("unexpected status {other}: {resp}"),
+        }
+    };
+    let json = Json::parse(&final_os).unwrap();
+    assert_eq!(json.get("trials_done").and_then(Json::as_u64), Some(TRIALS));
+    let direct = mpmb_core::OrderingSampling::new(mpmb_core::OsConfig {
+        trials: TRIALS,
+        seed: 7,
+        ..Default::default()
+    })
+    .run(&reference_graph());
+    let (_, dp) = direct.mpmb().expect("non-empty distribution");
+    let served = json
+        .get("mpmb")
+        .and_then(|m| m.get("prob"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(
+        served.to_bits(),
+        dp.to_bits(),
+        "escalated os answer must be bit-identical to a direct run"
+    );
+
+    let (_, metrics) = call(addr.as_str(), "GET", "/metrics", "").unwrap();
+    assert_eq!(metric_value(&metrics, "mpmb_fast_requests_total"), 1);
+    assert_eq!(metric_value(&metrics, "mpmb_fast_escalations_total"), 1);
+    assert_eq!(metric_value(&metrics, "mpmb_fast_relative_error_count"), 1);
+    assert_eq!(
+        metric_value(&metrics, "mpmb_trials_executed_total"),
+        2 * TRIALS,
+        "fast {TRIALS} + os {TRIALS}; resumes must never re-execute a trial"
+    );
+
+    server.begin_shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn count_fast_covers_the_closed_form_and_replays_from_cache() {
+    let _guard = lock();
+    let (server, addr) = start(default_cfg());
+    register_graph(&addr);
+
+    let body = "{\"graph\":\"g\",\"method\":\"fast\",\"trials\":20000,\"seed\":7,\"delta\":0.05}";
+    let (status, resp) = call(addr.as_str(), "POST", "/v1/count", body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let json = Json::parse(&resp).unwrap();
+    let exact = bigraph::expected::expected_butterfly_count(&reference_graph());
+    let lo = json.get("ci_low").and_then(Json::as_f64).unwrap();
+    let hi = json.get("ci_high").and_then(Json::as_f64).unwrap();
+    assert!(
+        lo <= exact && exact <= hi,
+        "CI [{lo}, {hi}] misses the exact count {exact}"
+    );
+    assert_eq!(json.get("trials_done").and_then(Json::as_u64), Some(20_000));
+
+    // The estimate equals the direct library call bit-for-bit, and a
+    // repeat replays the cached body.
+    let direct = mpmb_core::estimate_fast(
+        &reference_graph(),
+        &mpmb_core::SublinearConfig {
+            trials: 20_000,
+            seed: 7,
+            delta: 0.05,
+        },
+        2,
+    );
+    let served = json.get("estimate").and_then(Json::as_f64).unwrap();
+    assert_eq!(served.to_bits(), direct.estimate.to_bits());
+    let (status, replay) = call(addr.as_str(), "POST", "/v1/count", body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(replay, resp);
+
+    // An unknown method is rejected, not silently defaulted.
+    let (status, resp) = call(
+        addr.as_str(),
+        "POST",
+        "/v1/count",
+        "{\"graph\":\"g\",\"method\":\"bogus\",\"trials\":100}",
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{resp}");
+
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
 fn sigterm_drains_in_flight_request_then_exits() {
     let _guard = lock();
     signal::install();
@@ -1102,12 +1265,18 @@ fn shutdown(server: Server) {
 }
 
 /// Every request a cluster test replays against single-node and each
-/// worker count: all four solve methods plus the count endpoint.
+/// worker count: every solve method (fast included) plus the count
+/// endpoint.
 fn cluster_request_matrix() -> Vec<(&'static str, String)> {
     vec![
         (
             "/v1/solve",
             "{\"graph\":\"g\",\"method\":\"os\",\"trials\":2000,\"seed\":7,\"k\":3}".into(),
+        ),
+        (
+            "/v1/solve",
+            "{\"graph\":\"g\",\"method\":\"fast\",\"trials\":2500,\"seed\":23,\"delta\":0.1}"
+                .into(),
         ),
         (
             "/v1/solve",
